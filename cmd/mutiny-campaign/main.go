@@ -1,0 +1,102 @@
+// Command mutiny-campaign runs the paper's fault/error injection campaign
+// (§IV-C) against the simulated cluster and prints Tables III, IV, V and VI
+// plus Figures 6 and 7, the critical-field analysis, and the headline
+// findings.
+//
+// Usage:
+//
+//	mutiny-campaign [flags]
+//
+// The full campaign (stride 1, 100 golden runs) reproduces the paper-scale
+// ~9,000-experiment study; larger strides subsample it evenly for quick
+// looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	mutiny "github.com/mutiny-sim/mutiny"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mutiny-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mutiny-campaign", flag.ContinueOnError)
+	var (
+		stride    = fs.Int("stride", 1, "run every n-th generated experiment (1 = full campaign)")
+		golden    = fs.Int("golden", 100, "golden runs per workload")
+		noRefine  = fs.Bool("no-refinement", false, "skip the critical-field refinement round")
+		noProp    = fs.Bool("no-propagation", false, "skip the component-channel propagation experiments")
+		quiet     = fs.Bool("quiet", false, "suppress progress output")
+		workloads = fs.String("workloads", "", "comma-separated workload subset (deploy,scale,failover)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := mutiny.CampaignConfig{
+		GoldenRuns:      *golden,
+		SampleStride:    *stride,
+		SkipRefinement:  *noRefine,
+		SkipPropagation: *noProp,
+	}
+	if *workloads != "" {
+		for _, w := range splitComma(*workloads) {
+			cfg.Workloads = append(cfg.Workloads, mutiny.WorkloadKind(w))
+		}
+	}
+	start := time.Now()
+	if !*quiet {
+		cfg.Progress = func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rexperiments: %d/%d (%.0fs elapsed)", done, total, time.Since(start).Seconds())
+			}
+		}
+	}
+
+	out := mutiny.RunCampaign(cfg)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "\ncampaign finished in %s\n\n", time.Since(start).Round(time.Second))
+	}
+
+	fmt.Printf("Campaign: %d injection experiments (+%d refinement, +%d propagation cells); recorded fields: %v\n\n",
+		out.Main.Total(), out.Refinement.Total(), len(out.Propagation), out.FieldsRecorded)
+	mutiny.RenderTable3(os.Stdout, out.Main)
+	fmt.Println()
+	mutiny.RenderTable4(os.Stdout, out.Main)
+	fmt.Println()
+	mutiny.RenderTable5(os.Stdout, out.Main)
+	fmt.Println()
+	mutiny.RenderTable6(os.Stdout, out.Propagation)
+	fmt.Println()
+	mutiny.RenderFigure6(os.Stdout, out.Main)
+	fmt.Println()
+	mutiny.RenderFigure7(os.Stdout, out.Main)
+	fmt.Println()
+	mutiny.RenderCriticalFields(os.Stdout, out.Main)
+	fmt.Println()
+	mutiny.RenderFindings(os.Stdout, out.Main)
+	return nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+// Campaign-mini: a scaled-down version of the paper's ~8,800-experiment
+// fault/error injection campaign (§IV-C), producing the same tables.
+//
+// The generated campaign is subsampled with a stride of 40 (~170
+// experiments) and uses 15 golden runs per workload, so it finishes in well
+// under a minute; drop the stride to 1 and raise the golden runs to 100 for
+// the paper-scale study (the cmd/mutiny-campaign tool does exactly that).
+//
+//	go run ./examples/campaign-mini
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	mutiny "github.com/mutiny-sim/mutiny"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign-mini:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	start := time.Now()
+	out := mutiny.RunCampaign(mutiny.CampaignConfig{
+		GoldenRuns:   15,
+		SampleStride: 40,
+		Progress: func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%d/%d experiments", done, total)
+			}
+		},
+	})
+	fmt.Fprintf(os.Stderr, "\ndone in %s\n\n", time.Since(start).Round(time.Second))
+
+	fmt.Printf("experiments: %d main, %d refinement; recorded fields: %v\n\n",
+		out.Main.Total(), out.Refinement.Total(), out.FieldsRecorded)
+	mutiny.RenderTable4(os.Stdout, out.Main)
+	fmt.Println()
+	mutiny.RenderTable5(os.Stdout, out.Main)
+	fmt.Println()
+	mutiny.RenderTable6(os.Stdout, out.Propagation)
+	fmt.Println()
+	mutiny.RenderCriticalFields(os.Stdout, out.Main)
+	fmt.Println()
+	mutiny.RenderFindings(os.Stdout, out.Main)
+	return nil
+}

@@ -1,0 +1,92 @@
+// Cluster-wide network outage: the Reddit Pi-Day pattern (§II-B).
+//
+// In the 2023 Reddit outage, a Kubernetes upgrade silently changed node
+// labels, breaking the network manager's configuration and taking the
+// cluster network down for 314 minutes. This example reproduces the
+// pattern: a single corrupted value in the network manager's ConfigMap (the
+// simulated flannel's overlay configuration) invalidates the routes of
+// every node at once. Running services keep their pods — the resources are
+// all "correct" — but nothing is reachable: a cluster Outage (Out).
+//
+//	go run ./examples/network-outage
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	mutiny "github.com/mutiny-sim/mutiny"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "network-outage:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cl := mutiny.NewCluster(mutiny.ClusterConfig{Seed: 42})
+	cl.Start()
+	if !cl.AwaitSettled(30 * time.Second) {
+		return fmt.Errorf("cluster did not settle")
+	}
+
+	// Deploy the service application and wait for it to serve.
+	driver := mutiny.NewDriver(cl, mutiny.WorkloadDeploy)
+	driver.Setup()
+	driver.Run()
+	ns, svcName := driver.TargetService()
+	probeClient := cl.Client("probe")
+
+	probe := func(label string) {
+		obj, err := probeClient.Get(mutiny.KindService, ns, svcName)
+		if err != nil {
+			fmt.Printf("%-30s service lookup failed: %v\n", label, err)
+			return
+		}
+		vip := obj.(*mutiny.Service).Spec.ClusterIP
+		ok := 0
+		for i := 0; i < 20; i++ {
+			if !cl.Net.Request(cl.MonitoringNode(), vip, 80).Failed() {
+				ok++
+			}
+			cl.Loop.RunUntil(cl.Loop.Now() + 50*time.Millisecond)
+		}
+		fmt.Printf("%-30s %2d/20 requests served (routes on monitoring node: %v, DNS healthy: %v)\n",
+			label, ok, cl.Net.RoutesUp(cl.MonitoringNode()), cl.Net.DNSHealthy())
+	}
+
+	probe("before the upgrade:")
+
+	// The "upgrade": one value in the network manager's configuration
+	// changes meaning; every network daemon reloads into a broken state.
+	admin := cl.Client("platform-upgrade")
+	setNetConfig := func(value string) error {
+		obj, err := admin.Get(mutiny.KindConfigMap, mutiny.SystemNamespace, mutiny.NetConfigMapName)
+		if err != nil {
+			return err
+		}
+		cm := obj.(*mutiny.ConfigMap)
+		cm.Data[mutiny.NetConfigKey] = value
+		return admin.Update(cm)
+	}
+	if err := setNetConfig("ovurlay:10.244.0.0/16"); err != nil { // one corrupted character
+		return err
+	}
+	cl.Loop.RunUntil(cl.Loop.Now() + 15*time.Second)
+
+	probe("after the config corruption:")
+	fmt.Println("\npods are still running — every resource exists and is 'ready' —")
+	fmt.Printf("and the control plane is responsive (%v), yet nothing answers: an Outage (Out).\n",
+		cl.ControlPlaneResponsive())
+
+	// Roll back, as Reddit's engineers eventually did.
+	if err := setNetConfig(mutiny.NetConfigValue); err != nil {
+		return err
+	}
+	cl.Loop.RunUntil(cl.Loop.Now() + 15*time.Second)
+	probe("after rollback:")
+	return nil
+}

@@ -1,0 +1,64 @@
+// Uncontrolled replication: the paper's flagship failure example (§V-C1).
+//
+// A single corrupted value in the labels binding pods to their controller
+// leaves the controller unable to identify the pods it owns. Every
+// replacement it spawns carries the same corrupted template and is equally
+// unidentifiable, so pods are created in an infinite loop: the cluster's
+// computing resources fill up, and eventually the data store itself runs
+// out of space and stalls — a Stall (Sta) escalating toward an Outage.
+//
+// The corruption is injected on the apiserver→store channel, where the
+// validation layer (which would reject a selector/template mismatch coming
+// from a client) cannot see it.
+//
+//	go run ./examples/uncontrolled-replication
+package main
+
+import (
+	"fmt"
+	"os"
+
+	mutiny "github.com/mutiny-sim/mutiny"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uncontrolled-replication:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	runner := mutiny.NewRunner()
+	runner.GoldenRuns = 20
+
+	fmt.Println("building golden baseline for the deploy workload...")
+	res := runner.Run(mutiny.Spec{
+		Workload: mutiny.WorkloadDeploy,
+		Seed:     777,
+		Injection: &mutiny.Injection{
+			Channel:   mutiny.ChannelStore,
+			Kind:      mutiny.KindReplicaSet,
+			FieldPath: "spec.template.labels[app]",
+			Type:      mutiny.SetValue,
+			Value:     "mislabeled",
+			// Occurrence 2 is the controller's scale-up update: the stored
+			// ReplicaSet then wants replicas > 0 with a template that can
+			// never match its own selector.
+			Occurrence: 2,
+		},
+	})
+
+	fmt.Printf("\ninjected: ReplicaSet %s, template label %q → %q\n",
+		res.Report.Instance, res.Report.OldValue, res.Report.NewValue)
+	fmt.Printf("pods created during the 45s window: %d (golden runs create ~6)\n", res.PodsCreated)
+	fmt.Printf("orchestrator-level failure: %s\n", res.OF)
+	fmt.Printf("client-level failure:       %s (z-score %.1f)\n", res.CF, res.Z)
+	fmt.Printf("user-visible API errors:    %d\n", res.UserErrors)
+	fmt.Println(`
+The reconciliation loop spawned pods until node capacity and then the data
+store's quota were exhausted ("eventually, the disk of the control plane
+Node can fill up, stalling Etcd"). The user who deployed the service never
+received an error.`)
+	return nil
+}

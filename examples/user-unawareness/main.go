@@ -1,0 +1,53 @@
+// User unawareness: finding F4.
+//
+// Orchestrators acknowledge a request for a state change and postpone the
+// reconciliation; the API answer only means "your wish was recorded". If
+// the wish is then lost — here, the transaction carrying a Deployment to the
+// data store is dropped — the user receives no error, ever. The desired and
+// observed states silently diverge; without external monitoring alerts the
+// failure goes unnoticed until customers complain.
+//
+//	go run ./examples/user-unawareness
+package main
+
+import (
+	"fmt"
+	"os"
+
+	mutiny "github.com/mutiny-sim/mutiny"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "user-unawareness:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	runner := mutiny.NewRunner()
+	runner.GoldenRuns = 20
+
+	fmt.Println("building golden baseline for the deploy workload...")
+	res := runner.Run(mutiny.Spec{
+		Workload: mutiny.WorkloadDeploy,
+		Seed:     778,
+		Injection: &mutiny.Injection{
+			Channel:    mutiny.ChannelStore,
+			Kind:       mutiny.KindDeployment,
+			Type:       mutiny.DropMessage,
+			Occurrence: 1, // the create of the first Deployment
+		},
+	})
+
+	fmt.Printf("\nthe transaction creating %q was dropped before reaching the store\n", res.Report.Instance)
+	fmt.Printf("(the paper's model: 'the calling function returns without any error').\n\n")
+	fmt.Printf("errors the user received from the API server: %d\n", res.UserErrors)
+	fmt.Printf("orchestrator-level failure:                    %s (less resources than desired)\n", res.OF)
+	fmt.Printf("client-level failure:                          %s (the service never came up)\n", res.CF)
+	fmt.Println(`
+The kbench user's 'kubectl create' call returned success. The deployment
+never existed. More than 85% of the paper's failed experiments showed
+exactly this pattern: no error ever surfaced to the user (Figure 7).`)
+	return nil
+}

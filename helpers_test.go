@@ -1,0 +1,10 @@
+package mutiny
+
+import (
+	"github.com/mutiny-sim/mutiny/internal/codec"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+func decode(data []byte, obj spec.Object) error { return codec.Unmarshal(data, obj) }
+
+func encode(obj spec.Object) ([]byte, error) { return codec.Marshal(obj) }

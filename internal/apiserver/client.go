@@ -1,0 +1,71 @@
+package apiserver
+
+import (
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// Client is a component's handle on the API server, carrying the component's
+// identity so that the audit trail and the propagation experiments can
+// attribute every request.
+type Client struct {
+	srv      *Server
+	identity string
+}
+
+// Identity returns the component identity bound to this client.
+func (c *Client) Identity() string { return c.identity }
+
+// Create persists a new object.
+func (c *Client) Create(obj spec.Object) error {
+	return c.srv.handle(c.identity, VerbCreate, obj.Clone())
+}
+
+// Update replaces an existing object (spec + metadata); its resourceVersion
+// must match the current one.
+func (c *Client) Update(obj spec.Object) error {
+	return c.srv.handle(c.identity, VerbUpdate, obj.Clone())
+}
+
+// UpdateStatus updates only the status subresource of an existing object.
+func (c *Client) UpdateStatus(obj spec.Object) error {
+	return c.srv.handle(c.identity, VerbUpdateStatus, obj.Clone())
+}
+
+// Delete removes an object.
+func (c *Client) Delete(kind spec.Kind, namespace, name string) error {
+	obj := spec.New(kind)
+	obj.Meta().Namespace = namespace
+	obj.Meta().Name = name
+	return c.srv.handle(c.identity, VerbDelete, obj)
+}
+
+// Get fetches one object (served from the watch cache, like a real
+// apiserver read).
+func (c *Client) Get(kind spec.Kind, namespace, name string) (spec.Object, error) {
+	return c.srv.get(kind, namespace, name)
+}
+
+// List returns all objects of a kind, optionally restricted to a namespace
+// (empty namespace means all).
+func (c *Client) List(kind spec.Kind, namespace string) []spec.Object {
+	return c.srv.list(kind, namespace)
+}
+
+// ListSelected returns the objects of a kind in a namespace whose labels
+// match the selector.
+func (c *Client) ListSelected(kind spec.Kind, namespace string, sel spec.LabelSelector) []spec.Object {
+	all := c.srv.list(kind, namespace)
+	var out []spec.Object
+	for _, obj := range all {
+		if sel.Matches(obj.Meta().Labels) {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// Watch subscribes to change events for a kind ("" for all kinds). The
+// cancel function detaches the watcher.
+func (c *Client) Watch(kind spec.Kind, fn func(WatchEvent)) (cancel func()) {
+	return c.srv.watch(kind, fn)
+}

@@ -1,0 +1,18 @@
+package apiserver
+
+import (
+	"github.com/mutiny-sim/mutiny/internal/codec"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+func codecUnmarshal(data []byte, obj spec.Object) error {
+	return codec.Unmarshal(data, obj)
+}
+
+func mustMarshal(obj spec.Object) []byte {
+	b, err := codec.Marshal(obj)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

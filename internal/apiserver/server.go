@@ -1,0 +1,564 @@
+// Package apiserver implements the API server: the single component that
+// talks to the data store, validates and admits requests from every other
+// component, maintains the watch cache, and fans out change notifications.
+//
+// It hosts the two communication channels Mutiny injects into (§IV-A):
+//
+//   - the apiserver→store channel, where a tampered transaction lands in the
+//     store unvalidated (emulating faults that originate in the apiserver or
+//     propagate undetected), and
+//   - the component→apiserver channel, where tampered requests face the
+//     validation layer, used by the propagation experiments of §V-C4.
+package apiserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/codec"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/store"
+)
+
+// API error values, matched by components to decide on retries and by the
+// audit trail feeding the user-error analysis (Figure 7).
+var (
+	ErrNotFound      = errors.New("apiserver: not found")
+	ErrAlreadyExists = errors.New("apiserver: already exists")
+	ErrConflict      = errors.New("apiserver: resource version conflict")
+	ErrInvalid       = errors.New("apiserver: validation failed")
+	ErrUnavailable   = errors.New("apiserver: store unavailable")
+	ErrTimeout       = errors.New("apiserver: request timed out")
+	ErrBadRequest    = errors.New("apiserver: malformed request")
+)
+
+// Verb identifies the operation carried by a channel message.
+type Verb int
+
+// Request verbs.
+const (
+	VerbCreate Verb = iota + 1
+	VerbUpdate
+	VerbUpdateStatus
+	VerbDelete
+)
+
+func (v Verb) String() string {
+	switch v {
+	case VerbCreate:
+		return "create"
+	case VerbUpdate:
+		return "update"
+	case VerbUpdateStatus:
+		return "update-status"
+	case VerbDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Verb(%d)", int(v))
+	}
+}
+
+// Message is one serialized write crossing a channel. Hooks may mutate Data
+// in place; identity fields describe the request context (the "URL"), which
+// is fixed before any tampering occurs.
+type Message struct {
+	Verb      Verb
+	Kind      spec.Kind
+	Namespace string
+	Name      string
+	Source    string // component identity that issued the request
+	Data      []byte // encoded object; nil for deletes
+	// Tampered is set by an injection hook when it mutates the message; it
+	// lets the audit trail attribute outcomes for the propagation
+	// experiments (Table VI).
+	Tampered bool
+}
+
+// Action is a hook's verdict on a message.
+type Action int
+
+// Hook verdicts.
+const (
+	// Pass lets the (possibly mutated) message continue.
+	Pass Action = iota
+	// Drop discards the message; the caller observes success (the paper's
+	// message-drop model: "the calling function returns without any error
+	// before sending the message").
+	Drop
+)
+
+// Hook intercepts messages on a channel.
+type Hook func(*Message) Action
+
+// WatchEventType distinguishes watch notifications.
+type WatchEventType int
+
+// Watch event types.
+const (
+	Added WatchEventType = iota + 1
+	Modified
+	Deleted
+)
+
+func (t WatchEventType) String() string {
+	switch t {
+	case Added:
+		return "ADDED"
+	case Modified:
+		return "MODIFIED"
+	case Deleted:
+		return "DELETED"
+	default:
+		return fmt.Sprintf("WatchEventType(%d)", int(t))
+	}
+}
+
+// WatchEvent is delivered to component watchers.
+type WatchEvent struct {
+	Type   WatchEventType
+	Kind   spec.Kind
+	Object spec.Object // decoded; a deep copy per watcher
+}
+
+// Options configure a Server.
+type Options struct {
+	// DisableValidation turns the validation layer off (ablation).
+	DisableValidation bool
+	// DisableUndecodableDeletion keeps undecodable resources in the store
+	// instead of deleting them (ablation of the §II-D strategy).
+	DisableUndecodableDeletion bool
+	// CriticalFieldChecksums enables the §VI-B redundancy-code mitigation:
+	// the server stamps every write with a checksum over its critical
+	// fields (computed before the transaction leaves the server) and
+	// deletes objects whose stored critical fields no longer match — so
+	// single-bit corruption of a dependency, identity, or networking field
+	// is detected at first read-back instead of silently propagating. The
+	// paper: "simple data redundancy mechanisms, like redundancy codes on
+	// critical fields, can protect the cluster from hardware faults with a
+	// negligible overhead (the critical fields are < 10% of total)".
+	CriticalFieldChecksums bool
+}
+
+// Server is the API server.
+type Server struct {
+	loop    *sim.Loop
+	backend store.Backend
+	opts    Options
+
+	cache    map[string]spec.Object // decoded watch cache, by store key
+	watchers map[int64]*watcher
+	nextID   int64
+
+	uidCounter int64
+	ipCounter  int64
+
+	storeWriteHook Hook
+	requestHook    Hook
+	accessHook     func(key string)
+
+	audit *Audit
+
+	cancelStoreWatch func()
+}
+
+type watcher struct {
+	kind      spec.Kind
+	fn        func(WatchEvent)
+	cancelled bool
+}
+
+// New creates a Server over the given backend and starts its store watch.
+func New(loop *sim.Loop, backend store.Backend, opts *Options) *Server {
+	s := &Server{
+		loop:     loop,
+		backend:  backend,
+		cache:    make(map[string]spec.Object),
+		watchers: make(map[int64]*watcher),
+		audit:    NewAudit(loop),
+	}
+	if opts != nil {
+		s.opts = *opts
+	}
+	s.cancelStoreWatch = backend.Watch("/registry/", s.onStoreEvent)
+	return s
+}
+
+// Audit returns the server's audit trail.
+func (s *Server) Audit() *Audit { return s.audit }
+
+// SetStoreWriteHook installs the apiserver→store channel hook.
+func (s *Server) SetStoreWriteHook(h Hook) { s.storeWriteHook = h }
+
+// SetRequestHook installs the component→apiserver channel hook.
+func (s *Server) SetRequestHook(h Hook) { s.requestHook = h }
+
+// SetAccessHook installs a callback invoked with the store key of every
+// object served by a read or watch dispatch; the injection framework uses it
+// to measure activation ("an injection is activated when the injected
+// resource instance is requested after the injection").
+func (s *Server) SetAccessHook(h func(key string)) { s.accessHook = h }
+
+// ClientFor returns a client bound to a component identity.
+func (s *Server) ClientFor(identity string) *Client {
+	return &Client{srv: s, identity: identity}
+}
+
+// CacheLen reports the number of cached objects (diagnostics).
+func (s *Server) CacheLen() int { return len(s.cache) }
+
+// Restart simulates an apiserver restart: the watch cache is dropped and
+// rebuilt from the store, which is when at-rest corruption becomes visible
+// (§V-C1). Component watches survive (clients reconnect transparently) but
+// receive a fresh Added event per object, like a watch re-list.
+func (s *Server) Restart() {
+	s.cache = make(map[string]spec.Object)
+	for _, kv := range s.backend.List("/registry/") {
+		obj, err := s.decode(kv.Kind, kv.Value)
+		if err != nil {
+			s.handleUndecodable(kv.Key, kv.Kind)
+			continue
+		}
+		s.cache[kv.Key] = obj
+		s.dispatch(WatchEvent{Type: Added, Kind: kv.Kind, Object: obj})
+	}
+}
+
+// --- request path (component → apiserver → store) ---------------------------
+
+func (s *Server) handle(identity string, verb Verb, obj spec.Object) error {
+	kind := obj.Kind()
+	meta := obj.Meta()
+	msg := &Message{
+		Verb:      verb,
+		Kind:      kind,
+		Namespace: meta.Namespace,
+		Name:      meta.Name,
+		Source:    identity,
+		Data:      nil,
+	}
+	data, err := codec.Marshal(obj)
+	if err != nil {
+		return s.audit.record(identity, verb, kind, meta.Name, fmt.Errorf("%w: %v", ErrBadRequest, err), false)
+	}
+	msg.Data = data
+
+	// Channel 1: component → apiserver. Tampering here faces validation.
+	if s.requestHook != nil {
+		switch s.requestHook(msg) {
+		case Drop:
+			// The request never reaches the server; the component times out.
+			return s.audit.record(identity, verb, kind, msg.Name, ErrTimeout, msg.Tampered)
+		}
+	}
+
+	recv := spec.New(kind)
+	if err := codec.Unmarshal(msg.Data, recv); err != nil {
+		return s.audit.record(identity, verb, kind, msg.Name, fmt.Errorf("%w: %v", ErrBadRequest, err), msg.Tampered)
+	}
+
+	return s.apply(identity, verb, msg, recv)
+}
+
+// apply validates, admits and persists a decoded request object. Existence
+// and resource-version checks read the backend, not the watch cache: writes
+// are transactional against the store (like etcd txns), while reads are
+// served from the cache.
+func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object) error {
+	kind := msg.Kind
+	key := spec.Key(kind, msg.Namespace, msg.Name)
+	cur, exists, curErr := s.current(kind, key)
+	if curErr != nil && verb != VerbDelete {
+		// The current object is undecodable: mutating requests fail until
+		// the undecodable-deletion sweep removes it.
+		return s.audit.record(identity, verb, kind, msg.Name, fmt.Errorf("%w: %v", ErrUnavailable, curErr), msg.Tampered)
+	}
+
+	switch verb {
+	case VerbCreate:
+		if exists {
+			return s.audit.record(identity, verb, kind, msg.Name, ErrAlreadyExists, msg.Tampered)
+		}
+		if !s.opts.DisableValidation {
+			if err := s.validate(verb, msg, obj, nil); err != nil {
+				return s.audit.record(identity, verb, kind, msg.Name, err, msg.Tampered)
+			}
+		}
+		s.admitCreate(obj)
+	case VerbUpdate:
+		if !exists {
+			return s.audit.record(identity, verb, kind, msg.Name, ErrNotFound, msg.Tampered)
+		}
+		if obj.Meta().ResourceVersion != cur.Meta().ResourceVersion {
+			return s.audit.record(identity, verb, kind, msg.Name, ErrConflict, msg.Tampered)
+		}
+		if !s.opts.DisableValidation {
+			if err := s.validate(verb, msg, obj, cur); err != nil {
+				return s.audit.record(identity, verb, kind, msg.Name, err, msg.Tampered)
+			}
+		}
+		// Updates preserve identity and creation metadata.
+		obj.Meta().UID = cur.Meta().UID
+		obj.Meta().CreatedMillis = cur.Meta().CreatedMillis
+		obj.Meta().Generation = cur.Meta().Generation + 1
+	case VerbUpdateStatus:
+		if !exists {
+			return s.audit.record(identity, verb, kind, msg.Name, ErrNotFound, msg.Tampered)
+		}
+		if obj.Meta().ResourceVersion != cur.Meta().ResourceVersion {
+			return s.audit.record(identity, verb, kind, msg.Name, ErrConflict, msg.Tampered)
+		}
+		// Status updates cannot change spec or metadata: graft the incoming
+		// status onto the current object (subresource semantics).
+		merged := cur.Clone()
+		if err := mergeStatus(merged, obj); err != nil {
+			return s.audit.record(identity, verb, kind, msg.Name, err, msg.Tampered)
+		}
+		obj = merged
+	case VerbDelete:
+		if !exists {
+			return s.audit.record(identity, verb, kind, msg.Name, ErrNotFound, msg.Tampered)
+		}
+		return s.persistDelete(identity, msg, key)
+	}
+
+	return s.persistWrite(identity, verb, msg, obj, key)
+}
+
+func (s *Server) persistWrite(identity string, verb Verb, msg *Message, obj spec.Object, key string) error {
+	if s.opts.CriticalFieldChecksums {
+		stampChecksum(obj)
+	}
+	data, err := codec.Marshal(obj)
+	if err != nil {
+		return s.audit.record(identity, verb, msg.Kind, msg.Name, fmt.Errorf("%w: %v", ErrBadRequest, err), msg.Tampered)
+	}
+	out := &Message{
+		Verb: verb, Kind: msg.Kind, Namespace: msg.Namespace, Name: msg.Name,
+		Source: "apiserver", Data: data, Tampered: msg.Tampered,
+	}
+	// Channel 2: apiserver → store. Tampering here bypasses validation: the
+	// corrupted transaction becomes the agreed cluster state.
+	if s.storeWriteHook != nil {
+		switch s.storeWriteHook(out) {
+		case Drop:
+			s.audit.countDrop()
+			return nil // the caller believes the write happened
+		}
+	}
+	rev, err := s.backend.Put(key, msg.Kind, out.Data)
+	if err != nil {
+		return s.audit.record(identity, verb, msg.Kind, msg.Name, fmt.Errorf("%w: %v", ErrUnavailable, err), msg.Tampered)
+	}
+	_ = rev
+	s.audit.countOK(identity, verb)
+	if msg.Tampered {
+		s.audit.countTamperedOK()
+	}
+	return nil
+}
+
+func (s *Server) persistDelete(identity string, msg *Message, key string) error {
+	out := &Message{
+		Verb: VerbDelete, Kind: msg.Kind, Namespace: msg.Namespace, Name: msg.Name,
+		Source: "apiserver",
+	}
+	if s.storeWriteHook != nil {
+		switch s.storeWriteHook(out) {
+		case Drop:
+			s.audit.countDrop()
+			return nil
+		}
+	}
+	if !s.backend.Delete(key) {
+		return s.audit.record(identity, VerbDelete, msg.Kind, msg.Name, ErrNotFound, msg.Tampered)
+	}
+	s.audit.countOK(identity, VerbDelete)
+	return nil
+}
+
+// admitCreate fills server-assigned defaults on object creation.
+func (s *Server) admitCreate(obj spec.Object) {
+	m := obj.Meta()
+	if m.UID == "" {
+		s.uidCounter++
+		m.UID = spec.FormatUID(s.uidCounter)
+	}
+	if m.CreatedMillis == 0 {
+		m.CreatedMillis = s.loop.Time().UnixMilli()
+	}
+	m.Generation = 1
+	if svc, ok := obj.(*spec.Service); ok {
+		if svc.Spec.ClusterIP == "" {
+			s.ipCounter++
+			svc.Spec.ClusterIP = fmt.Sprintf("10.96.0.%d", s.ipCounter%250+1)
+		}
+		for i := range svc.Spec.Ports {
+			if svc.Spec.Ports[i].Protocol == "" {
+				svc.Spec.Ports[i].Protocol = "TCP"
+			}
+		}
+	}
+}
+
+// --- store event path (store → apiserver → watchers) -------------------------
+
+func (s *Server) onStoreEvent(ev store.Event) {
+	switch ev.Type {
+	case store.EventPut:
+		obj, err := s.decode(ev.Kind, ev.Value)
+		if err != nil {
+			s.handleUndecodable(ev.Key, ev.Kind)
+			return
+		}
+		// The resource version every reader sees is the store revision of
+		// the write, exactly like etcd's mod revision.
+		obj.Meta().ResourceVersion = ev.Revision
+		_, existed := s.cache[ev.Key]
+		s.cache[ev.Key] = obj
+		typ := Added
+		if existed {
+			typ = Modified
+		}
+		s.dispatch(WatchEvent{Type: typ, Kind: ev.Kind, Object: obj})
+	case store.EventDelete:
+		obj, existed := s.cache[ev.Key]
+		if !existed {
+			return
+		}
+		delete(s.cache, ev.Key)
+		s.dispatch(WatchEvent{Type: Deleted, Kind: ev.Kind, Object: obj})
+	}
+}
+
+// handleUndecodable implements the §II-D strategy: resources that cannot be
+// deserialized are deleted to prevent failures when retrieving resource
+// lists that contain them.
+func (s *Server) handleUndecodable(key string, kind spec.Kind) {
+	s.audit.countUndecodable()
+	if s.opts.DisableUndecodableDeletion {
+		return
+	}
+	s.loop.After(time.Millisecond, func() {
+		s.backend.Delete(key)
+	})
+}
+
+// current reads the authoritative state of key from the backend.
+func (s *Server) current(kind spec.Kind, key string) (spec.Object, bool, error) {
+	kv, ok := s.backend.Get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	obj, err := s.decode(kind, kv.Value)
+	if err != nil {
+		s.handleUndecodable(key, kind)
+		return nil, true, err
+	}
+	obj.Meta().ResourceVersion = kv.Revision
+	return obj, true, nil
+}
+
+func (s *Server) decode(kind spec.Kind, data []byte) (spec.Object, error) {
+	obj := spec.New(kind)
+	if obj == nil {
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, kind)
+	}
+	if err := codec.Unmarshal(data, obj); err != nil {
+		return nil, err
+	}
+	if s.opts.CriticalFieldChecksums && !verifyChecksum(obj) {
+		s.audit.countChecksumFailure()
+		return nil, fmt.Errorf("%w: critical-field checksum mismatch", codec.ErrCorrupt)
+	}
+	return obj, nil
+}
+
+func (s *Server) dispatch(ev WatchEvent) {
+	if s.accessHook != nil {
+		s.accessHook(spec.KeyOf(ev.Object))
+	}
+	// One shared copy per event: watchers treat delivered objects as
+	// read-only (they re-Get before mutating), so per-watcher clones would
+	// only burn cycles at campaign scale.
+	shared := WatchEvent{Type: ev.Type, Kind: ev.Kind, Object: ev.Object.Clone()}
+	for _, w := range s.watchers {
+		if w.cancelled || (w.kind != "" && w.kind != ev.Kind) {
+			continue
+		}
+		w := w
+		s.loop.After(0, func() {
+			if !w.cancelled {
+				w.fn(shared)
+			}
+		})
+	}
+}
+
+// --- reads -------------------------------------------------------------------
+
+func (s *Server) get(kind spec.Kind, namespace, name string) (spec.Object, error) {
+	key := spec.Key(kind, namespace, name)
+	obj, ok := s.cache[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if s.accessHook != nil {
+		s.accessHook(key)
+	}
+	return obj.Clone(), nil
+}
+
+func (s *Server) list(kind spec.Kind, namespace string) []spec.Object {
+	prefix := "/registry/" + string(kind) + "/"
+	if namespace != "" {
+		prefix += namespace + "/"
+	}
+	var keys []string
+	for key := range s.cache {
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]spec.Object, 0, len(keys))
+	for _, key := range keys {
+		if s.accessHook != nil {
+			s.accessHook(key)
+		}
+		out = append(out, s.cache[key].Clone())
+	}
+	return out
+}
+
+func (s *Server) watch(kind spec.Kind, fn func(WatchEvent)) (cancel func()) {
+	id := s.nextID
+	s.nextID++
+	w := &watcher{kind: kind, fn: fn}
+	s.watchers[id] = w
+	return func() {
+		w.cancelled = true
+		delete(s.watchers, id)
+	}
+}
+
+func mergeStatus(dst, src spec.Object) error {
+	switch d := dst.(type) {
+	case *spec.Pod:
+		d.Status = src.(*spec.Pod).Status
+	case *spec.ReplicaSet:
+		d.Status = src.(*spec.ReplicaSet).Status
+	case *spec.Deployment:
+		d.Status = src.(*spec.Deployment).Status
+	case *spec.DaemonSet:
+		d.Status = src.(*spec.DaemonSet).Status
+	case *spec.Node:
+		d.Status = src.(*spec.Node).Status
+	default:
+		return fmt.Errorf("%w: kind %s has no status subresource", ErrBadRequest, dst.Kind())
+	}
+	return nil
+}

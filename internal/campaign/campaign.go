@@ -1,0 +1,239 @@
+// Package campaign implements the fault/error injection campaign manager of
+// §IV-C: golden runs, wire-format field recording, campaign generation (bit
+// flips, data-type sets, message drops, serialization-byte corruptions,
+// occurrence triggers), experiment execution, and result aggregation into
+// the paper's tables and figures.
+package campaign
+
+import (
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/classify"
+	"github.com/mutiny-sim/mutiny/internal/cluster"
+	"github.com/mutiny-sim/mutiny/internal/inject"
+	"github.com/mutiny-sim/mutiny/internal/workload"
+)
+
+// Experiment timeline constants.
+const (
+	bootstrapDeadline = 30 * time.Second
+	// eventBudget bounds one experiment's total simulation events. Nominal
+	// experiments use well under 100k; only runaway feedback loops
+	// (uncontrolled replication churning against evictions and quota)
+	// approach it, and they are Sta/Out-class by then. The cap plays the
+	// role of the paper's fixed experiment duration on a real testbed.
+	eventBudget = 500_000
+	// windowLength spans the client's 30 s plus steady-state margin.
+	windowLength = 45 * time.Second
+	// opStartDelay is the gap between client start and workload operations.
+	opStartDelay = time.Second
+)
+
+// Spec describes one experiment: a workload plus (optionally) one injection.
+type Spec struct {
+	Workload  workload.Kind
+	Injection *inject.Injection // nil for golden runs
+	Seed      int64
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	Spec        Spec
+	OF          classify.OF
+	CF          classify.CF
+	Z           float64
+	Report      inject.Report
+	UserErrors  int
+	PodsCreated int
+	// PropPersisted / PropErrored serve the Table VI propagation analysis.
+	PropPersisted bool
+	PropErrored   bool
+}
+
+// Runner executes experiments and caches per-workload baselines.
+type Runner struct {
+	// GoldenRuns per workload (the paper uses 100).
+	GoldenRuns int
+	// ClusterConfig template; Seed is overridden per experiment.
+	ClusterConfig cluster.Config
+
+	baselines map[workload.Kind]*classify.Baseline
+	golden    map[workload.Kind][]*classify.Observation
+}
+
+// NewRunner returns a Runner with paper-default settings.
+func NewRunner() *Runner {
+	return &Runner{
+		GoldenRuns: 100,
+		baselines:  make(map[workload.Kind]*classify.Baseline),
+		golden:     make(map[workload.Kind][]*classify.Observation),
+	}
+}
+
+// Baseline returns (building if needed) the golden baseline for a workload.
+func (r *Runner) Baseline(kind workload.Kind) *classify.Baseline {
+	if b, ok := r.baselines[kind]; ok {
+		return b
+	}
+	n := r.GoldenRuns
+	if n <= 0 {
+		n = 100
+	}
+	obs := make([]*classify.Observation, 0, n)
+	for i := 0; i < n; i++ {
+		o, _ := r.observe(Spec{Workload: kind, Seed: goldenSeed(kind, i)}, nil)
+		obs = append(obs, o)
+	}
+	b := classify.BuildBaseline(obs)
+	r.baselines[kind] = b
+	r.golden[kind] = obs
+	return b
+}
+
+// GoldenObservations returns the cached golden observations (building the
+// baseline first if needed).
+func (r *Runner) GoldenObservations(kind workload.Kind) []*classify.Observation {
+	r.Baseline(kind)
+	return r.golden[kind]
+}
+
+// Run executes one experiment and classifies it.
+func (r *Runner) Run(spec Spec) *Result {
+	res, _ := r.RunObserved(spec)
+	return res
+}
+
+// RunObserved executes one experiment and returns both the classified result
+// and the raw observation (e.g. for rendering Figure 5's time series).
+func (r *Runner) RunObserved(spec Spec) (*Result, *classify.Observation) {
+	baseline := r.Baseline(spec.Workload)
+	obs, rep := r.observe(spec, baseline)
+	res := &Result{
+		Spec:        spec,
+		OF:          classify.ClassifyOF(obs, baseline),
+		CF:          classify.ClassifyCF(obs, baseline),
+		Z:           classify.ClientZ(obs, baseline),
+		UserErrors:  obs.UserErrors,
+		PodsCreated: obs.PodsCreated,
+	}
+	if rep != nil {
+		res.Report = *rep
+	}
+	return res, obs
+}
+
+// observe executes the experiment lifecycle of Figure 4: cluster restart,
+// scenario set-up, client start, injector programming, workload execution,
+// and data collection.
+func (r *Runner) observe(spec Spec, _ *classify.Baseline) (*classify.Observation, *inject.Report) {
+	cfg := r.ClusterConfig
+	cfg.Seed = spec.Seed
+	cl := cluster.New(cfg)
+	cl.Loop.SetEventBudget(eventBudget)
+
+	injector := inject.New(cl.Loop)
+	cl.AttachInjector(injector)
+
+	cl.Start()
+	cl.AwaitSettled(bootstrapDeadline)
+
+	driver := workload.NewDriver(cl, spec.Workload)
+	driver.Setup()
+
+	ns, svc := driver.TargetService()
+	client := workload.NewClient(cl, ns, svc)
+	collector := classify.NewCollector(cl)
+
+	collector.Start()
+	client.Start()
+	if spec.Injection != nil {
+		injector.Arm(*spec.Injection)
+	}
+	windowStart := cl.Loop.Now()
+	cl.Loop.RunUntil(windowStart + opStartDelay)
+	driver.Run()
+	cl.Loop.RunUntil(windowStart + windowLength)
+
+	obs := collector.Finish(client)
+	rep := injector.Report()
+	cl.Stop()
+	if spec.Injection != nil {
+		return obs, &rep
+	}
+	return obs, nil
+}
+
+// RunPropagation executes a component→apiserver channel experiment and
+// reports the Table VI outcome columns.
+func (r *Runner) RunPropagation(spec Spec) *Result {
+	res := r.runWithAudit(spec)
+	return res
+}
+
+func (r *Runner) runWithAudit(spec Spec) *Result {
+	cfg := r.ClusterConfig
+	cfg.Seed = spec.Seed
+	cl := cluster.New(cfg)
+	cl.Loop.SetEventBudget(eventBudget)
+	injector := inject.New(cl.Loop)
+	cl.AttachInjector(injector)
+	cl.Start()
+	cl.AwaitSettled(bootstrapDeadline)
+
+	driver := workload.NewDriver(cl, spec.Workload)
+	driver.Setup()
+	if spec.Injection != nil {
+		injector.Arm(*spec.Injection)
+	}
+	start := cl.Loop.Now()
+	cl.Loop.RunUntil(start + opStartDelay)
+	driver.Run()
+	cl.Loop.RunUntil(start + windowLength)
+
+	audit := cl.Server.Audit()
+	res := &Result{
+		Spec:          spec,
+		Report:        injector.Report(),
+		UserErrors:    audit.ErrorsBy(workload.UserIdentity),
+		PropPersisted: audit.TamperedPersisted() > 0,
+		PropErrored:   audit.TamperedErrored() > 0,
+	}
+	cl.Stop()
+	return res
+}
+
+// Record performs a nominal run of a workload with the wire recorder
+// attached from cluster bootstrap (so node registrations, leases, and
+// system workloads are inventoried too) and returns the recorded fields.
+func (r *Runner) Record(kind workload.Kind) *inject.Recorder {
+	cfg := r.ClusterConfig
+	cfg.Seed = goldenSeed(kind, 999)
+	cl := cluster.New(cfg)
+	rec := inject.NewRecorder()
+	cl.Server.SetStoreWriteHook(rec.Hook())
+	cl.Start()
+	cl.AwaitSettled(bootstrapDeadline)
+	driver := workload.NewDriver(cl, kind)
+	driver.Setup()
+	start := cl.Loop.Now()
+	cl.Loop.RunUntil(start + opStartDelay)
+	driver.Run()
+	cl.Loop.RunUntil(start + windowLength)
+	cl.Stop()
+	return rec
+}
+
+func goldenSeed(kind workload.Kind, i int) int64 {
+	var base int64
+	switch kind {
+	case workload.Deploy:
+		base = 10_000
+	case workload.ScaleUp:
+		base = 20_000
+	case workload.Failover:
+		base = 30_000
+	default:
+		base = 90_000
+	}
+	return base + int64(i)
+}

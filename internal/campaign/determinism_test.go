@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"testing"
+
+	"github.com/mutiny-sim/mutiny/internal/inject"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/workload"
+)
+
+// Bit-for-bit reproducibility is the property that makes a ~9,000-experiment
+// campaign debuggable: the same spec must always produce the same verdict,
+// the same z-score, and the same injection report.
+func TestExperimentsAreDeterministic(t *testing.T) {
+	specs := []Spec{
+		{Workload: workload.Deploy, Seed: 4711, Injection: &inject.Injection{
+			Channel: inject.ChannelStore, Kind: spec.KindDeployment,
+			FieldPath: "spec.replicas", Type: inject.BitFlip, Bit: 0, Occurrence: 1,
+		}},
+		{Workload: workload.ScaleUp, Seed: 4712, Injection: &inject.Injection{
+			Channel: inject.ChannelStore, Kind: spec.KindService,
+			FieldPath: "spec.ports[0].targetPort", Type: inject.BitFlip, Bit: 4, Occurrence: 1,
+		}},
+		{Workload: workload.Failover, Seed: 4713, Injection: &inject.Injection{
+			Channel: inject.ChannelStore, Kind: spec.KindPod,
+			Type: inject.DropMessage, Occurrence: 4,
+		}},
+	}
+	run := func() []Result {
+		r := NewRunner()
+		r.GoldenRuns = 5
+		out := make([]Result, 0, len(specs))
+		for _, s := range specs {
+			out = append(out, *r.Run(s))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].OF != b[i].OF || a[i].CF != b[i].CF || a[i].Z != b[i].Z ||
+			a[i].PodsCreated != b[i].PodsCreated ||
+			a[i].Report.Fired != b[i].Report.Fired ||
+			a[i].Report.FiredAt != b[i].Report.FiredAt ||
+			a[i].Report.Instance != b[i].Report.Instance {
+			t.Fatalf("spec %d diverged between identical runs:\n  a=%+v\n  b=%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Campaign generation must be deterministic too: the same recorder yields
+// the same experiment list.
+func TestGenerationIsDeterministic(t *testing.T) {
+	r := NewRunner()
+	r.GoldenRuns = 3
+	rec := r.Record(workload.Deploy)
+	a := Generate(workload.Deploy, rec)
+	b := Generate(workload.Deploy, rec)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i].Injection != *b[i].Injection || a[i].Seed != b[i].Seed {
+			t.Fatalf("spec %d differs: %+v vs %+v", i, a[i].Injection, b[i].Injection)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package campaign
+
+import "strings"
+
+// FieldCategory buckets a field path for the §V-C2 critical-field analysis:
+// finding F2 shows that fields managing dependency relationships among
+// resource instances cause about half of the critical failures.
+type FieldCategory string
+
+// Field categories.
+const (
+	// CategoryDependency: labels, selectors, ownerReferences, targetRef,
+	// managedBy — the owner and label relationship machinery.
+	CategoryDependency FieldCategory = "dependency"
+	// CategoryIdentity: name, namespace, uid — the fields in a resource URL.
+	CategoryIdentity FieldCategory = "identity"
+	// CategoryNetworking: addresses, ports, protocols, CIDRs.
+	CategoryNetworking FieldCategory = "networking"
+	// CategoryReplicas: replica counts.
+	CategoryReplicas FieldCategory = "replicas"
+	// CategoryImageCommand: image references and commands that gate pod
+	// startup.
+	CategoryImageCommand FieldCategory = "image/command"
+	// CategoryOther: everything else.
+	CategoryOther FieldCategory = "other"
+)
+
+// Categories lists the buckets in report order.
+func Categories() []FieldCategory {
+	return []FieldCategory{
+		CategoryDependency, CategoryIdentity, CategoryNetworking,
+		CategoryReplicas, CategoryImageCommand, CategoryOther,
+	}
+}
+
+// Categorize buckets one field path.
+func Categorize(path string) FieldCategory {
+	lower := strings.ToLower(path)
+	switch {
+	case strings.Contains(lower, "label") ||
+		strings.Contains(lower, "selector") ||
+		strings.Contains(lower, "ownerreferences") ||
+		strings.Contains(lower, "targetref") ||
+		strings.Contains(lower, "managedby"):
+		return CategoryDependency
+	case strings.HasSuffix(lower, ".name") || strings.HasSuffix(lower, ".namespace") ||
+		strings.HasSuffix(lower, ".uid") || strings.Contains(lower, "nodename") ||
+		strings.Contains(lower, "holderidentity"):
+		return CategoryIdentity
+	case strings.Contains(lower, "port") || strings.Contains(lower, "protocol") ||
+		strings.Contains(lower, "ip") || strings.Contains(lower, "cidr") ||
+		strings.Contains(lower, "address"):
+		return CategoryNetworking
+	case strings.Contains(lower, "replicas"):
+		return CategoryReplicas
+	case strings.Contains(lower, "image") || strings.Contains(lower, "command"):
+		return CategoryImageCommand
+	default:
+		return CategoryOther
+	}
+}

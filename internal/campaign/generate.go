@@ -1,0 +1,213 @@
+package campaign
+
+import (
+	"strings"
+
+	"github.com/mutiny-sim/mutiny/internal/codec"
+	"github.com/mutiny-sim/mutiny/internal/inject"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/workload"
+)
+
+// Generation rules from §IV-C:
+//   - each integer field: flip a low- and a high-order bit (1st and 5th),
+//     and set the 0 value;
+//   - each string field: flip the least-significant bit of the first two
+//     characters, and set the empty string;
+//   - each boolean field: invert;
+//   - each field experiment runs at occurrence indexes 1, 2, and 3;
+//   - each resource kind: message drops at occurrence indexes 1..10 and a
+//     set of random serialization-byte corruptions.
+const (
+	occurrences     = 3
+	dropOccurrences = 10
+	protoPerKind    = 2 // byte-corruption variants per kind per occurrence
+	lowBit, highBit = 0, 4
+	firstChar       = 0
+	secondChar      = 1
+)
+
+// Generate derives the injection campaign for one workload from its
+// recorded field inventory.
+func Generate(kind workload.Kind, rec *inject.Recorder) []Spec {
+	var specs []Spec
+	seed := campaignSeedBase(kind)
+	add := func(in inject.Injection) {
+		specs = append(specs, Spec{Workload: kind, Injection: &in, Seed: seed})
+		seed++
+	}
+
+	for _, f := range rec.Fields() {
+		for occ := 1; occ <= occurrences; occ++ {
+			base := inject.Injection{
+				Channel: inject.ChannelStore, Kind: f.Kind,
+				FieldPath: f.Path, Occurrence: occ,
+			}
+			switch f.FieldKind {
+			case codec.FieldInt:
+				for _, bit := range []int{lowBit, highBit} {
+					in := base
+					in.Type = inject.BitFlip
+					in.Bit = bit
+					add(in)
+				}
+				in := base
+				in.Type = inject.SetValue
+				in.Value = int64(0)
+				add(in)
+			case codec.FieldString:
+				for _, ch := range []int{firstChar, secondChar} {
+					in := base
+					in.Type = inject.BitFlip
+					in.CharIndex = ch
+					add(in)
+				}
+				in := base
+				in.Type = inject.SetValue
+				in.Value = ""
+				add(in)
+			case codec.FieldBool:
+				in := base
+				in.Type = inject.BitFlip
+				add(in)
+			}
+		}
+	}
+
+	for _, k := range rec.Kinds() {
+		for occ := 1; occ <= dropOccurrences; occ++ {
+			add(inject.Injection{
+				Channel: inject.ChannelStore, Kind: k,
+				Type: inject.DropMessage, Occurrence: occ,
+			})
+		}
+		for v := 0; v < protoPerKind; v++ {
+			for occ := 1; occ <= occurrences; occ++ {
+				add(inject.Injection{
+					Channel: inject.ChannelStore, Kind: k,
+					Type: inject.FlipProtoByte, Occurrence: occ,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// GenerateCriticalRefinement builds the §V-C2 refinement round: for fields
+// that caused critical failures, additional data-set values specific to
+// each field's semantics.
+func GenerateCriticalRefinement(kind workload.Kind, fields []inject.RecordedField) []Spec {
+	var specs []Spec
+	seed := campaignSeedBase(kind) + 500_000
+	for _, f := range fields {
+		for _, val := range SemanticValues(f.Path, f.FieldKind) {
+			for occ := 1; occ <= occurrences; occ++ {
+				in := inject.Injection{
+					Channel: inject.ChannelStore, Kind: f.Kind,
+					FieldPath: f.Path, Type: inject.SetValue,
+					Value: val, Occurrence: occ,
+				}
+				specs = append(specs, Spec{Workload: kind, Injection: &in, Seed: seed})
+				seed++
+			}
+		}
+	}
+	return specs
+}
+
+// SemanticValues proposes wrong-but-plausible values for a field, driven by
+// its path semantics (the "data-set values specific to the semantics of
+// each critical field").
+func SemanticValues(path string, kind codec.FieldKind) []any {
+	switch kind {
+	case codec.FieldInt:
+		return []any{int64(-1), int64(1 << 20)}
+	case codec.FieldBool:
+		return nil // inversion already covers both values
+	}
+	lower := strings.ToLower(path)
+	switch {
+	case strings.Contains(lower, "nodename"):
+		return []any{"ghost-node"}
+	case strings.Contains(lower, "namespace"):
+		return []any{"phantom-ns"}
+	case strings.Contains(lower, "uid"):
+		return []any{"uid-999999"}
+	case strings.Contains(lower, "image"):
+		return []any{"registry.local/doesnotexist:9.9"}
+	case strings.Contains(lower, "command"):
+		return []any{"segfault"}
+	case strings.Contains(lower, "clusterip") || strings.HasSuffix(lower, ".ip") || strings.Contains(lower, "address"):
+		return []any{"10.99.99.99"}
+	case strings.Contains(lower, "cidr"):
+		return []any{"not-a-cidr"}
+	case strings.Contains(lower, "protocol"):
+		return []any{"SCTP"}
+	case strings.Contains(lower, "label") || strings.Contains(lower, "selector"):
+		return []any{"mislabeled"}
+	case strings.Contains(lower, "name"):
+		return []any{"wrong-name"}
+	default:
+		return []any{"wrong-value"}
+	}
+}
+
+// ComponentKinds maps the injected component (Table VI) to the resource
+// kinds it writes; the propagation campaign injects into the fields of
+// those kinds on the component→apiserver channel.
+var ComponentKinds = map[string][]spec.Kind{
+	"kcm": {spec.KindPod, spec.KindReplicaSet, spec.KindDeployment,
+		spec.KindDaemonSet, spec.KindEndpoints, spec.KindNode},
+	"scheduler": {spec.KindPod},
+	"kubelet-":  {spec.KindPod, spec.KindNode},
+}
+
+// PropagationComponents lists the injected components in paper order.
+func PropagationComponents() []string { return []string{"kcm", "scheduler", "kubelet-"} }
+
+// GeneratePropagation builds the Table VI campaign: one bit-flip per
+// recorded field of the kinds each component writes, on the request channel.
+func GeneratePropagation(kind workload.Kind, rec *inject.Recorder, component string) []Spec {
+	kinds := make(map[spec.Kind]bool)
+	for _, k := range ComponentKinds[component] {
+		kinds[k] = true
+	}
+	var specs []Spec
+	seed := campaignSeedBase(kind) + 700_000
+	for _, f := range rec.Fields() {
+		if !kinds[f.Kind] {
+			continue
+		}
+		in := inject.Injection{
+			Channel: inject.ChannelRequest, Kind: f.Kind,
+			SourcePrefix: component, FieldPath: f.Path,
+			Occurrence: 1,
+		}
+		switch f.FieldKind {
+		case codec.FieldInt:
+			in.Type = inject.BitFlip
+			in.Bit = lowBit
+		case codec.FieldString:
+			in.Type = inject.BitFlip
+			in.CharIndex = firstChar
+		case codec.FieldBool:
+			in.Type = inject.BitFlip
+		}
+		specs = append(specs, Spec{Workload: kind, Injection: &in, Seed: seed})
+		seed++
+	}
+	return specs
+}
+
+func campaignSeedBase(kind workload.Kind) int64 {
+	switch kind {
+	case workload.Deploy:
+		return 1_000_000
+	case workload.ScaleUp:
+		return 2_000_000
+	case workload.Failover:
+		return 3_000_000
+	default:
+		return 9_000_000
+	}
+}

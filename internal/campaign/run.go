@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"github.com/mutiny-sim/mutiny/internal/inject"
+	"github.com/mutiny-sim/mutiny/internal/workload"
+)
+
+// Config parameterizes a full campaign run (§IV-C's workflow).
+type Config struct {
+	// Workloads to exercise; nil means all three.
+	Workloads []workload.Kind
+	// GoldenRuns per workload; zero means the paper's 100.
+	GoldenRuns int
+	// SampleStride runs every n-th generated experiment (1 = the full
+	// campaign). The generated campaign is deterministic, so a stride
+	// subsamples it evenly across kinds, fields and fault models.
+	SampleStride int
+	// SkipRefinement disables the §V-C2 critical-field value-set round.
+	SkipRefinement bool
+	// SkipPropagation disables the §V-C4 component-channel experiments.
+	SkipPropagation bool
+	// Progress, if set, receives (done, total) after every experiment.
+	Progress func(done, total int)
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Workloads) == 0 {
+		c.Workloads = workload.Kinds()
+	}
+	if c.GoldenRuns == 0 {
+		c.GoldenRuns = 100
+	}
+	if c.SampleStride <= 0 {
+		c.SampleStride = 1
+	}
+	return c
+}
+
+// PropagationCell aggregates the Table VI columns for one component under
+// one workload.
+type PropagationCell struct {
+	Workload   workload.Kind
+	Component  string
+	Injected   int
+	Propagated int
+	Errored    int
+}
+
+// Output bundles everything a full campaign produces.
+type Output struct {
+	// Main is the aggregate over the §IV-C field/drop/serialization
+	// campaign (Tables III, IV, V; Figures 6, 7).
+	Main *Aggregate
+	// Refinement aggregates the critical-field value-set round (§V-C2).
+	Refinement *Aggregate
+	// Propagation holds the Table VI cells.
+	Propagation []PropagationCell
+	// FieldsRecorded counts the wire-recorded fields per workload.
+	FieldsRecorded map[workload.Kind]int
+	// Runner retains the golden baselines for further experiments.
+	Runner *Runner
+}
+
+// RunCampaign executes the complete experimental method: golden runs, field
+// recording, campaign generation, the injection experiments, the
+// critical-field refinement round, and the propagation experiments.
+func RunCampaign(cfg Config) *Output {
+	cfg = cfg.withDefaults()
+	runner := NewRunner()
+	runner.GoldenRuns = cfg.GoldenRuns
+
+	out := &Output{
+		Main:           NewAggregate(),
+		Refinement:     NewAggregate(),
+		FieldsRecorded: make(map[workload.Kind]int),
+		Runner:         runner,
+	}
+
+	// Recording plus generation first, so the total is known for progress.
+	recorders := make(map[workload.Kind]*inject.Recorder)
+	var mainSpecs []Spec
+	var propSpecs []Spec
+	for _, wl := range cfg.Workloads {
+		rec := runner.Record(wl)
+		recorders[wl] = rec
+		out.FieldsRecorded[wl] = len(rec.Fields())
+		mainSpecs = append(mainSpecs, sample(Generate(wl, rec), cfg.SampleStride)...)
+		if !cfg.SkipPropagation {
+			for _, component := range PropagationComponents() {
+				propSpecs = append(propSpecs, sample(GeneratePropagation(wl, rec, component), cfg.SampleStride)...)
+			}
+		}
+	}
+
+	total := len(mainSpecs) + len(propSpecs) // refinement counted as it appears
+	done := 0
+	tick := func() {
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(done, total)
+		}
+	}
+
+	for _, spec := range mainSpecs {
+		out.Main.Add(runner.Run(spec))
+		tick()
+	}
+
+	if !cfg.SkipRefinement {
+		var refineSpecs []Spec
+		perWorkloadCritical := make(map[workload.Kind][]inject.RecordedField)
+		for _, wl := range cfg.Workloads {
+			perWorkloadCritical[wl] = criticalFieldsFor(out.Main, wl)
+			refineSpecs = append(refineSpecs, GenerateCriticalRefinement(wl, perWorkloadCritical[wl])...)
+		}
+		total += len(refineSpecs)
+		for _, spec := range refineSpecs {
+			out.Refinement.Add(runner.Run(spec))
+			tick()
+		}
+	}
+
+	if !cfg.SkipPropagation {
+		cells := make(map[string]*PropagationCell)
+		for _, spec := range propSpecs {
+			res := runner.RunPropagation(spec)
+			key := string(spec.Workload) + "/" + spec.Injection.SourcePrefix
+			cell, ok := cells[key]
+			if !ok {
+				cell = &PropagationCell{Workload: spec.Workload, Component: spec.Injection.SourcePrefix}
+				cells[key] = cell
+			}
+			cell.Injected++
+			if res.PropPersisted {
+				cell.Propagated++
+			}
+			if res.PropErrored {
+				cell.Errored++
+			}
+			tick()
+		}
+		for _, wl := range cfg.Workloads {
+			for _, component := range PropagationComponents() {
+				if cell, ok := cells[string(wl)+"/"+component]; ok {
+					out.Propagation = append(out.Propagation, *cell)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// criticalFieldsFor narrows the critical fields to one workload.
+func criticalFieldsFor(agg *Aggregate, wl workload.Kind) []inject.RecordedField {
+	scoped := NewAggregate()
+	for _, res := range agg.Results {
+		if res.Spec.Workload == wl {
+			scoped.Add(res)
+		}
+	}
+	return scoped.CriticalFields()
+}
+
+func sample(specs []Spec, stride int) []Spec {
+	if stride <= 1 {
+		return specs
+	}
+	out := make([]Spec, 0, len(specs)/stride+1)
+	for i := 0; i < len(specs); i += stride {
+		out = append(out, specs[i])
+	}
+	return out
+}

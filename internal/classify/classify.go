@@ -1,0 +1,198 @@
+package classify
+
+// Baseline summarizes a set of golden-run observations for one workload:
+// the reference the classifiers compare every injected run against.
+type Baseline struct {
+	// Steady-state envelopes across golden runs.
+	FinalReadyMin, FinalReadyMax         int64
+	FinalEndpointsMin, FinalEndpointsMax int
+	MaxReadyMax                          int64
+	MaxEndpointsMax                      int
+	CreatedMin, CreatedMax               int
+
+	// Startup-time distribution (kbench stats).
+	WorstStartupMean, WorstStartupStd float64
+	LastCreationMean, LastCreationStd float64
+
+	// Client latency baseline.
+	MeanSeries      []float64
+	MAEMean, MAEStd float64
+	TrailingFailMax int
+	LeadingFailMax  int
+	ScatteredMax    int
+}
+
+// BuildBaseline aggregates golden observations ("for each workload, we
+// collected data from 100 golden runs without any faults/errors injected").
+func BuildBaseline(golden []*Observation) *Baseline {
+	b := &Baseline{}
+	if len(golden) == 0 {
+		return b
+	}
+	var worst, last []float64
+	var series [][]float64
+	b.FinalReadyMin = golden[0].FinalReady()
+	b.FinalEndpointsMin = golden[0].FinalEndpoints()
+	b.CreatedMin = golden[0].PodsCreated
+	for _, o := range golden {
+		fr, fe := o.FinalReady(), o.FinalEndpoints()
+		if fr < b.FinalReadyMin {
+			b.FinalReadyMin = fr
+		}
+		if fr > b.FinalReadyMax {
+			b.FinalReadyMax = fr
+		}
+		if fe < b.FinalEndpointsMin {
+			b.FinalEndpointsMin = fe
+		}
+		if fe > b.FinalEndpointsMax {
+			b.FinalEndpointsMax = fe
+		}
+		if mr := o.MaxReady(); mr > b.MaxReadyMax {
+			b.MaxReadyMax = mr
+		}
+		if me := o.MaxEndpoints(); me > b.MaxEndpointsMax {
+			b.MaxEndpointsMax = me
+		}
+		if o.PodsCreated < b.CreatedMin {
+			b.CreatedMin = o.PodsCreated
+		}
+		if o.PodsCreated > b.CreatedMax {
+			b.CreatedMax = o.PodsCreated
+		}
+		if o.TrailingFailures > b.TrailingFailMax {
+			b.TrailingFailMax = o.TrailingFailures
+		}
+		if o.LeadingFailures > b.LeadingFailMax {
+			b.LeadingFailMax = o.LeadingFailures
+		}
+		if o.ScatteredErrors > b.ScatteredMax {
+			b.ScatteredMax = o.ScatteredErrors
+		}
+		worst = append(worst, o.WorstStartupMS)
+		last = append(last, o.LastCreationMS)
+		series = append(series, o.Series)
+	}
+	b.WorstStartupMean, b.WorstStartupStd = Mean(worst), Std(worst)
+	b.LastCreationMean, b.LastCreationStd = Mean(last), Std(last)
+	b.MeanSeries = MeanSeries(series)
+	var maes []float64
+	for _, s := range series {
+		maes = append(maes, MAE(s, b.MeanSeries))
+	}
+	b.MAEMean, b.MAEStd = Mean(maes), Std(maes)
+
+	// Floor the deviations at a sampling tolerance: a finite golden set can
+	// under-estimate the true spread (in the extreme, identical runs give a
+	// zero deviation and every z-score diverges).
+	b.WorstStartupStd = floorStd(b.WorstStartupStd, b.WorstStartupMean, 100)
+	b.LastCreationStd = floorStd(b.LastCreationStd, b.LastCreationMean, 100)
+	b.MAEStd = floorStd(b.MAEStd, b.MAEMean, 0.05)
+	return b
+}
+
+// floorStd bounds a standard deviation below by 15% of the mean and an
+// absolute minimum. Failure-induced shifts are an order of magnitude larger
+// than this tolerance, so sensitivity is unaffected.
+func floorStd(std, mean, min float64) float64 {
+	if f := 0.15 * mean; std < f {
+		std = f
+	}
+	if std < min {
+		std = min
+	}
+	return std
+}
+
+// Thresholds for the classification rules.
+const (
+	startupZThreshold = 3.0
+	clientZThreshold  = 2.0
+	// uncontrolledSpawnSlack: pod creations beyond this over the golden
+	// maximum count as uncontrolled replication.
+	uncontrolledSpawnSlack = 15
+	// suTrailingSlack: this many trailing failed requests (2 s at 20 req/s)
+	// beyond the golden maximum mean the service died.
+	suTrailingSlack = 40
+	// iaScatterSlack: scattered non-timeout errors beyond golden.
+	iaScatterSlack = 2
+)
+
+// ClassifyOF derives the orchestrator-level failure per §V-B, choosing the
+// most severe matching category.
+func ClassifyOF(o *Observation, b *Baseline) OF {
+	appDead := o.TrailingFailures >= b.TrailingFailMax+suTrailingSlack
+
+	// Out: all ReplicaSets unreachable (including Prometheus), DNS pods
+	// failed, or networking pods failed and disrupted the service app.
+	if (!o.PrometheusReachable && appDead) ||
+		!o.DNSHealthy ||
+		(o.NetworkPodsFailing && appDead) {
+		return OFOut
+	}
+
+	// Sta: uncontrolled pod spawn, stuck control plane, or failed
+	// networking pods (running services may still be fine).
+	uncontrolled := o.PodsCreated > b.CreatedMax+uncontrolledSpawnSlack
+	if uncontrolled || !o.ControlPlaneResponsive || o.StoreQuotaExceeded || o.NetworkPodsFailing {
+		return OFSta
+	}
+
+	// Net: replicas and pods correct, but unreachable or unbalanced.
+	readyOK := o.FinalReady() >= b.FinalReadyMin && o.FinalReady() <= b.FinalReadyMax
+	if readyOK {
+		endpointsLow := o.FinalEndpoints() < b.FinalEndpointsMin
+		clientErrors := o.ScatteredErrors > b.ScatteredMax+iaScatterSlack ||
+			o.TrailingFailures > b.TrailingFailMax+suTrailingSlack ||
+			o.LeadingFailures > b.LeadingFailMax+suTrailingSlack
+		if endpointsLow || clientErrors {
+			return OFNet
+		}
+	}
+
+	// MoR: more replicas, endpoints, or created pods than the baseline —
+	// permanently or transiently.
+	if o.FinalReady() > b.FinalReadyMax || o.MaxReady() > b.MaxReadyMax ||
+		o.MaxEndpoints() > b.MaxEndpointsMax || o.PodsCreated > b.CreatedMax {
+		return OFMoR
+	}
+
+	// LeR: stable and lower than the baseline.
+	if o.Stable() && (o.FinalReady() < b.FinalReadyMin || o.FinalEndpoints() < b.FinalEndpointsMin) {
+		return OFLeR
+	}
+
+	// Tim: a service pod restarted, or startup/creation z-scores above 3.
+	if o.AppPodRestart ||
+		ZScore(o.WorstStartupMS, b.WorstStartupMean, b.WorstStartupStd) > startupZThreshold ||
+		ZScore(o.LastCreationMS, b.LastCreationMean, b.LastCreationStd) > startupZThreshold ||
+		o.SchedulerRestart > 0 {
+		return OFTim
+	}
+	// A non-stable tail that is low but still converging also reads as a
+	// timing failure rather than LeR.
+	if !o.Stable() && o.FinalReady() < b.FinalReadyMin {
+		return OFTim
+	}
+	return OFNone
+}
+
+// ClientZ computes the client-impact z-score (Figure 5/6).
+func ClientZ(o *Observation, b *Baseline) float64 {
+	return ZScore(MAE(o.Series, b.MeanSeries), b.MAEMean, b.MAEStd)
+}
+
+// ClassifyCF derives the client-level failure (Table II), choosing the most
+// severe matching category.
+func ClassifyCF(o *Observation, b *Baseline) CF {
+	if o.TrailingFailures >= b.TrailingFailMax+suTrailingSlack {
+		return CFSU
+	}
+	if o.ScatteredErrors > b.ScatteredMax+iaScatterSlack {
+		return CFIA
+	}
+	if ClientZ(o, b) > clientZThreshold {
+		return CFHRT
+	}
+	return CFNSI
+}

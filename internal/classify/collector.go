@@ -1,0 +1,182 @@
+package classify
+
+import (
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/cluster"
+	"github.com/mutiny-sim/mutiny/internal/netsim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/workload"
+)
+
+// samplePeriod mirrors the paper's 3-second metric scrape.
+const samplePeriod = 3 * time.Second
+
+// Collector gathers an Observation over one experiment window, playing the
+// role of Prometheus + kube-state-metrics + the kbench statistics.
+type Collector struct {
+	cl    *cluster.Cluster
+	admin *apiserver.Client
+
+	windowStart time.Duration
+	obs         Observation
+
+	podCreatedAt map[string]time.Duration // uid → creation observed
+	podReadyAt   map[string]bool
+
+	cancels []func()
+	ticker  interface{ Stop() bool }
+}
+
+// NewCollector attaches a collector to the cluster; the window starts at
+// Start.
+func NewCollector(cl *cluster.Cluster) *Collector {
+	return &Collector{
+		cl:           cl,
+		admin:        cl.Client("monitoring"),
+		podCreatedAt: make(map[string]time.Duration),
+		podReadyAt:   make(map[string]bool),
+	}
+}
+
+// Start opens the measurement window.
+func (c *Collector) Start() {
+	c.windowStart = c.cl.Loop.Now()
+	c.cancels = append(c.cancels, c.admin.Watch(spec.KindPod, c.onPod))
+	c.ticker = c.cl.Loop.Every(samplePeriod, c.sample)
+	c.sample()
+}
+
+func (c *Collector) onPod(ev apiserver.WatchEvent) {
+	pod := ev.Object.(*spec.Pod)
+	uid := pod.Metadata.UID
+	switch ev.Type {
+	case apiserver.Added:
+		if _, seen := c.podCreatedAt[uid]; !seen {
+			c.podCreatedAt[uid] = c.cl.Loop.Now()
+			c.obs.PodsCreated++
+			rel := float64(c.cl.Loop.Now()-c.windowStart) / float64(time.Millisecond)
+			if rel > c.obs.LastCreationMS {
+				c.obs.LastCreationMS = rel
+			}
+		}
+	case apiserver.Modified:
+		if pod.Metadata.Namespace != spec.DefaultNamespace {
+			return
+		}
+		if pod.Status.Ready && !c.podReadyAt[uid] {
+			c.podReadyAt[uid] = true
+			if created, ok := c.podCreatedAt[uid]; ok {
+				startup := float64(c.cl.Loop.Now()-created) / float64(time.Millisecond)
+				if startup > c.obs.WorstStartupMS {
+					c.obs.WorstStartupMS = startup
+				}
+			}
+		}
+		if pod.Status.RestartCount > 0 {
+			c.obs.AppPodRestart = true
+		}
+	case apiserver.Deleted:
+		c.obs.PodsDeleted++
+	}
+}
+
+func (c *Collector) sample() {
+	s := Sample{At: c.cl.Loop.Now() - c.windowStart}
+	for _, ro := range c.admin.List(spec.KindReplicaSet, spec.DefaultNamespace) {
+		s.ReadyReplicas += ro.(*spec.ReplicaSet).Status.ReadyReplicas
+	}
+	for _, eo := range c.admin.List(spec.KindEndpoints, spec.DefaultNamespace) {
+		s.Endpoints += eo.(*spec.Endpoints).Count()
+	}
+	for _, po := range c.admin.List(spec.KindPod, spec.DefaultNamespace) {
+		if po.(*spec.Pod).Active() {
+			s.ActivePods++
+		}
+	}
+	c.obs.Samples = append(c.obs.Samples, s)
+}
+
+// Finish closes the window, runs the end-of-window health probes, folds in
+// the client's data, and returns the Observation.
+func (c *Collector) Finish(client *workload.Client) *Observation {
+	c.sample()
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+	for _, cancel := range c.cancels {
+		cancel()
+	}
+
+	c.obs.ControlPlaneResponsive = c.cl.ControlPlaneResponsive()
+	c.obs.StoreQuotaExceeded = !c.cl.ControlPlaneResponsive() && quotaExceeded(c.cl)
+	c.obs.NetworkPodsFailing = c.cl.Net.NetworkPodsFailing()
+	c.obs.DNSHealthy = c.cl.Net.DNSHealthy()
+	c.obs.PrometheusReachable = c.probePrometheus()
+	c.obs.SchedulerRestart = c.cl.Scheduler.Restarts()
+	c.obs.UserErrors = c.cl.Server.Audit().ErrorsBy(workload.UserIdentity)
+
+	if client != nil {
+		c.obs.Series = client.Series()
+		c.obs.TrailingFailures = client.TrailingFailures()
+		lead, scattered, timeouts, total := analyzeErrors(client.Records)
+		c.obs.LeadingFailures = lead
+		c.obs.ScatteredErrors = scattered
+		c.obs.TimeoutErrors = timeouts
+		c.obs.TotalErrors = total
+	}
+	return &c.obs
+}
+
+func (c *Collector) probePrometheus() bool {
+	obj, err := c.admin.Get(spec.KindService, spec.SystemNamespace, "prometheus")
+	if err != nil {
+		return false
+	}
+	vip := obj.(*spec.Service).Spec.ClusterIP
+	for i := 0; i < 3; i++ {
+		if !c.cl.Net.Request(c.cl.MonitoringNode(), vip, 9090).Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+func quotaExceeded(cl *cluster.Cluster) bool {
+	type quotaer interface{ QuotaExceeded() bool }
+	if q, ok := cl.Backend.(quotaer); ok {
+		return q.QuotaExceeded()
+	}
+	return false
+}
+
+// analyzeErrors splits the client's failures into a leading run (service
+// not yet deployed — present in golden deploy runs too), a trailing run
+// (service unreachable), and scattered non-timeout errors in between
+// (intermittent availability).
+func analyzeErrors(records []workload.RequestRecord) (leading, scattered, timeouts, total int) {
+	n := len(records)
+	i := 0
+	for i < n && records[i].Err != "" {
+		i++
+		leading++
+	}
+	j := n - 1
+	for j >= i && records[j].Err != "" {
+		j--
+	}
+	for k := 0; k < n; k++ {
+		if records[k].Err == "" {
+			continue
+		}
+		total++
+		if records[k].Err == netsim.ErrTimeout {
+			timeouts++
+		}
+		if k >= i && k <= j && records[k].Err != netsim.ErrTimeout {
+			scattered++
+		}
+	}
+	return leading, scattered, timeouts, total
+}

@@ -1,0 +1,87 @@
+package classify
+
+import "math"
+
+// MAE computes the mean absolute error between a series and a baseline
+// series of the same nominal length; shorter series are zero-padded.
+func MAE(series, baseline []float64) float64 {
+	n := len(baseline)
+	if len(series) > n {
+		n = len(series)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var a, b float64
+		if i < len(series) {
+			a = series[i]
+		}
+		if i < len(baseline) {
+			b = baseline[i]
+		}
+		sum += math.Abs(a - b)
+	}
+	return sum / float64(n)
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// ZScore standardizes x against a distribution, guarding degenerate
+// deviations (golden runs can be nearly identical in virtual time).
+func ZScore(x, mean, std float64) float64 {
+	if std < 1e-9 {
+		std = 1e-9
+	}
+	return (x - mean) / std
+}
+
+// MeanSeries averages a set of equal-length series element-wise ("we
+// computed a baseline time series for each workload by averaging the golden
+// run time series").
+func MeanSeries(series [][]float64) []float64 {
+	if len(series) == 0 {
+		return nil
+	}
+	n := 0
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	out := make([]float64, n)
+	for _, s := range series {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(series))
+	}
+	return out
+}

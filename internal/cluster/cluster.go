@@ -1,0 +1,274 @@
+// Package cluster assembles the full simulated orchestration system: data
+// store, API server, controller manager, scheduler, one kubelet per node,
+// and the virtual network — in the paper's testbed shape (one control-plane
+// node plus four workers, one of which is reserved for the application
+// client and monitoring).
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/controller"
+	"github.com/mutiny-sim/mutiny/internal/guard"
+	"github.com/mutiny-sim/mutiny/internal/inject"
+	"github.com/mutiny-sim/mutiny/internal/kubelet"
+	"github.com/mutiny-sim/mutiny/internal/netsim"
+	"github.com/mutiny-sim/mutiny/internal/scheduler"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/store"
+)
+
+// Node names of the default topology.
+const (
+	ControlPlaneNode = "cp-0"
+	MonitoringNode   = "worker-3"
+)
+
+// ControlPlaneTaint repels application pods from the control-plane node.
+const ControlPlaneTaint = "node-role.kubernetes.io/control-plane"
+
+// MonitoringTaint reserves the monitoring node for client/monitoring pods.
+const MonitoringTaint = "dedicated"
+
+// Config parameterizes the cluster.
+type Config struct {
+	// Seed drives all randomness in the simulation.
+	Seed int64
+	// Workers is the number of worker nodes (default 4; the last one is
+	// reserved for monitoring, mirroring §V-A).
+	Workers int
+	// ControlPlaneReplicas selects the §V-C1 ablation: >1 runs a
+	// raft-replicated store.
+	ControlPlaneReplicas int
+	// StoreOptions tunes the data store.
+	StoreOptions *store.Options
+	// ServerOptions tunes the API server.
+	ServerOptions *apiserver.Options
+	// ManagerOptions tunes the controller manager.
+	ManagerOptions controller.Options
+	// SchedulerOptions tunes the scheduler.
+	SchedulerOptions scheduler.Options
+	// NodeMilliCPU / NodeMemMB size each node (default 8000 / 4096: the
+	// paper's 8-CPU, 4 GB VMs).
+	NodeMilliCPU int64
+	NodeMemMB    int64
+	// EnableFieldGuard installs the §VI-B critical-field guard: changes to
+	// dependency/identity/networking fields are journaled, monitored, and
+	// rolled back when the cluster degrades.
+	EnableFieldGuard bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.ControlPlaneReplicas == 0 {
+		c.ControlPlaneReplicas = 1
+	}
+	if c.NodeMilliCPU == 0 {
+		c.NodeMilliCPU = 8000
+	}
+	if c.NodeMemMB == 0 {
+		c.NodeMemMB = 4096
+	}
+	return c
+}
+
+// Cluster is one fully wired simulated cluster.
+type Cluster struct {
+	cfg Config
+
+	Loop      *sim.Loop
+	Backend   store.Backend
+	Server    *apiserver.Server
+	Manager   *controller.Manager
+	Scheduler *scheduler.Scheduler
+	Net       *netsim.State
+	Kubelets  map[string]*kubelet.Kubelet
+	guard     *guard.Guard
+
+	started bool
+}
+
+// New builds a cluster; call Start to boot it, then drive Loop.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	loop := sim.NewLoop(cfg.Seed)
+	var backend store.Backend
+	if cfg.ControlPlaneReplicas > 1 {
+		backend = store.NewReplicated(loop, cfg.ControlPlaneReplicas, cfg.StoreOptions)
+	} else {
+		backend = store.New(loop, cfg.StoreOptions)
+	}
+	srv := apiserver.New(loop, backend, cfg.ServerOptions)
+	c := &Cluster{
+		cfg:       cfg,
+		Loop:      loop,
+		Backend:   backend,
+		Server:    srv,
+		Manager:   controller.NewManager(loop, srv, cfg.ManagerOptions),
+		Scheduler: scheduler.New(loop, srv, cfg.SchedulerOptions),
+		Net:       netsim.New(loop, srv),
+		Kubelets:  make(map[string]*kubelet.Kubelet),
+	}
+	if cfg.EnableFieldGuard {
+		c.guard = guard.New(loop, srv, c.guardHealth)
+		srv.SetStoreWriteHook(c.guard.Hook(nil))
+	}
+	c.addKubelet(ControlPlaneNode, 0, map[string]string{spec.LabelNodeRole: "control-plane"})
+	for i := 0; i < cfg.Workers; i++ {
+		name := fmt.Sprintf("worker-%d", i)
+		labels := map[string]string{spec.LabelNodeRole: "worker"}
+		if name == c.monitoringNode() {
+			labels["role"] = "monitoring"
+		}
+		c.addKubelet(name, i+1, labels)
+	}
+	return c
+}
+
+func (c *Cluster) addKubelet(name string, cidrIndex int, labels map[string]string) {
+	c.Kubelets[name] = kubelet.New(c.Loop, c.Server, kubelet.Config{
+		NodeName:         name,
+		CapacityMilliCPU: c.cfg.NodeMilliCPU,
+		CapacityMemMB:    c.cfg.NodeMemMB,
+		PodCIDR:          fmt.Sprintf("10.244.%d.0/24", cidrIndex),
+		Labels:           labels,
+	})
+}
+
+func (c *Cluster) monitoringNode() string {
+	// The last worker hosts the application client and monitoring pods.
+	return fmt.Sprintf("worker-%d", c.cfg.Workers-1)
+}
+
+// MonitoringNode returns the node reserved for client/monitoring pods.
+func (c *Cluster) MonitoringNode() string { return c.monitoringNode() }
+
+// Client returns an API client with the given identity ("kbench" for the
+// cluster user driving the workloads).
+func (c *Cluster) Client(identity string) *apiserver.Client {
+	return c.Server.ClientFor(identity)
+}
+
+// Start boots the cluster: registers nodes, installs the system workloads,
+// and starts the control plane. Drive c.Loop afterwards.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, k := range c.Kubelets {
+		k.Start()
+	}
+	c.applyNodeRoles()
+	c.installSystemWorkloads()
+	c.Manager.Start()
+	c.Scheduler.Start()
+}
+
+// Stop halts all components.
+func (c *Cluster) Stop() {
+	c.Manager.Stop()
+	c.Scheduler.Stop()
+	for _, k := range c.Kubelets {
+		k.Stop()
+	}
+	c.Net.Close()
+}
+
+// AwaitSettled drives the loop until the system pods are ready or the
+// deadline passes; it reports whether the cluster settled.
+func (c *Cluster) AwaitSettled(deadline time.Duration) bool {
+	admin := c.Client("bootstrap")
+	for c.Loop.Now() < deadline {
+		c.Loop.RunUntil(c.Loop.Now() + time.Second)
+		if c.systemReady(admin) {
+			return true
+		}
+	}
+	return c.systemReady(admin)
+}
+
+func (c *Cluster) systemReady(admin *apiserver.Client) bool {
+	// Network manager on every node.
+	nodes := admin.List(spec.KindNode, "")
+	for _, no := range nodes {
+		if !c.Net.RoutesUp(no.Meta().Name) {
+			return false
+		}
+	}
+	if !c.Net.DNSHealthy() {
+		return false
+	}
+	// Monitoring stack serving.
+	obj, err := admin.Get(spec.KindDeployment, spec.SystemNamespace, "prometheus")
+	if err != nil {
+		return false
+	}
+	d := obj.(*spec.Deployment)
+	return d.Status.ReadyReplicas >= d.Spec.Replicas
+}
+
+// ControlPlaneResponsive reports whether the reconciliation machinery is
+// able to act: manager leading, scheduler running, store accepting writes.
+func (c *Cluster) ControlPlaneResponsive() bool {
+	if !c.Manager.IsLeading() || !c.Scheduler.IsRunning() {
+		return false
+	}
+	if st, ok := c.Backend.(*store.Store); ok && st.QuotaExceeded() {
+		return false
+	}
+	if rep, ok := c.Backend.(*store.Replicated); ok && rep.Primary().QuotaExceeded() {
+		return false
+	}
+	return true
+}
+
+// Guard returns the critical-field guard, or nil when not enabled.
+func (c *Cluster) Guard() *guard.Guard { return c.guard }
+
+// AttachInjector wires an injector into the cluster's channels, preserving
+// the guard's observation point (the guard must see the tampered bytes, just
+// as it would see the corrupted transaction in a real deployment).
+func (c *Cluster) AttachInjector(j *inject.Injector) {
+	if c.guard != nil {
+		c.Server.SetStoreWriteHook(c.guard.Hook(j.StoreHook()))
+		c.Server.SetRequestHook(j.RequestHook())
+		c.Server.SetAccessHook(j.AccessHook())
+		return
+	}
+	j.AttachTo(c.Server)
+}
+
+func (c *Cluster) guardHealth() guard.Health {
+	active := 0
+	for _, po := range c.Server.ClientFor("field-guard").List(spec.KindPod, "") {
+		if po.(*spec.Pod).Active() {
+			active++
+		}
+	}
+	return guard.Health{
+		ControlPlaneResponsive: c.ControlPlaneResponsive(),
+		NetworkPodsFailing:     c.Net.NetworkPodsFailing(),
+		DNSHealthy:             c.Net.DNSHealthy(),
+		ActivePods:             active,
+	}
+}
+
+// CrashNode simulates a node failure (heartbeats stop, pods stop serving).
+func (c *Cluster) CrashNode(name string) {
+	if k, ok := c.Kubelets[name]; ok {
+		k.SetDown(true)
+	}
+}
+
+// RecoverNode reverses CrashNode.
+func (c *Cluster) RecoverNode(name string) {
+	if k, ok := c.Kubelets[name]; ok {
+		k.SetDown(false)
+	}
+}

@@ -1,0 +1,465 @@
+// Package codec implements the serialization protocol used on every channel
+// of the simulated orchestration system.
+//
+// The wire format is a faithful subset of the proto3 encoding: varints with a
+// continuation bit for integers and booleans, and length-delimited records
+// for strings, nested messages, repeated elements, and map entries. Fidelity
+// matters because Mutiny's fault models operate at this level (§IV-A of the
+// paper): flipping the 1st or 5th bit of a one-byte varint changes the value
+// by ±1 or ±16 while the 8th bit is the continuation bit, flipping the least
+// significant bit of a string character still yields a valid string, and
+// corrupting raw serialization bytes can shift a value from one field to
+// another or make the object undecodable altogether.
+//
+// Messages are plain Go structs annotated with `pb:"N"` or `pb:"N,wirename"`
+// tags; encoding and decoding are reflective so the same code serves every
+// resource kind, and the Fields/Get/Set helpers enumerate and mutate leaf
+// fields generically, which is what the injection campaign builds on.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"unicode/utf8"
+)
+
+// Wire types of the proto3 encoding. Only varint and length-delimited records
+// are produced by the encoder; the decoder skips the fixed-width types so
+// that corrupted tags do not always abort decoding.
+const (
+	wireVarint = 0
+	wire64Bit  = 1
+	wireBytes  = 2
+	wire32Bit  = 5
+)
+
+// ErrCorrupt is wrapped by all decode errors. A resource whose bytes fail to
+// decode is "undecryptable" in the paper's terms; the store deletes such
+// resources to keep list operations alive (§II-D).
+var ErrCorrupt = errors.New("codec: corrupt message")
+
+const (
+	mapKeyField   = 1
+	mapValueField = 2
+)
+
+// Marshal encodes msg (a struct or pointer to struct with pb tags) into the
+// wire format. Field numbers are emitted in ascending order and map entries
+// in sorted key order, so encoding is deterministic.
+func Marshal(msg any) ([]byte, error) {
+	v := reflect.ValueOf(msg)
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return nil, fmt.Errorf("codec: marshal nil %T", msg)
+		}
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("codec: marshal non-struct %T", msg)
+	}
+	return appendStruct(nil, v)
+}
+
+// Unmarshal decodes data into msg, which must be a non-nil pointer to a
+// struct with pb tags. Unknown fields are skipped; structural damage
+// (truncated varints, overlong lengths, invalid UTF-8 in strings, group wire
+// types) yields an error wrapping ErrCorrupt.
+func Unmarshal(data []byte, msg any) error {
+	v := reflect.ValueOf(msg)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		return fmt.Errorf("codec: unmarshal into non-pointer %T", msg)
+	}
+	elem := v.Elem()
+	if elem.Kind() != reflect.Struct {
+		return fmt.Errorf("codec: unmarshal into non-struct %T", msg)
+	}
+	elem.SetZero()
+	return decodeStruct(data, elem)
+}
+
+// --- encoding -------------------------------------------------------------
+
+type fieldDesc struct {
+	index  int
+	number int
+	name   string
+}
+
+var _schemaCache sync.Map // reflect.Type -> []fieldDesc
+
+func structFields(t reflect.Type) []fieldDesc {
+	if cached, ok := _schemaCache.Load(t); ok {
+		return cached.([]fieldDesc)
+	}
+	var fields []fieldDesc
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		tag, ok := f.Tag.Lookup("pb")
+		if !ok || tag == "-" || !f.IsExported() {
+			continue
+		}
+		numStr, wireName, _ := strings.Cut(tag, ",")
+		num, err := strconv.Atoi(numStr)
+		if err != nil || num <= 0 {
+			panic(fmt.Sprintf("codec: bad pb tag %q on %s.%s", tag, t.Name(), f.Name))
+		}
+		if wireName == "" {
+			wireName = lowerCamel(f.Name)
+		}
+		fields = append(fields, fieldDesc{index: i, number: num, name: wireName})
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].number < fields[j].number })
+	_schemaCache.Store(t, fields)
+	return fields
+}
+
+func lowerCamel(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+func appendStruct(b []byte, v reflect.Value) ([]byte, error) {
+	var err error
+	for _, fd := range structFields(v.Type()) {
+		b, err = appendField(b, fd.number, v.Field(fd.index))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func appendField(b []byte, num int, v reflect.Value) ([]byte, error) {
+	switch v.Kind() {
+	case reflect.String:
+		if v.Len() == 0 {
+			return b, nil
+		}
+		b = appendTag(b, num, wireBytes)
+		b = appendVarint(b, uint64(v.Len()))
+		return append(b, v.String()...), nil
+
+	case reflect.Bool:
+		if !v.Bool() {
+			return b, nil
+		}
+		b = appendTag(b, num, wireVarint)
+		return appendVarint(b, 1), nil
+
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		if v.Int() == 0 {
+			return b, nil
+		}
+		b = appendTag(b, num, wireVarint)
+		return appendVarint(b, uint64(v.Int())), nil
+
+	case reflect.Struct:
+		inner, err := appendStruct(nil, v)
+		if err != nil {
+			return nil, err
+		}
+		if len(inner) == 0 {
+			return b, nil
+		}
+		b = appendTag(b, num, wireBytes)
+		b = appendVarint(b, uint64(len(inner)))
+		return append(b, inner...), nil
+
+	case reflect.Slice:
+		if v.Type().Elem().Kind() == reflect.Uint8 {
+			if v.Len() == 0 {
+				return b, nil
+			}
+			b = appendTag(b, num, wireBytes)
+			b = appendVarint(b, uint64(v.Len()))
+			return append(b, v.Bytes()...), nil
+		}
+		return appendSlice(b, num, v)
+
+	case reflect.Map:
+		return appendMap(b, num, v)
+
+	default:
+		return nil, fmt.Errorf("codec: unsupported field kind %s", v.Kind())
+	}
+}
+
+func appendSlice(b []byte, num int, v reflect.Value) ([]byte, error) {
+	var err error
+	for i := 0; i < v.Len(); i++ {
+		el := v.Index(i)
+		switch el.Kind() {
+		case reflect.String:
+			// Repeated strings emit every element, including empty ones, so
+			// that round trips preserve slice length.
+			b = appendTag(b, num, wireBytes)
+			b = appendVarint(b, uint64(el.Len()))
+			b = append(b, el.String()...)
+		case reflect.Int, reflect.Int32, reflect.Int64:
+			b = appendTag(b, num, wireVarint)
+			b = appendVarint(b, uint64(el.Int()))
+		case reflect.Struct:
+			var inner []byte
+			inner, err = appendStruct(nil, el)
+			if err != nil {
+				return nil, err
+			}
+			b = appendTag(b, num, wireBytes)
+			b = appendVarint(b, uint64(len(inner)))
+			b = append(b, inner...)
+		default:
+			return nil, fmt.Errorf("codec: unsupported slice element kind %s", el.Kind())
+		}
+	}
+	return b, nil
+}
+
+func appendMap(b []byte, num int, v reflect.Value) ([]byte, error) {
+	if v.Type().Key().Kind() != reflect.String || v.Type().Elem().Kind() != reflect.String {
+		return nil, fmt.Errorf("codec: unsupported map type %s", v.Type())
+	}
+	keys := make([]string, 0, v.Len())
+	iter := v.MapRange()
+	for iter.Next() {
+		keys = append(keys, iter.Key().String())
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		val := v.MapIndex(reflect.ValueOf(k)).String()
+		var entry []byte
+		entry = appendTag(entry, mapKeyField, wireBytes)
+		entry = appendVarint(entry, uint64(len(k)))
+		entry = append(entry, k...)
+		entry = appendTag(entry, mapValueField, wireBytes)
+		entry = appendVarint(entry, uint64(len(val)))
+		entry = append(entry, val...)
+		b = appendTag(b, num, wireBytes)
+		b = appendVarint(b, uint64(len(entry)))
+		b = append(b, entry...)
+	}
+	return b, nil
+}
+
+func appendTag(b []byte, num, wt int) []byte {
+	return appendVarint(b, uint64(num)<<3|uint64(wt))
+}
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// --- decoding ---------------------------------------------------------------
+
+func decodeStruct(data []byte, v reflect.Value) error {
+	fields := structFields(v.Type())
+	byNum := make(map[int]fieldDesc, len(fields))
+	for _, fd := range fields {
+		byNum[fd.number] = fd
+	}
+	for len(data) > 0 {
+		tag, n, err := readVarint(data)
+		if err != nil {
+			return err
+		}
+		data = data[n:]
+		num, wt := int(tag>>3), int(tag&7)
+		if num <= 0 {
+			return fmt.Errorf("%w: field number %d", ErrCorrupt, num)
+		}
+		var (
+			scalar uint64
+			body   []byte
+		)
+		switch wt {
+		case wireVarint:
+			scalar, n, err = readVarint(data)
+			if err != nil {
+				return err
+			}
+			data = data[n:]
+		case wireBytes:
+			length, n, err := readVarint(data)
+			if err != nil {
+				return err
+			}
+			data = data[n:]
+			if length > uint64(len(data)) {
+				return fmt.Errorf("%w: length %d exceeds %d remaining bytes", ErrCorrupt, length, len(data))
+			}
+			body = data[:length]
+			data = data[length:]
+		case wire64Bit:
+			if len(data) < 8 {
+				return fmt.Errorf("%w: truncated 64-bit field", ErrCorrupt)
+			}
+			data = data[8:]
+			continue // unknown fixed-width field: skip
+		case wire32Bit:
+			if len(data) < 4 {
+				return fmt.Errorf("%w: truncated 32-bit field", ErrCorrupt)
+			}
+			data = data[4:]
+			continue
+		default:
+			return fmt.Errorf("%w: wire type %d", ErrCorrupt, wt)
+		}
+		fd, known := byNum[num]
+		if !known {
+			continue // unknown field: skip
+		}
+		if err := setDecoded(v.Field(fd.index), wt, scalar, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func setDecoded(f reflect.Value, wt int, scalar uint64, body []byte) error {
+	switch f.Kind() {
+	case reflect.String:
+		if wt != wireBytes {
+			return nil // wrong wire type for field: ignore, value lost
+		}
+		if !utf8.Valid(body) {
+			return fmt.Errorf("%w: invalid UTF-8 in string field", ErrCorrupt)
+		}
+		f.SetString(string(body))
+
+	case reflect.Bool:
+		if wt != wireVarint {
+			return nil
+		}
+		f.SetBool(scalar != 0)
+
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		if wt != wireVarint {
+			return nil
+		}
+		f.SetInt(int64(scalar))
+
+	case reflect.Struct:
+		if wt != wireBytes {
+			return nil
+		}
+		return decodeStruct(body, f)
+
+	case reflect.Slice:
+		if f.Type().Elem().Kind() == reflect.Uint8 {
+			if wt != wireBytes {
+				return nil
+			}
+			f.SetBytes(append([]byte(nil), body...))
+			return nil
+		}
+		return appendDecodedElem(f, wt, scalar, body)
+
+	case reflect.Map:
+		if wt != wireBytes {
+			return nil
+		}
+		k, v, err := decodeMapEntry(body)
+		if err != nil {
+			return err
+		}
+		if f.IsNil() {
+			f.Set(reflect.MakeMap(f.Type()))
+		}
+		f.SetMapIndex(reflect.ValueOf(k), reflect.ValueOf(v))
+
+	default:
+		return fmt.Errorf("codec: unsupported field kind %s", f.Kind())
+	}
+	return nil
+}
+
+func appendDecodedElem(f reflect.Value, wt int, scalar uint64, body []byte) error {
+	elemType := f.Type().Elem()
+	el := reflect.New(elemType).Elem()
+	switch elemType.Kind() {
+	case reflect.String:
+		if wt != wireBytes {
+			return nil
+		}
+		if !utf8.Valid(body) {
+			return fmt.Errorf("%w: invalid UTF-8 in repeated string", ErrCorrupt)
+		}
+		el.SetString(string(body))
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		if wt != wireVarint {
+			return nil
+		}
+		el.SetInt(int64(scalar))
+	case reflect.Struct:
+		if wt != wireBytes {
+			return nil
+		}
+		if err := decodeStruct(body, el); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("codec: unsupported slice element kind %s", elemType.Kind())
+	}
+	f.Set(reflect.Append(f, el))
+	return nil
+}
+
+func decodeMapEntry(body []byte) (key, value string, err error) {
+	for len(body) > 0 {
+		tag, n, err := readVarint(body)
+		if err != nil {
+			return "", "", err
+		}
+		body = body[n:]
+		if tag&7 != wireBytes {
+			return "", "", fmt.Errorf("%w: map entry wire type %d", ErrCorrupt, tag&7)
+		}
+		length, n, err := readVarint(body)
+		if err != nil {
+			return "", "", err
+		}
+		body = body[n:]
+		if length > uint64(len(body)) {
+			return "", "", fmt.Errorf("%w: map entry length %d", ErrCorrupt, length)
+		}
+		s := body[:length]
+		body = body[length:]
+		if !utf8.Valid(s) {
+			return "", "", fmt.Errorf("%w: invalid UTF-8 in map entry", ErrCorrupt)
+		}
+		switch tag >> 3 {
+		case mapKeyField:
+			key = string(s)
+		case mapValueField:
+			value = string(s)
+		default:
+			// unknown map entry field: skip
+		}
+	}
+	return key, value, nil
+}
+
+func readVarint(data []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(data); i++ {
+		if i == 10 {
+			return 0, 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+		}
+		b := data[i]
+		v |= uint64(b&0x7f) << (7 * uint(i))
+		if b&0x80 == 0 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+}

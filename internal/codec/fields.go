@@ -1,0 +1,291 @@
+package codec
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FieldKind classifies a leaf field for the purposes of fault-model
+// selection: integers get bit flips and zero sets, strings get character
+// flips and empty sets, booleans get inversions (§IV-C of the paper).
+type FieldKind int
+
+// Leaf field kinds.
+const (
+	FieldString FieldKind = iota + 1
+	FieldInt
+	FieldBool
+)
+
+func (k FieldKind) String() string {
+	switch k {
+	case FieldString:
+		return "string"
+	case FieldInt:
+		return "int"
+	case FieldBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("FieldKind(%d)", int(k))
+	}
+}
+
+// Field identifies one injectable leaf of a message by its dotted path, e.g.
+// "metadata.labels[app]" or "spec.containers[0].image".
+type Field struct {
+	Path string
+	Kind FieldKind
+}
+
+// Fields enumerates every leaf field reachable in msg, including map entries
+// and slice elements that are present in the value. The order is
+// deterministic (field-number order, sorted map keys, slice order).
+func Fields(msg any) []Field {
+	v := reflect.ValueOf(msg)
+	for v.Kind() == reflect.Pointer && !v.IsNil() {
+		v = v.Elem()
+	}
+	var out []Field
+	walkFields(v, "", &out)
+	return out
+}
+
+func walkFields(v reflect.Value, prefix string, out *[]Field) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for _, fd := range structFields(v.Type()) {
+			p := fd.name
+			if prefix != "" {
+				p = prefix + "." + fd.name
+			}
+			walkFields(v.Field(fd.index), p, out)
+		}
+	case reflect.String:
+		*out = append(*out, Field{Path: prefix, Kind: FieldString})
+	case reflect.Bool:
+		*out = append(*out, Field{Path: prefix, Kind: FieldBool})
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		*out = append(*out, Field{Path: prefix, Kind: FieldInt})
+	case reflect.Slice:
+		if v.Type().Elem().Kind() == reflect.Uint8 {
+			return // opaque bytes are not an injectable leaf
+		}
+		for i := 0; i < v.Len(); i++ {
+			walkFields(v.Index(i), fmt.Sprintf("%s[%d]", prefix, i), out)
+		}
+	case reflect.Map:
+		keys := make([]string, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			keys = append(keys, iter.Key().String())
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			*out = append(*out, Field{Path: prefix + "[" + k + "]", Kind: FieldString})
+		}
+	}
+}
+
+// Get returns the value of the leaf field at path as string, int64 or bool.
+func Get(msg any, path string) (any, error) {
+	tgt, err := resolve(reflect.ValueOf(msg), path)
+	if err != nil {
+		return nil, err
+	}
+	if tgt.isMapEntry() {
+		mv := tgt.m.MapIndex(tgt.key)
+		if !mv.IsValid() {
+			return nil, fmt.Errorf("codec: path %q: key not present", path)
+		}
+		return mv.String(), nil
+	}
+	switch tgt.v.Kind() {
+	case reflect.String:
+		return tgt.v.String(), nil
+	case reflect.Bool:
+		return tgt.v.Bool(), nil
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		return tgt.v.Int(), nil
+	default:
+		return nil, fmt.Errorf("codec: path %q is not a leaf field", path)
+	}
+}
+
+// Set assigns val (string, int64/int, or bool) to the leaf field at path.
+// Setting a map entry that does not exist creates it.
+func Set(msg any, path string, val any) error {
+	tgt, err := resolve(reflect.ValueOf(msg), path)
+	if err != nil {
+		return err
+	}
+	if tgt.isMapEntry() {
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("codec: set %q: want string, got %T", path, val)
+		}
+		if tgt.m.IsNil() {
+			tgt.m.Set(reflect.MakeMap(tgt.m.Type()))
+		}
+		tgt.m.SetMapIndex(tgt.key, reflect.ValueOf(s))
+		return nil
+	}
+	switch tgt.v.Kind() {
+	case reflect.String:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("codec: set %q: want string, got %T", path, val)
+		}
+		tgt.v.SetString(s)
+	case reflect.Bool:
+		b, ok := val.(bool)
+		if !ok {
+			return fmt.Errorf("codec: set %q: want bool, got %T", path, val)
+		}
+		tgt.v.SetBool(b)
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		switch n := val.(type) {
+		case int64:
+			tgt.v.SetInt(n)
+		case int:
+			tgt.v.SetInt(int64(n))
+		default:
+			return fmt.Errorf("codec: set %q: want int, got %T", path, val)
+		}
+	default:
+		return fmt.Errorf("codec: path %q is not a settable leaf", path)
+	}
+	return nil
+}
+
+// target is a resolved leaf: either a settable value or a (map, key) pair,
+// since reflect map values are not addressable.
+type target struct {
+	v   reflect.Value
+	m   reflect.Value
+	key reflect.Value
+}
+
+func (t target) isMapEntry() bool { return t.m.IsValid() }
+
+func resolve(v reflect.Value, path string) (target, error) {
+	segs, err := splitPath(path)
+	if err != nil {
+		return target{}, err
+	}
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return target{}, fmt.Errorf("codec: nil pointer at %q", path)
+		}
+		v = v.Elem()
+	}
+	for si, seg := range segs {
+		if v.Kind() != reflect.Struct {
+			return target{}, fmt.Errorf("codec: path %q: %q is not a struct", path, seg.name)
+		}
+		fd, ok := lookupField(v.Type(), seg.name)
+		if !ok {
+			return target{}, fmt.Errorf("codec: path %q: unknown field %q", path, seg.name)
+		}
+		v = v.Field(fd.index)
+		switch {
+		case seg.hasIndex:
+			if v.Kind() != reflect.Slice {
+				return target{}, fmt.Errorf("codec: path %q: %q is not a slice", path, seg.name)
+			}
+			if seg.index < 0 || seg.index >= v.Len() {
+				return target{}, fmt.Errorf("codec: path %q: index %d out of range (len %d)", path, seg.index, v.Len())
+			}
+			v = v.Index(seg.index)
+		case seg.hasKey:
+			if v.Kind() != reflect.Map {
+				return target{}, fmt.Errorf("codec: path %q: %q is not a map", path, seg.name)
+			}
+			if si != len(segs)-1 {
+				return target{}, fmt.Errorf("codec: path %q: map access must be the last segment", path)
+			}
+			return target{m: v, key: reflect.ValueOf(seg.key)}, nil
+		}
+	}
+	return target{v: v}, nil
+}
+
+type segment struct {
+	name     string
+	hasIndex bool
+	index    int
+	hasKey   bool
+	key      string
+}
+
+func splitPath(path string) ([]segment, error) {
+	if path == "" {
+		return nil, fmt.Errorf("codec: empty path")
+	}
+	var segs []segment
+	depth := 0
+	start := 0
+	flush := func(end int) error {
+		raw := path[start:end]
+		if raw == "" {
+			return fmt.Errorf("codec: path %q: empty segment", path)
+		}
+		seg, err := parseSegment(raw, path)
+		if err != nil {
+			return err
+		}
+		segs = append(segs, seg)
+		return nil
+	}
+	for i := 0; i < len(path); i++ {
+		switch path[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("codec: path %q: unbalanced brackets", path)
+			}
+		case '.':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("codec: path %q: unbalanced brackets", path)
+	}
+	if err := flush(len(path)); err != nil {
+		return nil, err
+	}
+	return segs, nil
+}
+
+func parseSegment(raw, path string) (segment, error) {
+	open := strings.IndexByte(raw, '[')
+	if open < 0 {
+		return segment{name: raw}, nil
+	}
+	if !strings.HasSuffix(raw, "]") {
+		return segment{}, fmt.Errorf("codec: path %q: malformed segment %q", path, raw)
+	}
+	name, inner := raw[:open], raw[open+1:len(raw)-1]
+	if idx, err := strconv.Atoi(inner); err == nil {
+		return segment{name: name, hasIndex: true, index: idx}, nil
+	}
+	return segment{name: name, hasKey: true, key: inner}, nil
+}
+
+func lookupField(t reflect.Type, wireName string) (fieldDesc, bool) {
+	for _, fd := range structFields(t) {
+		if fd.name == wireName {
+			return fd, true
+		}
+	}
+	return fieldDesc{}, false
+}

@@ -1,0 +1,205 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFieldsEnumeration(t *testing.T) {
+	in := sample()
+	fields := Fields(&in)
+	byPath := make(map[string]FieldKind, len(fields))
+	for _, f := range fields {
+		byPath[f.Path] = f.Kind
+	}
+	want := map[string]FieldKind{
+		"iD":             FieldString,
+		"n":              FieldInt,
+		"flag":           FieldBool,
+		"nested.name":    FieldString,
+		"nested.count":   FieldInt,
+		"nested.on":      FieldBool,
+		"items[0].name":  FieldString,
+		"items[1].count": FieldInt,
+		"tags[0]":        FieldString,
+		"numbers[2]":     FieldInt,
+		"labels[app]":    FieldString,
+		"labels[tier]":   FieldString,
+	}
+	for p, k := range want {
+		if byPath[p] != k {
+			t.Errorf("Fields missing %s (%s); got kinds %v", p, k, byPath[p])
+		}
+	}
+}
+
+func TestFieldsDeterministicOrder(t *testing.T) {
+	in := sample()
+	a := Fields(&in)
+	b := Fields(&in)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGetSetScalar(t *testing.T) {
+	in := sample()
+	if err := Set(&in, "n", int64(99)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Get(&in, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(int64) != 99 {
+		t.Fatalf("Get(n) = %v, want 99", got)
+	}
+	if err := Set(&in, "flag", false); err != nil {
+		t.Fatal(err)
+	}
+	if in.Flag {
+		t.Fatal("Set(flag,false) had no effect")
+	}
+}
+
+func TestGetSetNested(t *testing.T) {
+	in := sample()
+	if err := Set(&in, "nested.name", "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Nested.Name != "renamed" {
+		t.Fatalf("Nested.Name = %q", in.Nested.Name)
+	}
+	if err := Set(&in, "items[1].count", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	if in.Items[1].Count != 5 {
+		t.Fatalf("Items[1].Count = %d", in.Items[1].Count)
+	}
+	if err := Set(&in, "tags[0]", "flipped"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tags[0] != "flipped" {
+		t.Fatalf("Tags[0] = %q", in.Tags[0])
+	}
+}
+
+func TestGetSetMapEntry(t *testing.T) {
+	in := sample()
+	if err := Set(&in, "labels[app]", "db"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Labels["app"] != "db" {
+		t.Fatalf("Labels[app] = %q", in.Labels["app"])
+	}
+	got, err := Get(&in, "labels[app]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(string) != "db" {
+		t.Fatalf("Get(labels[app]) = %v", got)
+	}
+	// Creating a new key on a nil map.
+	var empty outer
+	if err := Set(&empty, "labels[new]", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Labels["new"] != "v" {
+		t.Fatal("Set on nil map did not create entry")
+	}
+}
+
+func TestMapKeyWithDots(t *testing.T) {
+	in := outer{Labels: map[string]string{"app.kubernetes.io/name": "web"}}
+	fields := Fields(&in)
+	var path string
+	for _, f := range fields {
+		if strings.Contains(f.Path, "kubernetes") {
+			path = f.Path
+		}
+	}
+	if path == "" {
+		t.Fatal("dotted map key not enumerated")
+	}
+	got, err := Get(&in, path)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", path, err)
+	}
+	if got.(string) != "web" {
+		t.Fatalf("Get(%q) = %v", path, got)
+	}
+	if err := Set(&in, path, "api"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Labels["app.kubernetes.io/name"] != "api" {
+		t.Fatal("Set via dotted map key failed")
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	in := sample()
+	cases := []struct {
+		path string
+		val  any
+	}{
+		{"nope", "x"},
+		{"nested.nope", "x"},
+		{"items[9].name", "x"},
+		{"items[-1].name", "x"},
+		{"n.deeper", "x"},
+		{"", "x"},
+		{"labels[app", "x"},
+	}
+	for _, tt := range cases {
+		if err := Set(&in, tt.path, tt.val); err == nil {
+			t.Errorf("Set(%q) succeeded, want error", tt.path)
+		}
+		if _, err := Get(&in, tt.path); err == nil {
+			t.Errorf("Get(%q) succeeded, want error", tt.path)
+		}
+	}
+}
+
+func TestSetWrongType(t *testing.T) {
+	in := sample()
+	if err := Set(&in, "n", "not-an-int"); err == nil {
+		t.Fatal("Set(int field, string) succeeded")
+	}
+	if err := Set(&in, "iD", 7); err == nil {
+		t.Fatal("Set(string field, int) succeeded")
+	}
+	if err := Set(&in, "flag", "yes"); err == nil {
+		t.Fatal("Set(bool field, string) succeeded")
+	}
+}
+
+// Every enumerated field must be Get-able and Set-able with a value of its
+// own kind: the injection campaign relies on this closure property.
+func TestEveryEnumeratedFieldIsAddressable(t *testing.T) {
+	in := sample()
+	for _, f := range Fields(&in) {
+		cur, err := Get(&in, f.Path)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", f.Path, err)
+		}
+		switch f.Kind {
+		case FieldString:
+			if err := Set(&in, f.Path, cur.(string)+"!"); err != nil {
+				t.Fatalf("Set(%q): %v", f.Path, err)
+			}
+		case FieldInt:
+			if err := Set(&in, f.Path, cur.(int64)+1); err != nil {
+				t.Fatalf("Set(%q): %v", f.Path, err)
+			}
+		case FieldBool:
+			if err := Set(&in, f.Path, !cur.(bool)); err != nil {
+				t.Fatalf("Set(%q): %v", f.Path, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/store"
+)
+
+// harness runs a manager (without leader election) against a bare apiserver
+// with two ready nodes; there are no kubelets, so pods stay Pending unless a
+// test sets status explicitly.
+type harness struct {
+	loop *sim.Loop
+	srv  *apiserver.Server
+	c    *apiserver.Client
+	m    *Manager
+}
+
+func newHarness(t *testing.T, opts Options) *harness {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	st := store.New(loop, nil)
+	srv := apiserver.New(loop, st, nil)
+	opts.DisableLeaderElection = true
+	m := NewManager(loop, srv, opts)
+	h := &harness{loop: loop, srv: srv, c: srv.ClientFor("test"), m: m}
+	for _, name := range []string{"worker-0", "worker-1"} {
+		node := &spec.Node{
+			Metadata: spec.ObjectMeta{Name: name},
+			Status: spec.NodeStatus{Ready: true, AllocatableMilliCPU: 8000,
+				AllocatableMemMB: 4096, LastHeartbeatMillis: loop.Time().UnixMilli()},
+		}
+		if err := h.c.Create(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Start()
+	loop.RunUntil(time.Second)
+	return h
+}
+
+func (h *harness) run(d time.Duration) { h.loop.RunUntil(h.loop.Now() + d) }
+
+func (h *harness) heartbeatNodes() {
+	for _, name := range []string{"worker-0", "worker-1"} {
+		obj, err := h.c.Get(spec.KindNode, "", name)
+		if err != nil {
+			continue
+		}
+		node := obj.(*spec.Node)
+		node.Status.Ready = true
+		node.Status.LastHeartbeatMillis = h.loop.Time().UnixMilli()
+		_ = h.c.UpdateStatus(node)
+	}
+}
+
+func testRS(name string, replicas int64) *spec.ReplicaSet {
+	return &spec.ReplicaSet{
+		Metadata: spec.ObjectMeta{
+			Name: name, Namespace: spec.DefaultNamespace,
+			Labels: map[string]string{"app": name},
+		},
+		Spec: spec.ReplicaSetSpec{
+			Replicas: replicas,
+			Selector: spec.LabelSelector{MatchLabels: map[string]string{"app": name}},
+			Template: spec.PodTemplate{
+				Labels: map[string]string{"app": name},
+				Spec: spec.PodSpec{Containers: []spec.Container{{
+					Name: "c", Image: "registry.local/web:1", Command: []string{"serve"},
+					RequestsMilliCPU: 100, RequestsMemMB: 64,
+				}}},
+			},
+		},
+	}
+}
+
+func (h *harness) pods(ns string) []*spec.Pod {
+	var out []*spec.Pod
+	for _, po := range h.c.List(spec.KindPod, ns) {
+		out = append(out, po.(*spec.Pod))
+	}
+	return out
+}
+
+func TestReplicaSetCreatesPods(t *testing.T) {
+	h := newHarness(t, Options{})
+	if err := h.c.Create(testRS("web", 3)); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	pods := h.pods(spec.DefaultNamespace)
+	if len(pods) != 3 {
+		t.Fatalf("pods = %d, want 3", len(pods))
+	}
+	for _, pod := range pods {
+		ref := pod.Metadata.ControllerOf()
+		if ref == nil || ref.Kind != string(spec.KindReplicaSet) || ref.Name != "web" {
+			t.Fatalf("pod %s owner = %+v", pod.Metadata.Name, ref)
+		}
+	}
+}
+
+func TestReplicaSetScalesDown(t *testing.T) {
+	h := newHarness(t, Options{})
+	if err := h.c.Create(testRS("web", 4)); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	obj, _ := h.c.Get(spec.KindReplicaSet, spec.DefaultNamespace, "web")
+	rs := obj.(*spec.ReplicaSet)
+	rs.Spec.Replicas = 1
+	if err := h.c.Update(rs); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	if pods := h.pods(spec.DefaultNamespace); len(pods) != 1 {
+		t.Fatalf("pods after scale-down = %d, want 1", len(pods))
+	}
+}
+
+// A pod whose labels no longer match its owner's selector is released (it
+// keeps running, orphaned) and replaced — silent over-provisioning.
+func TestReplicaSetReleasesMislabeledPod(t *testing.T) {
+	h := newHarness(t, Options{DisableGC: true})
+	if err := h.c.Create(testRS("web", 2)); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	pods := h.pods(spec.DefaultNamespace)
+	if len(pods) != 2 {
+		t.Fatalf("setup pods = %d", len(pods))
+	}
+	victim := pods[0]
+	victim.Metadata.Labels["app"] = "mislabeled"
+	if err := h.c.Update(victim); err != nil {
+		t.Fatal(err)
+	}
+	h.run(6 * time.Second)
+	pods = h.pods(spec.DefaultNamespace)
+	if len(pods) != 3 {
+		t.Fatalf("pods after mislabel = %d, want 3 (orphan + replacement)", len(pods))
+	}
+	obj, _ := h.c.Get(spec.KindPod, spec.DefaultNamespace, victim.Metadata.Name)
+	if obj.(*spec.Pod).Metadata.ControllerOf() != nil {
+		t.Fatal("mislabeled pod still owned; it must be released")
+	}
+}
+
+// Orphan pods matching the selector are adopted instead of duplicated.
+func TestReplicaSetAdoptsMatchingOrphan(t *testing.T) {
+	h := newHarness(t, Options{DisableGC: true})
+	orphan := &spec.Pod{
+		Metadata: spec.ObjectMeta{Name: "stray", Namespace: spec.DefaultNamespace,
+			Labels: map[string]string{"app": "web"}},
+		Spec: spec.PodSpec{Containers: []spec.Container{{
+			Name: "c", Image: "registry.local/web:1", Command: []string{"serve"},
+		}}},
+	}
+	if err := h.c.Create(orphan); err != nil {
+		t.Fatal(err)
+	}
+	h.run(time.Second)
+	if err := h.c.Create(testRS("web", 2)); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	pods := h.pods(spec.DefaultNamespace)
+	if len(pods) != 2 {
+		t.Fatalf("pods = %d, want 2 (orphan adopted, one created)", len(pods))
+	}
+	obj, _ := h.c.Get(spec.KindPod, spec.DefaultNamespace, "stray")
+	ref := obj.(*spec.Pod).Metadata.ControllerOf()
+	if ref == nil || ref.Name != "web" {
+		t.Fatal("orphan not adopted")
+	}
+}
+
+func TestDeploymentCreatesReplicaSetWithHash(t *testing.T) {
+	h := newHarness(t, Options{})
+	d := &spec.Deployment{
+		Metadata: spec.ObjectMeta{Name: "web", Namespace: spec.DefaultNamespace,
+			Labels: map[string]string{"app": "web"}},
+		Spec: spec.DeploymentSpec{
+			Replicas: 2,
+			Selector: spec.LabelSelector{MatchLabels: map[string]string{"app": "web"}},
+			Template: testRS("web", 0).Spec.Template,
+			MaxSurge: 1,
+		},
+	}
+	if err := h.c.Create(d); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	rss := h.c.List(spec.KindReplicaSet, spec.DefaultNamespace)
+	if len(rss) != 1 {
+		t.Fatalf("replicasets = %d, want 1", len(rss))
+	}
+	rs := rss[0].(*spec.ReplicaSet)
+	if rs.Metadata.Labels[spec.LabelPodHash] == "" {
+		t.Fatal("replica set missing pod-template-hash")
+	}
+	if rs.Spec.Replicas != 2 {
+		t.Fatalf("rs replicas = %d, want 2", rs.Spec.Replicas)
+	}
+	if len(h.pods(spec.DefaultNamespace)) != 2 {
+		t.Fatal("deployment pods not created")
+	}
+}
+
+func TestDeploymentRollingUpdateCreatesNewRS(t *testing.T) {
+	h := newHarness(t, Options{})
+	d := &spec.Deployment{
+		Metadata: spec.ObjectMeta{Name: "web", Namespace: spec.DefaultNamespace},
+		Spec: spec.DeploymentSpec{
+			Replicas: 2,
+			Selector: spec.LabelSelector{MatchLabels: map[string]string{"app": "web"}},
+			Template: testRS("web", 0).Spec.Template,
+			MaxSurge: 1,
+		},
+	}
+	if err := h.c.Create(d); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	obj, _ := h.c.Get(spec.KindDeployment, spec.DefaultNamespace, "web")
+	deploy := obj.(*spec.Deployment)
+	deploy.Spec.Template.Spec.Containers[0].Image = "registry.local/web:2"
+	if err := h.c.Update(deploy); err != nil {
+		t.Fatal(err)
+	}
+	h.run(5 * time.Second)
+	rss := h.c.List(spec.KindReplicaSet, spec.DefaultNamespace)
+	if len(rss) != 2 {
+		t.Fatalf("replicasets after template change = %d, want 2", len(rss))
+	}
+}
+
+func TestEndpointsTrackReadyPods(t *testing.T) {
+	h := newHarness(t, Options{})
+	if err := h.c.Create(testRS("web", 2)); err != nil {
+		t.Fatal(err)
+	}
+	svc := &spec.Service{
+		Metadata: spec.ObjectMeta{Name: "web", Namespace: spec.DefaultNamespace},
+		Spec: spec.ServiceSpec{
+			Selector: map[string]string{"app": "web"},
+			Ports:    []spec.ServicePort{{Port: 80, TargetPort: 8080, Protocol: "TCP"}},
+		},
+	}
+	if err := h.c.Create(svc); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	obj, err := h.c.Get(spec.KindEndpoints, spec.DefaultNamespace, "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.(*spec.Endpoints).Count() != 0 {
+		t.Fatal("endpoints contain non-ready pods")
+	}
+	// Mark one pod ready (playing kubelet).
+	pods := h.pods(spec.DefaultNamespace)
+	pods[0].Status.Ready = true
+	pods[0].Status.Phase = spec.PodRunning
+	pods[0].Status.PodIP = "10.244.1.5"
+	if err := h.c.UpdateStatus(pods[0]); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	obj, _ = h.c.Get(spec.KindEndpoints, spec.DefaultNamespace, "web")
+	ep := obj.(*spec.Endpoints)
+	if ep.Count() != 1 {
+		t.Fatalf("endpoints = %d, want 1", ep.Count())
+	}
+	if ep.Subsets[0].Addresses[0].IP != "10.244.1.5" {
+		t.Fatalf("endpoint IP = %q", ep.Subsets[0].Addresses[0].IP)
+	}
+}
+
+func TestGarbageCollectorRemovesOrphans(t *testing.T) {
+	h := newHarness(t, Options{})
+	if err := h.c.Create(testRS("web", 2)); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	// Delete the owner; its pods must be collected.
+	if err := h.c.Delete(spec.KindReplicaSet, spec.DefaultNamespace, "web"); err != nil {
+		t.Fatal(err)
+	}
+	h.run(2*gcInterval + time.Second)
+	if pods := h.pods(spec.DefaultNamespace); len(pods) != 0 {
+		t.Fatalf("pods after owner deletion = %d, want 0", len(pods))
+	}
+}
+
+// A corrupted ownerReference UID makes a healthy pod look orphaned: the GC
+// deletes it and the controller respawns a replacement (dependency-field
+// failure mode).
+func TestGarbageCollectorDeletesOnUIDMismatch(t *testing.T) {
+	h := newHarness(t, Options{})
+	if err := h.c.Create(testRS("web", 1)); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	pods := h.pods(spec.DefaultNamespace)
+	if len(pods) != 1 {
+		t.Fatalf("setup pods = %d", len(pods))
+	}
+	name := pods[0].Metadata.Name
+	pods[0].Metadata.OwnerReferences[0].UID = "uid-999999"
+	if err := h.c.Update(pods[0]); err != nil {
+		t.Fatal(err)
+	}
+	h.run(2*gcInterval + 2*time.Second)
+	if _, err := h.c.Get(spec.KindPod, spec.DefaultNamespace, name); err == nil {
+		t.Fatal("pod with corrupted owner UID survived GC")
+	}
+	// The ReplicaSet replaced it.
+	if pods := h.pods(spec.DefaultNamespace); len(pods) != 1 {
+		t.Fatalf("pods after GC churn = %d, want 1 replacement", len(pods))
+	}
+}
+
+func TestPodGCRemovesPodsOnMissingNodes(t *testing.T) {
+	h := newHarness(t, Options{})
+	pod := &spec.Pod{
+		Metadata: spec.ObjectMeta{Name: "stranded", Namespace: spec.DefaultNamespace},
+		Spec: spec.PodSpec{
+			NodeName: "ghost-node",
+			Containers: []spec.Container{{
+				Name: "c", Image: "registry.local/web:1", Command: []string{"serve"},
+			}},
+		},
+	}
+	if err := h.c.Create(pod); err != nil {
+		t.Fatal(err)
+	}
+	h.run(podGCMinAge + 2*gcInterval + time.Second)
+	if _, err := h.c.Get(spec.KindPod, spec.DefaultNamespace, "stranded"); err == nil {
+		t.Fatal("pod on missing node survived pod GC")
+	}
+}
+
+func TestNodeLifecycleMarksSilentNodeNotReady(t *testing.T) {
+	h := newHarness(t, Options{})
+	// Keep worker-1 heartbeating; let worker-0 go silent.
+	stop := h.loop.Every(5*time.Second, func() {
+		obj, err := h.c.Get(spec.KindNode, "", "worker-1")
+		if err != nil {
+			return
+		}
+		node := obj.(*spec.Node)
+		node.Status.Ready = true
+		node.Status.LastHeartbeatMillis = h.loop.Time().UnixMilli()
+		_ = h.c.UpdateStatus(node)
+	})
+	defer stop.Stop()
+	h.run(nodeGracePeriod + 15*time.Second)
+	obj, _ := h.c.Get(spec.KindNode, "", "worker-0")
+	node := obj.(*spec.Node)
+	if node.Status.Ready {
+		t.Fatal("silent node still Ready")
+	}
+	tainted := false
+	for _, taint := range node.Spec.Taints {
+		if taint.Key == taintUnreachable && taint.Effect == spec.TaintNoExecute {
+			tainted = true
+		}
+	}
+	if !tainted {
+		t.Fatal("silent node not tainted NoExecute")
+	}
+	obj, _ = h.c.Get(spec.KindNode, "", "worker-1")
+	if !obj.(*spec.Node).Status.Ready {
+		t.Fatal("heartbeating node marked NotReady")
+	}
+}
+
+// Full disruption mode (§II-D): when every node looks unhealthy, the fault
+// is likelier in the heartbeat path — evictions must stop.
+func TestFullDisruptionModeStopsEvictions(t *testing.T) {
+	h := newHarness(t, Options{})
+	if err := h.c.Create(testRS("web", 2)); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	// Bind pods to nodes (no kubelet here).
+	for i, pod := range h.pods(spec.DefaultNamespace) {
+		pod.Spec.NodeName = []string{"worker-0", "worker-1"}[i%2]
+		if err := h.c.Update(pod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All nodes go silent together.
+	h.run(nodeGracePeriod + 20*time.Second)
+	if pods := h.pods(spec.DefaultNamespace); len(pods) != 2 {
+		t.Fatalf("pods = %d; full disruption mode must suspend evictions", len(pods))
+	}
+}
+
+func TestEvictionsResumeWithoutFullDisruption(t *testing.T) {
+	h := newHarness(t, Options{DisableFullDisruptionMode: true})
+	if err := h.c.Create(testRS("web", 2)); err != nil {
+		t.Fatal(err)
+	}
+	h.run(3 * time.Second)
+	for _, pod := range h.pods(spec.DefaultNamespace) {
+		pod.Spec.NodeName = "worker-0"
+		if err := h.c.Update(pod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.run(nodeGracePeriod + 30*time.Second)
+	// With the safeguard disabled, the same scenario deletes (and then the
+	// RS recreates) pods: there must have been deletions.
+	deleted := 0
+	for _, pod := range h.pods(spec.DefaultNamespace) {
+		if pod.Spec.NodeName == "" {
+			deleted++ // replacement, not yet bound
+		}
+	}
+	if deleted == 0 {
+		t.Fatal("no evictions happened with full disruption mode disabled")
+	}
+}
+
+func TestDaemonSetOnePodPerNode(t *testing.T) {
+	h := newHarness(t, Options{})
+	ds := &spec.DaemonSet{
+		Metadata: spec.ObjectMeta{Name: "agent", Namespace: spec.DefaultNamespace,
+			Labels: map[string]string{"app": "agent"}},
+		Spec: spec.DaemonSetSpec{
+			Selector: spec.LabelSelector{MatchLabels: map[string]string{"app": "agent"}},
+			Template: spec.PodTemplate{
+				Labels: map[string]string{"app": "agent"},
+				Spec: spec.PodSpec{Containers: []spec.Container{{
+					Name: "a", Image: "registry.local/agent:1", Command: []string{"serve"},
+				}}},
+			},
+		},
+	}
+	if err := h.c.Create(ds); err != nil {
+		t.Fatal(err)
+	}
+	h.heartbeatNodes()
+	h.run(3 * time.Second)
+	perNode := map[string]int{}
+	for _, pod := range h.pods(spec.DefaultNamespace) {
+		perNode[pod.Spec.NodeName]++
+	}
+	if perNode["worker-0"] != 1 || perNode["worker-1"] != 1 {
+		t.Fatalf("daemon pods per node = %v, want one each", perNode)
+	}
+}

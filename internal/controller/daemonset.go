@@ -1,0 +1,180 @@
+package controller
+
+import (
+	"errors"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// daemonSetController ensures one pod per eligible node for each DaemonSet.
+// DaemonSet pods are bound directly to their node (they do not pass through
+// the scheduler) and typically run at system-critical priority — which is
+// why corrupting the labels that associate pods with a DaemonSet is the
+// paper's flagship failure: the controller can no longer identify its pods,
+// spawns replacements forever, and the high-priority replicas evict every
+// application pod while the store fills up (§V-C1 example).
+type daemonSetController struct {
+	m *Manager
+	q *queue
+}
+
+func newDaemonSetController(m *Manager) *daemonSetController {
+	c := &daemonSetController{m: m}
+	c.q = newQueue(m.loop, syncDelay, c.sync)
+	return c
+}
+
+func (c *daemonSetController) start() { c.q.start() }
+func (c *daemonSetController) stop()  { c.q.stop() }
+
+func (c *daemonSetController) enqueueFor(ev apiserver.WatchEvent) {
+	switch ev.Kind {
+	case spec.KindDaemonSet:
+		c.q.add(objKey(ev.Object))
+	case spec.KindNode:
+		c.resync()
+	case spec.KindPod:
+		meta := ev.Object.Meta()
+		if ref := meta.ControllerOf(); ref != nil && ref.Kind == string(spec.KindDaemonSet) {
+			c.q.add(meta.Namespace + "/" + ref.Name)
+		}
+	}
+}
+
+func (c *daemonSetController) resync() {
+	for _, ds := range c.m.client.List(spec.KindDaemonSet, "") {
+		c.q.add(objKey(ds))
+	}
+}
+
+func (c *daemonSetController) sync(key string) {
+	ns, name := splitKey(key)
+	obj, err := c.m.client.Get(spec.KindDaemonSet, ns, name)
+	if errors.Is(err, apiserver.ErrNotFound) {
+		return
+	}
+	if err != nil {
+		c.q.addAfter(key, conflictRetryDelay)
+		return
+	}
+	ds := obj.(*spec.DaemonSet)
+
+	// Group this DaemonSet's pods by node. Identification goes through the
+	// selector AND the owner reference, like the ReplicaSet controller.
+	podsByNode := make(map[string][]*spec.Pod)
+	for _, po := range c.m.client.List(spec.KindPod, ns) {
+		pod := po.(*spec.Pod)
+		if !pod.Active() {
+			continue
+		}
+		ref := pod.Metadata.ControllerOf()
+		if ref == nil || ref.UID != ds.Metadata.UID {
+			continue
+		}
+		if !ds.Spec.Selector.Matches(pod.Metadata.Labels) {
+			// The pod no longer looks like ours: release it. The replacement
+			// spawned below starts the uncontrolled-replication loop if the
+			// corruption is in the template.
+			c.releasePod(pod)
+			continue
+		}
+		podsByNode[pod.Spec.NodeName] = append(podsByNode[pod.Spec.NodeName], pod)
+	}
+
+	var desired, current, ready int64
+	for _, no := range c.m.client.List(spec.KindNode, "") {
+		node := no.(*spec.Node)
+		eligible := c.nodeEligible(ds, node)
+		pods := podsByNode[node.Metadata.Name]
+		delete(podsByNode, node.Metadata.Name)
+		if !eligible {
+			for _, pod := range pods {
+				_ = c.m.client.Delete(spec.KindPod, ns, pod.Metadata.Name)
+			}
+			continue
+		}
+		desired++
+		switch {
+		case len(pods) == 0:
+			c.createPod(ds, node.Metadata.Name)
+		case len(pods) > 1:
+			for _, pod := range podsToDelete(pods, len(pods)-1) {
+				_ = c.m.client.Delete(spec.KindPod, ns, pod.Metadata.Name)
+			}
+			current++
+		default:
+			current++
+			if pods[0].Status.Ready {
+				ready++
+			}
+		}
+	}
+	// Pods on nodes that no longer exist.
+	for _, pods := range podsByNode {
+		for _, pod := range pods {
+			_ = c.m.client.Delete(spec.KindPod, ns, pod.Metadata.Name)
+		}
+	}
+
+	c.updateStatus(ds, desired, current, ready)
+}
+
+func (c *daemonSetController) nodeEligible(ds *spec.DaemonSet, node *spec.Node) bool {
+	if node.Spec.Unschedulable {
+		return false
+	}
+	for k, v := range ds.Spec.Template.Spec.NodeSelector {
+		if node.Metadata.Labels[k] != v {
+			return false
+		}
+	}
+	// DaemonSet pods tolerate taints per their template tolerations; the
+	// probe pod below carries them.
+	probe := spec.Pod{Spec: ds.Spec.Template.Spec}
+	for _, taint := range node.Spec.Taints {
+		if taint.Effect == spec.TaintNoSchedule && !probe.Tolerates(taint) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *daemonSetController) createPod(ds *spec.DaemonSet, nodeName string) {
+	podSpec := clonePodSpec(&ds.Spec.Template.Spec)
+	podSpec.NodeName = nodeName // daemon pods bypass the scheduler
+	pod := &spec.Pod{
+		Metadata: spec.ObjectMeta{
+			Name:      c.m.nextName(ds.Metadata.Name),
+			Namespace: ds.Metadata.Namespace,
+			Labels:    cloneLabels(ds.Spec.Template.Labels),
+			OwnerReferences: []spec.OwnerReference{{
+				Kind: string(spec.KindDaemonSet), Name: ds.Metadata.Name,
+				UID: ds.Metadata.UID, Controller: true,
+			}},
+		},
+		Spec: *podSpec,
+	}
+	_ = c.m.client.Create(pod)
+}
+
+func (c *daemonSetController) releasePod(pod *spec.Pod) {
+	var kept []spec.OwnerReference
+	for _, ref := range pod.Metadata.OwnerReferences {
+		if !ref.Controller {
+			kept = append(kept, ref)
+		}
+	}
+	pod.Metadata.OwnerReferences = kept
+	_ = c.m.client.Update(pod)
+}
+
+func (c *daemonSetController) updateStatus(ds *spec.DaemonSet, desired, current, ready int64) {
+	if ds.Status.DesiredNumber == desired && ds.Status.CurrentNumber == current && ds.Status.NumberReady == ready {
+		return
+	}
+	ds.Status.DesiredNumber = desired
+	ds.Status.CurrentNumber = current
+	ds.Status.NumberReady = ready
+	_ = c.m.client.UpdateStatus(ds)
+}

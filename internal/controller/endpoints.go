@@ -1,0 +1,147 @@
+package controller
+
+import (
+	"errors"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// endpointsController maintains each Service's Endpoints object: the list of
+// ready pod addresses behind the service VIP. Corruption of a service
+// selector, a pod label, a pod IP, or a port surfaces here as missing,
+// stale, or wrong endpoints — the Net failure family (service reachable
+// resources exist but are incorrectly networked).
+type endpointsController struct {
+	m *Manager
+	q *queue
+}
+
+func newEndpointsController(m *Manager) *endpointsController {
+	c := &endpointsController{m: m}
+	c.q = newQueue(m.loop, syncDelay, c.sync)
+	return c
+}
+
+func (c *endpointsController) start() { c.q.start() }
+func (c *endpointsController) stop()  { c.q.stop() }
+
+func (c *endpointsController) enqueueFor(ev apiserver.WatchEvent) {
+	switch ev.Kind {
+	case spec.KindService:
+		c.q.add(objKey(ev.Object))
+	case spec.KindPod:
+		// Only services selecting this pod (or that could have) are affected.
+		meta := ev.Object.Meta()
+		for _, so := range c.m.client.List(spec.KindService, meta.Namespace) {
+			svc := so.(*spec.Service)
+			sel := spec.LabelSelector{MatchLabels: svc.Spec.Selector}
+			if sel.Matches(meta.Labels) || ev.Type == apiserver.Deleted {
+				c.q.add(objKey(svc))
+			}
+		}
+	case spec.KindEndpoints:
+		c.q.add(objKey(ev.Object)) // repair manual/corrupted edits
+	}
+}
+
+func (c *endpointsController) resync() {
+	for _, svc := range c.m.client.List(spec.KindService, "") {
+		c.q.add(objKey(svc))
+	}
+}
+
+func (c *endpointsController) sync(key string) {
+	ns, name := splitKey(key)
+	obj, err := c.m.client.Get(spec.KindService, ns, name)
+	if errors.Is(err, apiserver.ErrNotFound) {
+		// Service gone: its Endpoints are garbage-collected via owner refs.
+		return
+	}
+	if err != nil {
+		c.q.addAfter(key, conflictRetryDelay)
+		return
+	}
+	svc := obj.(*spec.Service)
+
+	sel := spec.LabelSelector{MatchLabels: svc.Spec.Selector}
+	var addrs []spec.EndpointAddress
+	if !sel.Empty() {
+		for _, po := range c.m.client.List(spec.KindPod, ns) {
+			pod := po.(*spec.Pod)
+			if !pod.Active() || !pod.Status.Ready || pod.Status.PodIP == "" {
+				continue
+			}
+			if !sel.Matches(pod.Metadata.Labels) {
+				continue
+			}
+			addrs = append(addrs, spec.EndpointAddress{
+				IP:       pod.Status.PodIP,
+				NodeName: pod.Spec.NodeName,
+				TargetRef: spec.TargetRef{
+					Kind: string(spec.KindPod), Name: pod.Metadata.Name, UID: pod.Metadata.UID,
+				},
+			})
+		}
+	}
+	var ports []int64
+	for _, p := range svc.Spec.Ports {
+		ports = append(ports, p.TargetPort)
+	}
+
+	desired := &spec.Endpoints{
+		Metadata: spec.ObjectMeta{
+			Name: name, Namespace: ns,
+			Labels: cloneLabels(svc.Metadata.Labels),
+			OwnerReferences: []spec.OwnerReference{{
+				Kind: string(spec.KindService), Name: name,
+				UID: svc.Metadata.UID, Controller: true,
+			}},
+		},
+	}
+	if len(addrs) > 0 {
+		desired.Subsets = []spec.EndpointSubset{{Addresses: addrs, Ports: ports}}
+	}
+
+	curObj, err := c.m.client.Get(spec.KindEndpoints, ns, name)
+	if errors.Is(err, apiserver.ErrNotFound) {
+		_ = c.m.client.Create(desired)
+		return
+	}
+	if err != nil {
+		c.q.addAfter(key, conflictRetryDelay)
+		return
+	}
+	cur := curObj.(*spec.Endpoints)
+	if endpointsEqual(cur, desired) {
+		return
+	}
+	desired.Metadata.ResourceVersion = cur.Metadata.ResourceVersion
+	desired.Metadata.UID = cur.Metadata.UID
+	if err := c.m.client.Update(desired); errors.Is(err, apiserver.ErrConflict) {
+		c.q.addAfter(key, conflictRetryDelay)
+	}
+}
+
+func endpointsEqual(a, b *spec.Endpoints) bool {
+	if len(a.Subsets) != len(b.Subsets) {
+		return false
+	}
+	for i := range a.Subsets {
+		as, bs := a.Subsets[i], b.Subsets[i]
+		if len(as.Addresses) != len(bs.Addresses) || len(as.Ports) != len(bs.Ports) {
+			return false
+		}
+		for j := range as.Addresses {
+			if as.Addresses[j] != bs.Addresses[j] {
+				return false
+			}
+		}
+		for j := range as.Ports {
+			if as.Ports[j] != bs.Ports[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

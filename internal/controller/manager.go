@@ -1,0 +1,217 @@
+// Package controller implements the kube-controller-manager: the set of
+// level-triggered reconciliation loops that continuously drive the observed
+// cluster state toward the desired state stored in the data store (§II-C).
+//
+// Every controller follows the same contract: observe (watch + periodic
+// resync), diff desired against observed, and act through the API server.
+// None of them keep authoritative state — restarting them is always safe,
+// which is the resiliency property the paper's injections probe. The flip
+// side, measured by finding F2, is that the relationships between objects
+// live entirely in data (labels, selectors, owner references), so one
+// corrupted value can send these loops spinning: spawning pods forever,
+// deleting healthy objects, or stalling reconciliation.
+package controller
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/codec"
+	"github.com/mutiny-sim/mutiny/internal/election"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// Tunables, scaled for simulated time. The ratios mirror kubeadm defaults
+// (heartbeats every 10 s, 40 s node grace period, 5 s eviction wait — the
+// failover workload's NoExecute flow).
+const (
+	syncDelay          = 50 * time.Millisecond
+	resyncInterval     = 5 * time.Second
+	burstReplicas      = 4
+	nodeMonitorPeriod  = 5 * time.Second
+	nodeGracePeriod    = 40 * time.Second
+	evictionWait       = 5 * time.Second
+	gcInterval         = 10 * time.Second
+	podGCMinAge        = 30 * time.Second
+	taintUnreachable   = "node.kubernetes.io/unreachable"
+	managerIdentity    = "kcm"
+	conflictRetryDelay = 200 * time.Millisecond
+)
+
+// Options configure the manager.
+type Options struct {
+	// Identity distinguishes replicas in a redundant control plane.
+	Identity string
+	// DisableLeaderElection runs the controllers unconditionally.
+	DisableLeaderElection bool
+	// DisableGC turns off the garbage collector (ablation).
+	DisableGC bool
+	// DisableFullDisruptionMode turns off the §II-D safeguard that stops
+	// evictions when every node looks unhealthy (ablation).
+	DisableFullDisruptionMode bool
+}
+
+// Manager wires all controllers behind one leader election.
+type Manager struct {
+	loop    *sim.Loop
+	client  *apiserver.Client
+	opts    Options
+	elector *election.Elector
+
+	deployments *deploymentController
+	replicaSets *replicaSetController
+	daemonSets  *daemonSetController
+	endpoints   *endpointsController
+	nodes       *nodeLifecycleController
+	gc          *garbageCollector
+
+	nameSeq int64
+	running bool
+	cancels []func()
+}
+
+// NewManager builds a controller manager against the given API server.
+func NewManager(loop *sim.Loop, srv *apiserver.Server, opts Options) *Manager {
+	if opts.Identity == "" {
+		opts.Identity = managerIdentity + "-0"
+	}
+	m := &Manager{
+		loop:   loop,
+		client: srv.ClientFor(managerIdentity),
+		opts:   opts,
+	}
+	m.deployments = newDeploymentController(m)
+	m.replicaSets = newReplicaSetController(m)
+	m.daemonSets = newDaemonSetController(m)
+	m.endpoints = newEndpointsController(m)
+	m.nodes = newNodeLifecycleController(m)
+	m.gc = newGarbageCollector(m)
+	if !opts.DisableLeaderElection {
+		m.elector = election.New(loop, srv.ClientFor(opts.Identity), election.Config{
+			LeaseName:        "kube-controller-manager",
+			Identity:         opts.Identity,
+			OnStartedLeading: m.startControllers,
+			OnStoppedLeading: m.stopControllers,
+		})
+	}
+	return m
+}
+
+// Start begins campaigning (or starts controllers directly when leader
+// election is disabled).
+func (m *Manager) Start() {
+	if m.elector != nil {
+		m.elector.Start()
+		return
+	}
+	m.startControllers()
+}
+
+// Stop halts everything.
+func (m *Manager) Stop() {
+	if m.elector != nil {
+		m.elector.Stop()
+	}
+	m.stopControllers()
+}
+
+// IsLeading reports whether the controllers are active.
+func (m *Manager) IsLeading() bool { return m.running }
+
+func (m *Manager) startControllers() {
+	if m.running {
+		return
+	}
+	m.running = true
+	for _, c := range m.controllers() {
+		c.start()
+	}
+	// Watches: a single all-kinds watch fans out to interested controllers.
+	cancel := m.client.Watch("", m.route)
+	m.cancels = append(m.cancels, cancel)
+	resync := m.loop.Every(resyncInterval, m.resyncAll)
+	m.cancels = append(m.cancels, func() { resync.Stop() })
+	m.resyncAll()
+}
+
+func (m *Manager) stopControllers() {
+	if !m.running {
+		return
+	}
+	m.running = false
+	for _, cancel := range m.cancels {
+		cancel()
+	}
+	m.cancels = nil
+	for _, c := range m.controllers() {
+		c.stop()
+	}
+}
+
+type subController interface {
+	start()
+	stop()
+	// enqueueFor reacts to a watch event.
+	enqueueFor(ev apiserver.WatchEvent)
+	// resync enqueues everything the controller owns.
+	resync()
+}
+
+func (m *Manager) controllers() []subController {
+	return []subController{m.deployments, m.replicaSets, m.daemonSets, m.endpoints, m.nodes, m.gc}
+}
+
+func (m *Manager) route(ev apiserver.WatchEvent) {
+	if !m.running {
+		return
+	}
+	for _, c := range m.controllers() {
+		c.enqueueFor(ev)
+	}
+}
+
+func (m *Manager) resyncAll() {
+	if !m.running {
+		return
+	}
+	for _, c := range m.controllers() {
+		c.resync()
+	}
+}
+
+// nextName derives a deterministic unique child name, standing in for the
+// random suffixes of real Kubernetes.
+func (m *Manager) nextName(base string) string {
+	m.nameSeq++
+	return fmt.Sprintf("%s-%05d", base, m.nameSeq)
+}
+
+// templateHash mirrors the pod-template-hash mechanism: deployments stamp
+// their ReplicaSets and pods with a hash of the pod template, so template
+// corruption surfaces as a new hash — triggering a rolling update.
+func templateHash(tpl spec.PodTemplate) string {
+	b, err := codec.Marshal(&tpl)
+	if err != nil {
+		b = []byte(fmt.Sprint(tpl))
+	}
+	h := fnv.New32a()
+	_, _ = h.Write(b)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+func splitKey(key string) (namespace, name string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return "", key
+}
+
+func objKey(o spec.Object) string {
+	m := o.Meta()
+	return m.Namespace + "/" + m.Name
+}

@@ -1,0 +1,170 @@
+package controller
+
+import (
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// nodeLifecycleController watches node heartbeats, marks silent nodes
+// NotReady, taints them NoExecute, and evicts their pods after a grace
+// period — the machinery behind the failover workload and behind the
+// paper's Figure 2 outage (heartbeats failing cluster-wide triggering mass
+// eviction). Full disruption mode (§II-D) suspends evictions when every
+// node looks unhealthy, since the fault is then likelier in the heartbeat
+// path than on every node at once.
+type nodeLifecycleController struct {
+	m      *Manager
+	ticker *sim.Timer
+	// taintedSince records when a NoExecute taint was first observed per
+	// node, to honor the eviction wait.
+	taintedSince map[string]time.Duration
+}
+
+func newNodeLifecycleController(m *Manager) *nodeLifecycleController {
+	return &nodeLifecycleController{m: m, taintedSince: make(map[string]time.Duration)}
+}
+
+func (c *nodeLifecycleController) start() {
+	c.taintedSince = make(map[string]time.Duration)
+	c.ticker = c.m.loop.Every(nodeMonitorPeriod, c.monitor)
+}
+
+func (c *nodeLifecycleController) stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+func (c *nodeLifecycleController) enqueueFor(ev apiserver.WatchEvent) {
+	// Node state is polled on a fixed monitor period, like the real
+	// controller; NoExecute taints react immediately though.
+	if ev.Kind == spec.KindNode {
+		c.m.loop.After(0, c.monitor)
+	}
+}
+
+func (c *nodeLifecycleController) resync() {}
+
+func (c *nodeLifecycleController) monitor() {
+	if !c.m.running {
+		return
+	}
+	now := c.m.loop.Time().UnixMilli()
+	nodes := c.m.client.List(spec.KindNode, "")
+
+	unhealthy := 0
+	total := 0
+	for _, no := range nodes {
+		node := no.(*spec.Node)
+		total++
+		fresh := now-node.Status.LastHeartbeatMillis <= nodeGracePeriod.Milliseconds()
+		switch {
+		case !fresh && node.Status.Ready:
+			node.Status.Ready = false
+			if c.m.client.UpdateStatus(node) == nil {
+				c.addUnreachableTaint(node.Metadata.Name)
+			}
+			unhealthy++
+		case !fresh:
+			c.addUnreachableTaint(node.Metadata.Name)
+			unhealthy++
+		case fresh && !node.Status.Ready:
+			// The kubelet's own heartbeat sets Ready=true; once it does,
+			// clear our taint.
+			unhealthy++
+		default:
+			c.removeUnreachableTaint(node)
+		}
+	}
+
+	// Full disruption mode: every node unhealthy → the monitoring path
+	// itself is suspect; stop evicting.
+	if !c.m.opts.DisableFullDisruptionMode && total > 0 && unhealthy == total {
+		return
+	}
+	c.evict(nodes)
+}
+
+func (c *nodeLifecycleController) addUnreachableTaint(nodeName string) {
+	obj, err := c.m.client.Get(spec.KindNode, "", nodeName)
+	if err != nil {
+		return
+	}
+	node := obj.(*spec.Node)
+	for _, t := range node.Spec.Taints {
+		if t.Key == taintUnreachable {
+			return
+		}
+	}
+	node.Spec.Taints = append(node.Spec.Taints, spec.Taint{
+		Key: taintUnreachable, Effect: spec.TaintNoExecute,
+	})
+	_ = c.m.client.Update(node)
+}
+
+func (c *nodeLifecycleController) removeUnreachableTaint(node *spec.Node) {
+	var kept []spec.Taint
+	removed := false
+	for _, t := range node.Spec.Taints {
+		if t.Key == taintUnreachable {
+			removed = true
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if !removed {
+		return
+	}
+	node.Spec.Taints = kept
+	_ = c.m.client.Update(node)
+}
+
+// evict deletes pods from nodes carrying NoExecute taints the pod does not
+// tolerate, after the eviction wait has elapsed.
+func (c *nodeLifecycleController) evict(nodes []spec.Object) {
+	now := c.m.loop.Now()
+	tainted := make(map[string][]spec.Taint)
+	for _, no := range nodes {
+		node := no.(*spec.Node)
+		var noExec []spec.Taint
+		for _, t := range node.Spec.Taints {
+			if t.Effect == spec.TaintNoExecute {
+				noExec = append(noExec, t)
+			}
+		}
+		if len(noExec) > 0 {
+			tainted[node.Metadata.Name] = noExec
+			if _, seen := c.taintedSince[node.Metadata.Name]; !seen {
+				c.taintedSince[node.Metadata.Name] = now
+			}
+		} else {
+			delete(c.taintedSince, node.Metadata.Name)
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	for _, po := range c.m.client.List(spec.KindPod, "") {
+		pod := po.(*spec.Pod)
+		taints, onTainted := tainted[pod.Spec.NodeName]
+		if !onTainted || !pod.Active() {
+			continue
+		}
+		if now-c.taintedSince[pod.Spec.NodeName] < evictionWait {
+			continue
+		}
+		evict := false
+		for _, t := range taints {
+			if !pod.Tolerates(t) {
+				evict = true
+				break
+			}
+		}
+		if evict {
+			_ = c.m.client.Delete(spec.KindPod, pod.Metadata.Namespace, pod.Metadata.Name)
+		}
+	}
+}

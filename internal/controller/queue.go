@@ -1,0 +1,70 @@
+package controller
+
+import (
+	"sort"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/sim"
+)
+
+// queue is a deduplicating dirty-key work queue: keys added while a drain is
+// pending are coalesced, mirroring the rate-limited work queues of the real
+// controller manager.
+type queue struct {
+	loop    *sim.Loop
+	delay   time.Duration
+	handler func(key string)
+
+	dirty     map[string]bool
+	scheduled bool
+	stopped   bool
+}
+
+func newQueue(loop *sim.Loop, delay time.Duration, handler func(key string)) *queue {
+	return &queue{loop: loop, delay: delay, handler: handler, dirty: make(map[string]bool)}
+}
+
+// add marks a key dirty and schedules a drain.
+func (q *queue) add(key string) {
+	if q.stopped {
+		return
+	}
+	q.dirty[key] = true
+	if !q.scheduled {
+		q.scheduled = true
+		q.loop.After(q.delay, q.drain)
+	}
+}
+
+// addAfter marks a key dirty after an extra delay (retry backoff).
+func (q *queue) addAfter(key string, d time.Duration) {
+	q.loop.After(d, func() { q.add(key) })
+}
+
+func (q *queue) drain() {
+	q.scheduled = false
+	if q.stopped || len(q.dirty) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(q.dirty))
+	for k := range q.dirty {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	q.dirty = make(map[string]bool)
+	for _, k := range keys {
+		if q.stopped {
+			return
+		}
+		q.handler(k)
+	}
+}
+
+// stop drops pending work and refuses new keys.
+func (q *queue) stop() {
+	q.stopped = true
+	q.dirty = make(map[string]bool)
+}
+
+// start re-enables a stopped queue.
+func (q *queue) start() { q.stopped = false }

@@ -1,0 +1,165 @@
+// Package election implements lease-based leader election, used by the
+// controller manager and the scheduler so that only one replica is active at
+// a time (§II-D).
+//
+// The lease is an ordinary resource living in the data store, which makes it
+// an injection target like any other: corrupting the holder identity or the
+// renew timestamp can silently depose a leader, producing the paper's
+// "Scheduler or Kcm unable to obtain a leadership role" Stall failures.
+package election
+
+import (
+	"errors"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// Config parameterizes an Elector.
+type Config struct {
+	// LeaseName identifies the contested lease in kube-system.
+	LeaseName string
+	// Identity is this candidate's holder identity.
+	Identity string
+	// LeaseDuration is how long a lease is valid after renewal.
+	// Defaults to 15 s (the kube-controller-manager default).
+	LeaseDuration time.Duration
+	// RenewInterval is how often the leader renews. Defaults to 10 s.
+	RenewInterval time.Duration
+	// RetryInterval is how often a non-leader retries acquisition.
+	// Defaults to 2 s.
+	RetryInterval time.Duration
+	// OnStartedLeading runs when leadership is acquired.
+	OnStartedLeading func()
+	// OnStoppedLeading runs when leadership is lost.
+	OnStoppedLeading func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = 15 * time.Second
+	}
+	if c.RenewInterval == 0 {
+		c.RenewInterval = 10 * time.Second
+	}
+	if c.RetryInterval == 0 {
+		c.RetryInterval = 2 * time.Second
+	}
+	if c.OnStartedLeading == nil {
+		c.OnStartedLeading = func() {}
+	}
+	if c.OnStoppedLeading == nil {
+		c.OnStoppedLeading = func() {}
+	}
+	return c
+}
+
+// Elector campaigns for a lease and tracks leadership.
+type Elector struct {
+	loop    *sim.Loop
+	client  *apiserver.Client
+	cfg     Config
+	leading bool
+	ticker  *sim.Timer
+	stopped bool
+}
+
+// New creates an elector; call Start to begin campaigning.
+func New(loop *sim.Loop, client *apiserver.Client, cfg Config) *Elector {
+	return &Elector{loop: loop, client: client, cfg: cfg.withDefaults()}
+}
+
+// Start begins the campaign loop.
+func (e *Elector) Start() {
+	e.stopped = false
+	e.tick()
+	e.ticker = e.loop.Every(e.cfg.RetryInterval, e.tick)
+}
+
+// Stop halts campaigning; if leading, leadership is relinquished locally
+// (the lease simply expires for everyone else).
+func (e *Elector) Stop() {
+	e.stopped = true
+	if e.ticker != nil {
+		e.ticker.Stop()
+	}
+	if e.leading {
+		e.leading = false
+		e.cfg.OnStoppedLeading()
+	}
+}
+
+// IsLeader reports whether this elector currently holds the lease.
+func (e *Elector) IsLeader() bool { return e.leading }
+
+func (e *Elector) tick() {
+	if e.stopped {
+		return
+	}
+	nowMillis := e.loop.Time().UnixMilli()
+	obj, err := e.client.Get(spec.KindLease, spec.SystemNamespace, e.cfg.LeaseName)
+	switch {
+	case errors.Is(err, apiserver.ErrNotFound):
+		lease := &spec.Lease{
+			Metadata: spec.ObjectMeta{Name: e.cfg.LeaseName, Namespace: spec.SystemNamespace},
+			Spec: spec.LeaseSpec{
+				HolderIdentity: e.cfg.Identity,
+				DurationSecs:   int64(e.cfg.LeaseDuration / time.Second),
+				RenewMillis:    nowMillis,
+			},
+		}
+		if err := e.client.Create(lease); err == nil {
+			e.becomeLeader()
+		}
+		return
+	case err != nil:
+		// The control plane is unavailable: a leader that cannot renew must
+		// assume it lost the lease once the lease duration elapses. Handled
+		// implicitly by other candidates taking over; keep leading locally
+		// until observed otherwise.
+		return
+	}
+
+	lease, ok := obj.(*spec.Lease)
+	if !ok {
+		return
+	}
+	expired := nowMillis-lease.Spec.RenewMillis > e.cfg.LeaseDuration.Milliseconds()
+	switch {
+	case lease.Spec.HolderIdentity == e.cfg.Identity:
+		// Renew. A corrupted holder identity makes this branch unreachable:
+		// the component silently loses leadership.
+		lease.Spec.RenewMillis = nowMillis
+		if err := e.client.Update(lease); err == nil {
+			e.becomeLeader()
+		} else if errors.Is(err, apiserver.ErrConflict) {
+			// Someone rewrote the lease under us: resolve next tick.
+			return
+		}
+	case expired:
+		lease.Spec.HolderIdentity = e.cfg.Identity
+		lease.Spec.RenewMillis = nowMillis
+		if err := e.client.Update(lease); err == nil {
+			e.becomeLeader()
+		}
+	default:
+		// Someone else holds a fresh lease.
+		e.loseLeadership()
+	}
+}
+
+func (e *Elector) becomeLeader() {
+	if !e.leading {
+		e.leading = true
+		e.cfg.OnStartedLeading()
+	}
+}
+
+func (e *Elector) loseLeadership() {
+	if e.leading {
+		e.leading = false
+		e.cfg.OnStoppedLeading()
+	}
+}

@@ -1,0 +1,185 @@
+package ffda
+
+// Table VII of the paper compares the error/failure subcategories observed
+// in the wild with those Mutiny's injections can trigger: bold entries are
+// replicable, plain entries are real-world-only, and italic entries are
+// triggered by Mutiny without a real-world counterpart.
+//
+// The coverage verdicts below follow the paper's §VI-A discussion: Mutiny
+// easily triggers errors related to logic, capacity, state retrieval and
+// control-plane availability, but "falls short in inducing delays caused by
+// DNS resolution, connection errors, arbitrary numbers of unhealthy Nodes,
+// and transient and intermittent network failures in general", and cannot
+// reach errors local to the worker nodes that stem from kernel or runtime
+// problems. Almost all *failure* subcategories remain coverable.
+
+// Coverage classifies one subcategory.
+type Coverage int
+
+// Coverage classes (Table VII formatting).
+const (
+	// RealOnly appears in the wild but Mutiny cannot replicate it.
+	RealOnly Coverage = iota + 1
+	// Replicable appears in the wild and Mutiny replicates it (bold).
+	Replicable
+	// MutinyOnly is triggered by Mutiny but absent from the real-world
+	// dataset (italics).
+	MutinyOnly
+)
+
+func (c Coverage) String() string {
+	switch c {
+	case RealOnly:
+		return "real-world only"
+	case Replicable:
+		return "replicable"
+	case MutinyOnly:
+		return "Mutiny only"
+	default:
+		return "unknown"
+	}
+}
+
+// SubcategoryCoverage is one Table VII row entry.
+type SubcategoryCoverage struct {
+	Sub      string
+	Coverage Coverage
+}
+
+// ErrorCoverage maps each error category to its subcategory coverage.
+func ErrorCoverage() map[Error][]SubcategoryCoverage {
+	return map[Error][]SubcategoryCoverage{
+		ErrorStateRetrieval: {
+			{"State corrupted", Replicable},
+			{"State erased", Replicable},
+			{"State stale", Replicable},
+			{"State unretrievable", Replicable},
+		},
+		ErrorMisbehavLogic: {
+			{"Wrong label", Replicable},
+			{"Wrong replica value", Replicable},
+			{"Request rejected", Replicable},
+			{"Lost update", Replicable},
+			{"Controller loop not executed", Replicable},
+			{"Relationship broken", Replicable},
+		},
+		ErrorCommunication: {
+			{"Connection delay", RealOnly},
+			{"Wrong IP address", Replicable},
+			{"DNS resolution delay", RealOnly},
+			{"DNS not resolving", Replicable},
+			{"Uneven load balancing", Replicable},
+			{"Endpoint delete after Pod kill", MutinyOnly},
+			{"Routes dropped", Replicable},
+			{"New Nodes routes not configured", Replicable},
+			{"Routes not updated", Replicable},
+		},
+		ErrorResourceExh: {
+			{"Overcrowding", Replicable},
+			{"Cluster out of resources", Replicable},
+			{"Worker nodes cannot join", RealOnly},
+			{"Worker nodes unhealthy", Replicable},
+		},
+		ErrorCPAvailability: {
+			{"CP Pods crash loop", Replicable},
+			{"CP Pods hang", RealOnly},
+			{"CP Pods deleted", MutinyOnly},
+			{"CP overload", Replicable},
+		},
+		ErrorLocalToNodes: {
+			{"Kubelet delayed", RealOnly},
+			{"Container runtime failure", RealOnly},
+			{"Pods not ready", Replicable},
+			{"Image Pull Error", Replicable},
+			{"Slow/throttling", RealOnly},
+		},
+	}
+}
+
+// FailureCoverage maps each failure category to its subcategory coverage.
+func FailureCoverage() map[Failure][]SubcategoryCoverage {
+	return map[Failure][]SubcategoryCoverage{
+		FailureOut: {
+			{"Cluster-wide networking drop", Replicable},
+			{"Cluster-wide networking intermittent", RealOnly},
+			{"Massive Service Deletion", Replicable},
+			{"DNS resolution failure", Replicable},
+		},
+		FailureSta: {
+			{"Control Plane stuck", Replicable},
+			{"Control Plane slow", RealOnly},
+			{"Control Plane quorum unreachable", RealOnly},
+			{"New Services network not configurable", Replicable},
+			{"New Nodes network not reconfigurable", Replicable},
+		},
+		FailureNet: {
+			{"Service Networking Drop Permanent", Replicable},
+			{"Service Networking Drop Intermittent", Replicable},
+			{"Service Networking Delay", RealOnly},
+		},
+		FailureMoR: {
+			{"Pods not deleted", Replicable},
+			{"Too many Pods created", Replicable},
+			{"More Pods Transient", Replicable},
+			{"More Resources Per Pod", Replicable},
+		},
+		FailureLeR: {
+			{"Pods deleted", Replicable},
+			{"Pods not created", Replicable},
+			{"Pods crashloop", Replicable},
+			{"Less Resources Per Pod", Replicable},
+		},
+		FailureTim: {
+			{"Pods Creation Delayed", Replicable},
+			{"Pods Restart", Replicable},
+		},
+	}
+}
+
+// CoverageStats summarizes Table VII: how many real-world subcategories
+// exist per category and how many of them Mutiny replicates.
+func CoverageStats() (realWorld, replicable int) {
+	count := func(m []SubcategoryCoverage) {
+		for _, sc := range m {
+			switch sc.Coverage {
+			case Replicable:
+				realWorld++
+				replicable++
+			case RealOnly:
+				realWorld++
+			}
+		}
+	}
+	for _, subs := range ErrorCoverage() {
+		count(subs)
+	}
+	for _, subs := range FailureCoverage() {
+		count(subs)
+	}
+	return realWorld, replicable
+}
+
+// ReplicableIncidents counts the dataset incidents whose error AND failure
+// subcategories Mutiny can replicate — the paper states that Etcd
+// alterations can recreate a majority (54/81) of the real-world failures.
+func ReplicableIncidents() []Incident {
+	errCov := make(map[string]Coverage)
+	for _, subs := range ErrorCoverage() {
+		for _, sc := range subs {
+			errCov[sc.Sub] = sc.Coverage
+		}
+	}
+	failCov := make(map[string]Coverage)
+	for _, subs := range FailureCoverage() {
+		for _, sc := range subs {
+			failCov[sc.Sub] = sc.Coverage
+		}
+	}
+	return filter(func(in Incident) bool {
+		if in.Failure == FailureNone {
+			// Recovered incidents: replicable whenever the error is.
+			return errCov[in.ErrorSub] == Replicable
+		}
+		return errCov[in.ErrorSub] == Replicable && failCov[in.FailureSub] == Replicable
+	})
+}

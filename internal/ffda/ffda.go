@@ -1,0 +1,212 @@
+// Package ffda encodes the paper's field failure data analysis (§III): the
+// fault → error → failure chain of Table I, a dataset of the 81 real-world
+// Kubernetes incidents whose aggregate statistics the paper reports, and the
+// Table VII comparison between real-world failure subcategories and what
+// Mutiny can replicate.
+//
+// The public failure reports behind the dataset (k8s.af, vendor post-mortems
+// and conference talks) are narrative and partially redacted, so individual
+// rows are reconstructions; every aggregate count the paper states is
+// reproduced exactly and locked in by tests:
+//
+//   - 81 incidents in total, 15 of them cluster outages;
+//   - 33 misconfiguration-caused failures (19 of Kubernetes itself, 3 of
+//     plugins, 11 of external software), 10 involving bad resource sizing;
+//   - 13 incidents involving bugs (5 Kubernetes, 4 external, 1 plugin,
+//     3 custom code);
+//   - 21 capacity-related failures, 11 due to control-plane overload;
+//   - 19 incidents with communication errors;
+//   - 13 misconfigurations that overloaded the system (finding F3).
+package ffda
+
+// Fault is a root-cause category (Table I(a)).
+type Fault string
+
+// Fault categories.
+const (
+	FaultWrongAutoscale Fault = "Wrong Autoscale Trigger"
+	FaultRaceCondition  Fault = "Race Condition"
+	FaultCertificate    Fault = "Unverifiable Certificate"
+	FaultBug            Fault = "Bug"
+	FaultHumanMistake   Fault = "Human Mistake"
+	FaultUpgrade        Fault = "Unmanaged Upgrade"
+	FaultOverload       Fault = "Overload"
+	FaultLowLevel       Fault = "Low-Level Issues"
+	FaultFailingApp     Fault = "Failing Application"
+)
+
+// Faults lists the fault categories in Table I order.
+func Faults() []Fault {
+	return []Fault{
+		FaultWrongAutoscale, FaultRaceCondition, FaultCertificate, FaultBug,
+		FaultHumanMistake, FaultUpgrade, FaultOverload, FaultLowLevel, FaultFailingApp,
+	}
+}
+
+// Error is an intermediate error category (Table I(b)).
+type Error string
+
+// Error categories.
+const (
+	ErrorStateRetrieval Error = "State Retrieval"
+	ErrorMisbehavLogic  Error = "Misbehaving Logic"
+	ErrorCommunication  Error = "Communication"
+	ErrorResourceExh    Error = "Resource Exhaustion"
+	ErrorCPAvailability Error = "Control Plane Availability"
+	ErrorLocalToNodes   Error = "Local to worker Nodes"
+)
+
+// Errors lists the error categories in Table I order.
+func Errors() []Error {
+	return []Error{
+		ErrorStateRetrieval, ErrorMisbehavLogic, ErrorCommunication,
+		ErrorResourceExh, ErrorCPAvailability, ErrorLocalToNodes,
+	}
+}
+
+// Failure is an orchestrator-level failure category (Table I(c)).
+type Failure string
+
+// Failure categories, in increasing severity.
+const (
+	FailureNone Failure = "No"
+	FailureTim  Failure = "Tim"
+	FailureLeR  Failure = "LeR"
+	FailureMoR  Failure = "MoR"
+	FailureNet  Failure = "Net"
+	FailureSta  Failure = "Sta"
+	FailureOut  Failure = "Out"
+)
+
+// Failures lists the failure categories in severity order.
+func Failures() []Failure {
+	return []Failure{FailureNone, FailureTim, FailureLeR, FailureMoR, FailureNet, FailureSta, FailureOut}
+}
+
+// MisconfigScope distinguishes what was misconfigured (for Human Mistake
+// faults).
+type MisconfigScope string
+
+// Misconfiguration scopes.
+const (
+	MisconfigNone     MisconfigScope = ""
+	MisconfigK8s      MisconfigScope = "kubernetes"
+	MisconfigPlugin   MisconfigScope = "plugin"
+	MisconfigExternal MisconfigScope = "external"
+)
+
+// BugScope distinguishes where a bug lived (for Bug faults).
+type BugScope string
+
+// Bug scopes.
+const (
+	BugNone     BugScope = ""
+	BugK8s      BugScope = "kubernetes"
+	BugExternal BugScope = "external"
+	BugPlugin   BugScope = "plugin"
+	BugCustom   BugScope = "custom"
+)
+
+// Incident is one real-world failure report.
+type Incident struct {
+	ID    int
+	Title string
+	// Source tags the public report family the reconstruction is based on.
+	Source string
+
+	Fault     Fault
+	Misconfig MisconfigScope // set when Fault is Human Mistake
+	Bug       BugScope       // set when the chain involved a bug
+	// BadResourceSizing marks misconfigurations that were wrong CPU/memory
+	// sizing of nodes or services.
+	BadResourceSizing bool
+
+	Error Error
+	// ErrorSub is the Table VII error subcategory.
+	ErrorSub string
+
+	Failure Failure
+	// FailureSub is the Table VII failure subcategory.
+	FailureSub string
+
+	// Overloaded marks chains where the system was driven into overload
+	// (finding F3 counts misconfiguration-caused ones).
+	Overloaded bool
+}
+
+// Dataset returns the 81-incident dataset.
+func Dataset() []Incident { return _incidents }
+
+// --- aggregate queries --------------------------------------------------------
+
+// CountByFault tallies incidents per fault category.
+func CountByFault() map[Fault]int {
+	out := make(map[Fault]int)
+	for _, in := range _incidents {
+		out[in.Fault]++
+	}
+	return out
+}
+
+// CountByError tallies incidents per error category.
+func CountByError() map[Error]int {
+	out := make(map[Error]int)
+	for _, in := range _incidents {
+		out[in.Error]++
+	}
+	return out
+}
+
+// CountByFailure tallies incidents per failure category.
+func CountByFailure() map[Failure]int {
+	out := make(map[Failure]int)
+	for _, in := range _incidents {
+		out[in.Failure]++
+	}
+	return out
+}
+
+// Misconfigurations returns the incidents caused by human mistakes.
+func Misconfigurations() []Incident {
+	return filter(func(in Incident) bool { return in.Fault == FaultHumanMistake })
+}
+
+// BugIncidents returns the incidents whose chain involved a bug.
+func BugIncidents() []Incident {
+	return filter(func(in Incident) bool { return in.Bug != BugNone })
+}
+
+// CapacityIncidents returns the capacity-related incidents (resource
+// exhaustion or control-plane availability errors).
+func CapacityIncidents() []Incident {
+	return filter(func(in Incident) bool {
+		return in.Error == ErrorResourceExh || in.Error == ErrorCPAvailability
+	})
+}
+
+// ControlPlaneOverloads returns capacity incidents that overloaded the
+// control plane.
+func ControlPlaneOverloads() []Incident {
+	return filter(func(in Incident) bool { return in.Error == ErrorCPAvailability })
+}
+
+// CommunicationIncidents returns incidents with communication errors.
+func CommunicationIncidents() []Incident {
+	return filter(func(in Incident) bool { return in.Error == ErrorCommunication })
+}
+
+// MisconfigOverloads returns the F3 incidents: misconfigurations that
+// overloaded the system.
+func MisconfigOverloads() []Incident {
+	return filter(func(in Incident) bool { return in.Fault == FaultHumanMistake && in.Overloaded })
+}
+
+func filter(keep func(Incident) bool) []Incident {
+	var out []Incident
+	for _, in := range _incidents {
+		if keep(in) {
+			out = append(out, in)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package ffda
+
+import "testing"
+
+// Every aggregate statistic stated in §III of the paper must hold on the
+// dataset exactly.
+func TestDatasetMatchesPaperAggregates(t *testing.T) {
+	if got := len(Dataset()); got != 81 {
+		t.Fatalf("dataset size = %d, want 81", got)
+	}
+	if got := CountByFailure()[FailureOut]; got != 15 {
+		t.Fatalf("Out failures = %d, want 15", got)
+	}
+	mis := Misconfigurations()
+	if len(mis) != 33 {
+		t.Fatalf("misconfigurations = %d, want 33", len(mis))
+	}
+	scopes := map[MisconfigScope]int{}
+	sizing := 0
+	for _, in := range mis {
+		scopes[in.Misconfig]++
+		if in.BadResourceSizing {
+			sizing++
+		}
+	}
+	if scopes[MisconfigK8s] != 19 || scopes[MisconfigPlugin] != 3 || scopes[MisconfigExternal] != 11 {
+		t.Fatalf("misconfig scopes = %v, want 19/3/11", scopes)
+	}
+	if sizing != 10 {
+		t.Fatalf("bad resource sizing = %d, want 10", sizing)
+	}
+	bugs := BugIncidents()
+	if len(bugs) != 13 {
+		t.Fatalf("bug incidents = %d, want 13", len(bugs))
+	}
+	bugScopes := map[BugScope]int{}
+	for _, in := range bugs {
+		bugScopes[in.Bug]++
+	}
+	if bugScopes[BugK8s] != 5 || bugScopes[BugExternal] != 4 || bugScopes[BugPlugin] != 1 || bugScopes[BugCustom] != 3 {
+		t.Fatalf("bug scopes = %v, want 5/4/1/3", bugScopes)
+	}
+	if got := len(CapacityIncidents()); got != 21 {
+		t.Fatalf("capacity incidents = %d, want 21", got)
+	}
+	if got := len(ControlPlaneOverloads()); got != 11 {
+		t.Fatalf("control-plane overloads = %d, want 11", got)
+	}
+	if got := len(CommunicationIncidents()); got != 19 {
+		t.Fatalf("communication incidents = %d, want 19", got)
+	}
+	if got := len(MisconfigOverloads()); got != 13 {
+		t.Fatalf("misconfig overloads (F3) = %d, want 13", got)
+	}
+}
+
+func TestDatasetInternallyConsistent(t *testing.T) {
+	seenIDs := map[int]bool{}
+	for _, in := range Dataset() {
+		if in.ID <= 0 || seenIDs[in.ID] {
+			t.Fatalf("bad or duplicate incident ID %d", in.ID)
+		}
+		seenIDs[in.ID] = true
+		if in.Title == "" || in.Source == "" {
+			t.Fatalf("incident %d missing title/source", in.ID)
+		}
+		if in.Misconfig != MisconfigNone && in.Fault != FaultHumanMistake {
+			t.Fatalf("incident %d: misconfig scope on non-human-mistake fault", in.ID)
+		}
+		if in.ErrorSub == "" || in.FailureSub == "" {
+			t.Fatalf("incident %d missing subcategories", in.ID)
+		}
+	}
+	// Category totals must cover all incidents.
+	var faultTotal, errTotal, failTotal int
+	for _, n := range CountByFault() {
+		faultTotal += n
+	}
+	for _, n := range CountByError() {
+		errTotal += n
+	}
+	for _, n := range CountByFailure() {
+		failTotal += n
+	}
+	if faultTotal != 81 || errTotal != 81 || failTotal != 81 {
+		t.Fatalf("marginals = %d/%d/%d, want 81 each", faultTotal, errTotal, failTotal)
+	}
+}
+
+// Every subcategory used by an incident must appear in the Table VII
+// coverage map of its own category.
+func TestSubcategoriesBelongToCoverageTable(t *testing.T) {
+	errCov := ErrorCoverage()
+	failCov := FailureCoverage()
+	for _, in := range Dataset() {
+		found := false
+		for _, sc := range errCov[in.Error] {
+			if sc.Sub == in.ErrorSub {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("incident %d: error subcategory %q not in %s coverage", in.ID, in.ErrorSub, in.Error)
+		}
+		if in.Failure == FailureNone {
+			continue
+		}
+		found = false
+		for _, sc := range failCov[in.Failure] {
+			if sc.Sub == in.FailureSub {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("incident %d: failure subcategory %q not in %s coverage", in.ID, in.FailureSub, in.Failure)
+		}
+	}
+}
+
+// The paper: "we show that Etcd alterations can recreate a majority (54/81)
+// of real-world failures analyzed in §III". The reconstruction must yield a
+// comparable majority.
+func TestReplicableMajority(t *testing.T) {
+	n := len(ReplicableIncidents())
+	if n < 50 || n > 60 {
+		t.Fatalf("replicable incidents = %d, want a majority near the paper's 54/81", n)
+	}
+	t.Logf("replicable incidents: %d/81 (paper: 54/81)", n)
+}
+
+func TestCoverageStats(t *testing.T) {
+	realWorld, replicable := CoverageStats()
+	if realWorld == 0 || replicable == 0 {
+		t.Fatal("empty coverage stats")
+	}
+	if replicable >= realWorld {
+		t.Fatalf("replicable (%d) must be < real-world subcategories (%d): Mutiny cannot cover node-local errors", replicable, realWorld)
+	}
+	// §VI-A: "almost all failure subcategories can be covered" — coverage
+	// must exceed 70%.
+	if float64(replicable)/float64(realWorld) < 0.7 {
+		t.Fatalf("coverage %d/%d below the paper's 'almost all subcategories'", replicable, realWorld)
+	}
+}
+
+func TestTaxonomyListsComplete(t *testing.T) {
+	if len(Faults()) != 9 {
+		t.Fatalf("faults = %d, want 9 (Table I(a))", len(Faults()))
+	}
+	if len(Errors()) != 6 {
+		t.Fatalf("errors = %d, want 6 (Table I(b))", len(Errors()))
+	}
+	if len(Failures()) != 7 {
+		t.Fatalf("failures = %d, want 7 (Table I(c))", len(Failures()))
+	}
+}

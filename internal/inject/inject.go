@@ -1,0 +1,326 @@
+// Package inject implements Mutiny, the fault/error injector at the heart of
+// the paper: it tampers with the serialized messages exchanged between
+// components and the data store, altering the current or desired cluster
+// state (§IV-A).
+//
+// Every injection is characterized by three attributes:
+//
+//   - where: a communication channel (apiserver→store, or component→
+//     apiserver), a resource kind, and either a field path or the
+//     serialization bytes of the message;
+//   - what: a fault model — bit-flip, data-type set, or message drop;
+//   - when: the occurrence index of messages related to the same resource
+//     instance, counted from injector arming.
+//
+// Exactly one fault is injected per experiment. The injector also measures
+// activation: an injection counts as activated when the injected resource
+// instance is requested (read, listed, or watched) after the injection.
+package inject
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/codec"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// Channel selects which communication path the injection targets.
+type Channel int
+
+// Channels.
+const (
+	// ChannelStore is the apiserver→store path: tampering here bypasses all
+	// validation and becomes the agreed cluster state (the main campaign).
+	ChannelStore Channel = iota + 1
+	// ChannelRequest is the component→apiserver path: tampering here faces
+	// authentication, validation and admission (the §V-C4 propagation
+	// experiments).
+	ChannelRequest
+)
+
+func (c Channel) String() string {
+	switch c {
+	case ChannelStore:
+		return "apiserver→etcd"
+	case ChannelRequest:
+		return "component→apiserver"
+	default:
+		return fmt.Sprintf("Channel(%d)", int(c))
+	}
+}
+
+// FaultType is the fault model (what).
+type FaultType int
+
+// Fault models.
+const (
+	// BitFlip flips one bit of a field value: for integers bit Bit, for
+	// strings the least-significant bit of the character at CharIndex, for
+	// booleans an inversion.
+	BitFlip FaultType = iota + 1
+	// SetValue replaces the field value with Value (data-type set: extreme,
+	// invalid, or semantically chosen wrong values).
+	SetValue
+	// DropMessage discards the whole message; the sender observes success.
+	DropMessage
+	// FlipProtoByte flips a random bit of the serialized message, exercising
+	// the serialization protocol (undecodable or field-shifted objects).
+	FlipProtoByte
+)
+
+func (t FaultType) String() string {
+	switch t {
+	case BitFlip:
+		return "bit-flip"
+	case SetValue:
+		return "value-set"
+	case DropMessage:
+		return "drop"
+	case FlipProtoByte:
+		return "proto-byte"
+	default:
+		return fmt.Sprintf("FaultType(%d)", int(t))
+	}
+}
+
+// Injection is one armed fault: where, what, and when.
+type Injection struct {
+	// Where.
+	Channel Channel
+	Kind    spec.Kind
+	// SourcePrefix restricts ChannelRequest injections to messages sent by
+	// components whose identity starts with this prefix (e.g. "kcm",
+	// "scheduler", "kubelet-").
+	SourcePrefix string
+	// FieldPath selects the field for BitFlip/SetValue.
+	FieldPath string
+
+	// What.
+	Type FaultType
+	// Bit is the zero-based bit index for integer bit flips (the paper
+	// flips the 1st and 5th bits: indices 0 and 4).
+	Bit int
+	// CharIndex is the character position for string bit flips.
+	CharIndex int
+	// Value is the replacement for SetValue ("", int64(0), false, or a
+	// semantic wrong value).
+	Value any
+
+	// When: the occurrence index (1-based) of messages related to the same
+	// resource instance.
+	Occurrence int
+}
+
+// Label renders a compact human-readable description.
+func (in Injection) Label() string {
+	switch in.Type {
+	case BitFlip:
+		return fmt.Sprintf("%s %s %s bit-flip(bit=%d,char=%d) occ=%d", in.Channel, in.Kind, in.FieldPath, in.Bit, in.CharIndex, in.Occurrence)
+	case SetValue:
+		return fmt.Sprintf("%s %s %s set(%v) occ=%d", in.Channel, in.Kind, in.FieldPath, in.Value, in.Occurrence)
+	case DropMessage:
+		return fmt.Sprintf("%s %s drop occ=%d", in.Channel, in.Kind, in.Occurrence)
+	case FlipProtoByte:
+		return fmt.Sprintf("%s %s proto-byte occ=%d", in.Channel, in.Kind, in.Occurrence)
+	default:
+		return fmt.Sprintf("%s %s ? occ=%d", in.Channel, in.Kind, in.Occurrence)
+	}
+}
+
+// Report describes what the injector actually did.
+type Report struct {
+	Fired     bool
+	FiredAt   time.Duration
+	Instance  string // namespace/name of the injected instance
+	StoreKey  string
+	Activated bool
+	// OldValue and NewValue hold the field values around a field fault.
+	OldValue any
+	NewValue any
+}
+
+// Injector arms one injection and implements the API server hooks.
+type Injector struct {
+	loop *sim.Loop
+
+	armed  *Injection
+	counts map[string]int
+	report Report
+}
+
+// New creates an idle injector.
+func New(loop *sim.Loop) *Injector {
+	return &Injector{loop: loop, counts: make(map[string]int)}
+}
+
+// AttachTo installs the injector's hooks on the API server. It must be
+// called once per server; arming happens separately.
+func (j *Injector) AttachTo(srv *apiserver.Server) {
+	srv.SetStoreWriteHook(j.StoreHook())
+	srv.SetRequestHook(j.RequestHook())
+	srv.SetAccessHook(j.AccessHook())
+}
+
+// StoreHook returns the apiserver→store channel hook, for callers that need
+// to chain it with other hooks (e.g. the critical-field guard).
+func (j *Injector) StoreHook() apiserver.Hook {
+	return func(m *apiserver.Message) apiserver.Action {
+		return j.intercept(ChannelStore, m)
+	}
+}
+
+// RequestHook returns the component→apiserver channel hook.
+func (j *Injector) RequestHook() apiserver.Hook {
+	return func(m *apiserver.Message) apiserver.Action {
+		return j.intercept(ChannelRequest, m)
+	}
+}
+
+// AccessHook returns the activation-tracking hook.
+func (j *Injector) AccessHook() func(key string) {
+	return func(key string) {
+		if j.report.Fired && key == j.report.StoreKey {
+			j.report.Activated = true
+		}
+	}
+}
+
+// Arm programs the injection; the next matching message occurrence fires it.
+// Mirrors the campaign manager "configuring the injection trigger by sending
+// the triplet (where, when, what) ... to the injected component".
+func (j *Injector) Arm(in Injection) {
+	cp := in
+	if cp.Occurrence <= 0 {
+		cp.Occurrence = 1
+	}
+	j.armed = &cp
+	j.counts = make(map[string]int)
+	j.report = Report{}
+}
+
+// Disarm cancels any pending injection (the report is preserved).
+func (j *Injector) Disarm() { j.armed = nil }
+
+// Report returns what happened.
+func (j *Injector) Report() Report { return j.report }
+
+func (j *Injector) intercept(ch Channel, m *apiserver.Message) apiserver.Action {
+	in := j.armed
+	if in == nil || j.report.Fired || in.Channel != ch || in.Kind != m.Kind {
+		return apiserver.Pass
+	}
+	if ch == ChannelRequest && in.SourcePrefix != "" && !hasPrefix(m.Source, in.SourcePrefix) {
+		return apiserver.Pass
+	}
+	instance := m.Namespace + "/" + m.Name
+	j.counts[instance]++
+	if j.counts[instance] != in.Occurrence {
+		return apiserver.Pass
+	}
+
+	switch in.Type {
+	case DropMessage:
+		j.fire(m, instance)
+		return apiserver.Drop
+	case FlipProtoByte:
+		if len(m.Data) == 0 {
+			return apiserver.Pass
+		}
+		off := j.loop.Rand().Intn(len(m.Data))
+		bit := j.loop.Rand().Intn(8)
+		m.Data[off] ^= 1 << bit
+		m.Tampered = true
+		j.fire(m, instance)
+		return apiserver.Pass
+	case BitFlip, SetValue:
+		if j.tamperField(in, m) {
+			j.fire(m, instance)
+		}
+		return apiserver.Pass
+	default:
+		return apiserver.Pass
+	}
+}
+
+// tamperField decodes the message, mutates the target field, and re-encodes
+// — exactly the paper's implementation ("Mutiny de-serializes the message,
+// modifies the content, and re-serializes it, replacing the original").
+func (j *Injector) tamperField(in *Injection, m *apiserver.Message) bool {
+	obj := spec.New(m.Kind)
+	if obj == nil || len(m.Data) == 0 {
+		return false
+	}
+	if err := codec.Unmarshal(m.Data, obj); err != nil {
+		return false
+	}
+	old, err := codec.Get(obj, in.FieldPath)
+	if err != nil {
+		// This instance does not carry the field (e.g. a different shape);
+		// don't consume the occurrence — future instances may match.
+		j.counts[m.Namespace+"/"+m.Name]--
+		return false
+	}
+	var newVal any
+	switch in.Type {
+	case BitFlip:
+		newVal = flipValue(old, in.Bit, in.CharIndex)
+	case SetValue:
+		newVal = in.Value
+	}
+	if newVal == nil {
+		return false
+	}
+	if err := codec.Set(obj, in.FieldPath, newVal); err != nil {
+		return false
+	}
+	data, err := codec.Marshal(obj)
+	if err != nil {
+		return false
+	}
+	m.Data = data
+	m.Tampered = true
+	j.report.OldValue = old
+	j.report.NewValue = newVal
+	return true
+}
+
+func (j *Injector) fire(m *apiserver.Message, instance string) {
+	j.report.Fired = true
+	j.report.FiredAt = j.loop.Now()
+	j.report.Instance = instance
+	j.report.StoreKey = spec.Key(m.Kind, m.Namespace, m.Name)
+}
+
+// flipValue applies the paper's bit-flip models per field type: integers
+// get bit flips at the given index; strings get the least-significant bit of
+// the chosen character flipped (still a character, hence usually still a
+// valid string); booleans are inverted.
+func flipValue(old any, bit, charIndex int) any {
+	switch v := old.(type) {
+	case int64:
+		return v ^ (1 << uint(bit))
+	case string:
+		if charIndex >= len(v) {
+			if len(v) == 0 {
+				// Flipping a bit of an empty string yields a one-character
+				// string, like flipping the terminating byte would.
+				return string(rune(1))
+			}
+			charIndex = len(v) - 1
+		}
+		b := []byte(v)
+		b[charIndex] ^= 1
+		return string(b)
+	case bool:
+		return !v
+	default:
+		return nil
+	}
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

@@ -1,0 +1,494 @@
+// Package kubelet implements the per-node agent: heartbeats, pod admission,
+// container lifecycle with crash-loop back-off (the §II-D circuit breaker),
+// pod IP allocation from the node CIDR, and node-pressure eviction.
+//
+// The kubelet is also a recovery path the paper observes: it periodically
+// rewrites pod status (including PodIP) from its own runtime view, so
+// corruption of status fields in the store is overwritten by correct values
+// — one of the reasons ~70% of injections have no effect.
+package kubelet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+const (
+	heartbeatInterval = 10 * time.Second
+	imagePullRetry    = 20 * time.Second
+	statusSyncPeriod  = 10 * time.Second
+	backoffInitial    = 10 * time.Second
+	backoffMax        = 5 * time.Minute
+	volumeReadDelay   = 500 * time.Millisecond
+	defaultStartupMS  = 1000
+	pullDelayMin      = 500 * time.Millisecond
+	pullDelaySpread   = 1500 * time.Millisecond
+)
+
+// runnableCommands is the set of entrypoints the simulated runtime knows how
+// to execute; anything else fails the container (RunContainerError), which
+// after corruption of a command field yields a crash loop.
+var runnableCommands = map[string]bool{
+	"serve": true, "flanneld": true, "coredns": true, "pause": true, "sleep": true,
+}
+
+// imageRegistry is the registry prefix that image pulls succeed from.
+const imageRegistry = "registry.local/"
+
+// Config parameterizes a kubelet.
+type Config struct {
+	NodeName string
+	// CapacityMilliCPU and CapacityMemMB describe the node size (the paper's
+	// worker VMs are 8 CPU / 4 GB).
+	CapacityMilliCPU int64
+	CapacityMemMB    int64
+	PodCIDR          string
+	Labels           map[string]string
+}
+
+// Kubelet manages the pods bound to one node.
+type Kubelet struct {
+	loop   *sim.Loop
+	client *apiserver.Client
+	cfg    Config
+
+	pods    map[string]*podRuntime // by pod UID
+	pulled  map[string]bool        // images already present on this node
+	ipSeq   int64
+	hbTimer *sim.Timer
+	stTimer *sim.Timer
+	cancelW func()
+	stopped bool
+	// Down simulates a node crash: no heartbeats, no pod management.
+	down bool
+}
+
+type podState int
+
+const (
+	stateWaiting podState = iota + 1
+	statePulling
+	stateCreating
+	stateStarting
+	stateRunning
+	stateCrashLoop
+	stateFailed
+)
+
+type podRuntime struct {
+	pod          *spec.Pod
+	state        podState
+	ip           string
+	restartCount int64
+	backoff      time.Duration
+	timer        *sim.Timer
+	startedAt    time.Duration
+}
+
+// New builds a kubelet and registers (or refreshes) its Node object.
+func New(loop *sim.Loop, srv *apiserver.Server, cfg Config) *Kubelet {
+	k := &Kubelet{
+		loop:   loop,
+		client: srv.ClientFor("kubelet-" + cfg.NodeName),
+		cfg:    cfg,
+		pods:   make(map[string]*podRuntime),
+		pulled: make(map[string]bool),
+	}
+	return k
+}
+
+// Start registers the node and begins heartbeating and managing pods.
+func (k *Kubelet) Start() {
+	k.stopped = false
+	k.registerNode()
+	k.cancelW = k.client.Watch(spec.KindPod, k.onPodEvent)
+	k.hbTimer = k.loop.Every(heartbeatInterval, k.heartbeat)
+	k.stTimer = k.loop.Every(statusSyncPeriod, k.syncAllStatuses)
+	k.heartbeat()
+}
+
+// Stop halts the kubelet (normal shutdown; pods are left as-is).
+func (k *Kubelet) Stop() {
+	k.stopped = true
+	if k.hbTimer != nil {
+		k.hbTimer.Stop()
+	}
+	if k.stTimer != nil {
+		k.stTimer.Stop()
+	}
+	if k.cancelW != nil {
+		k.cancelW()
+	}
+	for _, rt := range k.pods {
+		if rt.timer != nil {
+			rt.timer.Stop()
+		}
+	}
+}
+
+// SetDown simulates a node crash or recovery: while down the kubelet stops
+// heartbeating (the node lifecycle controller will mark the node NotReady
+// and evict) and all its pods stop serving.
+func (k *Kubelet) SetDown(down bool) { k.down = down }
+
+// IsDown reports whether the node is crashed.
+func (k *Kubelet) IsDown() bool { return k.down }
+
+// PodIP returns the runtime-assigned IP of a pod UID, if running here.
+func (k *Kubelet) PodIP(uid string) (string, bool) {
+	rt, ok := k.pods[uid]
+	if !ok || rt.state != stateRunning {
+		return "", false
+	}
+	return rt.ip, true
+}
+
+func (k *Kubelet) registerNode() {
+	node := &spec.Node{
+		Metadata: spec.ObjectMeta{Name: k.cfg.NodeName, Labels: k.cfg.Labels},
+		Spec:     spec.NodeSpec{PodCIDR: k.cfg.PodCIDR},
+		Status: spec.NodeStatus{
+			CapacityMilliCPU:    k.cfg.CapacityMilliCPU,
+			CapacityMemMB:       k.cfg.CapacityMemMB,
+			AllocatableMilliCPU: k.cfg.CapacityMilliCPU * 9 / 10,
+			AllocatableMemMB:    k.cfg.CapacityMemMB * 9 / 10,
+			Ready:               true,
+			LastHeartbeatMillis: k.loop.Time().UnixMilli(),
+			Address:             fmt.Sprintf("192.168.0.%d", 1+len(k.cfg.NodeName)%250),
+		},
+	}
+	if err := k.client.Create(node); errors.Is(err, apiserver.ErrAlreadyExists) {
+		if obj, err := k.client.Get(spec.KindNode, "", k.cfg.NodeName); err == nil {
+			existing := obj.(*spec.Node)
+			existing.Status = node.Status
+			_ = k.client.UpdateStatus(existing)
+		}
+	}
+}
+
+// heartbeat refreshes node status. An overloaded node (actual usage above
+// capacity) stops heartbeating: overload manifests as an unhealthy node,
+// the F3 path from misconfiguration to resource exhaustion.
+func (k *Kubelet) heartbeat() {
+	if k.stopped || k.down {
+		return
+	}
+	if k.overloaded() {
+		return // too starved to report in time
+	}
+	obj, err := k.client.Get(spec.KindNode, "", k.cfg.NodeName)
+	if err != nil {
+		return
+	}
+	node := obj.(*spec.Node)
+	node.Status.Ready = true
+	node.Status.LastHeartbeatMillis = k.loop.Time().UnixMilli()
+	node.Status.CapacityMilliCPU = k.cfg.CapacityMilliCPU
+	node.Status.CapacityMemMB = k.cfg.CapacityMemMB
+	node.Status.AllocatableMilliCPU = k.cfg.CapacityMilliCPU * 9 / 10
+	node.Status.AllocatableMemMB = k.cfg.CapacityMemMB * 9 / 10
+	_ = k.client.UpdateStatus(node)
+}
+
+// overloaded reports whether admitted pods' requests exceed raw capacity —
+// possible only through direct binding (daemon pods) or corrupted requests,
+// since the scheduler respects allocatable.
+func (k *Kubelet) overloaded() bool {
+	var cpu int64
+	for _, rt := range k.pods {
+		if rt.state != stateFailed {
+			cpu += rt.pod.RequestsMilliCPU()
+		}
+	}
+	return cpu > k.cfg.CapacityMilliCPU
+}
+
+func (k *Kubelet) onPodEvent(ev apiserver.WatchEvent) {
+	if k.stopped || k.down {
+		return
+	}
+	pod := ev.Object.(*spec.Pod)
+	uid := pod.Metadata.UID
+	switch ev.Type {
+	case apiserver.Deleted:
+		if rt, ok := k.pods[uid]; ok {
+			if rt.timer != nil {
+				rt.timer.Stop()
+			}
+			delete(k.pods, uid)
+		}
+	case apiserver.Added, apiserver.Modified:
+		if pod.Spec.NodeName != k.cfg.NodeName {
+			// Pod moved away (corrupted nodeName): the local runtime keeps
+			// no claim on it.
+			if rt, ok := k.pods[uid]; ok {
+				if rt.timer != nil {
+					rt.timer.Stop()
+				}
+				delete(k.pods, uid)
+			}
+			return
+		}
+		if !pod.Active() {
+			return
+		}
+		if rt, ok := k.pods[uid]; ok {
+			rt.pod = pod // refresh spec view
+			return
+		}
+		k.admit(pod)
+	}
+}
+
+// admit runs kubelet admission: resource fit against raw capacity, with
+// critical-pod eviction. High-priority pods (daemon pods) evict
+// lower-priority pods to fit — the escalation that turns uncontrolled
+// daemon replication into a cluster outage.
+func (k *Kubelet) admit(pod *spec.Pod) {
+	needCPU, needMem := pod.RequestsMilliCPU(), pod.RequestsMemMB()
+	freeCPU := k.cfg.CapacityMilliCPU
+	freeMem := k.cfg.CapacityMemMB
+	var running []*podRuntime
+	for _, rt := range k.pods {
+		if rt.state == stateFailed {
+			continue
+		}
+		freeCPU -= rt.pod.RequestsMilliCPU()
+		freeMem -= rt.pod.RequestsMemMB()
+		running = append(running, rt)
+	}
+	if needCPU > freeCPU || needMem > freeMem {
+		// Try critical-pod admission: evict strictly lower-priority pods.
+		if !k.evictForCritical(pod, running, needCPU-freeCPU, needMem-freeMem) {
+			k.rejectPod(pod, "OutOfcpu")
+			return
+		}
+	}
+	rt := &podRuntime{pod: pod, state: stateWaiting}
+	k.pods[pod.Metadata.UID] = rt
+	k.startPod(rt)
+}
+
+func (k *Kubelet) evictForCritical(pod *spec.Pod, running []*podRuntime, needCPU, needMem int64) bool {
+	if pod.Spec.Priority < spec.SystemCriticalPriority {
+		return false
+	}
+	// Sort victims by ascending priority, preferring later-started pods.
+	victims := make([]*podRuntime, 0, len(running))
+	for _, rt := range running {
+		if rt.pod.Spec.Priority < pod.Spec.Priority {
+			victims = append(victims, rt)
+		}
+	}
+	sortVictims(victims)
+	var chosen []*podRuntime
+	for _, rt := range victims {
+		if needCPU <= 0 && needMem <= 0 {
+			break
+		}
+		needCPU -= rt.pod.RequestsMilliCPU()
+		needMem -= rt.pod.RequestsMemMB()
+		chosen = append(chosen, rt)
+	}
+	if needCPU > 0 || needMem > 0 {
+		return false
+	}
+	for _, rt := range chosen {
+		_ = k.client.Delete(spec.KindPod, rt.pod.Metadata.Namespace, rt.pod.Metadata.Name)
+		if rt.timer != nil {
+			rt.timer.Stop()
+		}
+		delete(k.pods, rt.pod.Metadata.UID)
+	}
+	return true
+}
+
+func (k *Kubelet) rejectPod(pod *spec.Pod, reason string) {
+	pod.Status.Phase = spec.PodFailed
+	pod.Status.Reason = reason
+	pod.Status.Ready = false
+	_ = k.client.UpdateStatus(pod)
+}
+
+// startPod walks the container startup pipeline: image pull → network/IP →
+// command start → readiness.
+func (k *Kubelet) startPod(rt *podRuntime) {
+	if k.stopped || k.down {
+		return
+	}
+	pod := rt.pod
+	// Image pull: unknown registries fail forever; the first pull of a
+	// valid image on a node is slow and variable (it dominates real-world
+	// pod startup variance), later pulls hit the node cache.
+	for i := range pod.Spec.Containers {
+		image := pod.Spec.Containers[i].Image
+		if !strings.HasPrefix(image, imageRegistry) {
+			rt.state = statePulling
+			k.setStatus(rt, spec.PodPending, "ImagePullBackOff", false, "")
+			rt.timer = k.loop.After(imagePullRetry, func() { k.startPod(rt) })
+			return
+		}
+		if !k.pulled[image] {
+			k.pulled[image] = true
+			rt.state = statePulling
+			pull := pullDelayMin + time.Duration(k.loop.Rand().Int63n(int64(pullDelaySpread)))
+			rt.timer = k.loop.After(pull, func() { k.startPod(rt) })
+			return
+		}
+	}
+	// Pod network: allocate an IP from the node CIDR.
+	if rt.ip == "" {
+		ip, err := k.allocateIP()
+		if err != nil {
+			rt.state = stateCreating
+			k.setStatus(rt, spec.PodPending, "FailedCreatePodSandBox", false, "")
+			rt.timer = k.loop.After(imagePullRetry, func() { k.startPod(rt) })
+			return
+		}
+		rt.ip = ip
+	}
+	// Command start.
+	for i := range pod.Spec.Containers {
+		cmd := pod.Spec.Containers[i].Command
+		if len(cmd) == 0 || !runnableCommands[cmd[0]] {
+			k.containerCrash(rt, "RunContainerError")
+			return
+		}
+		// Memory over limit at startup: OOM kill.
+		c := &pod.Spec.Containers[i]
+		if c.LimitsMemMB > 0 && c.RequestsMemMB > c.LimitsMemMB {
+			k.containerCrash(rt, "OOMKilled")
+			return
+		}
+	}
+	// Startup delay: volume seed read plus application boot, with realistic
+	// run-to-run variance (container start times are noisy in practice;
+	// without this the golden-run distributions would be degenerate and
+	// every z-score infinite).
+	rt.state = stateStarting
+	delay := time.Duration(defaultStartupMS)*time.Millisecond +
+		time.Duration(k.loop.Rand().Int63n(int64(400*time.Millisecond)))
+	if pod.Spec.VolumeSeed != "" {
+		delay += volumeReadDelay + time.Duration(k.loop.Rand().Int63n(int64(200*time.Millisecond)))
+	}
+	rt.timer = k.loop.After(delay, func() {
+		if k.stopped || k.down {
+			return
+		}
+		if _, alive := k.pods[rt.pod.Metadata.UID]; !alive {
+			return
+		}
+		rt.state = stateRunning
+		rt.startedAt = k.loop.Now()
+		k.setStatus(rt, spec.PodRunning, "", true, rt.ip)
+	})
+}
+
+// containerCrash applies the crash-loop circuit breaker: exponentially
+// backed-off restarts (§II-D: "when a Pod fails several consecutive times,
+// it is restarted with increasing back-off delays").
+func (k *Kubelet) containerCrash(rt *podRuntime, reason string) {
+	rt.state = stateCrashLoop
+	rt.restartCount++
+	if rt.backoff == 0 {
+		rt.backoff = backoffInitial
+	} else {
+		rt.backoff *= 2
+		if rt.backoff > backoffMax {
+			rt.backoff = backoffMax
+		}
+	}
+	k.setStatus(rt, spec.PodPending, reason, false, rt.ip)
+	rt.timer = k.loop.After(rt.backoff, func() { k.startPod(rt) })
+}
+
+func (k *Kubelet) setStatus(rt *podRuntime, phase, reason string, ready bool, ip string) {
+	obj, err := k.client.Get(spec.KindPod, rt.pod.Metadata.Namespace, rt.pod.Metadata.Name)
+	if err != nil {
+		return
+	}
+	pod := obj.(*spec.Pod)
+	pod.Status.Phase = phase
+	pod.Status.Reason = reason
+	pod.Status.Ready = ready
+	pod.Status.PodIP = ip
+	pod.Status.RestartCount = rt.restartCount
+	if ready && pod.Status.StartedMillis == 0 {
+		pod.Status.StartedMillis = k.loop.Time().UnixMilli()
+	}
+	_ = k.client.UpdateStatus(pod)
+	rt.pod = pod
+}
+
+// syncAllStatuses rewrites the status of every running pod from the local
+// runtime view, overwriting any corrupted status fields in the store — a
+// natural recovery path ("the PodIP ... is overwritten by the correct value
+// sent by kubelets").
+func (k *Kubelet) syncAllStatuses() {
+	if k.stopped || k.down {
+		return
+	}
+	for _, rt := range k.pods {
+		if rt.state != stateRunning {
+			continue
+		}
+		obj, err := k.client.Get(spec.KindPod, rt.pod.Metadata.Namespace, rt.pod.Metadata.Name)
+		if err != nil {
+			continue
+		}
+		pod := obj.(*spec.Pod)
+		if pod.Status.PodIP != rt.ip || !pod.Status.Ready || pod.Status.Phase != spec.PodRunning {
+			pod.Status.PodIP = rt.ip
+			pod.Status.Ready = true
+			pod.Status.Phase = spec.PodRunning
+			pod.Status.RestartCount = rt.restartCount
+			_ = k.client.UpdateStatus(pod)
+			rt.pod = pod
+		}
+	}
+}
+
+func (k *Kubelet) allocateIP() (string, error) {
+	_, ipNet, err := net.ParseCIDR(k.cfg.PodCIDR)
+	if err != nil {
+		// Fall back to the Node object's CIDR, which may have been edited
+		// (or corrupted) after registration.
+		obj, getErr := k.client.Get(spec.KindNode, "", k.cfg.NodeName)
+		if getErr != nil {
+			return "", err
+		}
+		_, ipNet, err = net.ParseCIDR(obj.(*spec.Node).Spec.PodCIDR)
+		if err != nil {
+			return "", err
+		}
+	}
+	k.ipSeq++
+	ip := ipNet.IP.To4()
+	if ip == nil {
+		return "", fmt.Errorf("kubelet: non-IPv4 pod CIDR %q", k.cfg.PodCIDR)
+	}
+	out := net.IPv4(ip[0], ip[1], ip[2], byte(2+k.ipSeq%250))
+	return out.String(), nil
+}
+
+func sortVictims(victims []*podRuntime) {
+	for i := 1; i < len(victims); i++ {
+		for j := i; j > 0 && less(victims[j], victims[j-1]); j-- {
+			victims[j], victims[j-1] = victims[j-1], victims[j]
+		}
+	}
+}
+
+func less(a, b *podRuntime) bool {
+	if a.pod.Spec.Priority != b.pod.Spec.Priority {
+		return a.pod.Spec.Priority < b.pod.Spec.Priority
+	}
+	return a.startedAt > b.startedAt
+}

@@ -1,0 +1,330 @@
+// Package netsim models the cluster's virtual network: the per-node overlay
+// routes programmed by the network-manager DaemonSet (flannel in the
+// paper's testbed), the kube-proxy service tables mapping cluster IPs to
+// endpoint addresses, and cluster DNS health.
+//
+// It is the stage where networking corruption becomes client-visible: a
+// failed or deleted network-manager pod takes a node's routes down
+// (cluster-wide when all of them fail — the Reddit outage pattern), a
+// corrupted service selector empties the endpoint table ("connection
+// refused"), and a stale or corrupted endpoint IP no longer corresponds to
+// any running pod ("connection reset" → intermittent availability).
+package netsim
+
+import (
+	"strings"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// Labels and names of the system networking workloads.
+const (
+	NetManagerLabel  = "flannel"
+	DNSLabel         = "coredns"
+	NetConfigMapName = "flannel-cfg"
+	NetConfigKey     = "net-conf"
+	NetConfigValue   = "overlay:10.244.0.0/16"
+)
+
+// Error kinds observed by clients.
+const (
+	ErrNone    = ""
+	ErrRefused = "refused" // no endpoints / port closed
+	ErrTimeout = "timeout" // routes down, node gone
+	ErrReset   = "reset"   // endpoint points at a dead pod
+)
+
+// RequestResult is the outcome of one client request.
+type RequestResult struct {
+	Latency time.Duration
+	Err     string
+}
+
+// Failed reports whether the request failed.
+func (r RequestResult) Failed() bool { return r.Err != ErrNone }
+
+const (
+	routeDecay      = 10 * time.Second
+	baseServiceTime = 30 * time.Millisecond
+	proxyLatency    = 2 * time.Millisecond
+	podCapacityRPS  = 25.0
+	loadWindow      = time.Second
+)
+
+// State tracks the simulated data plane. It observes the control plane
+// through ordinary watches (it is the kube-proxy + CNI view of the world).
+type State struct {
+	loop   *sim.Loop
+	client *apiserver.Client
+
+	services  map[string]*spec.Service   // by clusterIP
+	endpoints map[string]*spec.Endpoints // by namespace/name
+	pods      map[string]*spec.Pod       // by namespace/name
+	nodes     map[string]*spec.Node      // by name
+	netConfig string
+
+	// flannelLastReady records when a node's network-manager pod was last
+	// observed ready; routes survive routeDecay past that.
+	flannelLastReady map[string]time.Duration
+
+	rr       map[string]int // round-robin counter per clusterIP
+	reqTimes map[string][]time.Duration
+
+	cancels []func()
+}
+
+// New builds the network state and subscribes to the control plane.
+func New(loop *sim.Loop, srv *apiserver.Server) *State {
+	s := &State{
+		loop:             loop,
+		client:           srv.ClientFor("netsim"),
+		services:         make(map[string]*spec.Service),
+		endpoints:        make(map[string]*spec.Endpoints),
+		pods:             make(map[string]*spec.Pod),
+		nodes:            make(map[string]*spec.Node),
+		flannelLastReady: make(map[string]time.Duration),
+		rr:               make(map[string]int),
+		reqTimes:         make(map[string][]time.Duration),
+	}
+	s.cancels = append(s.cancels,
+		s.client.Watch(spec.KindService, s.onService),
+		s.client.Watch(spec.KindEndpoints, s.onEndpoints),
+		s.client.Watch(spec.KindPod, s.onPod),
+		s.client.Watch(spec.KindNode, s.onNode),
+		s.client.Watch(spec.KindConfigMap, s.onConfigMap),
+	)
+	return s
+}
+
+// Close detaches all watches.
+func (s *State) Close() {
+	for _, cancel := range s.cancels {
+		cancel()
+	}
+}
+
+func (s *State) onService(ev apiserver.WatchEvent) {
+	svc := ev.Object.(*spec.Service)
+	if ev.Type == apiserver.Deleted {
+		delete(s.services, svc.Spec.ClusterIP)
+		return
+	}
+	if svc.Spec.ClusterIP != "" {
+		s.services[svc.Spec.ClusterIP] = svc
+	}
+}
+
+func (s *State) onEndpoints(ev apiserver.WatchEvent) {
+	ep := ev.Object.(*spec.Endpoints)
+	key := ep.Metadata.Namespace + "/" + ep.Metadata.Name
+	if ev.Type == apiserver.Deleted {
+		delete(s.endpoints, key)
+		return
+	}
+	s.endpoints[key] = ep
+}
+
+func (s *State) onPod(ev apiserver.WatchEvent) {
+	pod := ev.Object.(*spec.Pod)
+	key := pod.Metadata.Namespace + "/" + pod.Metadata.Name
+	if ev.Type == apiserver.Deleted {
+		delete(s.pods, key)
+		return
+	}
+	s.pods[key] = pod
+	if pod.Metadata.Namespace == spec.SystemNamespace &&
+		pod.Metadata.Labels[spec.LabelApp] == NetManagerLabel &&
+		pod.Status.Ready && pod.Spec.NodeName != "" {
+		s.flannelLastReady[pod.Spec.NodeName] = s.loop.Now()
+	}
+}
+
+func (s *State) onNode(ev apiserver.WatchEvent) {
+	node := ev.Object.(*spec.Node)
+	if ev.Type == apiserver.Deleted {
+		delete(s.nodes, node.Metadata.Name)
+		return
+	}
+	s.nodes[node.Metadata.Name] = node
+}
+
+func (s *State) onConfigMap(ev apiserver.WatchEvent) {
+	cm := ev.Object.(*spec.ConfigMap)
+	if cm.Metadata.Namespace != spec.SystemNamespace || cm.Metadata.Name != NetConfigMapName {
+		return
+	}
+	if ev.Type == apiserver.Deleted {
+		s.netConfig = ""
+		return
+	}
+	s.netConfig = cm.Data[NetConfigKey]
+}
+
+// RoutesUp reports whether a node's overlay routes are operational: the
+// network configuration must be sane and the node's network-manager pod
+// must be (recently) ready.
+func (s *State) RoutesUp(node string) bool {
+	if !s.configValid() {
+		return false
+	}
+	last, ok := s.flannelLastReady[node]
+	if !ok {
+		return false
+	}
+	// Routes persist briefly after the manager pod stops being ready, then
+	// decay (restart loops and reconfigurations flush them).
+	if pod := s.readyFlannelPod(node); pod {
+		return true
+	}
+	return s.loop.Now()-last < routeDecay
+}
+
+func (s *State) readyFlannelPod(node string) bool {
+	for _, pod := range s.pods {
+		if pod.Metadata.Namespace == spec.SystemNamespace &&
+			pod.Metadata.Labels[spec.LabelApp] == NetManagerLabel &&
+			pod.Spec.NodeName == node && pod.Status.Ready {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *State) configValid() bool {
+	return strings.Contains(s.netConfig, "overlay")
+}
+
+// DNSHealthy reports whether cluster DNS can answer: at least one ready DNS
+// pod on a routable node.
+func (s *State) DNSHealthy() bool {
+	for _, pod := range s.pods {
+		if pod.Metadata.Namespace == spec.SystemNamespace &&
+			pod.Metadata.Labels[spec.LabelApp] == DNSLabel &&
+			pod.Status.Ready && s.RoutesUp(pod.Spec.NodeName) {
+			return true
+		}
+	}
+	return false
+}
+
+// NetworkPodsFailing reports whether any expected network-manager pod is
+// missing or not ready (a Stall/Outage signal for the classifier).
+func (s *State) NetworkPodsFailing() bool {
+	for name := range s.nodes {
+		if !s.readyFlannelPod(name) {
+			return true
+		}
+	}
+	return len(s.nodes) == 0
+}
+
+// Request performs one client request from fromNode to a service VIP.
+func (s *State) Request(fromNode, clusterIP string, port int64) RequestResult {
+	svc, ok := s.services[clusterIP]
+	if !ok {
+		return RequestResult{Err: ErrRefused}
+	}
+	// Service port → target port.
+	var targetPort int64 = -1
+	for _, p := range svc.Spec.Ports {
+		if p.Port == port {
+			targetPort = p.TargetPort
+			break
+		}
+	}
+	if targetPort < 0 {
+		return RequestResult{Err: ErrRefused}
+	}
+	ep, ok := s.endpoints[svc.Metadata.Namespace+"/"+svc.Metadata.Name]
+	if !ok || ep.Count() == 0 {
+		return RequestResult{Err: ErrRefused}
+	}
+	// kube-proxy round-robin across all subset addresses.
+	var addrs []spec.EndpointAddress
+	for i := range ep.Subsets {
+		addrs = append(addrs, ep.Subsets[i].Addresses...)
+	}
+	idx := s.rr[clusterIP] % len(addrs)
+	s.rr[clusterIP]++
+	addr := addrs[idx]
+
+	// Overlay path between client node and endpoint node.
+	if !s.RoutesUp(fromNode) || !s.RoutesUp(addr.NodeName) {
+		return RequestResult{Err: ErrTimeout}
+	}
+	// The endpoint must correspond to a live, ready pod at that IP.
+	pod := s.findPodByIP(addr.IP)
+	if pod == nil || !pod.Status.Ready || pod.Spec.NodeName != addr.NodeName {
+		return RequestResult{Err: ErrReset}
+	}
+	// The pod must actually listen on the target port.
+	if !podListensOn(pod, targetPort) {
+		return RequestResult{Err: ErrRefused}
+	}
+	return RequestResult{Latency: proxyLatency + s.serviceLatency(pod)}
+}
+
+func (s *State) findPodByIP(ip string) *spec.Pod {
+	if ip == "" {
+		return nil
+	}
+	for _, pod := range s.pods {
+		if pod.Status.PodIP == ip && pod.Active() {
+			return pod
+		}
+	}
+	return nil
+}
+
+func podListensOn(pod *spec.Pod, port int64) bool {
+	for i := range pod.Spec.Containers {
+		if pod.Spec.Containers[i].Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// serviceLatency models an M/M/1-ish response time: the base service time
+// is inflated as the pod's recent request rate approaches its capacity, so
+// under-provisioned services (fewer pods than intended) answer slower —
+// the LeR → HRT propagation of Table III.
+func (s *State) serviceLatency(pod *spec.Pod) time.Duration {
+	key := pod.Metadata.Namespace + "/" + pod.Metadata.Name
+	now := s.loop.Now()
+	times := s.reqTimes[key]
+	keep := times[:0]
+	for _, t := range times {
+		if now-t < loadWindow {
+			keep = append(keep, t)
+		}
+	}
+	keep = append(keep, now)
+	s.reqTimes[key] = keep
+
+	rate := float64(len(keep)) / loadWindow.Seconds()
+	rho := rate / podCapacityRPS
+	if rho >= 0.95 {
+		rho = 0.95
+	}
+	base := baseServiceTime + podSpeedOffset(pod.Metadata.UID)
+	lat := time.Duration(float64(base) / (1 - rho))
+	// Per-request jitter keeps golden-run variance non-zero so z-scores are
+	// well-defined.
+	jitter := time.Duration(s.loop.Rand().Int63n(int64(8 * time.Millisecond)))
+	return lat + jitter
+}
+
+// podSpeedOffset derives a stable per-pod service-time offset (pods differ:
+// node placement, cache warmth), in [0, 6ms).
+func podSpeedOffset(uid string) time.Duration {
+	var h uint32 = 2166136261
+	for i := 0; i < len(uid); i++ {
+		h ^= uint32(uid[i])
+		h *= 16777619
+	}
+	return time.Duration(h%6) * time.Millisecond
+}

@@ -1,0 +1,253 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/store"
+)
+
+// harness wires a netsim state to a bare apiserver and populates a minimal
+// two-node data plane: flannel pods on both nodes, a config map, a service
+// with one ready backend pod.
+type harness struct {
+	loop  *sim.Loop
+	state *State
+	api   *apiserver.Client
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	st := store.New(loop, nil)
+	srv := apiserver.New(loop, st, nil)
+	h := &harness{loop: loop, state: New(loop, srv), api: srv.ClientFor("test")}
+
+	for _, ns := range []string{spec.DefaultNamespace, spec.SystemNamespace} {
+		h.mustCreate(&spec.Namespace{Metadata: spec.ObjectMeta{Name: ns}, Phase: "Active"})
+	}
+	h.mustCreate(&spec.ConfigMap{
+		Metadata: spec.ObjectMeta{Name: NetConfigMapName, Namespace: spec.SystemNamespace},
+		Data:     map[string]string{NetConfigKey: NetConfigValue},
+	})
+	for i, node := range []string{"node-a", "node-b"} {
+		h.mustCreate(&spec.Node{
+			Metadata: spec.ObjectMeta{Name: node},
+			Status:   spec.NodeStatus{Ready: true},
+		})
+		h.mustCreate(h.flannelPod(node, i))
+	}
+	h.mustCreate(&spec.Service{
+		Metadata: spec.ObjectMeta{Name: "web", Namespace: spec.DefaultNamespace},
+		Spec: spec.ServiceSpec{
+			Selector:  map[string]string{"app": "web"},
+			ClusterIP: "10.96.0.1",
+			Ports:     []spec.ServicePort{{Port: 80, TargetPort: 8080, Protocol: "TCP"}},
+		},
+	})
+	h.mustCreate(h.webPod("web-1", "node-b", "10.244.2.2"))
+	h.mustCreate(&spec.Endpoints{
+		Metadata: spec.ObjectMeta{Name: "web", Namespace: spec.DefaultNamespace},
+		Subsets: []spec.EndpointSubset{{
+			Addresses: []spec.EndpointAddress{{IP: "10.244.2.2", NodeName: "node-b",
+				TargetRef: spec.TargetRef{Kind: "Pod", Name: "web-1"}}},
+			Ports: []int64{8080},
+		}},
+	})
+	loop.RunUntil(time.Second)
+	return h
+}
+
+func (h *harness) mustCreate(obj spec.Object) {
+	if err := h.api.Create(obj); err != nil {
+		panic(err)
+	}
+}
+
+func (h *harness) flannelPod(node string, i int) *spec.Pod {
+	return &spec.Pod{
+		Metadata: spec.ObjectMeta{
+			Name: "flannel-" + node, Namespace: spec.SystemNamespace,
+			Labels: map[string]string{spec.LabelApp: NetManagerLabel},
+		},
+		Spec: spec.PodSpec{NodeName: node, Containers: []spec.Container{{
+			Name: "f", Image: "registry.local/flannel:1", Command: []string{"flanneld"},
+		}}},
+		Status: spec.PodStatus{Phase: spec.PodRunning, Ready: true, PodIP: "10.244.0." + string(rune('2'+i))},
+	}
+}
+
+func (h *harness) webPod(name, node, ip string) *spec.Pod {
+	return &spec.Pod{
+		Metadata: spec.ObjectMeta{
+			Name: name, Namespace: spec.DefaultNamespace,
+			Labels: map[string]string{"app": "web"},
+		},
+		Spec: spec.PodSpec{NodeName: node, Containers: []spec.Container{{
+			Name: "web", Image: "registry.local/web:1", Command: []string{"serve"}, Port: 8080,
+		}}},
+		Status: spec.PodStatus{Phase: spec.PodRunning, Ready: true, PodIP: ip},
+	}
+}
+
+func TestRequestSucceedsOnHealthyPath(t *testing.T) {
+	h := newHarness(t)
+	res := h.state.Request("node-a", "10.96.0.1", 80)
+	if res.Failed() {
+		t.Fatalf("request failed: %s", res.Err)
+	}
+	if res.Latency <= 0 {
+		t.Fatal("no latency modeled")
+	}
+}
+
+func TestUnknownVIPRefused(t *testing.T) {
+	h := newHarness(t)
+	if res := h.state.Request("node-a", "10.96.9.9", 80); res.Err != ErrRefused {
+		t.Fatalf("err = %q, want refused", res.Err)
+	}
+}
+
+func TestWrongPortRefused(t *testing.T) {
+	h := newHarness(t)
+	if res := h.state.Request("node-a", "10.96.0.1", 443); res.Err != ErrRefused {
+		t.Fatalf("err = %q, want refused (no such service port)", res.Err)
+	}
+}
+
+func TestEmptyEndpointsRefused(t *testing.T) {
+	h := newHarness(t)
+	obj, err := h.api.Get(spec.KindEndpoints, spec.DefaultNamespace, "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := obj.(*spec.Endpoints)
+	ep.Subsets = nil
+	if err := h.api.Update(ep); err != nil {
+		t.Fatal(err)
+	}
+	h.loop.RunUntil(h.loop.Now() + time.Second)
+	if res := h.state.Request("node-a", "10.96.0.1", 80); res.Err != ErrRefused {
+		t.Fatalf("err = %q, want refused (no endpoints)", res.Err)
+	}
+}
+
+func TestStaleEndpointReset(t *testing.T) {
+	h := newHarness(t)
+	// Kill the backing pod but leave the endpoints stale.
+	if err := h.api.Delete(spec.KindPod, spec.DefaultNamespace, "web-1"); err != nil {
+		t.Fatal(err)
+	}
+	h.loop.RunUntil(h.loop.Now() + time.Second)
+	if res := h.state.Request("node-a", "10.96.0.1", 80); res.Err != ErrReset {
+		t.Fatalf("err = %q, want reset (stale endpoint)", res.Err)
+	}
+}
+
+func TestRoutesDecayAfterFlannelPodDies(t *testing.T) {
+	h := newHarness(t)
+	if !h.state.RoutesUp("node-b") {
+		t.Fatal("routes should be up initially")
+	}
+	if err := h.api.Delete(spec.KindPod, spec.SystemNamespace, "flannel-node-b"); err != nil {
+		t.Fatal(err)
+	}
+	h.loop.RunUntil(h.loop.Now() + time.Second)
+	// Routes persist briefly...
+	if !h.state.RoutesUp("node-b") {
+		t.Fatal("routes dropped immediately; they should decay")
+	}
+	// ...then decay.
+	h.loop.RunUntil(h.loop.Now() + routeDecay + time.Second)
+	if h.state.RoutesUp("node-b") {
+		t.Fatal("routes still up after decay window")
+	}
+	if res := h.state.Request("node-a", "10.96.0.1", 80); res.Err != ErrTimeout {
+		t.Fatalf("err = %q, want timeout (routes down)", res.Err)
+	}
+	if !h.state.NetworkPodsFailing() {
+		t.Fatal("NetworkPodsFailing = false with a dead flannel pod")
+	}
+}
+
+func TestCorruptedNetConfigDropsAllRoutes(t *testing.T) {
+	// The paper's "misconfigured networking daemons that caused a global
+	// network outage": corrupting the overlay ConfigMap takes every node's
+	// routes down (the Reddit-style cluster-wide failure).
+	h := newHarness(t)
+	obj, err := h.api.Get(spec.KindConfigMap, spec.SystemNamespace, NetConfigMapName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := obj.(*spec.ConfigMap)
+	cm.Data[NetConfigKey] = "ovurlay:garbage" // single corrupted value
+	if err := h.api.Update(cm); err != nil {
+		t.Fatal(err)
+	}
+	h.loop.RunUntil(h.loop.Now() + time.Second)
+	if h.state.RoutesUp("node-a") || h.state.RoutesUp("node-b") {
+		t.Fatal("routes survived config corruption")
+	}
+	if res := h.state.Request("node-a", "10.96.0.1", 80); res.Err != ErrTimeout {
+		t.Fatalf("err = %q, want timeout (global outage)", res.Err)
+	}
+}
+
+func TestDNSHealth(t *testing.T) {
+	h := newHarness(t)
+	if h.state.DNSHealthy() {
+		t.Fatal("DNS healthy without DNS pods")
+	}
+	dns := h.webPod("coredns-1", "node-a", "10.244.0.9")
+	dns.Metadata.Namespace = spec.SystemNamespace
+	dns.Metadata.Labels = map[string]string{spec.LabelApp: DNSLabel}
+	h.mustCreate(dns)
+	h.loop.RunUntil(h.loop.Now() + time.Second)
+	if !h.state.DNSHealthy() {
+		t.Fatal("DNS unhealthy with a ready DNS pod")
+	}
+}
+
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	h := newHarness(t)
+	h.mustCreate(h.webPod("web-2", "node-a", "10.244.1.3"))
+	obj, _ := h.api.Get(spec.KindEndpoints, spec.DefaultNamespace, "web")
+	ep := obj.(*spec.Endpoints)
+	ep.Subsets[0].Addresses = append(ep.Subsets[0].Addresses, spec.EndpointAddress{
+		IP: "10.244.1.3", NodeName: "node-a", TargetRef: spec.TargetRef{Kind: "Pod", Name: "web-2"},
+	})
+	if err := h.api.Update(ep); err != nil {
+		t.Fatal(err)
+	}
+	h.loop.RunUntil(h.loop.Now() + time.Second)
+	// With two backends, latency under sustained load must stay below the
+	// single-backend saturation latency.
+	var single, double time.Duration
+	for i := 0; i < 40; i++ {
+		res := h.state.Request("node-a", "10.96.0.1", 80)
+		if res.Failed() {
+			t.Fatalf("request %d failed: %s", i, res.Err)
+		}
+		double += res.Latency
+	}
+	_ = single
+	avg := double / 40
+	if avg > 120*time.Millisecond {
+		t.Fatalf("average latency %v implausible with two backends", avg)
+	}
+}
+
+func TestLatencyRisesWithLoad(t *testing.T) {
+	h := newHarness(t)
+	first := h.state.Request("node-a", "10.96.0.1", 80).Latency
+	var last time.Duration
+	for i := 0; i < 30; i++ {
+		last = h.state.Request("node-a", "10.96.0.1", 80).Latency
+	}
+	if last <= first {
+		t.Fatalf("latency did not grow under burst load: first %v, last %v", first, last)
+	}
+}

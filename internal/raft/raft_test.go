@@ -1,0 +1,214 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/sim"
+)
+
+func settle(loop *sim.Loop, d time.Duration) {
+	loop.RunUntil(loop.Now() + d)
+}
+
+func TestLeaderElection(t *testing.T) {
+	loop := sim.NewLoop(1)
+	c := NewCluster(loop, 3, nil)
+	settle(loop, 2*time.Second)
+	if c.Leader() < 0 {
+		t.Fatal("no leader elected after 2s")
+	}
+	leaders := 0
+	for i := 0; i < c.Size(); i++ {
+		if c.StateOf(i) == Leader {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", leaders)
+	}
+}
+
+func TestReplicationReachesAllNodes(t *testing.T) {
+	loop := sim.NewLoop(2)
+	applied := make(map[int][]string)
+	c := NewCluster(loop, 3, func(id int, e Entry) {
+		applied[id] = append(applied[id], string(e.Data))
+	})
+	settle(loop, 2*time.Second)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Propose([]byte(fmt.Sprintf("op-%d", i))); err != nil {
+			t.Fatalf("Propose %d: %v", i, err)
+		}
+		settle(loop, 200*time.Millisecond)
+	}
+	settle(loop, time.Second)
+	for id := 0; id < 3; id++ {
+		if len(applied[id]) != 5 {
+			t.Fatalf("node %d applied %d entries, want 5: %v", id, len(applied[id]), applied[id])
+		}
+		for i, op := range applied[id] {
+			if want := fmt.Sprintf("op-%d", i); op != want {
+				t.Fatalf("node %d applied %q at %d, want %q", id, op, i, want)
+			}
+		}
+	}
+}
+
+func TestProposeWithoutLeader(t *testing.T) {
+	loop := sim.NewLoop(3)
+	c := NewCluster(loop, 3, nil)
+	// No time has passed: no leader yet.
+	if _, err := c.Propose([]byte("x")); err == nil {
+		t.Fatal("Propose before election succeeded")
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	loop := sim.NewLoop(4)
+	c := NewCluster(loop, 3, nil)
+	settle(loop, 2*time.Second)
+	old := c.Leader()
+	if old < 0 {
+		t.Fatal("no initial leader")
+	}
+	if _, err := c.Propose([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop, 500*time.Millisecond)
+	c.StopNode(old)
+	settle(loop, 2*time.Second)
+	cur := c.Leader()
+	if cur < 0 {
+		t.Fatal("no leader elected after failover")
+	}
+	if cur == old {
+		t.Fatal("stopped node still leader")
+	}
+	if _, err := c.Propose([]byte("after")); err != nil {
+		t.Fatalf("Propose after failover: %v", err)
+	}
+	settle(loop, time.Second)
+	if c.CommittedIndex(cur) != 2 {
+		t.Fatalf("commit index = %d, want 2", c.CommittedIndex(cur))
+	}
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	loop := sim.NewLoop(5)
+	c := NewCluster(loop, 3, nil)
+	settle(loop, 2*time.Second)
+	leader := c.Leader()
+	// Isolate the leader from both followers.
+	var others []int
+	for i := 0; i < 3; i++ {
+		if i != leader {
+			others = append(others, i)
+		}
+	}
+	c.Partition([]int{leader}, others)
+	settle(loop, 2*time.Second)
+	// The majority side elects a new leader; the old leader cannot commit.
+	newLeader := -1
+	for _, id := range others {
+		if c.StateOf(id) == Leader {
+			newLeader = id
+		}
+	}
+	if newLeader < 0 {
+		t.Fatal("majority partition did not elect a leader")
+	}
+	before := c.CommittedIndex(leader)
+	// Propose through the stale leader directly: must never commit.
+	if c.StateOf(leader) == Leader {
+		if _, err := c.nodes[leader].propose([]byte("lost")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(loop, time.Second)
+	if c.CommittedIndex(leader) != before {
+		t.Fatal("isolated leader committed an entry without quorum")
+	}
+	// Heal: the cluster converges and stale entries are discarded.
+	c.Heal()
+	settle(loop, 2*time.Second)
+	if _, err := c.Propose([]byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop, time.Second)
+	cur := c.Leader()
+	if c.CommittedIndex(cur) < 1 {
+		t.Fatal("no commits after heal")
+	}
+}
+
+// Safety property: logs on any two nodes never disagree at a committed index.
+func TestLogMatchingUnderChurn(t *testing.T) {
+	loop := sim.NewLoop(6)
+	var c *Cluster
+	c = NewCluster(loop, 5, nil)
+	settle(loop, 2*time.Second)
+	for round := 0; round < 10; round++ {
+		if l := c.Leader(); l >= 0 {
+			_, _ = c.Propose([]byte(fmt.Sprintf("r%d", round)))
+		}
+		settle(loop, 300*time.Millisecond)
+		if round%3 == 0 {
+			if l := c.Leader(); l >= 0 {
+				c.StopNode(l)
+				settle(loop, time.Second)
+				c.RestartNode(l)
+			}
+		}
+		settle(loop, 500*time.Millisecond)
+	}
+	settle(loop, 2*time.Second)
+	// Compare all logs up to the minimum commit index.
+	minCommit := int64(1 << 62)
+	for i := 0; i < 5; i++ {
+		if ci := c.CommittedIndex(i); ci < minCommit {
+			minCommit = ci
+		}
+	}
+	ref := c.LogOf(0)
+	for i := 1; i < 5; i++ {
+		log := c.LogOf(i)
+		for idx := int64(0); idx < minCommit; idx++ {
+			if string(ref[idx].Data) != string(log[idx].Data) || ref[idx].Term != log[idx].Term {
+				t.Fatalf("log mismatch at committed index %d between node 0 and %d", idx+1, i)
+			}
+		}
+	}
+}
+
+func TestSingleNodeClusterCommitsImmediately(t *testing.T) {
+	loop := sim.NewLoop(7)
+	var got []string
+	c := NewCluster(loop, 1, func(_ int, e Entry) { got = append(got, string(e.Data)) })
+	settle(loop, time.Second)
+	if c.Leader() != 0 {
+		t.Fatal("single node did not become leader")
+	}
+	if _, err := c.Propose([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop, 100*time.Millisecond)
+	if len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("applied = %v, want [solo]", got)
+	}
+}
+
+func TestTermsMonotone(t *testing.T) {
+	loop := sim.NewLoop(8)
+	c := NewCluster(loop, 3, nil)
+	var last int64
+	for i := 0; i < 10; i++ {
+		settle(loop, 500*time.Millisecond)
+		cur := c.Term()
+		if cur < last {
+			t.Fatalf("term went backwards: %d after %d", cur, last)
+		}
+		last = cur
+	}
+}

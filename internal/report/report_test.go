@@ -1,0 +1,124 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/mutiny-sim/mutiny/internal/campaign"
+	"github.com/mutiny-sim/mutiny/internal/classify"
+	"github.com/mutiny-sim/mutiny/internal/inject"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/workload"
+)
+
+func sampleAggregate() *campaign.Aggregate {
+	agg := campaign.NewAggregate()
+	mk := func(wl workload.Kind, typ inject.FaultType, path string, of classify.OF, cf classify.CF, z float64, userErrs int) *campaign.Result {
+		return &campaign.Result{
+			Spec: campaign.Spec{
+				Workload:  wl,
+				Injection: &inject.Injection{Kind: spec.KindPod, Type: typ, FieldPath: path},
+			},
+			OF: of, CF: cf, Z: z, UserErrors: userErrs,
+		}
+	}
+	agg.Add(mk(workload.Deploy, inject.BitFlip, "metadata.labels[app]", classify.OFSta, classify.CFSU, 11, 0))
+	agg.Add(mk(workload.Deploy, inject.BitFlip, "status.address", classify.OFNone, classify.CFNSI, 0.1, 0))
+	agg.Add(mk(workload.Deploy, inject.SetValue, "spec.replicas", classify.OFMoR, classify.CFHRT, 4, 1))
+	agg.Add(mk(workload.ScaleUp, inject.DropMessage, "", classify.OFLeR, classify.CFSU, 30, 0))
+	agg.Add(mk(workload.Failover, inject.FlipProtoByte, "", classify.OFNone, classify.CFNSI, -0.3, 0))
+	return agg
+}
+
+func TestTablesRenderAllSections(t *testing.T) {
+	agg := sampleAggregate()
+	var buf bytes.Buffer
+
+	Table1(&buf)
+	Table3(&buf, agg)
+	Table4(&buf, agg)
+	Table5(&buf, agg)
+	Table6(&buf, []campaign.PropagationCell{
+		{Workload: workload.Deploy, Component: "kcm", Injected: 10, Propagated: 4, Errored: 1},
+		{Workload: workload.Deploy, Component: "scheduler", Injected: 2, Propagated: 1, Errored: 0},
+	})
+	Table7(&buf)
+	Figure6(&buf, agg)
+	Figure7(&buf, agg)
+	CriticalFields(&buf, agg)
+	Findings(&buf, agg)
+
+	out := buf.String()
+	for _, want := range []string{
+		"Table I ", "Table III", "Table IV", "Table V ", "Table VI", "Table VII",
+		"Figure 6", "Figure 7",
+		"Kcm", "Scheduler", // component labels
+		"Bit-flip", "Value set", "Drop",
+		"F1:", "F2:", "F4:",
+		"dependency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestTable4Percentages(t *testing.T) {
+	agg := sampleAggregate()
+	var buf bytes.Buffer
+	Table4(&buf, agg)
+	out := buf.String()
+	// 5 experiments total: 2 No = 40%.
+	if !strings.Contains(out, "40.0%") {
+		t.Fatalf("Table IV missing expected percentage:\n%s", out)
+	}
+}
+
+func TestFigure5Sparkline(t *testing.T) {
+	var buf bytes.Buffer
+	golden := make([]float64, 600)
+	injected := make([]float64, 600)
+	for i := range golden {
+		golden[i] = 50
+		if i > 300 {
+			injected[i] = 150 // degraded second half
+		} else {
+			injected[i] = 50
+		}
+	}
+	Figure5(&buf, golden, injected, -0.2, 11.0)
+	out := buf.String()
+	if !strings.Contains(out, "z = -0.2") || !strings.Contains(out, "z = +11.0") {
+		t.Fatalf("Figure 5 missing z-scores:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Figure 5 rendered %d lines, want 3", len(lines))
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if s := sparkline(nil); s != "" {
+		t.Fatalf("empty sparkline = %q", s)
+	}
+	if s := sparkline([]float64{0, 0, 0}); !strings.Contains(s, "_") {
+		t.Fatalf("all-zero sparkline = %q", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median = %f", q)
+	}
+	if q := quantile(xs, 0); q != 1 {
+		t.Fatalf("min = %f", q)
+	}
+	if q := quantile(xs, 1); q != 5 {
+		t.Fatalf("max = %f", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %f", q)
+	}
+}

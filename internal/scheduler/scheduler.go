@@ -1,0 +1,376 @@
+// Package scheduler implements the kube-scheduler: it assigns pending pods
+// to nodes based on resource requests, availability and constraints, runs
+// behind leader election, and maintains a local cache of node allocations.
+//
+// The cache is the scheduler's Achilles' heel probed by the paper (§V-C):
+// when the state observed from the store contradicts the cache — e.g. a
+// pod's nodeName silently changed to a node the scheduler never chose — the
+// scheduler assumes its own cache is corrupt and restarts, leaving pods
+// pending until a new leader takes over (~20 s in the default
+// configuration).
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/election"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+const (
+	schedulePeriod = 100 * time.Millisecond
+	// restartDelay plus the lease expiry (~15 s) reproduce the paper's
+	// "after a new leader Scheduler is elected (after 20 seconds, in the
+	// standard configuration)".
+	restartDelay = 5 * time.Second
+)
+
+// Options configure the scheduler.
+type Options struct {
+	// Identity distinguishes replicas.
+	Identity string
+	// DisableLeaderElection runs the scheduler unconditionally.
+	DisableLeaderElection bool
+	// DisableCacheSelfCheck turns off the restart-on-cache-mismatch
+	// behaviour (ablation).
+	DisableCacheSelfCheck bool
+}
+
+// Scheduler assigns pods to nodes.
+type Scheduler struct {
+	loop    *sim.Loop
+	srv     *apiserver.Server
+	client  *apiserver.Client
+	opts    Options
+	elector *election.Elector
+
+	running bool
+	pending map[string]bool   // pod keys awaiting scheduling
+	assumed map[string]string // pod UID → node the scheduler bound it to
+	// lastPreempt backs off preemption attempts per pod (the real
+	// scheduler's preemption is similarly rate-limited).
+	lastPreempt map[string]time.Duration
+	ticker      *sim.Timer
+	cancelW     func()
+	restarts    int
+	epoch       int
+}
+
+// New builds a scheduler against the API server.
+func New(loop *sim.Loop, srv *apiserver.Server, opts Options) *Scheduler {
+	if opts.Identity == "" {
+		opts.Identity = "kube-scheduler-0"
+	}
+	s := &Scheduler{
+		loop:        loop,
+		srv:         srv,
+		client:      srv.ClientFor("scheduler"),
+		opts:        opts,
+		pending:     make(map[string]bool),
+		assumed:     make(map[string]string),
+		lastPreempt: make(map[string]time.Duration),
+	}
+	if !opts.DisableLeaderElection {
+		s.newElector(opts.Identity)
+	}
+	return s
+}
+
+func (s *Scheduler) newElector(identity string) {
+	s.elector = election.New(s.loop, s.srv.ClientFor(identity), election.Config{
+		LeaseName:        "kube-scheduler",
+		Identity:         identity,
+		OnStartedLeading: s.run,
+		OnStoppedLeading: s.halt,
+	})
+}
+
+// Start begins campaigning (or scheduling directly without election).
+func (s *Scheduler) Start() {
+	if s.elector != nil {
+		s.elector.Start()
+		return
+	}
+	s.run()
+}
+
+// Stop halts the scheduler.
+func (s *Scheduler) Stop() {
+	if s.elector != nil {
+		s.elector.Stop()
+	}
+	s.halt()
+}
+
+// Restarts reports how many cache-mismatch restarts occurred (a timing-
+// failure signal for the classifier).
+func (s *Scheduler) Restarts() int { return s.restarts }
+
+// IsRunning reports whether the scheduler is actively scheduling.
+func (s *Scheduler) IsRunning() bool { return s.running }
+
+func (s *Scheduler) run() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.pending = make(map[string]bool)
+	s.assumed = make(map[string]string)
+	s.lastPreempt = make(map[string]time.Duration)
+	s.cancelW = s.client.Watch(spec.KindPod, s.onPodEvent)
+	s.ticker = s.loop.Every(schedulePeriod, s.scheduleAll)
+	// Prime from the current state.
+	for _, po := range s.client.List(spec.KindPod, "") {
+		pod := po.(*spec.Pod)
+		if pod.Spec.NodeName == "" && pod.Active() {
+			s.pending[podKey(pod)] = true
+		} else if pod.Spec.NodeName != "" {
+			s.assumed[pod.Metadata.UID] = pod.Spec.NodeName
+		}
+	}
+}
+
+func (s *Scheduler) halt() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+	if s.cancelW != nil {
+		s.cancelW()
+	}
+}
+
+func (s *Scheduler) onPodEvent(ev apiserver.WatchEvent) {
+	if !s.running {
+		return
+	}
+	pod := ev.Object.(*spec.Pod)
+	key := podKey(pod)
+	switch ev.Type {
+	case apiserver.Deleted:
+		delete(s.pending, key)
+		delete(s.assumed, pod.Metadata.UID)
+		return
+	case apiserver.Added, apiserver.Modified:
+		if pod.Spec.NodeName == "" {
+			if pod.Active() {
+				s.pending[key] = true
+			}
+			return
+		}
+		delete(s.pending, key)
+		if prev, ok := s.assumed[pod.Metadata.UID]; ok && prev != pod.Spec.NodeName {
+			// The store says this pod runs somewhere the scheduler never
+			// put it. Assume local cache corruption and restart (§V-C).
+			if !s.opts.DisableCacheSelfCheck {
+				s.restart()
+				return
+			}
+		}
+		s.assumed[pod.Metadata.UID] = pod.Spec.NodeName
+	}
+}
+
+// restart models a full scheduler restart: state dropped, leadership
+// relinquished, and a re-campaign under a fresh identity so the stale lease
+// must expire first.
+func (s *Scheduler) restart() {
+	s.restarts++
+	s.halt()
+	if s.elector == nil {
+		// No election configured: come back after the restart delay alone.
+		s.loop.After(restartDelay, s.run)
+		return
+	}
+	s.elector.Stop()
+	s.epoch++
+	identity := fmt.Sprintf("%s-r%d", s.opts.Identity, s.epoch)
+	s.loop.After(restartDelay, func() {
+		s.newElector(identity)
+		s.elector.Start()
+	})
+}
+
+func (s *Scheduler) scheduleAll() {
+	if !s.running || len(s.pending) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(s.pending))
+	for k := range s.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	nodes := s.snapshotNodes()
+	// One pod snapshot per cycle serves all preemption decisions: listing
+	// per candidate node degrades quadratically once an uncontrolled-
+	// replication injection floods the cluster with pending pods.
+	var podSnapshot []*spec.Pod
+	for _, key := range keys {
+		ns, name := splitKey(key)
+		obj, err := s.client.Get(spec.KindPod, ns, name)
+		if errors.Is(err, apiserver.ErrNotFound) {
+			delete(s.pending, key)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		pod := obj.(*spec.Pod)
+		if pod.Spec.NodeName != "" || !pod.Active() {
+			delete(s.pending, key)
+			continue
+		}
+		if pod.Spec.Priority > 0 && podSnapshot == nil {
+			for _, po := range s.client.List(spec.KindPod, "") {
+				podSnapshot = append(podSnapshot, po.(*spec.Pod))
+			}
+		}
+		if s.scheduleOne(pod, nodes, podSnapshot) {
+			delete(s.pending, key)
+		}
+	}
+}
+
+type nodeInfo struct {
+	node    *spec.Node
+	freeCPU int64
+	freeMem int64
+}
+
+// snapshotNodes computes per-node free resources from the current pod set.
+func (s *Scheduler) snapshotNodes() []*nodeInfo {
+	var infos []*nodeInfo
+	byName := make(map[string]*nodeInfo)
+	for _, no := range s.client.List(spec.KindNode, "") {
+		node := no.(*spec.Node)
+		info := &nodeInfo{
+			node:    node,
+			freeCPU: node.Status.AllocatableMilliCPU,
+			freeMem: node.Status.AllocatableMemMB,
+		}
+		infos = append(infos, info)
+		byName[node.Metadata.Name] = info
+	}
+	for _, po := range s.client.List(spec.KindPod, "") {
+		pod := po.(*spec.Pod)
+		if pod.Spec.NodeName == "" || !pod.Active() {
+			continue
+		}
+		if info, ok := byName[pod.Spec.NodeName]; ok {
+			info.freeCPU -= pod.RequestsMilliCPU()
+			info.freeMem -= pod.RequestsMemMB()
+		}
+	}
+	return infos
+}
+
+// scheduleOne filters and scores nodes, then binds. Reports whether the pod
+// left the pending set.
+func (s *Scheduler) scheduleOne(pod *spec.Pod, nodes []*nodeInfo, podSnapshot []*spec.Pod) bool {
+	var best *nodeInfo
+	var bestScore int64 = -1
+	for _, info := range nodes {
+		if !s.feasible(pod, info) {
+			continue
+		}
+		// Least-allocated scoring keeps load spread, deterministically
+		// tie-broken by name via the sorted iteration order.
+		score := info.freeCPU + info.freeMem
+		if score > bestScore {
+			best, bestScore = info, score
+		}
+	}
+	if best == nil {
+		if pod.Spec.Priority > 0 && s.loop.Now()-s.lastPreempt[pod.Metadata.UID] >= time.Second {
+			s.lastPreempt[pod.Metadata.UID] = s.loop.Now()
+			s.preempt(pod, nodes, podSnapshot)
+		}
+		return false // stays pending
+	}
+	pod.Spec.NodeName = best.node.Metadata.Name
+	if err := s.client.Update(pod); err != nil {
+		return false
+	}
+	best.freeCPU -= pod.RequestsMilliCPU()
+	best.freeMem -= pod.RequestsMemMB()
+	s.assumed[pod.Metadata.UID] = best.node.Metadata.Name
+	return true
+}
+
+func (s *Scheduler) feasible(pod *spec.Pod, info *nodeInfo) bool {
+	node := info.node
+	if !node.Status.Ready || node.Spec.Unschedulable {
+		return false
+	}
+	for k, v := range pod.Spec.NodeSelector {
+		if node.Metadata.Labels[k] != v {
+			return false
+		}
+	}
+	for _, taint := range node.Spec.Taints {
+		if (taint.Effect == spec.TaintNoSchedule || taint.Effect == spec.TaintNoExecute) && !pod.Tolerates(taint) {
+			return false
+		}
+	}
+	return pod.RequestsMilliCPU() <= info.freeCPU && pod.RequestsMemMB() <= info.freeMem
+}
+
+// preempt evicts lower-priority pods to make room for a high-priority pod,
+// mirroring priority preemption ("preemptive Pods evict all the
+// lower-priority Pods, leading to an Out failure").
+func (s *Scheduler) preempt(pod *spec.Pod, nodes []*nodeInfo, podSnapshot []*spec.Pod) {
+	needCPU, needMem := pod.RequestsMilliCPU(), pod.RequestsMemMB()
+	for _, info := range nodes {
+		if !info.node.Status.Ready || info.node.Spec.Unschedulable {
+			continue
+		}
+		var victims []*spec.Pod
+		freeCPU, freeMem := info.freeCPU, info.freeMem
+		for _, vic := range podSnapshot {
+			if vic.Spec.NodeName != info.node.Metadata.Name || !vic.Active() {
+				continue
+			}
+			if vic.Spec.Priority < pod.Spec.Priority {
+				victims = append(victims, vic)
+			}
+		}
+		sort.Slice(victims, func(i, j int) bool {
+			return victims[i].Spec.Priority < victims[j].Spec.Priority
+		})
+		var chosen []*spec.Pod
+		for _, vic := range victims {
+			if freeCPU >= needCPU && freeMem >= needMem {
+				break
+			}
+			freeCPU += vic.RequestsMilliCPU()
+			freeMem += vic.RequestsMemMB()
+			chosen = append(chosen, vic)
+		}
+		if freeCPU >= needCPU && freeMem >= needMem && len(chosen) > 0 {
+			for _, vic := range chosen {
+				_ = s.client.Delete(spec.KindPod, vic.Metadata.Namespace, vic.Metadata.Name)
+			}
+			return
+		}
+	}
+}
+
+func podKey(p *spec.Pod) string { return p.Metadata.Namespace + "/" + p.Metadata.Name }
+
+func splitKey(key string) (namespace, name string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return "", key
+}

@@ -1,0 +1,227 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/store"
+)
+
+func newScheduler(t *testing.T) (*sim.Loop, *apiserver.Client, *Scheduler) {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	st := store.New(loop, nil)
+	srv := apiserver.New(loop, st, nil)
+	s := New(loop, srv, Options{})
+	c := srv.ClientFor("test")
+	for i, name := range []string{"worker-0", "worker-1"} {
+		node := &spec.Node{
+			Metadata: spec.ObjectMeta{Name: name, Labels: map[string]string{"zone": []string{"a", "b"}[i]}},
+			Status: spec.NodeStatus{
+				Ready: true, AllocatableMilliCPU: 4000, AllocatableMemMB: 2048,
+				LastHeartbeatMillis: loop.Time().UnixMilli(),
+			},
+		}
+		if err := c.Create(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Start()
+	loop.RunUntil(5 * time.Second)
+	return loop, c, s
+}
+
+func pendingPod(name string, cpu int64) *spec.Pod {
+	return &spec.Pod{
+		Metadata: spec.ObjectMeta{Name: name, Namespace: spec.DefaultNamespace},
+		Spec: spec.PodSpec{Containers: []spec.Container{{
+			Name: "c", Image: "registry.local/web:1", Command: []string{"serve"},
+			RequestsMilliCPU: cpu, RequestsMemMB: 128,
+		}}},
+	}
+}
+
+func nodeOf(t *testing.T, c *apiserver.Client, name string) string {
+	t.Helper()
+	obj, err := c.Get(spec.KindPod, spec.DefaultNamespace, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj.(*spec.Pod).Spec.NodeName
+}
+
+func TestBindsPendingPod(t *testing.T) {
+	loop, c, _ := newScheduler(t)
+	if err := c.Create(pendingPod("web-1", 500)); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + 2*time.Second)
+	if n := nodeOf(t, c, "web-1"); n == "" {
+		t.Fatal("pod not scheduled")
+	}
+}
+
+func TestSpreadsByLeastAllocated(t *testing.T) {
+	loop, c, _ := newScheduler(t)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if err := c.Create(pendingPod(name, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loop.RunUntil(loop.Now() + 3*time.Second)
+	counts := map[string]int{}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		counts[nodeOf(t, c, name)]++
+	}
+	if counts["worker-0"] != 2 || counts["worker-1"] != 2 {
+		t.Fatalf("placement %v, want an even spread", counts)
+	}
+}
+
+func TestRespectsNodeSelector(t *testing.T) {
+	loop, c, _ := newScheduler(t)
+	p := pendingPod("picky", 100)
+	p.Spec.NodeSelector = map[string]string{"zone": "b"}
+	if err := c.Create(p); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + 2*time.Second)
+	if n := nodeOf(t, c, "picky"); n != "worker-1" {
+		t.Fatalf("scheduled on %q, want worker-1 (zone=b)", n)
+	}
+}
+
+func TestRespectsTaints(t *testing.T) {
+	loop, c, _ := newScheduler(t)
+	obj, _ := c.Get(spec.KindNode, "", "worker-0")
+	node := obj.(*spec.Node)
+	node.Spec.Taints = []spec.Taint{{Key: "dedicated", Effect: spec.TaintNoSchedule}}
+	if err := c.Update(node); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + time.Second)
+	for _, name := range []string{"a", "b", "c"} {
+		if err := c.Create(pendingPod(name, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loop.RunUntil(loop.Now() + 2*time.Second)
+	for _, name := range []string{"a", "b", "c"} {
+		if n := nodeOf(t, c, name); n != "worker-1" {
+			t.Fatalf("pod %s on tainted node %q", name, n)
+		}
+	}
+}
+
+func TestUnschedulableStaysPending(t *testing.T) {
+	loop, c, _ := newScheduler(t)
+	if err := c.Create(pendingPod("huge", 9000)); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + 5*time.Second)
+	if n := nodeOf(t, c, "huge"); n != "" {
+		t.Fatalf("infeasible pod bound to %q", n)
+	}
+}
+
+func TestPreemptionEvictsLowerPriority(t *testing.T) {
+	loop, c, _ := newScheduler(t)
+	// Fill both nodes.
+	for _, name := range []string{"a", "b"} {
+		if err := c.Create(pendingPod(name, 3500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loop.RunUntil(loop.Now() + 3*time.Second)
+	// A high-priority pod arrives with nowhere to fit.
+	p := pendingPod("vip", 3000)
+	p.Spec.Priority = 1000
+	if err := c.Create(p); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + 5*time.Second)
+	if n := nodeOf(t, c, "vip"); n == "" {
+		t.Fatal("high-priority pod not scheduled after preemption")
+	}
+	// One victim must be gone.
+	survivors := 0
+	for _, name := range []string{"a", "b"} {
+		if _, err := c.Get(spec.KindPod, spec.DefaultNamespace, name); err == nil {
+			survivors++
+		}
+	}
+	if survivors != 1 {
+		t.Fatalf("%d low-priority pods survived, want 1", survivors)
+	}
+}
+
+// Pods bound by someone else (daemon pods, external binders) must be
+// absorbed into the cache without triggering the corruption self-check.
+func TestExternallyBoundPodDoesNotRestart(t *testing.T) {
+	loop, c, s := newScheduler(t)
+	bound := pendingPod("daemon-1", 100)
+	bound.Spec.NodeName = "worker-0"
+	if err := c.Create(bound); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + 2*time.Second)
+	if s.Restarts() != 0 {
+		t.Fatalf("restarts = %d for an externally bound pod, want 0", s.Restarts())
+	}
+	if !s.IsRunning() {
+		t.Fatal("scheduler stopped")
+	}
+}
+
+func TestRestartAfterStoreMovesPod(t *testing.T) {
+	// Rebuild the harness with validation disabled so the nodeName change
+	// lands in the store like an apiserver→etcd injection.
+	loop := sim.NewLoop(2)
+	st := store.New(loop, nil)
+	srv := apiserver.New(loop, st, &apiserver.Options{DisableValidation: true})
+	s := New(loop, srv, Options{})
+	c := srv.ClientFor("test")
+	for _, name := range []string{"worker-0", "worker-1"} {
+		node := &spec.Node{
+			Metadata: spec.ObjectMeta{Name: name},
+			Status: spec.NodeStatus{Ready: true, AllocatableMilliCPU: 4000,
+				AllocatableMemMB: 2048, LastHeartbeatMillis: loop.Time().UnixMilli()},
+		}
+		if err := c.Create(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Start()
+	loop.RunUntil(5 * time.Second)
+	if err := c.Create(pendingPod("web-1", 500)); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + 2*time.Second)
+	obj, err := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pod := obj.(*spec.Pod)
+	if pod.Spec.NodeName == "" {
+		t.Fatal("setup: not scheduled")
+	}
+	pod.Spec.NodeName = "ghost-node"
+	if err := c.Update(pod); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + 2*time.Second)
+	if s.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1 after cache mismatch", s.Restarts())
+	}
+	if s.IsRunning() {
+		t.Fatal("scheduler still running immediately after restart")
+	}
+	// A new leader takes over after the stale lease expires (~20s).
+	loop.RunUntil(loop.Now() + 40*time.Second)
+	if !s.IsRunning() {
+		t.Fatal("scheduler did not recover after restart")
+	}
+}

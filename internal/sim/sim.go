@@ -1,0 +1,238 @@
+// Package sim provides a deterministic discrete-event scheduler used as the
+// execution substrate for the whole simulated cluster.
+//
+// Every component of the orchestration system (store, apiserver, controllers,
+// scheduler, kubelets, network) runs as callbacks on a single event loop with
+// a virtual clock. An experiment that spans a minute of simulated time
+// executes in well under a millisecond of wall time, and two runs with the
+// same seed produce bit-identical event orders, which is what makes a
+// ~9,000-experiment injection campaign tractable and reproducible.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the virtual wall-clock instant corresponding to virtual time zero.
+// Timestamps stored in resource objects are derived from it.
+var Epoch = time.Date(2024, time.April, 17, 0, 0, 0, 0, time.UTC)
+
+// Loop is a deterministic discrete-event scheduler. The zero value is not
+// usable; construct with NewLoop.
+//
+// Loop is not safe for concurrent use: all callbacks run on the goroutine
+// that calls Run/RunUntil/Step, and may schedule further events.
+type Loop struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	executed int64
+	budget   int64 // 0 = unlimited
+}
+
+// Timer is a handle to a scheduled callback. Stop cancels it.
+type Timer struct {
+	ev       *event
+	periodic *bool // set for Every timers; true once stopped
+}
+
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer, and reports whether the call prevented the callback
+// from firing again.
+func (t *Timer) Stop() bool {
+	if t == nil {
+		return false
+	}
+	if t.periodic != nil {
+		if *t.periodic {
+			return false
+		}
+		*t.periodic = true
+		if t.ev != nil {
+			t.ev.cancelled = true
+		}
+		return true
+	}
+	if t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+// NewLoop returns a loop whose random source is seeded with seed.
+func NewLoop(seed int64) *Loop {
+	return &Loop{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time as an offset from the epoch.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// Time returns the current virtual wall-clock time.
+func (l *Loop) Time() time.Time { return Epoch.Add(l.now) }
+
+// Rand returns the loop's deterministic random source.
+func (l *Loop) Rand() *rand.Rand { return l.rng }
+
+// SetEventBudget bounds the total number of events the loop will execute;
+// once exhausted, Run/RunUntil stop executing callbacks and only advance the
+// clock. A budget turns pathological feedback loops (e.g. uncontrolled
+// replication churning at event speed) into a frozen — and classifiable —
+// cluster instead of an unbounded computation, the simulation counterpart of
+// the paper's fixed experiment duration. Zero means unlimited.
+func (l *Loop) SetEventBudget(n int64) { l.budget = n }
+
+// EventsExecuted reports how many events have run.
+func (l *Loop) EventsExecuted() int64 { return l.executed }
+
+// BudgetExhausted reports whether the event budget was consumed.
+func (l *Loop) BudgetExhausted() bool { return l.budget > 0 && l.executed >= l.budget }
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (l *Loop) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now+d, fn)
+}
+
+// At schedules fn at the absolute virtual time t (clamped to now).
+func (l *Loop) At(t time.Duration, fn func()) *Timer {
+	if t < l.now {
+		t = l.now
+	}
+	ev := &event{at: t, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Every schedules fn to run every interval, starting one interval from now,
+// until the returned Timer is stopped. The interval must be positive.
+func (l *Loop) Every(interval time.Duration, fn func()) *Timer {
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	stopped := false
+	t := &Timer{periodic: &stopped}
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			t.ev = l.After(interval, tick).ev
+		}
+	}
+	t.ev = l.After(interval, tick).ev
+	return t
+}
+
+// Step executes the next pending event, advancing the clock to its deadline.
+// It reports whether an event was executed.
+func (l *Loop) Step() bool {
+	if l.BudgetExhausted() {
+		return false
+	}
+	for l.events.Len() > 0 {
+		ev := heap.Pop(&l.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		l.now = ev.at
+		ev.fired = true
+		l.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes all events scheduled at or before deadline, then advances
+// the clock to deadline. Events scheduled by callbacks are executed too if
+// they fall within the deadline.
+func (l *Loop) RunUntil(deadline time.Duration) {
+	l.stopped = false
+	for !l.stopped && !l.BudgetExhausted() && l.events.Len() > 0 {
+		ev := l.events[0]
+		if ev.cancelled {
+			heap.Pop(&l.events)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		l.Step()
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (l *Loop) Run() {
+	l.stopped = false
+	for !l.stopped && l.Step() {
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current callback.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Pending reports the number of scheduled, uncancelled events.
+func (l *Loop) Pending() int {
+	n := 0
+	for _, ev := range l.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLoopOrdering(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	l.After(3*time.Second, func() { got = append(got, 3) })
+	l.After(1*time.Second, func() { got = append(got, 1) })
+	l.After(2*time.Second, func() { got = append(got, 2) })
+	l.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if l.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", l.Now())
+	}
+}
+
+func TestLoopFIFOAtSameInstant(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.After(time.Second, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestLoopNestedScheduling(t *testing.T) {
+	l := NewLoop(1)
+	var fired int
+	l.After(time.Second, func() {
+		l.After(time.Second, func() { fired++ })
+	})
+	l.Run()
+	if fired != 1 {
+		t.Fatalf("nested event fired %d times, want 1", fired)
+	}
+	if l.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", l.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	l := NewLoop(1)
+	fired := false
+	tm := l.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	l.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	l := NewLoop(1)
+	var fired, late bool
+	l.After(time.Second, func() { fired = true })
+	l.After(time.Minute, func() { late = true })
+	l.RunUntil(10 * time.Second)
+	if !fired {
+		t.Fatal("event within deadline did not fire")
+	}
+	if late {
+		t.Fatal("event past deadline fired")
+	}
+	if l.Now() != 10*time.Second {
+		t.Fatalf("Now() = %v, want 10s", l.Now())
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", l.Pending())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	l := NewLoop(1)
+	var n int
+	var tick *Timer
+	tick = l.Every(time.Second, func() {
+		n++
+		if n == 5 {
+			tick.Stop()
+		}
+	})
+	l.RunUntil(time.Minute)
+	if n != 5 {
+		t.Fatalf("periodic fired %d times, want 5", n)
+	}
+}
+
+func TestEveryStopBeforeFirstTick(t *testing.T) {
+	l := NewLoop(1)
+	var n int
+	tick := l.Every(time.Second, func() { n++ })
+	tick.Stop()
+	l.RunUntil(10 * time.Second)
+	if n != 0 {
+		t.Fatalf("stopped periodic fired %d times, want 0", n)
+	}
+}
+
+func TestAtClampsToNow(t *testing.T) {
+	l := NewLoop(1)
+	l.After(5*time.Second, func() {
+		l.At(time.Second, func() {
+			if l.Now() != 5*time.Second {
+				t.Fatalf("past-scheduled event ran at %v, want clamped to 5s", l.Now())
+			}
+		})
+	})
+	l.Run()
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	l := NewLoop(1)
+	var count int
+	for i := 0; i < 10; i++ {
+		l.After(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				l.Stop()
+			}
+		})
+	}
+	l.Run()
+	if count != 3 {
+		t.Fatalf("Run executed %d events after Stop, want 3", count)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		l := NewLoop(seed)
+		var trace []int64
+		for i := 0; i < 100; i++ {
+			d := time.Duration(l.Rand().Intn(1000)) * time.Millisecond
+			l.After(d, func() { trace = append(trace, int64(l.Now())) })
+		}
+		l.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of non-negative delays, events fire in
+// non-decreasing time order and the clock ends at the max delay.
+func TestPropertyMonotoneClock(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		l := NewLoop(7)
+		var last time.Duration
+		ok := true
+		var max time.Duration
+		for _, d := range delays {
+			dd := time.Duration(d) * time.Millisecond
+			if dd > max {
+				max = dd
+			}
+			l.After(dd, func() {
+				if l.Now() < last {
+					ok = false
+				}
+				last = l.Now()
+			})
+		}
+		l.Run()
+		return ok && (len(delays) == 0 || l.Now() == max)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeEpoch(t *testing.T) {
+	l := NewLoop(1)
+	l.RunUntil(90 * time.Second)
+	want := Epoch.Add(90 * time.Second)
+	if !l.Time().Equal(want) {
+		t.Fatalf("Time() = %v, want %v", l.Time(), want)
+	}
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bytes"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/codec"
+	"github.com/mutiny-sim/mutiny/internal/raft"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// Replicated is a multi-replica Backend: replica 0 serves the API server's
+// reads, writes and watches, while a Raft log replicates every operation to
+// the other replicas.
+//
+// It exists for the §V-C1 ablation: injections on the apiserver→store channel
+// happen *before* consensus, so all replicas agree on the corrupted value and
+// replication provides no protection — while an at-rest corruption of a
+// single replica is masked by quorum reads. Both behaviours are measured by
+// the ablation benches.
+type Replicated struct {
+	loop     *sim.Loop
+	primary  *Store
+	replicas []*Store
+	cluster  *raft.Cluster
+	pending  [][]byte
+	retry    *sim.Timer
+}
+
+type repOp struct {
+	Op    int64  `pb:"1"` // 1 = put, 2 = delete
+	Key   string `pb:"2"`
+	Kind  string `pb:"3"`
+	Value []byte `pb:"4"`
+}
+
+var _ Backend = (*Replicated)(nil)
+
+// NewReplicated creates n store replicas joined by a raft group. n must be
+// at least 1; production control planes use 3.
+func NewReplicated(loop *sim.Loop, n int, opts *Options) *Replicated {
+	if n < 1 {
+		n = 1
+	}
+	r := &Replicated{loop: loop}
+	for i := 0; i < n; i++ {
+		r.replicas = append(r.replicas, New(loop, opts))
+	}
+	r.primary = r.replicas[0]
+	r.cluster = raft.NewCluster(loop, n, func(nodeID int, e raft.Entry) {
+		// Replica 0 applied synchronously at write time; followers apply
+		// from the committed log.
+		if nodeID == 0 {
+			return
+		}
+		var op repOp
+		if err := codec.Unmarshal(e.Data, &op); err != nil {
+			return // an undecodable log entry cannot be applied
+		}
+		switch op.Op {
+		case 1:
+			_, _ = r.replicas[nodeID].Put(op.Key, spec.Kind(op.Kind), op.Value)
+		case 2:
+			r.replicas[nodeID].Delete(op.Key)
+		}
+	})
+	return r
+}
+
+// Put writes to the primary replica and replicates through the raft log. The
+// write is acknowledged from the primary — by the time any component
+// observes it, the (possibly corrupted) value is what consensus will agree
+// on.
+func (r *Replicated) Put(key string, kind spec.Kind, value []byte) (int64, error) {
+	rev, err := r.primary.Put(key, kind, value)
+	if err != nil {
+		return 0, err
+	}
+	r.replicate(repOp{Op: 1, Key: key, Kind: string(kind), Value: value})
+	return rev, nil
+}
+
+// Delete removes from the primary replica and replicates the tombstone.
+func (r *Replicated) Delete(key string) bool {
+	ok := r.primary.Delete(key)
+	if ok {
+		r.replicate(repOp{Op: 2, Key: key})
+	}
+	return ok
+}
+
+// Get reads from the primary replica (etcd serves linearizable reads from
+// the leader).
+func (r *Replicated) Get(key string) (KV, bool) { return r.primary.Get(key) }
+
+// List reads from the primary replica.
+func (r *Replicated) List(prefix string) []KV { return r.primary.List(prefix) }
+
+// Watch observes the primary replica.
+func (r *Replicated) Watch(prefix string, fn func(Event)) (cancel func()) {
+	return r.primary.Watch(prefix, fn)
+}
+
+// Revision returns the primary replica's revision.
+func (r *Replicated) Revision() int64 { return r.primary.Revision() }
+
+// SizeBytes returns the primary replica's size.
+func (r *Replicated) SizeBytes() int64 { return r.primary.SizeBytes() }
+
+// Primary exposes the primary replica (at-rest corruption ablation).
+func (r *Replicated) Primary() *Store { return r.primary }
+
+// Replica returns the i-th replica.
+func (r *Replicated) Replica(i int) *Store { return r.replicas[i] }
+
+// Replicas returns the replica count.
+func (r *Replicated) Replicas() int { return len(r.replicas) }
+
+// QuorumGet reads key from every replica and returns the value a majority
+// agrees on. A single corrupted-at-rest replica is outvoted, which is why
+// the paper observes that "quorum reads mitigate corrupted values".
+func (r *Replicated) QuorumGet(key string) (KV, bool) {
+	type vote struct {
+		kv    KV
+		found bool
+		count int
+	}
+	var votes []vote
+	for _, rep := range r.replicas {
+		kv, ok := rep.Get(key)
+		matched := false
+		for i := range votes {
+			if votes[i].found == ok && (!ok || bytes.Equal(votes[i].kv.Value, kv.Value)) {
+				votes[i].count++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			votes = append(votes, vote{kv: kv, found: ok, count: 1})
+		}
+	}
+	need := len(r.replicas)/2 + 1
+	for _, v := range votes {
+		if v.count >= need {
+			return v.kv, v.found
+		}
+	}
+	// No majority (possible only with >1 diverging replicas): fall back to
+	// the primary.
+	return r.primary.Get(key)
+}
+
+// Converged reports whether all replicas hold byte-identical values for key.
+func (r *Replicated) Converged(key string) bool {
+	ref, refOK := r.primary.Get(key)
+	for _, rep := range r.replicas[1:] {
+		kv, ok := rep.Get(key)
+		if ok != refOK || !bytes.Equal(kv.Value, ref.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Replicated) replicate(op repOp) {
+	if len(r.replicas) == 1 {
+		return
+	}
+	data, err := codec.Marshal(&op)
+	if err != nil {
+		return
+	}
+	r.pending = append(r.pending, data)
+	r.flush()
+}
+
+func (r *Replicated) flush() {
+	for len(r.pending) > 0 {
+		if _, err := r.cluster.Propose(r.pending[0]); err != nil {
+			// No raft leader yet (e.g. during initial election): retry
+			// shortly, like an etcd client would.
+			if r.retry == nil {
+				r.retry = r.loop.After(50*time.Millisecond, func() {
+					r.retry = nil
+					r.flush()
+				})
+			}
+			return
+		}
+		r.pending = r.pending[1:]
+	}
+}

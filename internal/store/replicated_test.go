@@ -1,0 +1,110 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+func TestReplicatedConvergence(t *testing.T) {
+	loop := sim.NewLoop(1)
+	r := NewReplicated(loop, 3, nil)
+	if _, err := r.Put("/registry/Pod/default/a", spec.KindPod, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("/registry/Pod/default/b", spec.KindPod, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	r.Delete("/registry/Pod/default/b")
+	// Allow the raft election and replication to complete.
+	loop.RunUntil(5 * time.Second)
+	if !r.Converged("/registry/Pod/default/a") {
+		t.Fatal("replicas did not converge on /a")
+	}
+	if !r.Converged("/registry/Pod/default/b") {
+		t.Fatal("replicas did not converge on deleted /b")
+	}
+	for i := 0; i < r.Replicas(); i++ {
+		kv, ok := r.Replica(i).Get("/registry/Pod/default/a")
+		if !ok || string(kv.Value) != "v1" {
+			t.Fatalf("replica %d: Get(/a) = %q ok=%v", i, kv.Value, ok)
+		}
+		if _, ok := r.Replica(i).Get("/registry/Pod/default/b"); ok {
+			t.Fatalf("replica %d still has deleted /b", i)
+		}
+	}
+}
+
+// The §V-C1 result: a value corrupted before the consensus round is agreed
+// on by all replicas — replication offers no protection.
+func TestReplicatedAgreesOnCorruptValue(t *testing.T) {
+	loop := sim.NewLoop(2)
+	r := NewReplicated(loop, 3, nil)
+	corrupted := []byte{0xde, 0xad} // stands in for a tampered transaction
+	if _, err := r.Put("/registry/Pod/default/a", spec.KindPod, corrupted); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(5 * time.Second)
+	for i := 0; i < r.Replicas(); i++ {
+		kv, ok := r.Replica(i).Get("/registry/Pod/default/a")
+		if !ok || string(kv.Value) != string(corrupted) {
+			t.Fatalf("replica %d does not hold the corrupted value", i)
+		}
+	}
+	kv, ok := r.QuorumGet("/registry/Pod/default/a")
+	if !ok || string(kv.Value) != string(corrupted) {
+		t.Fatal("quorum read did not return the agreed (corrupted) value")
+	}
+}
+
+// The §V-C1 counterpart: at-rest corruption of one replica is masked by
+// quorum reads.
+func TestQuorumReadMasksSingleReplicaCorruption(t *testing.T) {
+	loop := sim.NewLoop(3)
+	r := NewReplicated(loop, 3, nil)
+	if _, err := r.Put("/registry/Pod/default/a", spec.KindPod, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(5 * time.Second)
+	if !r.Replica(2).CorruptAtRest("/registry/Pod/default/a", func(b []byte) []byte {
+		return []byte("bad!")
+	}) {
+		t.Fatal("CorruptAtRest failed")
+	}
+	kv, ok := r.QuorumGet("/registry/Pod/default/a")
+	if !ok || string(kv.Value) != "good" {
+		t.Fatalf("QuorumGet = %q, want the majority value", kv.Value)
+	}
+	if r.Converged("/registry/Pod/default/a") {
+		t.Fatal("Converged = true despite divergent replica")
+	}
+}
+
+func TestReplicatedSingleNode(t *testing.T) {
+	loop := sim.NewLoop(4)
+	r := NewReplicated(loop, 1, nil)
+	if _, err := r.Put("/k", spec.KindPod, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(time.Second)
+	kv, ok := r.QuorumGet("/k")
+	if !ok || string(kv.Value) != "v" {
+		t.Fatal("single-replica quorum read failed")
+	}
+}
+
+func TestReplicatedWatchServesPrimary(t *testing.T) {
+	loop := sim.NewLoop(5)
+	r := NewReplicated(loop, 3, nil)
+	var events []Event
+	r.Watch("/", func(ev Event) { events = append(events, ev) })
+	if _, err := r.Put("/k", spec.KindPod, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(time.Second)
+	if len(events) != 1 || events[0].Type != EventPut {
+		t.Fatalf("events = %+v, want one PUT", events)
+	}
+}

@@ -1,0 +1,288 @@
+// Package store implements the cluster data store: a revisioned, watchable
+// key-value store holding the serialized state of every resource instance.
+//
+// It mirrors the etcd properties the paper's injection methodology relies on
+// (§II-C, §IV-A): all cluster state is confined here, making it the
+// dependability bottleneck; values are opaque serialized bytes, so a
+// corrupted transaction is stored verbatim and every observer sees the same
+// wrong value; and a store that runs out of space stops accepting writes,
+// which is the terminal phase of the paper's uncontrolled-replication
+// failures ("eventually, the disk of the control plane Node can fill up,
+// stalling Etcd").
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// ErrNoSpace is returned by writes once the database exceeds its quota,
+// mirroring etcd's NOSPACE alarm.
+var ErrNoSpace = errors.New("store: database space exceeded")
+
+// ErrTooLarge is returned for a single value above the per-request limit,
+// mirroring etcd's max request size.
+var ErrTooLarge = errors.New("store: request too large")
+
+// EventType distinguishes watch events.
+type EventType int
+
+// Watch event types.
+const (
+	EventPut EventType = iota + 1
+	EventDelete
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventPut:
+		return "PUT"
+	case EventDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event describes one committed change.
+type Event struct {
+	Type     EventType
+	Key      string
+	Kind     spec.Kind
+	Value    []byte // serialized object; nil for deletes
+	Revision int64
+}
+
+// KV is a key with its stored bytes.
+type KV struct {
+	Key      string
+	Kind     spec.Kind
+	Value    []byte
+	Revision int64
+}
+
+// Backend is the storage interface the API server programs against; it is
+// satisfied by Store and by raft-replicated wrappers.
+type Backend interface {
+	Put(key string, kind spec.Kind, value []byte) (int64, error)
+	Get(key string) (KV, bool)
+	Delete(key string) bool
+	List(prefix string) []KV
+	Watch(prefix string, fn func(Event)) (cancel func())
+	Revision() int64
+	SizeBytes() int64
+}
+
+// Options configure a Store.
+type Options struct {
+	// QuotaBytes bounds the database size; writes fail with ErrNoSpace past
+	// it. Zero means the scaled default (512 KB, standing in for etcd's
+	// quota in the same ratio as the rest of the simulated capacities).
+	QuotaBytes int64
+	// MaxValueBytes bounds one value. Zero means 64 KB.
+	MaxValueBytes int64
+	// WatchLatency is the delay before watch events reach watchers.
+	// Zero means 1 ms.
+	WatchLatency time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{QuotaBytes: 512 << 10, MaxValueBytes: 64 << 10, WatchLatency: time.Millisecond}
+	if o == nil {
+		return out
+	}
+	if o.QuotaBytes > 0 {
+		out.QuotaBytes = o.QuotaBytes
+	}
+	if o.MaxValueBytes > 0 {
+		out.MaxValueBytes = o.MaxValueBytes
+	}
+	if o.WatchLatency > 0 {
+		out.WatchLatency = o.WatchLatency
+	}
+	return out
+}
+
+// Store is a single-replica data store. All methods must be called from the
+// simulation loop; watch callbacks are delivered asynchronously on the loop.
+type Store struct {
+	loop     *sim.Loop
+	opts     Options
+	items    map[string]*item
+	rev      int64
+	size     int64
+	watchers map[int64]*watcher
+	nextID   int64
+}
+
+type item struct {
+	kind      spec.Kind
+	value     []byte
+	createRev int64
+	modRev    int64
+}
+
+type watcher struct {
+	prefix    string
+	fn        func(Event)
+	cancelled bool
+}
+
+var _ Backend = (*Store)(nil)
+
+// New returns an empty store bound to the simulation loop.
+func New(loop *sim.Loop, opts *Options) *Store {
+	return &Store{
+		loop:     loop,
+		opts:     opts.withDefaults(),
+		items:    make(map[string]*item),
+		watchers: make(map[int64]*watcher),
+	}
+}
+
+// Revision returns the latest committed revision.
+func (s *Store) Revision() int64 { return s.rev }
+
+// SizeBytes returns the current database size.
+func (s *Store) SizeBytes() int64 { return s.size }
+
+// QuotaExceeded reports whether the store is refusing writes.
+func (s *Store) QuotaExceeded() bool { return s.size > s.opts.QuotaBytes }
+
+// Put stores value under key and notifies watchers. The value is stored
+// verbatim: corruption introduced upstream is preserved and observed by
+// every component, exactly like a faulty transaction committed to etcd.
+func (s *Store) Put(key string, kind spec.Kind, value []byte) (int64, error) {
+	if int64(len(value)) > s.opts.MaxValueBytes {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(value))
+	}
+	if s.QuotaExceeded() {
+		return 0, ErrNoSpace
+	}
+	s.rev++
+	it, exists := s.items[key]
+	if exists {
+		s.size -= int64(len(it.value))
+		it.value = append([]byte(nil), value...)
+		it.modRev = s.rev
+		it.kind = kind
+	} else {
+		s.items[key] = &item{
+			kind:      kind,
+			value:     append([]byte(nil), value...),
+			createRev: s.rev,
+			modRev:    s.rev,
+		}
+		s.size += int64(len(key))
+	}
+	s.size += int64(len(value))
+	s.notify(Event{Type: EventPut, Key: key, Kind: kind, Value: append([]byte(nil), value...), Revision: s.rev})
+	return s.rev, nil
+}
+
+// Get returns the stored bytes for key.
+func (s *Store) Get(key string) (KV, bool) {
+	it, ok := s.items[key]
+	if !ok {
+		return KV{}, false
+	}
+	return KV{Key: key, Kind: it.kind, Value: append([]byte(nil), it.value...), Revision: it.modRev}, true
+}
+
+// Delete removes key, notifying watchers. Deletes succeed even past quota so
+// that the system can always shed state.
+func (s *Store) Delete(key string) bool {
+	it, ok := s.items[key]
+	if !ok {
+		return false
+	}
+	s.rev++
+	s.size -= int64(len(it.value)) + int64(len(key))
+	delete(s.items, key)
+	s.notify(Event{Type: EventDelete, Key: key, Kind: it.kind, Revision: s.rev})
+	return true
+}
+
+// List returns all entries under prefix in key order.
+func (s *Store) List(prefix string) []KV {
+	var out []KV
+	for key, it := range s.items {
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, KV{Key: key, Kind: it.kind, Value: append([]byte(nil), it.value...), Revision: it.modRev})
+		}
+	}
+	sortKVs(out)
+	return out
+}
+
+// Count returns the number of keys under prefix.
+func (s *Store) Count(prefix string) int {
+	n := 0
+	for key := range s.items {
+		if strings.HasPrefix(key, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+// Watch registers fn for changes to keys under prefix. Events are delivered
+// asynchronously on the simulation loop in commit order.
+func (s *Store) Watch(prefix string, fn func(Event)) (cancel func()) {
+	id := s.nextID
+	s.nextID++
+	w := &watcher{prefix: prefix, fn: fn}
+	s.watchers[id] = w
+	return func() {
+		w.cancelled = true
+		delete(s.watchers, id)
+	}
+}
+
+// CorruptAtRest mutates the stored bytes of key in place without bumping the
+// revision or notifying watchers — a silent at-rest corruption (the §V-C1
+// ablation: such corruption hides behind the API server's watch cache until
+// a refresh happens).
+func (s *Store) CorruptAtRest(key string, mutate func([]byte) []byte) bool {
+	it, ok := s.items[key]
+	if !ok {
+		return false
+	}
+	s.size -= int64(len(it.value))
+	it.value = mutate(append([]byte(nil), it.value...))
+	s.size += int64(len(it.value))
+	return true
+}
+
+// Keys returns all keys in order (diagnostics).
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.items))
+	for k := range s.items {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func (s *Store) notify(ev Event) {
+	for _, w := range s.watchers {
+		w := w
+		s.loop.After(s.opts.WatchLatency, func() {
+			if !w.cancelled && strings.HasPrefix(ev.Key, w.prefix) {
+				w.fn(ev)
+			}
+		})
+	}
+}
+
+func sortKVs(kvs []KV) {
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+}
+
+func sortStrings(ss []string) { sort.Strings(ss) }

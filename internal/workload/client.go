@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/cluster"
+	"github.com/mutiny-sim/mutiny/internal/netsim"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// Client parameters from §V-A: 20 requests/second for 30 seconds.
+const (
+	RequestRate     = 20
+	ClientDuration  = 30 * time.Second
+	requestInterval = time.Second / RequestRate
+	// TotalRequests is the length of every latency time series.
+	TotalRequests = int(ClientDuration / requestInterval)
+)
+
+// RequestRecord is one client request outcome. Failed requests carry a zero
+// latency ("we padded with 0 the response times of failed requests").
+type RequestRecord struct {
+	At        time.Duration
+	LatencyMS float64
+	Err       string // netsim error kind, "" on success
+}
+
+// Client is the application client (AC): it resolves the target service's
+// VIP and issues requests from the monitoring node, recording the response
+// time series the client-failure classification is built on.
+type Client struct {
+	cl      *cluster.Cluster
+	api     *apiserver.Client
+	ns      string
+	service string
+
+	Records []RequestRecord
+	ticker  *sim.Timer
+	sent    int
+}
+
+// NewClient builds an application client for one service.
+func NewClient(cl *cluster.Cluster, namespace, service string) *Client {
+	return &Client{
+		cl:      cl,
+		api:     cl.Client("appclient"),
+		ns:      namespace,
+		service: service,
+		Records: make([]RequestRecord, 0, TotalRequests),
+	}
+}
+
+// Start begins issuing requests on the simulation loop; it stops by itself
+// after TotalRequests.
+func (c *Client) Start() {
+	c.ticker = c.cl.Loop.Every(requestInterval, c.issue)
+}
+
+// Stop cancels the client early.
+func (c *Client) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+// Done reports whether the full request series was issued.
+func (c *Client) Done() bool { return c.sent >= TotalRequests }
+
+func (c *Client) issue() {
+	if c.sent >= TotalRequests {
+		c.ticker.Stop()
+		return
+	}
+	c.sent++
+	rec := RequestRecord{At: c.cl.Loop.Now()}
+	res := c.request()
+	if res.Failed() {
+		rec.Err = res.Err
+	} else {
+		rec.LatencyMS = float64(res.Latency) / float64(time.Millisecond)
+	}
+	c.Records = append(c.Records, rec)
+}
+
+func (c *Client) request() netsim.RequestResult {
+	obj, err := c.api.Get(spec.KindService, c.ns, c.service)
+	if err != nil {
+		return netsim.RequestResult{Err: netsim.ErrRefused}
+	}
+	vip := obj.(*spec.Service).Spec.ClusterIP
+	if vip == "" {
+		return netsim.RequestResult{Err: netsim.ErrRefused}
+	}
+	return c.cl.Net.Request(c.cl.MonitoringNode(), vip, appPort)
+}
+
+// Series returns the latency series padded with zeros to TotalRequests.
+func (c *Client) Series() []float64 {
+	out := make([]float64, TotalRequests)
+	for i := range c.Records {
+		if i < TotalRequests {
+			out[i] = c.Records[i].LatencyMS
+		}
+	}
+	return out
+}
+
+// ErrorCounts aggregates failures by kind.
+func (c *Client) ErrorCounts() map[string]int {
+	out := make(map[string]int)
+	for _, r := range c.Records {
+		if r.Err != "" {
+			out[r.Err]++
+		}
+	}
+	return out
+}
+
+// TrailingFailures counts consecutive failed requests at the end of the
+// series — the service-unreachable signal.
+func (c *Client) TrailingFailures() int {
+	n := 0
+	for i := len(c.Records) - 1; i >= 0; i-- {
+		if c.Records[i].Err == "" {
+			break
+		}
+		n++
+	}
+	return n
+}

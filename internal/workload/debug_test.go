@@ -1,0 +1,24 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+func TestDebugEvict(t *testing.T) {
+	c := bootCluster(t, 3)
+	d := NewDriver(c, Failover)
+	d.Setup()
+	d.Run()
+	fmt.Println("run done at", c.Loop.Now())
+	for _, no := range c.Client("t").List(spec.KindNode, "") {
+		n := no.(*spec.Node)
+		fmt.Println("node", n.Metadata.Name, n.Spec.Taints, "ready:", n.Status.Ready)
+	}
+	for _, po := range c.Client("t").List(spec.KindPod, spec.DefaultNamespace) {
+		p := po.(*spec.Pod)
+		fmt.Println("pod", p.Metadata.Name, p.Spec.NodeName, p.Status.Phase, "ready:", p.Status.Ready, "active:", p.Active())
+	}
+}

@@ -1,0 +1,279 @@
+// Package workload implements the orchestration workloads and the
+// application client of the paper's experimental method (§IV-B): a kbench-
+// like driver performing deploy / scale-up / failover operations on a
+// service application, and a client measuring its availability and response
+// times from the monitoring node.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/cluster"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// Kind names an orchestration workload.
+type Kind string
+
+// The three workloads of §IV-B.
+const (
+	Deploy   Kind = "deploy"
+	ScaleUp  Kind = "scale"
+	Failover Kind = "failover"
+)
+
+// Kinds lists the workloads in paper order.
+func Kinds() []Kind { return []Kind{Deploy, ScaleUp, Failover} }
+
+// UserIdentity is the cluster-user identity driving workloads; its API
+// errors feed the Figure 7 analysis.
+const UserIdentity = "kbench"
+
+// Parameters from §V-A.
+const (
+	deployDeployments = 3
+	deployReplicas    = 2
+	scaleDeployments  = 2
+	scaleSteps        = 3 // 2→3→4→5
+	scaleStepDelay    = 10 * time.Second
+	failoverDeploys   = 3
+	requestTimeout    = 40 * time.Second // kbench wait bound
+	opPollPeriod      = 500 * time.Millisecond
+	failoverTaintKey  = "kbench-failover"
+	appPort           = 80
+	appTargetPort     = 8080
+)
+
+// AppName returns the name of the i-th service application deployment.
+func AppName(i int) string { return fmt.Sprintf("webapp-%d", i) }
+
+// AppDeployment builds the paper's service application: a stateless web
+// server that reads a random seed from a volume at startup, with CPU and
+// memory requests and limits and default priority.
+func AppDeployment(name string, replicas int64) *spec.Deployment {
+	return &spec.Deployment{
+		Metadata: spec.ObjectMeta{
+			Name: name, Namespace: spec.DefaultNamespace,
+			Labels: map[string]string{spec.LabelApp: name},
+		},
+		Spec: spec.DeploymentSpec{
+			Replicas: replicas,
+			Selector: spec.LabelSelector{MatchLabels: map[string]string{spec.LabelApp: name}},
+			Template: spec.PodTemplate{
+				Labels: map[string]string{spec.LabelApp: name},
+				Spec: spec.PodSpec{
+					Containers: []spec.Container{{
+						Name: "webserver", Image: "registry.local/webapp:1.0",
+						Command:          []string{"serve"},
+						RequestsMilliCPU: 250, RequestsMemMB: 128,
+						LimitsMilliCPU: 500, LimitsMemMB: 256,
+						Port: appTargetPort,
+					}},
+					VolumeSeed: "seed-0451",
+				},
+			},
+			MaxSurge: 1,
+		},
+	}
+}
+
+// AppService builds the Service exposing one application deployment.
+func AppService(name string) *spec.Service {
+	return &spec.Service{
+		Metadata: spec.ObjectMeta{
+			Name: name, Namespace: spec.DefaultNamespace,
+			Labels: map[string]string{spec.LabelApp: name},
+		},
+		Spec: spec.ServiceSpec{
+			Selector: map[string]string{spec.LabelApp: name},
+			Ports:    []spec.ServicePort{{Port: appPort, TargetPort: appTargetPort, Protocol: "TCP"}},
+		},
+	}
+}
+
+// Driver executes one workload against a cluster as the kbench user.
+type Driver struct {
+	Cluster *cluster.Cluster
+	User    *apiserver.Client
+	Kind    Kind
+}
+
+// NewDriver builds a driver for the given workload.
+func NewDriver(c *cluster.Cluster, kind Kind) *Driver {
+	return &Driver{Cluster: c, User: c.Client(UserIdentity), Kind: kind}
+}
+
+// Setup creates the resource instances the workload requires before the
+// injection (§IV-C "the scenario setup creates all the resource instances
+// that are required by the orchestration workloads before the injection"),
+// then waits for them to settle.
+func (d *Driver) Setup() {
+	switch d.Kind {
+	case Deploy:
+		// The deploy workload creates everything itself.
+	case ScaleUp:
+		for i := 0; i < scaleDeployments; i++ {
+			_ = d.User.Create(AppDeployment(AppName(i), deployReplicas))
+			_ = d.User.Create(AppService(AppName(i)))
+		}
+		d.awaitReady(scaleDeployments, deployReplicas)
+	case Failover:
+		for i := 0; i < failoverDeploys; i++ {
+			_ = d.User.Create(AppDeployment(AppName(i), deployReplicas))
+			_ = d.User.Create(AppService(AppName(i)))
+		}
+		d.awaitReady(failoverDeploys, deployReplicas)
+	}
+}
+
+// Run performs the workload operations. It drives the simulation loop and
+// returns when the operations completed or the kbench wait bound expired.
+func (d *Driver) Run() {
+	switch d.Kind {
+	case Deploy:
+		for i := 0; i < deployDeployments; i++ {
+			_ = d.User.Create(AppDeployment(AppName(i), deployReplicas))
+			_ = d.User.Create(AppService(AppName(i)))
+		}
+		d.awaitReady(deployDeployments, deployReplicas)
+	case ScaleUp:
+		for step := 0; step < scaleSteps; step++ {
+			target := int64(deployReplicas + step + 1)
+			for i := 0; i < scaleDeployments; i++ {
+				d.scaleTo(AppName(i), target)
+			}
+			if step < scaleSteps-1 {
+				d.Cluster.Loop.RunUntil(d.Cluster.Loop.Now() + scaleStepDelay)
+			}
+		}
+		d.awaitReady(scaleDeployments, deployReplicas+scaleSteps)
+	case Failover:
+		victim := d.taintBusiestNode()
+		d.awaitFailover(victim)
+	}
+}
+
+// awaitFailover waits until the tainted node is drained of application pods
+// AND every deployment is back to full readiness (or the kbench bound
+// expires) — the metric kbench reports for the failover scenario.
+func (d *Driver) awaitFailover(victim string) {
+	if victim == "" {
+		return
+	}
+	deadline := d.Cluster.Loop.Now() + requestTimeout
+	for d.Cluster.Loop.Now() < deadline {
+		d.Cluster.Loop.RunUntil(d.Cluster.Loop.Now() + opPollPeriod)
+		drained := true
+		for _, po := range d.User.List(spec.KindPod, spec.DefaultNamespace) {
+			pod := po.(*spec.Pod)
+			if pod.Active() && pod.Spec.NodeName == victim {
+				drained = false
+				break
+			}
+		}
+		if !drained {
+			continue
+		}
+		allReady := true
+		for i := 0; i < failoverDeploys; i++ {
+			obj, err := d.User.Get(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
+			if err != nil || obj.(*spec.Deployment).Status.ReadyReplicas < deployReplicas {
+				allReady = false
+				break
+			}
+		}
+		if allReady {
+			return
+		}
+	}
+}
+
+// TargetService returns the service the application client measures.
+func (d *Driver) TargetService() (namespace, name string) {
+	return spec.DefaultNamespace, AppName(0)
+}
+
+func (d *Driver) scaleTo(name string, replicas int64) {
+	// kbench retries a conflicting update like a real client would.
+	for attempt := 0; attempt < 3; attempt++ {
+		obj, err := d.User.Get(spec.KindDeployment, spec.DefaultNamespace, name)
+		if err != nil {
+			return
+		}
+		deploy := obj.(*spec.Deployment)
+		deploy.Spec.Replicas = replicas
+		err = d.User.Update(deploy)
+		if err == nil || !errors.Is(err, apiserver.ErrConflict) {
+			return
+		}
+		d.Cluster.Loop.RunUntil(d.Cluster.Loop.Now() + 100*time.Millisecond)
+	}
+}
+
+// taintBusiestNode simulates a node failure through a NoExecute taint,
+// "forcing the Pods running on the Node to be respawned onto available
+// Nodes". It returns the tainted node's name.
+func (d *Driver) taintBusiestNode() string {
+	counts := make(map[string]int)
+	for _, po := range d.User.List(spec.KindPod, spec.DefaultNamespace) {
+		pod := po.(*spec.Pod)
+		if pod.Active() && pod.Spec.NodeName != "" {
+			counts[pod.Spec.NodeName]++
+		}
+	}
+	var victim string
+	best := -1
+	for node, n := range counts {
+		if n > best || (n == best && node < victim) {
+			victim, best = node, n
+		}
+	}
+	if victim == "" {
+		return ""
+	}
+	// Conflicts with concurrent heartbeat writes are expected; retry like a
+	// real kubectl invocation would.
+	for attempt := 0; attempt < 5; attempt++ {
+		obj, err := d.User.Get(spec.KindNode, "", victim)
+		if err != nil {
+			return victim
+		}
+		node := obj.(*spec.Node)
+		node.Spec.Taints = append(node.Spec.Taints, spec.Taint{
+			Key: failoverTaintKey, Effect: spec.TaintNoExecute,
+		})
+		err = d.User.Update(node)
+		if err == nil || !errors.Is(err, apiserver.ErrConflict) {
+			return victim
+		}
+		d.Cluster.Loop.RunUntil(d.Cluster.Loop.Now() + 100*time.Millisecond)
+	}
+	return victim
+}
+
+// awaitReady polls deployments until all report the desired ready replicas
+// or the kbench bound expires.
+func (d *Driver) awaitReady(deployments int, replicas int64) {
+	deadline := d.Cluster.Loop.Now() + requestTimeout
+	for d.Cluster.Loop.Now() < deadline {
+		allReady := true
+		for i := 0; i < deployments; i++ {
+			obj, err := d.User.Get(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
+			if err != nil {
+				allReady = false
+				break
+			}
+			if obj.(*spec.Deployment).Status.ReadyReplicas < replicas {
+				allReady = false
+				break
+			}
+		}
+		if allReady {
+			return
+		}
+		d.Cluster.Loop.RunUntil(d.Cluster.Loop.Now() + opPollPeriod)
+	}
+}

@@ -1,0 +1,188 @@
+// Package mutiny is a fault/error-injection framework for container
+// orchestration systems, reproducing "Mutiny! How does Kubernetes fail, and
+// what can we do about it?" (Barletta, Cinque, Di Martino, Kalbarczyk, Iyer —
+// DSN 2024).
+//
+// The library bundles three things:
+//
+//   - a complete, deterministic simulation of a Kubernetes-shaped
+//     orchestration system (data store, API server, controller manager,
+//     scheduler, kubelets, virtual network) faithful to the resiliency
+//     strategies the paper examines;
+//   - Mutiny, the injector that tampers with the serialized state crossing
+//     the apiserver↔store and component↔apiserver channels using the paper's
+//     three fault models (bit flips, data-type sets, message drops) and
+//     occurrence-index triggers;
+//   - the experimental method around it: kbench-style workloads, an
+//     application client, golden-run baselines, the two-level failure
+//     classification (orchestrator- and client-level), campaign generation,
+//     and the field failure data analysis of 81 real-world incidents.
+//
+// # Quick start
+//
+//	runner := mutiny.NewRunner()
+//	runner.GoldenRuns = 20 // paper default is 100
+//	res := runner.Run(mutiny.Spec{
+//	    Workload: mutiny.WorkloadDeploy,
+//	    Seed:     1,
+//	    Injection: &mutiny.Injection{
+//	        Channel:   mutiny.ChannelStore,
+//	        Kind:      mutiny.KindReplicaSet,
+//	        FieldPath: "spec.template.labels[app]",
+//	        Type:      mutiny.SetValue,
+//	        Value:     "mislabeled",
+//	        Occurrence: 2,
+//	    },
+//	})
+//	fmt.Println(res.OF, res.CF) // e.g. "Sta SU"
+//
+// Full campaigns (Tables III–V, Figures 6–7 of the paper) run through
+// RunCampaign; see the examples directory and the benchmark harness in
+// bench_test.go for the per-table reproduction entry points.
+package mutiny
+
+import (
+	"github.com/mutiny-sim/mutiny/internal/campaign"
+	"github.com/mutiny-sim/mutiny/internal/classify"
+	"github.com/mutiny-sim/mutiny/internal/cluster"
+	"github.com/mutiny-sim/mutiny/internal/inject"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/workload"
+)
+
+// Core experiment types.
+type (
+	// Runner executes experiments and caches golden baselines per workload.
+	Runner = campaign.Runner
+	// Spec describes one experiment: a workload and an optional injection.
+	Spec = campaign.Spec
+	// Result is a classified experiment outcome.
+	Result = campaign.Result
+	// Aggregate accumulates results into the paper's tables.
+	Aggregate = campaign.Aggregate
+	// CampaignConfig parameterizes a full campaign.
+	CampaignConfig = campaign.Config
+	// CampaignOutput bundles a campaign's aggregates.
+	CampaignOutput = campaign.Output
+	// PropagationCell is one Table VI cell (Inj/Prop/Err).
+	PropagationCell = campaign.PropagationCell
+
+	// Injection is the (where, what, when) fault triple.
+	Injection = inject.Injection
+	// InjectionReport describes what an armed injection did.
+	InjectionReport = inject.Report
+	// Injector arms injections against an API server.
+	Injector = inject.Injector
+	// Recorder inventories the fields crossing the store channel.
+	Recorder = inject.Recorder
+	// RecordedField is one injectable field seen on the wire.
+	RecordedField = inject.RecordedField
+
+	// OF is an orchestrator-level failure category.
+	OF = classify.OF
+	// CF is a client-level failure category.
+	CF = classify.CF
+	// Observation is the raw measurement of one experiment window.
+	Observation = classify.Observation
+	// Baseline summarizes golden runs for classification.
+	Baseline = classify.Baseline
+
+	// Cluster is the simulated orchestration system.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes the cluster topology.
+	ClusterConfig = cluster.Config
+
+	// WorkloadKind names an orchestration workload.
+	WorkloadKind = workload.Kind
+	// ResourceKind names a resource type of the simulated system.
+	ResourceKind = spec.Kind
+	// Driver executes one workload against a cluster.
+	Driver = workload.Driver
+	// Client is the application client measuring a service.
+	Client = workload.Client
+)
+
+// Injection channels (where).
+const (
+	// ChannelStore targets apiserver→store transactions (bypasses
+	// validation: the paper's main campaign).
+	ChannelStore = inject.ChannelStore
+	// ChannelRequest targets component→apiserver requests (faces the
+	// validation layer: the propagation experiments).
+	ChannelRequest = inject.ChannelRequest
+)
+
+// Fault models (what).
+const (
+	// BitFlip flips one bit of a field value.
+	BitFlip = inject.BitFlip
+	// SetValue replaces a field with an extreme/invalid/wrong value.
+	SetValue = inject.SetValue
+	// DropMessage discards the message while reporting success.
+	DropMessage = inject.DropMessage
+	// FlipProtoByte corrupts a random serialization byte.
+	FlipProtoByte = inject.FlipProtoByte
+)
+
+// Workloads (§IV-B).
+const (
+	WorkloadDeploy   = workload.Deploy
+	WorkloadScaleUp  = workload.ScaleUp
+	WorkloadFailover = workload.Failover
+)
+
+// Resource kinds of the simulated system.
+const (
+	KindPod        = spec.KindPod
+	KindReplicaSet = spec.KindReplicaSet
+	KindDeployment = spec.KindDeployment
+	KindDaemonSet  = spec.KindDaemonSet
+	KindService    = spec.KindService
+	KindEndpoints  = spec.KindEndpoints
+	KindNode       = spec.KindNode
+	KindNamespace  = spec.KindNamespace
+	KindConfigMap  = spec.KindConfigMap
+	KindLease      = spec.KindLease
+)
+
+// Orchestrator-level failure categories (Table I(c)).
+const (
+	OFNone = classify.OFNone
+	OFTim  = classify.OFTim
+	OFLeR  = classify.OFLeR
+	OFMoR  = classify.OFMoR
+	OFNet  = classify.OFNet
+	OFSta  = classify.OFSta
+	OFOut  = classify.OFOut
+)
+
+// Client-level failure categories (Table II).
+const (
+	CFNSI = classify.CFNSI
+	CFHRT = classify.CFHRT
+	CFIA  = classify.CFIA
+	CFSU  = classify.CFSU
+)
+
+// NewRunner returns a Runner with paper-default settings (100 golden runs
+// per workload).
+func NewRunner() *Runner { return campaign.NewRunner() }
+
+// RunCampaign executes the full experimental method of §IV-C: golden runs,
+// field recording, campaign generation, injections, the critical-field
+// refinement round, and the propagation experiments.
+func RunCampaign(cfg CampaignConfig) *CampaignOutput { return campaign.RunCampaign(cfg) }
+
+// NewCluster builds a standalone simulated cluster (the substrate) for
+// direct experimentation outside the campaign harness.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// NewDriver builds a workload driver for a cluster.
+func NewDriver(c *Cluster, kind WorkloadKind) *Driver { return workload.NewDriver(c, kind) }
+
+// NewInjector builds an injector bound to a cluster's loop; attach it to the
+// cluster's API server with AttachTo.
+func NewInjector(c *Cluster) *Injector { return inject.New(c.Loop) }
+
+// Workloads lists the three workloads in paper order.
+func Workloads() []WorkloadKind { return workload.Kinds() }
