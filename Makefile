@@ -1,0 +1,41 @@
+# Tier-1 verification targets. `make check` is what CI (and any PR) should
+# run: build, vet, the full test suite, a race-detector pass over the
+# packages with real concurrency (the parallel campaign pool and the pooled
+# codec buffers), and a short campaign smoke test.
+
+GO ?= go
+
+.PHONY: check build vet test race smoke bench bench-codec bench-campaign
+
+check: build vet test race smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The campaign package exercises the worker pool (TestCampaignParallelismIsDeterministic,
+# TestRunnerConcurrentUse) and the codec package exercises the pooled encode
+# buffers, so -race here covers every new concurrency surface.
+race:
+	$(GO) test -race ./internal/campaign/... ./internal/codec/...
+
+# A fast, heavily-strided campaign through the real benchmark harness: one
+# end-to-end sanity pass over golden runs, generation, injection, and
+# aggregation on all cores.
+smoke:
+	MUTINY_STRIDE=200 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime=1x .
+
+# Full paper-style benchmark run (minutes; see bench_test.go header).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+bench-codec:
+	$(GO) test -run xxx -bench 'BenchmarkCodec' -benchmem ./internal/codec/
+
+bench-campaign:
+	$(GO) test -run xxx -bench 'BenchmarkCampaignParallel|BenchmarkExperimentThroughput' -benchmem .

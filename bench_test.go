@@ -11,11 +11,18 @@
 // experiments) and 30 golden runs, keeping the default run minutes-long.
 // Set MUTINY_STRIDE=1 MUTINY_GOLDEN=100 for the full paper-scale study
 // (~6,500 experiments; the paper performed 8,782 on their field inventory).
+//
+// Parallelism: experiments fan out across MUTINY_PARALLEL worker goroutines
+// (unset or 0 = all cores, 1 = the sequential path). Campaign outputs are
+// bit-identical for every MUTINY_PARALLEL value — experiments are isolated
+// simulations merged in generated order — so the knob only changes
+// wall-clock time. BenchmarkCampaignParallel measures the speedup.
 package mutiny
 
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -54,9 +61,10 @@ func sharedCampaign(b *testing.B) *campaign.Output {
 		cfg := campaign.Config{
 			GoldenRuns:   envInt("MUTINY_GOLDEN", 30),
 			SampleStride: envInt("MUTINY_STRIDE", 12),
+			Parallelism:  envInt("MUTINY_PARALLEL", 0),
 		}
-		fmt.Printf("[campaign] stride=%d golden=%d (set MUTINY_STRIDE=1 MUTINY_GOLDEN=100 for paper scale)\n",
-			cfg.SampleStride, cfg.GoldenRuns)
+		fmt.Printf("[campaign] stride=%d golden=%d parallel=%d (set MUTINY_STRIDE=1 MUTINY_GOLDEN=100 for paper scale; MUTINY_PARALLEL=1 for the sequential path)\n",
+			cfg.SampleStride, cfg.GoldenRuns, cfg.Parallelism)
 		_campaignOut = campaign.RunCampaign(cfg)
 		fmt.Printf("[campaign] %d injection experiments, %d refinement, %d propagation cells\n",
 			_campaignOut.Main.Total(), _campaignOut.Refinement.Total(), len(_campaignOut.Propagation))
@@ -301,6 +309,34 @@ func BenchmarkExperimentThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runner.Run(campaign.Spec{Workload: workload.Deploy, Seed: int64(9000 + i), Injection: &in})
+	}
+}
+
+// BenchmarkCampaignParallel measures campaign wall-clock versus worker
+// count: the same miniature campaign on the sequential path and fanned out
+// across all cores. The speedup ratio is the number that matters — outputs
+// are bit-identical (see TestCampaignParallelismIsDeterministic), so the
+// parallel engine is pure wall-clock win.
+func BenchmarkCampaignParallel(b *testing.B) {
+	base := campaign.Config{
+		GoldenRuns:   envInt("MUTINY_GOLDEN", 10),
+		SampleStride: envInt("MUTINY_STRIDE", 48),
+	}
+	for _, workers := range []int{1, 0} {
+		name := "sequential"
+		if workers == 0 {
+			name = fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0))
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := base
+			cfg.Parallelism = workers
+			for i := 0; i < b.N; i++ {
+				out := campaign.RunCampaign(cfg)
+				if out.Main.Total() == 0 {
+					b.Fatal("campaign ran zero experiments")
+				}
+			}
+		})
 	}
 }
 

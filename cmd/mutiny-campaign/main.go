@@ -10,6 +10,10 @@
 // The full campaign (stride 1, 100 golden runs) reproduces the paper-scale
 // ~9,000-experiment study; larger strides subsample it evenly for quick
 // looks.
+//
+// Experiments fan out across -parallel worker goroutines (default: all
+// cores). Campaign outputs are bit-identical for every -parallel value, so
+// the knob only trades wall-clock for CPU.
 package main
 
 import (
@@ -33,6 +37,7 @@ func run(args []string) error {
 	var (
 		stride    = fs.Int("stride", 1, "run every n-th generated experiment (1 = full campaign)")
 		golden    = fs.Int("golden", 100, "golden runs per workload")
+		parallel  = fs.Int("parallel", 0, "experiment worker goroutines (0 = all cores, 1 = sequential; output is identical either way)")
 		noRefine  = fs.Bool("no-refinement", false, "skip the critical-field refinement round")
 		noProp    = fs.Bool("no-propagation", false, "skip the component-channel propagation experiments")
 		quiet     = fs.Bool("quiet", false, "suppress progress output")
@@ -45,6 +50,7 @@ func run(args []string) error {
 	cfg := mutiny.CampaignConfig{
 		GoldenRuns:      *golden,
 		SampleStride:    *stride,
+		Parallelism:     *parallel,
 		SkipRefinement:  *noRefine,
 		SkipPropagation: *noProp,
 	}

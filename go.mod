@@ -1,0 +1,3 @@
+module github.com/mutiny-sim/mutiny
+
+go 1.22

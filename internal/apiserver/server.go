@@ -149,9 +149,11 @@ type Server struct {
 	backend store.Backend
 	opts    Options
 
-	cache    map[string]spec.Object // decoded watch cache, by store key
-	watchers map[int64]*watcher
-	nextID   int64
+	cache map[string]spec.Object // decoded watch cache, by store key
+	// watchers is kept in registration order: dispatch schedules callbacks
+	// in iteration order, and map iteration would randomize the delivery
+	// order of same-tick events across runs, breaking bit-reproducibility.
+	watchers []*watcher
 
 	uidCounter int64
 	ipCounter  int64
@@ -174,11 +176,10 @@ type watcher struct {
 // New creates a Server over the given backend and starts its store watch.
 func New(loop *sim.Loop, backend store.Backend, opts *Options) *Server {
 	s := &Server{
-		loop:     loop,
-		backend:  backend,
-		cache:    make(map[string]spec.Object),
-		watchers: make(map[int64]*watcher),
-		audit:    NewAudit(loop),
+		loop:    loop,
+		backend: backend,
+		cache:   make(map[string]spec.Object),
+		audit:   NewAudit(loop),
 	}
 	if opts != nil {
 		s.opts = *opts
@@ -240,10 +241,16 @@ func (s *Server) handle(identity string, verb Verb, obj spec.Object) error {
 		Source:    identity,
 		Data:      nil,
 	}
-	data, err := codec.Marshal(obj)
+	// The request wire bytes live only for the duration of this (synchronous)
+	// handle call — the store copies on Put — so they are encoded into a
+	// pooled buffer instead of a per-request allocation.
+	buf := codec.NewBuffer()
+	defer buf.Free()
+	data, err := codec.AppendMarshal(buf.B[:0], obj)
 	if err != nil {
 		return s.audit.record(identity, verb, kind, meta.Name, fmt.Errorf("%w: %v", ErrBadRequest, err), false)
 	}
+	buf.B = data
 	msg.Data = data
 
 	// Channel 1: component → apiserver. Tampering here faces validation.
@@ -332,10 +339,15 @@ func (s *Server) persistWrite(identity string, verb Verb, msg *Message, obj spec
 	if s.opts.CriticalFieldChecksums {
 		stampChecksum(obj)
 	}
-	data, err := codec.Marshal(obj)
+	// Same pooled-buffer discipline as handle: the store copies the value,
+	// and injection hooks that replace out.Data swap in their own slice.
+	buf := codec.NewBuffer()
+	defer buf.Free()
+	data, err := codec.AppendMarshal(buf.B[:0], obj)
 	if err != nil {
 		return s.audit.record(identity, verb, msg.Kind, msg.Name, fmt.Errorf("%w: %v", ErrBadRequest, err), msg.Tampered)
 	}
+	buf.B = data
 	out := &Message{
 		Verb: verb, Kind: msg.Kind, Namespace: msg.Namespace, Name: msg.Name,
 		Source: "apiserver", Data: data, Tampered: msg.Tampered,
@@ -535,13 +547,16 @@ func (s *Server) list(kind spec.Kind, namespace string) []spec.Object {
 }
 
 func (s *Server) watch(kind spec.Kind, fn func(WatchEvent)) (cancel func()) {
-	id := s.nextID
-	s.nextID++
 	w := &watcher{kind: kind, fn: fn}
-	s.watchers[id] = w
+	s.watchers = append(s.watchers, w)
 	return func() {
 		w.cancelled = true
-		delete(s.watchers, id)
+		for i, cur := range s.watchers {
+			if cur == w {
+				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+				break
+			}
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 package campaign
 
 import (
+	"sync"
 	"time"
 
 	"github.com/mutiny-sim/mutiny/internal/classify"
@@ -50,51 +51,81 @@ type Result struct {
 	PropErrored   bool
 }
 
-// Runner executes experiments and caches per-workload baselines.
+// Runner executes experiments and caches per-workload baselines. A Runner is
+// safe for concurrent use: experiments are isolated simulations, and the
+// baseline cache is built exactly once per workload behind a per-kind guard
+// (concurrent callers block until the build finishes).
 type Runner struct {
 	// GoldenRuns per workload (the paper uses 100).
 	GoldenRuns int
 	// ClusterConfig template; Seed is overridden per experiment.
 	ClusterConfig cluster.Config
+	// Parallelism bounds the worker goroutines used to build golden
+	// baselines (0 or 1 = sequential). RunCampaign sets it from
+	// Config.Parallelism; the baseline itself is bit-identical either way,
+	// because observations are collected in golden-seed order.
+	Parallelism int
 
-	baselines map[workload.Kind]*classify.Baseline
-	golden    map[workload.Kind][]*classify.Observation
+	mu        sync.Mutex
+	baselines map[workload.Kind]*baselineEntry
+}
+
+// baselineEntry guards one workload's golden-run build.
+type baselineEntry struct {
+	once     sync.Once
+	baseline *classify.Baseline
+	golden   []*classify.Observation
 }
 
 // NewRunner returns a Runner with paper-default settings.
 func NewRunner() *Runner {
 	return &Runner{
 		GoldenRuns: 100,
-		baselines:  make(map[workload.Kind]*classify.Baseline),
-		golden:     make(map[workload.Kind][]*classify.Observation),
+		baselines:  make(map[workload.Kind]*baselineEntry),
 	}
 }
 
+// entry returns (creating if needed) the guard cell for a workload.
+func (r *Runner) entry(kind workload.Kind) *baselineEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.baselines == nil {
+		r.baselines = make(map[workload.Kind]*baselineEntry)
+	}
+	e, ok := r.baselines[kind]
+	if !ok {
+		e = &baselineEntry{}
+		r.baselines[kind] = e
+	}
+	return e
+}
+
 // Baseline returns (building if needed) the golden baseline for a workload.
+// The build runs at most once even under concurrent callers; golden runs are
+// themselves fanned out across Parallelism workers, with observations slotted
+// by golden-seed index so the resulting baseline is deterministic.
 func (r *Runner) Baseline(kind workload.Kind) *classify.Baseline {
-	if b, ok := r.baselines[kind]; ok {
-		return b
-	}
-	n := r.GoldenRuns
-	if n <= 0 {
-		n = 100
-	}
-	obs := make([]*classify.Observation, 0, n)
-	for i := 0; i < n; i++ {
-		o, _ := r.observe(Spec{Workload: kind, Seed: goldenSeed(kind, i)}, nil)
-		obs = append(obs, o)
-	}
-	b := classify.BuildBaseline(obs)
-	r.baselines[kind] = b
-	r.golden[kind] = obs
-	return b
+	e := r.entry(kind)
+	e.once.Do(func() {
+		n := r.GoldenRuns
+		if n <= 0 {
+			n = 100
+		}
+		obs := make([]*classify.Observation, n)
+		forEach(n, r.Parallelism, func(i int) {
+			obs[i], _ = r.observe(Spec{Workload: kind, Seed: goldenSeed(kind, i)}, nil)
+		})
+		e.golden = obs
+		e.baseline = classify.BuildBaseline(obs)
+	})
+	return e.baseline
 }
 
 // GoldenObservations returns the cached golden observations (building the
 // baseline first if needed).
 func (r *Runner) GoldenObservations(kind workload.Kind) []*classify.Observation {
 	r.Baseline(kind)
-	return r.golden[kind]
+	return r.entry(kind).golden
 }
 
 // Run executes one experiment and classifies it.

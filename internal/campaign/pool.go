@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the parallel campaign execution engine. Every
+// experiment is an isolated, deterministic simulation (its own cluster, loop,
+// and seeded RNG), so a campaign is embarrassingly parallel — the only shared
+// state is the Runner's golden baselines (built once per workload behind a
+// per-kind guard, see campaign.go) and the Progress callback (serialized by
+// progressTicker). Results are written to index-addressed slots and merged in
+// generated-spec order, which keeps every Output aggregate bit-identical to
+// the sequential path no matter how the workers interleave.
+
+// resolveParallelism maps the Parallelism knob to a worker count:
+// 0 (or negative) = runtime.GOMAXPROCS(0), 1 = sequential, n = n workers.
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// forEach runs fn(i) for every i in [0, n) across at most `workers`
+// goroutines. Workers claim indices from a shared counter, so fn must write
+// its result into an index-addressed slot; iteration order across workers is
+// unspecified, but every index runs exactly once. workers <= 1 degenerates to
+// a plain loop with zero goroutine or synchronization overhead.
+func forEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runAll executes every spec with run, fanning out across `workers`
+// goroutines, and returns the results in spec order.
+func runAll(specs []Spec, workers int, run func(Spec) *Result, tick func()) []*Result {
+	results := make([]*Result, len(specs))
+	forEach(len(specs), workers, func(i int) {
+		results[i] = run(specs[i])
+		if tick != nil {
+			tick()
+		}
+	})
+	return results
+}
+
+// progressTicker makes a Config.Progress callback concurrency-safe: workers
+// finishing simultaneously tick it from multiple goroutines, so the count
+// update and the user callback both run under one mutex (the callback is
+// almost always writing a progress line to a terminal — serializing it is the
+// behavior callers expect).
+type progressTicker struct {
+	mu       sync.Mutex
+	done     int
+	total    int
+	progress func(done, total int)
+}
+
+func newProgressTicker(total int, progress func(done, total int)) *progressTicker {
+	return &progressTicker{total: total, progress: progress}
+}
+
+// addTotal grows the expected-experiment count (the refinement round's size
+// is only known after the main campaign finishes).
+func (t *progressTicker) addTotal(n int) {
+	t.mu.Lock()
+	t.total += n
+	t.mu.Unlock()
+}
+
+// tick records one finished experiment and reports progress.
+func (t *progressTicker) tick() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	if t.progress != nil {
+		t.progress(t.done, t.total)
+	}
+}

@@ -19,8 +19,16 @@ type Config struct {
 	SkipRefinement bool
 	// SkipPropagation disables the §V-C4 component-channel experiments.
 	SkipPropagation bool
-	// Progress, if set, receives (done, total) after every experiment.
+	// Progress, if set, receives (done, total) after every experiment. It is
+	// always invoked serially (under a mutex), even when experiments run on
+	// multiple workers.
 	Progress func(done, total int)
+	// Parallelism is the number of worker goroutines executing experiments:
+	// 0 = runtime.GOMAXPROCS(0), 1 = the sequential path, n = n workers.
+	// Campaign outputs are bit-identical for every setting — experiments are
+	// isolated simulations and results are merged in generated-spec order —
+	// so this knob trades only wall-clock for cores.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -64,10 +72,17 @@ type Output struct {
 // RunCampaign executes the complete experimental method: golden runs, field
 // recording, campaign generation, the injection experiments, the
 // critical-field refinement round, and the propagation experiments.
+//
+// Experiments are fanned out across Config.Parallelism workers (see pool.go);
+// the Output is bit-identical to a sequential run because results are merged
+// in generated-spec order and the golden baselines are built once per
+// workload before the fan-out.
 func RunCampaign(cfg Config) *Output {
 	cfg = cfg.withDefaults()
+	workers := resolveParallelism(cfg.Parallelism)
 	runner := NewRunner()
 	runner.GoldenRuns = cfg.GoldenRuns
+	runner.Parallelism = workers
 
 	out := &Output{
 		Main:           NewAggregate(),
@@ -92,18 +107,17 @@ func RunCampaign(cfg Config) *Output {
 		}
 	}
 
-	total := len(mainSpecs) + len(propSpecs) // refinement counted as it appears
-	done := 0
-	tick := func() {
-		done++
-		if cfg.Progress != nil {
-			cfg.Progress(done, total)
-		}
+	// Golden baselines are built up front (each internally parallel) so the
+	// experiment workers never contend on a baseline build.
+	for _, wl := range cfg.Workloads {
+		runner.Baseline(wl)
 	}
 
-	for _, spec := range mainSpecs {
-		out.Main.Add(runner.Run(spec))
-		tick()
+	// Refinement is counted into the total as it appears.
+	progress := newProgressTicker(len(mainSpecs)+len(propSpecs), cfg.Progress)
+
+	for _, res := range runAll(mainSpecs, workers, runner.Run, progress.tick) {
+		out.Main.Add(res)
 	}
 
 	if !cfg.SkipRefinement {
@@ -113,17 +127,17 @@ func RunCampaign(cfg Config) *Output {
 			perWorkloadCritical[wl] = criticalFieldsFor(out.Main, wl)
 			refineSpecs = append(refineSpecs, GenerateCriticalRefinement(wl, perWorkloadCritical[wl])...)
 		}
-		total += len(refineSpecs)
-		for _, spec := range refineSpecs {
-			out.Refinement.Add(runner.Run(spec))
-			tick()
+		progress.addTotal(len(refineSpecs))
+		for _, res := range runAll(refineSpecs, workers, runner.Run, progress.tick) {
+			out.Refinement.Add(res)
 		}
 	}
 
 	if !cfg.SkipPropagation {
+		propResults := runAll(propSpecs, workers, runner.RunPropagation, progress.tick)
 		cells := make(map[string]*PropagationCell)
-		for _, spec := range propSpecs {
-			res := runner.RunPropagation(spec)
+		for i, spec := range propSpecs {
+			res := propResults[i]
 			key := string(spec.Workload) + "/" + spec.Injection.SourcePrefix
 			cell, ok := cells[key]
 			if !ok {
@@ -137,7 +151,6 @@ func RunCampaign(cfg Config) *Output {
 			if res.PropErrored {
 				cell.Errored++
 			}
-			tick()
 		}
 		for _, wl := range cfg.Workloads {
 			for _, component := range PropagationComponents() {

@@ -89,6 +89,10 @@ type Cluster struct {
 	Net       *netsim.State
 	Kubelets  map[string]*kubelet.Kubelet
 	guard     *guard.Guard
+	// nodeOrder preserves kubelet creation order: Start/Stop must not
+	// iterate the Kubelets map, since map order would randomize heartbeat
+	// timer scheduling between runs and break bit-reproducibility.
+	nodeOrder []string
 
 	started bool
 }
@@ -131,6 +135,7 @@ func New(cfg Config) *Cluster {
 }
 
 func (c *Cluster) addKubelet(name string, cidrIndex int, labels map[string]string) {
+	c.nodeOrder = append(c.nodeOrder, name)
 	c.Kubelets[name] = kubelet.New(c.Loop, c.Server, kubelet.Config{
 		NodeName:         name,
 		CapacityMilliCPU: c.cfg.NodeMilliCPU,
@@ -161,8 +166,8 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
-	for _, k := range c.Kubelets {
-		k.Start()
+	for _, name := range c.nodeOrder {
+		c.Kubelets[name].Start()
 	}
 	c.applyNodeRoles()
 	c.installSystemWorkloads()
@@ -174,8 +179,8 @@ func (c *Cluster) Start() {
 func (c *Cluster) Stop() {
 	c.Manager.Stop()
 	c.Scheduler.Stop()
-	for _, k := range c.Kubelets {
-		k.Stop()
+	for _, name := range c.nodeOrder {
+		c.Kubelets[name].Stop()
 	}
 	c.Net.Close()
 }

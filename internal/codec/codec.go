@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -52,6 +53,14 @@ const (
 // wire format. Field numbers are emitted in ascending order and map entries
 // in sorted key order, so encoding is deterministic.
 func Marshal(msg any) ([]byte, error) {
+	return AppendMarshal(nil, msg)
+}
+
+// AppendMarshal encodes msg like Marshal but appends the wire bytes to b
+// (which may be nil, or a pooled buffer reset with b[:0]) and returns the
+// extended slice. It is the zero-garbage entry point for hot paths that
+// encode on every store transaction.
+func AppendMarshal(b []byte, msg any) ([]byte, error) {
 	v := reflect.ValueOf(msg)
 	for v.Kind() == reflect.Pointer {
 		if v.IsNil() {
@@ -62,7 +71,33 @@ func Marshal(msg any) ([]byte, error) {
 	if v.Kind() != reflect.Struct {
 		return nil, fmt.Errorf("codec: marshal non-struct %T", msg)
 	}
-	return appendStruct(nil, v)
+	return appendStruct(b, v)
+}
+
+// A Buffer is a pooled encode destination for AppendMarshal call sites that
+// would otherwise allocate a fresh wire buffer per message. Borrow one with
+// NewBuffer, encode into B (typically via AppendMarshal(buf.B[:0], msg)),
+// store the returned slice back into B, and Free it once the bytes are no
+// longer referenced — e.g. after the store has copied them into an item.
+type Buffer struct {
+	B []byte
+}
+
+// maxPooledBuffer bounds what Free returns to the pool, so one giant message
+// does not pin a giant backing array forever.
+const maxPooledBuffer = 1 << 16
+
+var _bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 1024)} }}
+
+// NewBuffer borrows an encode buffer from the pool.
+func NewBuffer() *Buffer { return _bufPool.Get().(*Buffer) }
+
+// Free returns the buffer to the pool. The caller must not retain b.B.
+func (b *Buffer) Free() {
+	if cap(b.B) <= maxPooledBuffer {
+		b.B = b.B[:0]
+		_bufPool.Put(b)
+	}
 }
 
 // Unmarshal decodes data into msg, which must be a non-nil pointer to a
@@ -88,13 +123,48 @@ type fieldDesc struct {
 	index  int
 	number int
 	name   string
+	// kind and elemKind are precompiled so the encode/decode hot loops never
+	// re-derive them from reflection per call.
+	kind     reflect.Kind
+	elemKind reflect.Kind // slice element kind; Invalid otherwise
 }
 
-var _schemaCache sync.Map // reflect.Type -> []fieldDesc
+// structPlan is the precompiled wire schema of one struct type: its tagged
+// fields in field-number order plus a decode index from wire field number to
+// field slot. Building it parses struct tags exactly once per type; the hot
+// paths only ever touch the compiled plan.
+type structPlan struct {
+	fields []fieldDesc
+	// dense maps small field numbers (the only kind the resource model uses)
+	// to fields indexes, offset by one so zero means "unknown field".
+	dense []int16
+	// byNum is the fallback decode index for types with large field numbers.
+	byNum map[int]int
+}
 
-func structFields(t reflect.Type) []fieldDesc {
+// fieldByNum resolves a decoded field number to a fields index.
+func (p *structPlan) fieldByNum(num int) (int, bool) {
+	if p.dense != nil {
+		if num < len(p.dense) {
+			if i := p.dense[num]; i != 0 {
+				return int(i) - 1, true
+			}
+		}
+		return 0, false
+	}
+	i, ok := p.byNum[num]
+	return i, ok
+}
+
+// maxDenseFieldNumber bounds the dense decode index; beyond it the plan falls
+// back to a map (never hit by the resource model, whose numbers are ≤ 10).
+const maxDenseFieldNumber = 127
+
+var _schemaCache sync.Map // reflect.Type -> *structPlan
+
+func planFor(t reflect.Type) *structPlan {
 	if cached, ok := _schemaCache.Load(t); ok {
-		return cached.([]fieldDesc)
+		return cached.(*structPlan)
 	}
 	var fields []fieldDesc
 	for i := 0; i < t.NumField(); i++ {
@@ -111,11 +181,55 @@ func structFields(t reflect.Type) []fieldDesc {
 		if wireName == "" {
 			wireName = lowerCamel(f.Name)
 		}
-		fields = append(fields, fieldDesc{index: i, number: num, name: wireName})
+		fd := fieldDesc{index: i, number: num, name: wireName, kind: f.Type.Kind()}
+		if fd.kind == reflect.Slice {
+			fd.elemKind = f.Type.Elem().Kind()
+		}
+		fields = append(fields, fd)
 	}
 	sort.Slice(fields, func(i, j int) bool { return fields[i].number < fields[j].number })
-	_schemaCache.Store(t, fields)
-	return fields
+	plan := &structPlan{fields: fields}
+	maxNum := 0
+	for _, fd := range fields {
+		if fd.number > maxNum {
+			maxNum = fd.number
+		}
+	}
+	if maxNum <= maxDenseFieldNumber {
+		plan.dense = make([]int16, maxNum+1)
+		for i, fd := range fields {
+			plan.dense[fd.number] = int16(i + 1)
+		}
+	} else {
+		plan.byNum = make(map[int]int, len(fields))
+		for i, fd := range fields {
+			plan.byNum[fd.number] = i
+		}
+	}
+	cached, _ := _schemaCache.LoadOrStore(t, plan)
+	return cached.(*structPlan)
+}
+
+func structFields(t reflect.Type) []fieldDesc {
+	return planFor(t).fields
+}
+
+// _scratchPool recycles the intermediate buffers used to encode nested
+// messages (a length-delimited format needs the inner length before the inner
+// bytes can be placed). Without it every nested struct, slice element, and
+// map entry allocates on every Marshal.
+var _scratchPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+func getScratch() *[]byte { return _scratchPool.Get().(*[]byte) }
+
+func putScratch(p *[]byte, b []byte) {
+	if cap(b) <= maxPooledBuffer {
+		*p = b[:0]
+		_scratchPool.Put(p)
+	}
 }
 
 func lowerCamel(s string) string {
@@ -127,8 +241,10 @@ func lowerCamel(s string) string {
 
 func appendStruct(b []byte, v reflect.Value) ([]byte, error) {
 	var err error
-	for _, fd := range structFields(v.Type()) {
-		b, err = appendField(b, fd.number, v.Field(fd.index))
+	plan := planFor(v.Type())
+	for i := range plan.fields {
+		fd := &plan.fields[i]
+		b, err = appendField(b, fd, v.Field(fd.index))
 		if err != nil {
 			return nil, err
 		}
@@ -136,8 +252,9 @@ func appendStruct(b []byte, v reflect.Value) ([]byte, error) {
 	return b, nil
 }
 
-func appendField(b []byte, num int, v reflect.Value) ([]byte, error) {
-	switch v.Kind() {
+func appendField(b []byte, fd *fieldDesc, v reflect.Value) ([]byte, error) {
+	num := fd.number
+	switch fd.kind {
 	case reflect.String:
 		if v.Len() == 0 {
 			return b, nil
@@ -161,19 +278,22 @@ func appendField(b []byte, num int, v reflect.Value) ([]byte, error) {
 		return appendVarint(b, uint64(v.Int())), nil
 
 	case reflect.Struct:
-		inner, err := appendStruct(nil, v)
+		sp := getScratch()
+		inner, err := appendStruct((*sp)[:0], v)
 		if err != nil {
+			putScratch(sp, *sp) // appendStruct returned nil; keep the buffer
 			return nil, err
 		}
-		if len(inner) == 0 {
-			return b, nil
+		if len(inner) != 0 {
+			b = appendTag(b, num, wireBytes)
+			b = appendVarint(b, uint64(len(inner)))
+			b = append(b, inner...)
 		}
-		b = appendTag(b, num, wireBytes)
-		b = appendVarint(b, uint64(len(inner)))
-		return append(b, inner...), nil
+		putScratch(sp, inner)
+		return b, nil
 
 	case reflect.Slice:
-		if v.Type().Elem().Kind() == reflect.Uint8 {
+		if fd.elemKind == reflect.Uint8 {
 			if v.Len() == 0 {
 				return b, nil
 			}
@@ -181,42 +301,53 @@ func appendField(b []byte, num int, v reflect.Value) ([]byte, error) {
 			b = appendVarint(b, uint64(v.Len()))
 			return append(b, v.Bytes()...), nil
 		}
-		return appendSlice(b, num, v)
+		return appendSlice(b, num, fd.elemKind, v)
 
 	case reflect.Map:
 		return appendMap(b, num, v)
 
 	default:
-		return nil, fmt.Errorf("codec: unsupported field kind %s", v.Kind())
+		return nil, fmt.Errorf("codec: unsupported field kind %s", fd.kind)
 	}
 }
 
-func appendSlice(b []byte, num int, v reflect.Value) ([]byte, error) {
-	var err error
-	for i := 0; i < v.Len(); i++ {
-		el := v.Index(i)
-		switch el.Kind() {
-		case reflect.String:
-			// Repeated strings emit every element, including empty ones, so
-			// that round trips preserve slice length.
+func appendSlice(b []byte, num int, elemKind reflect.Kind, v reflect.Value) ([]byte, error) {
+	n := v.Len()
+	if n == 0 {
+		return b, nil
+	}
+	switch elemKind {
+	case reflect.String:
+		// Repeated strings emit every element, including empty ones, so
+		// that round trips preserve slice length.
+		for i := 0; i < n; i++ {
+			el := v.Index(i)
 			b = appendTag(b, num, wireBytes)
 			b = appendVarint(b, uint64(el.Len()))
 			b = append(b, el.String()...)
-		case reflect.Int, reflect.Int32, reflect.Int64:
+		}
+	case reflect.Int, reflect.Int32, reflect.Int64:
+		for i := 0; i < n; i++ {
 			b = appendTag(b, num, wireVarint)
-			b = appendVarint(b, uint64(el.Int()))
-		case reflect.Struct:
-			var inner []byte
-			inner, err = appendStruct(nil, el)
+			b = appendVarint(b, uint64(v.Index(i).Int()))
+		}
+	case reflect.Struct:
+		sp := getScratch()
+		inner := (*sp)[:0]
+		for i := 0; i < n; i++ {
+			var err error
+			inner, err = appendStruct(inner[:0], v.Index(i))
 			if err != nil {
+				putScratch(sp, *sp) // appendStruct returned nil; keep the buffer
 				return nil, err
 			}
 			b = appendTag(b, num, wireBytes)
 			b = appendVarint(b, uint64(len(inner)))
 			b = append(b, inner...)
-		default:
-			return nil, fmt.Errorf("codec: unsupported slice element kind %s", el.Kind())
 		}
+		putScratch(sp, inner)
+	default:
+		return nil, fmt.Errorf("codec: unsupported slice element kind %s", elemKind)
 	}
 	return b, nil
 }
@@ -225,27 +356,36 @@ func appendMap(b []byte, num int, v reflect.Value) ([]byte, error) {
 	if v.Type().Key().Kind() != reflect.String || v.Type().Elem().Kind() != reflect.String {
 		return nil, fmt.Errorf("codec: unsupported map type %s", v.Type())
 	}
-	keys := make([]string, 0, v.Len())
+	if v.Len() == 0 {
+		return b, nil
+	}
+	// One MapRange pass collects both halves of each entry, avoiding a
+	// re-boxed MapIndex lookup per key on the hot path.
+	pairs := make([]mapPair, 0, v.Len())
 	iter := v.MapRange()
 	for iter.Next() {
-		keys = append(keys, iter.Key().String())
+		pairs = append(pairs, mapPair{k: iter.Key().String(), v: iter.Value().String()})
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		val := v.MapIndex(reflect.ValueOf(k)).String()
-		var entry []byte
+	slices.SortFunc(pairs, func(a, b mapPair) int { return strings.Compare(a.k, b.k) })
+	sp := getScratch()
+	entry := (*sp)[:0]
+	for _, p := range pairs {
+		entry = entry[:0]
 		entry = appendTag(entry, mapKeyField, wireBytes)
-		entry = appendVarint(entry, uint64(len(k)))
-		entry = append(entry, k...)
+		entry = appendVarint(entry, uint64(len(p.k)))
+		entry = append(entry, p.k...)
 		entry = appendTag(entry, mapValueField, wireBytes)
-		entry = appendVarint(entry, uint64(len(val)))
-		entry = append(entry, val...)
+		entry = appendVarint(entry, uint64(len(p.v)))
+		entry = append(entry, p.v...)
 		b = appendTag(b, num, wireBytes)
 		b = appendVarint(b, uint64(len(entry)))
 		b = append(b, entry...)
 	}
+	putScratch(sp, entry)
 	return b, nil
 }
+
+type mapPair struct{ k, v string }
 
 func appendTag(b []byte, num, wt int) []byte {
 	return appendVarint(b, uint64(num)<<3|uint64(wt))
@@ -262,11 +402,7 @@ func appendVarint(b []byte, v uint64) []byte {
 // --- decoding ---------------------------------------------------------------
 
 func decodeStruct(data []byte, v reflect.Value) error {
-	fields := structFields(v.Type())
-	byNum := make(map[int]fieldDesc, len(fields))
-	for _, fd := range fields {
-		byNum[fd.number] = fd
-	}
+	plan := planFor(v.Type())
 	for len(data) > 0 {
 		tag, n, err := readVarint(data)
 		if err != nil {
@@ -314,19 +450,20 @@ func decodeStruct(data []byte, v reflect.Value) error {
 		default:
 			return fmt.Errorf("%w: wire type %d", ErrCorrupt, wt)
 		}
-		fd, known := byNum[num]
+		fi, known := plan.fieldByNum(num)
 		if !known {
 			continue // unknown field: skip
 		}
-		if err := setDecoded(v.Field(fd.index), wt, scalar, body); err != nil {
+		fd := &plan.fields[fi]
+		if err := setDecoded(v.Field(fd.index), fd, wt, scalar, body); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func setDecoded(f reflect.Value, wt int, scalar uint64, body []byte) error {
-	switch f.Kind() {
+func setDecoded(f reflect.Value, fd *fieldDesc, wt int, scalar uint64, body []byte) error {
+	switch fd.kind {
 	case reflect.String:
 		if wt != wireBytes {
 			return nil // wrong wire type for field: ignore, value lost
@@ -355,14 +492,14 @@ func setDecoded(f reflect.Value, wt int, scalar uint64, body []byte) error {
 		return decodeStruct(body, f)
 
 	case reflect.Slice:
-		if f.Type().Elem().Kind() == reflect.Uint8 {
+		if fd.elemKind == reflect.Uint8 {
 			if wt != wireBytes {
 				return nil
 			}
 			f.SetBytes(append([]byte(nil), body...))
 			return nil
 		}
-		return appendDecodedElem(f, wt, scalar, body)
+		return appendDecodedElem(f, fd.elemKind, wt, scalar, body)
 
 	case reflect.Map:
 		if wt != wireBytes {
@@ -378,39 +515,46 @@ func setDecoded(f reflect.Value, wt int, scalar uint64, body []byte) error {
 		f.SetMapIndex(reflect.ValueOf(k), reflect.ValueOf(v))
 
 	default:
-		return fmt.Errorf("codec: unsupported field kind %s", f.Kind())
+		return fmt.Errorf("codec: unsupported field kind %s", fd.kind)
 	}
 	return nil
 }
 
-func appendDecodedElem(f reflect.Value, wt int, scalar uint64, body []byte) error {
-	elemType := f.Type().Elem()
-	el := reflect.New(elemType).Elem()
-	switch elemType.Kind() {
-	case reflect.String:
+func appendDecodedElem(f reflect.Value, elemKind reflect.Kind, wt int, scalar uint64, body []byte) error {
+	// Wire-type mismatches are checked before growing the slice so a mangled
+	// tag does not append a spurious zero element.
+	switch elemKind {
+	case reflect.String, reflect.Struct:
 		if wt != wireBytes {
 			return nil
 		}
-		if !utf8.Valid(body) {
-			return fmt.Errorf("%w: invalid UTF-8 in repeated string", ErrCorrupt)
-		}
-		el.SetString(string(body))
 	case reflect.Int, reflect.Int32, reflect.Int64:
 		if wt != wireVarint {
 			return nil
 		}
+	default:
+		return fmt.Errorf("codec: unsupported slice element kind %s", elemKind)
+	}
+	// Growing in place via Append(zero) then setting the new slot avoids the
+	// reflect.New heap value per element of the old implementation.
+	n := f.Len()
+	f.Set(reflect.Append(f, reflect.Zero(f.Type().Elem())))
+	el := f.Index(n)
+	switch elemKind {
+	case reflect.String:
+		if !utf8.Valid(body) {
+			f.Set(f.Slice(0, n))
+			return fmt.Errorf("%w: invalid UTF-8 in repeated string", ErrCorrupt)
+		}
+		el.SetString(string(body))
+	case reflect.Int, reflect.Int32, reflect.Int64:
 		el.SetInt(int64(scalar))
 	case reflect.Struct:
-		if wt != wireBytes {
-			return nil
-		}
 		if err := decodeStruct(body, el); err != nil {
+			f.Set(f.Slice(0, n))
 			return err
 		}
-	default:
-		return fmt.Errorf("codec: unsupported slice element kind %s", elemType.Kind())
 	}
-	f.Set(reflect.Append(f, el))
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"time"
 
@@ -59,8 +60,13 @@ type Kubelet struct {
 	client *apiserver.Client
 	cfg    Config
 
-	pods    map[string]*podRuntime // by pod UID
-	pulled  map[string]bool        // images already present on this node
+	pods map[string]*podRuntime // by pod UID
+	// podOrder mirrors pods in ascending-UID order, maintained on track/
+	// untrack, so the write paths (status sync, eviction choice) never
+	// iterate the map — map order is randomized per run and would break
+	// bit-reproducibility.
+	podOrder []*podRuntime
+	pulled   map[string]bool // images already present on this node
 	ipSeq   int64
 	hbTimer *sim.Timer
 	stTimer *sim.Timer
@@ -222,7 +228,7 @@ func (k *Kubelet) onPodEvent(ev apiserver.WatchEvent) {
 			if rt.timer != nil {
 				rt.timer.Stop()
 			}
-			delete(k.pods, uid)
+			k.untrackPod(uid)
 		}
 	case apiserver.Added, apiserver.Modified:
 		if pod.Spec.NodeName != k.cfg.NodeName {
@@ -232,7 +238,7 @@ func (k *Kubelet) onPodEvent(ev apiserver.WatchEvent) {
 				if rt.timer != nil {
 					rt.timer.Stop()
 				}
-				delete(k.pods, uid)
+				k.untrackPod(uid)
 			}
 			return
 		}
@@ -256,7 +262,7 @@ func (k *Kubelet) admit(pod *spec.Pod) {
 	freeCPU := k.cfg.CapacityMilliCPU
 	freeMem := k.cfg.CapacityMemMB
 	var running []*podRuntime
-	for _, rt := range k.pods {
+	for _, rt := range k.orderedPods() {
 		if rt.state == stateFailed {
 			continue
 		}
@@ -272,7 +278,7 @@ func (k *Kubelet) admit(pod *spec.Pod) {
 		}
 	}
 	rt := &podRuntime{pod: pod, state: stateWaiting}
-	k.pods[pod.Metadata.UID] = rt
+	k.trackPod(rt)
 	k.startPod(rt)
 }
 
@@ -305,7 +311,7 @@ func (k *Kubelet) evictForCritical(pod *spec.Pod, running []*podRuntime, needCPU
 		if rt.timer != nil {
 			rt.timer.Stop()
 		}
-		delete(k.pods, rt.pod.Metadata.UID)
+		k.untrackPod(rt.pod.Metadata.UID)
 	}
 	return true
 }
@@ -435,7 +441,7 @@ func (k *Kubelet) syncAllStatuses() {
 	if k.stopped || k.down {
 		return
 	}
-	for _, rt := range k.pods {
+	for _, rt := range k.orderedPods() {
 		if rt.state != stateRunning {
 			continue
 		}
@@ -477,6 +483,35 @@ func (k *Kubelet) allocateIP() (string, error) {
 	out := net.IPv4(ip[0], ip[1], ip[2], byte(2+k.ipSeq%250))
 	return out.String(), nil
 }
+
+// trackPod registers a runtime in the pods map and the UID-ordered list.
+func (k *Kubelet) trackPod(rt *podRuntime) {
+	uid := rt.pod.Metadata.UID
+	k.pods[uid] = rt
+	i := sort.Search(len(k.podOrder), func(j int) bool {
+		return k.podOrder[j].pod.Metadata.UID >= uid
+	})
+	k.podOrder = append(k.podOrder, nil)
+	copy(k.podOrder[i+1:], k.podOrder[i:])
+	k.podOrder[i] = rt
+}
+
+// untrackPod removes a runtime from the pods map and the ordered list.
+func (k *Kubelet) untrackPod(uid string) {
+	delete(k.pods, uid)
+	i := sort.Search(len(k.podOrder), func(j int) bool {
+		return k.podOrder[j].pod.Metadata.UID >= uid
+	})
+	if i < len(k.podOrder) && k.podOrder[i].pod.Metadata.UID == uid {
+		k.podOrder = append(k.podOrder[:i], k.podOrder[i+1:]...)
+	}
+}
+
+// orderedPods returns the pod runtimes in ascending-UID order. The pods map
+// must never be iterated directly on a path with side effects (status
+// writes, eviction choices): map order is randomized per run, and campaign
+// experiments must stay bit-reproducible.
+func (k *Kubelet) orderedPods() []*podRuntime { return k.podOrder }
 
 func sortVictims(victims []*podRuntime) {
 	for i := 1; i < len(victims); i++ {

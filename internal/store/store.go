@@ -114,11 +114,13 @@ func (o *Options) withDefaults() Options {
 type Store struct {
 	loop     *sim.Loop
 	opts     Options
-	items    map[string]*item
-	rev      int64
-	size     int64
-	watchers map[int64]*watcher
-	nextID   int64
+	items map[string]*item
+	rev   int64
+	size  int64
+	// watchers is kept in registration order so notify schedules deliveries
+	// deterministically (map iteration would randomize the order of
+	// same-tick events between runs).
+	watchers []*watcher
 }
 
 type item struct {
@@ -139,10 +141,9 @@ var _ Backend = (*Store)(nil)
 // New returns an empty store bound to the simulation loop.
 func New(loop *sim.Loop, opts *Options) *Store {
 	return &Store{
-		loop:     loop,
-		opts:     opts.withDefaults(),
-		items:    make(map[string]*item),
-		watchers: make(map[int64]*watcher),
+		loop:  loop,
+		opts:  opts.withDefaults(),
+		items: make(map[string]*item),
 	}
 }
 
@@ -169,7 +170,10 @@ func (s *Store) Put(key string, kind spec.Kind, value []byte) (int64, error) {
 	it, exists := s.items[key]
 	if exists {
 		s.size -= int64(len(it.value))
-		it.value = append([]byte(nil), value...)
+		// Overwrites reuse the item's backing array: nothing outside the
+		// store aliases it (Get, List and watch events all hand out copies),
+		// and update-heavy workloads rewrite the same keys every heartbeat.
+		it.value = append(it.value[:0], value...)
 		it.modRev = s.rev
 		it.kind = kind
 	} else {
@@ -235,13 +239,16 @@ func (s *Store) Count(prefix string) int {
 // Watch registers fn for changes to keys under prefix. Events are delivered
 // asynchronously on the simulation loop in commit order.
 func (s *Store) Watch(prefix string, fn func(Event)) (cancel func()) {
-	id := s.nextID
-	s.nextID++
 	w := &watcher{prefix: prefix, fn: fn}
-	s.watchers[id] = w
+	s.watchers = append(s.watchers, w)
 	return func() {
 		w.cancelled = true
-		delete(s.watchers, id)
+		for i, cur := range s.watchers {
+			if cur == w {
+				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+				break
+			}
+		}
 	}
 }
 
