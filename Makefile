@@ -5,9 +5,16 @@
 
 GO ?= go
 
-.PHONY: check build vet test race smoke bench bench-codec bench-campaign
+.PHONY: check ci build vet test race race-all smoke bench bench-codec bench-campaign
 
 check: build vet test race smoke
+
+# Full CI gate (also run by .github/workflows/ci.yml): build, vet, and the
+# whole test suite under the race detector.
+ci: build vet race-all
+
+race-all:
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/mutiny-sim/mutiny/internal/apiserver"
 	"github.com/mutiny-sim/mutiny/internal/campaign"
@@ -59,12 +60,13 @@ func sharedCampaign(b *testing.B) *campaign.Output {
 	b.Helper()
 	_campaignOnce.Do(func() {
 		cfg := campaign.Config{
-			GoldenRuns:   envInt("MUTINY_GOLDEN", 30),
-			SampleStride: envInt("MUTINY_STRIDE", 12),
-			Parallelism:  envInt("MUTINY_PARALLEL", 0),
+			GoldenRuns:     envInt("MUTINY_GOLDEN", 30),
+			SampleStride:   envInt("MUTINY_STRIDE", 12),
+			Parallelism:    envInt("MUTINY_PARALLEL", 0),
+			ShareBootstrap: envInt("MUTINY_SHARE", 0) > 0,
 		}
-		fmt.Printf("[campaign] stride=%d golden=%d parallel=%d (set MUTINY_STRIDE=1 MUTINY_GOLDEN=100 for paper scale; MUTINY_PARALLEL=1 for the sequential path)\n",
-			cfg.SampleStride, cfg.GoldenRuns, cfg.Parallelism)
+		fmt.Printf("[campaign] stride=%d golden=%d parallel=%d share-bootstrap=%v (set MUTINY_STRIDE=1 MUTINY_GOLDEN=100 for paper scale; MUTINY_PARALLEL=1 for the sequential path; MUTINY_SHARE=1 to fork bootstrap snapshots)\n",
+			cfg.SampleStride, cfg.GoldenRuns, cfg.Parallelism, cfg.ShareBootstrap)
 		_campaignOut = campaign.RunCampaign(cfg)
 		fmt.Printf("[campaign] %d injection experiments, %d refinement, %d propagation cells\n",
 			_campaignOut.Main.Total(), _campaignOut.Refinement.Total(), len(_campaignOut.Propagation))
@@ -296,20 +298,63 @@ func BenchmarkAblationAtRestCorruption(b *testing.B) {
 }
 
 // BenchmarkExperimentThroughput measures the cost of one full injection
-// experiment (cluster bootstrap + workload + classification): the number
-// that determines campaign wall-clock time.
+// experiment — the number that determines campaign wall-clock time — on
+// both execution regimes: "replay" boots a fresh cluster per experiment
+// (bootstrap + workload + classification), "share" forks the workload's
+// settled bootstrap snapshot so only the injection window is simulated.
 func BenchmarkExperimentThroughput(b *testing.B) {
-	runner := campaign.NewRunner()
-	runner.GoldenRuns = 10
-	runner.Baseline(workload.Deploy) // prebuild outside the timer
 	in := inject.Injection{
 		Channel: inject.ChannelStore, Kind: spec.KindNode,
 		FieldPath: "status.address", Type: inject.BitFlip, Occurrence: 2,
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		runner.Run(campaign.Spec{Workload: workload.Deploy, Seed: int64(9000 + i), Injection: &in})
+	for _, mode := range []struct {
+		name  string
+		share bool
+	}{{"replay", false}, {"share", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			runner := campaign.NewRunner()
+			runner.GoldenRuns = 10
+			runner.ShareBootstrap = mode.share
+			runner.Baseline(workload.Deploy) // prebuild baseline (and snapshot) outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runner.Run(campaign.Spec{Workload: workload.Deploy, Seed: int64(9000 + i), Injection: &in})
+			}
+		})
 	}
+}
+
+// BenchmarkBootstrapShare records the fork-vs-replay per-experiment ratio:
+// how much of an experiment's cost the shared-bootstrap snapshot removes.
+// Each iteration runs the same injection spec once per regime; the ratio is
+// reported as an explicit metric (ns/op is the sum of both regimes).
+func BenchmarkBootstrapShare(b *testing.B) {
+	in := inject.Injection{
+		Channel: inject.ChannelStore, Kind: spec.KindDeployment,
+		FieldPath: "spec.replicas", Type: inject.BitFlip, Bit: 0, Occurrence: 1,
+	}
+	mk := func(share bool) *campaign.Runner {
+		runner := campaign.NewRunner()
+		runner.GoldenRuns = 5
+		runner.ShareBootstrap = share
+		runner.Baseline(workload.Deploy) // prebuild baseline (and snapshot) outside the timer
+		return runner
+	}
+	replayRunner, forkRunner := mk(false), mk(true)
+	measure := func(runner *campaign.Runner) time.Duration {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			runner.Run(campaign.Spec{Workload: workload.Deploy, Seed: int64(9300 + i), Injection: &in})
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	replay := measure(replayRunner)
+	fork := measure(forkRunner)
+	ratio := float64(replay) / float64(fork)
+	fmt.Printf("Bootstrap share: replay %.2f ms/experiment, fork %.2f ms/experiment, speedup ×%.2f\n",
+		float64(replay.Nanoseconds())/1e6/float64(b.N), float64(fork.Nanoseconds())/1e6/float64(b.N), ratio)
+	b.ReportMetric(ratio, "replay/fork-×")
 }
 
 // BenchmarkCampaignParallel measures campaign wall-clock versus worker
@@ -319,8 +364,9 @@ func BenchmarkExperimentThroughput(b *testing.B) {
 // parallel engine is pure wall-clock win.
 func BenchmarkCampaignParallel(b *testing.B) {
 	base := campaign.Config{
-		GoldenRuns:   envInt("MUTINY_GOLDEN", 10),
-		SampleStride: envInt("MUTINY_STRIDE", 48),
+		GoldenRuns:     envInt("MUTINY_GOLDEN", 10),
+		SampleStride:   envInt("MUTINY_STRIDE", 48),
+		ShareBootstrap: envInt("MUTINY_SHARE", 0) > 0,
 	}
 	for _, workers := range []int{1, 0} {
 		name := "sequential"

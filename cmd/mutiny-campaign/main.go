@@ -38,6 +38,7 @@ func run(args []string) error {
 		stride    = fs.Int("stride", 1, "run every n-th generated experiment (1 = full campaign)")
 		golden    = fs.Int("golden", 100, "golden runs per workload")
 		parallel  = fs.Int("parallel", 0, "experiment worker goroutines (0 = all cores, 1 = sequential; output is identical either way)")
+		share     = fs.Bool("share-bootstrap", false, "fork each experiment from a settled bootstrap snapshot instead of replaying bootstrap (faster; preserves classification aggregates, not bit-level observations)")
 		noRefine  = fs.Bool("no-refinement", false, "skip the critical-field refinement round")
 		noProp    = fs.Bool("no-propagation", false, "skip the component-channel propagation experiments")
 		quiet     = fs.Bool("quiet", false, "suppress progress output")
@@ -51,6 +52,7 @@ func run(args []string) error {
 		GoldenRuns:      *golden,
 		SampleStride:    *stride,
 		Parallelism:     *parallel,
+		ShareBootstrap:  *share,
 		SkipRefinement:  *noRefine,
 		SkipPropagation: *noProp,
 	}

@@ -51,6 +51,20 @@ func (c *Client) List(kind spec.Kind, namespace string) []spec.Object {
 	return c.srv.list(kind, namespace)
 }
 
+// GetView is Get without the defensive copy. The returned object is shared
+// with the watch cache and MUST NOT be mutated — use it on read-only hot
+// paths (polling a status, resolving a service VIP). To modify an object,
+// Get it.
+func (c *Client) GetView(kind spec.Kind, namespace, name string) (spec.Object, error) {
+	return c.srv.getView(kind, namespace, name)
+}
+
+// ListView is List without the per-object defensive copies, under the same
+// read-only contract as GetView.
+func (c *Client) ListView(kind spec.Kind, namespace string) []spec.Object {
+	return c.srv.listView(kind, namespace)
+}
+
 // ListSelected returns the objects of a kind in a namespace whose labels
 // match the selector.
 func (c *Client) ListSelected(kind spec.Kind, namespace string, sel spec.LabelSelector) []spec.Object {

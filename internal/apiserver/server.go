@@ -216,6 +216,14 @@ func (s *Server) CacheLen() int { return len(s.cache) }
 // (§V-C1). Component watches survive (clients reconnect transparently) but
 // receive a fresh Added event per object, like a watch re-list.
 func (s *Server) Restart() {
+	s.rebuildCache(true)
+}
+
+// rebuildCache reloads the watch cache from the backend. With dispatch set,
+// every object is re-announced to current watchers (a restart's re-list);
+// without it, the cache is rebuilt silently (a fork's restore — components
+// prime their own views when they start).
+func (s *Server) rebuildCache(dispatch bool) {
 	s.cache = make(map[string]spec.Object)
 	for _, kv := range s.backend.List("/registry/") {
 		obj, err := s.decode(kv.Kind, kv.Value)
@@ -223,8 +231,15 @@ func (s *Server) Restart() {
 			s.handleUndecodable(kv.Key, kv.Kind)
 			continue
 		}
+		// Stamp the store's mod revision, exactly like the watch path does:
+		// the serialized bytes carry the resource version the *writer* saw,
+		// and serving that stale version would make every post-restart
+		// update fail its optimistic-concurrency check.
+		obj.Meta().ResourceVersion = kv.Revision
 		s.cache[kv.Key] = obj
-		s.dispatch(WatchEvent{Type: Added, Kind: kv.Kind, Object: obj})
+		if dispatch {
+			s.dispatch(WatchEvent{Type: Added, Kind: kv.Kind, Object: obj})
+		}
 	}
 }
 
@@ -542,6 +557,46 @@ func (s *Server) list(kind spec.Kind, namespace string) []spec.Object {
 			s.accessHook(key)
 		}
 		out = append(out, s.cache[key].Clone())
+	}
+	return out
+}
+
+// getView serves a read without the defensive copy: the caller promises not
+// to mutate the result. Access-hook (activation) semantics are identical to
+// get — only the clone is skipped, which matters on request-rate paths (the
+// application client resolves the service VIP on every request).
+func (s *Server) getView(kind spec.Kind, namespace, name string) (spec.Object, error) {
+	key := spec.Key(kind, namespace, name)
+	obj, ok := s.cache[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if s.accessHook != nil {
+		s.accessHook(key)
+	}
+	return obj, nil
+}
+
+// listView is list without the per-object defensive copies, under the same
+// read-only contract as getView.
+func (s *Server) listView(kind spec.Kind, namespace string) []spec.Object {
+	prefix := "/registry/" + string(kind) + "/"
+	if namespace != "" {
+		prefix += namespace + "/"
+	}
+	var keys []string
+	for key := range s.cache {
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]spec.Object, 0, len(keys))
+	for _, key := range keys {
+		if s.accessHook != nil {
+			s.accessHook(key)
+		}
+		out = append(out, s.cache[key])
 	}
 	return out
 }

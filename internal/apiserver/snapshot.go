@@ -1,0 +1,95 @@
+package apiserver
+
+// This file implements server snapshot/restore for the bootstrapped-cluster
+// fork path. The server's durable state outside the store is tiny: the
+// admission counters (UIDs and service cluster IPs must keep advancing in a
+// fork, or new objects would collide with bootstrap-era ones) and the audit
+// trail (a fork must account bootstrap-time requests exactly like a full
+// replay would). The watch cache is not copied — it is rebuilt from the
+// restored backend, the same re-list a real apiserver performs on restart.
+
+// Snapshot captures the server state that must survive a fork.
+type Snapshot struct {
+	UIDCounter int64
+	IPCounter  int64
+	Audit      AuditSnapshot
+}
+
+// AuditSnapshot is a deep copy of the audit trail's counters and entries.
+type AuditSnapshot struct {
+	Entries          []AuditEntry
+	OKByIdentity     map[string]int
+	ErrByIdentity    map[string]int
+	Undecodable      int
+	DroppedWrites    int
+	TamperedOK       int
+	TamperedErrored  int
+	ChecksumFailures int
+}
+
+// Snapshot captures the server's fork-relevant state. The result is
+// immutable data, safe to restore into many forks concurrently.
+func (s *Server) Snapshot() Snapshot {
+	return Snapshot{
+		UIDCounter: s.uidCounter,
+		IPCounter:  s.ipCounter,
+		Audit:      s.audit.snapshot(),
+	}
+}
+
+// RestoreSnapshot installs snapshot state into a freshly built server whose
+// backend has already been restored, then silently rebuilds the watch cache
+// from it. No events are dispatched: components prime their own views when
+// they start, exactly as they do against a live control plane they
+// reconnect to (netsim's Prime, the scheduler's run-time listing, the
+// controllers' resync).
+func (s *Server) RestoreSnapshot(snap Snapshot) {
+	s.uidCounter = snap.UIDCounter
+	s.ipCounter = snap.IPCounter
+	s.audit.restore(snap.Audit)
+	s.rebuildCache(false)
+}
+
+// SkewUIDCounter advances the UID counter by n. Forked clusters apply a
+// seed-derived skew so objects created after the fork get fork-specific
+// UIDs, mirroring the run-to-run UID variability of full replays (bootstrap
+// length differs slightly per seed, so replayed windows never start from
+// the same counter; everything keyed on UIDs — pod service-time offsets,
+// eviction order — would otherwise be identical across all forks).
+func (s *Server) SkewUIDCounter(n int64) {
+	if n > 0 {
+		s.uidCounter += n
+	}
+}
+
+func (a *Audit) snapshot() AuditSnapshot {
+	return AuditSnapshot{
+		Entries:          append([]AuditEntry(nil), a.Entries...),
+		OKByIdentity:     copyCounts(a.okByIdentity),
+		ErrByIdentity:    copyCounts(a.errByIdentity),
+		Undecodable:      a.undecodable,
+		DroppedWrites:    a.droppedWrites,
+		TamperedOK:       a.tamperedOK,
+		TamperedErrored:  a.tamperedErrored,
+		ChecksumFailures: a.checksumFailures,
+	}
+}
+
+func (a *Audit) restore(snap AuditSnapshot) {
+	a.Entries = append([]AuditEntry(nil), snap.Entries...)
+	a.okByIdentity = copyCounts(snap.OKByIdentity)
+	a.errByIdentity = copyCounts(snap.ErrByIdentity)
+	a.undecodable = snap.Undecodable
+	a.droppedWrites = snap.DroppedWrites
+	a.tamperedOK = snap.TamperedOK
+	a.tamperedErrored = snap.TamperedErrored
+	a.checksumFailures = snap.ChecksumFailures
+}
+
+func copyCounts(in map[string]int) map[string]int {
+	out := make(map[string]int, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

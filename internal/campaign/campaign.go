@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
 	"github.com/mutiny-sim/mutiny/internal/classify"
 	"github.com/mutiny-sim/mutiny/internal/cluster"
 	"github.com/mutiny-sim/mutiny/internal/inject"
@@ -58,16 +59,29 @@ type Result struct {
 type Runner struct {
 	// GoldenRuns per workload (the paper uses 100).
 	GoldenRuns int
-	// ClusterConfig template; Seed is overridden per experiment.
+	// ClusterConfig template; it is cloned (deep, including the pointer-typed
+	// option structs) and stamped with the per-experiment seed for every run,
+	// so concurrent workers never share mutable option state.
 	ClusterConfig cluster.Config
 	// Parallelism bounds the worker goroutines used to build golden
 	// baselines (0 or 1 = sequential). RunCampaign sets it from
 	// Config.Parallelism; the baseline itself is bit-identical either way,
 	// because observations are collected in golden-seed order.
 	Parallelism int
+	// ShareBootstrap enables the bootstrapped-cluster fast path: one settled
+	// bootstrap (plus scenario setup) per workload kind is captured as a
+	// cluster.Snapshot and forked per experiment, so only the injection
+	// window is simulated. The bootstrap runs under a canonical per-workload
+	// seed; the forked window runs under the per-experiment seed. Off (the
+	// default) keeps the legacy full-replay path, bit-identical to previous
+	// releases; on preserves classification output per the equivalence
+	// contract documented in the cluster package, but not bit-level equality
+	// of individual observations.
+	ShareBootstrap bool
 
 	mu        sync.Mutex
 	baselines map[workload.Kind]*baselineEntry
+	snapshots map[workload.Kind]*snapshotEntry
 }
 
 // baselineEntry guards one workload's golden-run build.
@@ -77,27 +91,66 @@ type baselineEntry struct {
 	golden   []*classify.Observation
 }
 
+// snapshotEntry guards one workload's shared-bootstrap capture.
+type snapshotEntry struct {
+	once sync.Once
+	snap *cluster.Snapshot
+}
+
 // NewRunner returns a Runner with paper-default settings.
 func NewRunner() *Runner {
 	return &Runner{
 		GoldenRuns: 100,
 		baselines:  make(map[workload.Kind]*baselineEntry),
+		snapshots:  make(map[workload.Kind]*snapshotEntry),
 	}
 }
 
-// entry returns (creating if needed) the guard cell for a workload.
-func (r *Runner) entry(kind workload.Kind) *baselineEntry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.baselines == nil {
-		r.baselines = make(map[workload.Kind]*baselineEntry)
+// guardCell returns (creating if needed) the per-workload guard cell in m,
+// under the runner's lock. Shared by the baseline and snapshot caches.
+func guardCell[E any](mu *sync.Mutex, m *map[workload.Kind]*E, kind workload.Kind) *E {
+	mu.Lock()
+	defer mu.Unlock()
+	if *m == nil {
+		*m = make(map[workload.Kind]*E)
 	}
-	e, ok := r.baselines[kind]
+	e, ok := (*m)[kind]
 	if !ok {
-		e = &baselineEntry{}
-		r.baselines[kind] = e
+		e = new(E)
+		(*m)[kind] = e
 	}
 	return e
+}
+
+// entry returns (creating if needed) the baseline guard cell for a workload.
+func (r *Runner) entry(kind workload.Kind) *baselineEntry {
+	return guardCell(&r.mu, &r.baselines, kind)
+}
+
+// snapshotEntryFor returns (creating if needed) the snapshot cell for a
+// workload.
+func (r *Runner) snapshotEntryFor(kind workload.Kind) *snapshotEntry {
+	return guardCell(&r.mu, &r.snapshots, kind)
+}
+
+// snapshotFor returns (capturing if needed) the shared bootstrap snapshot
+// for a workload: cluster bootstrap, settling, and scenario setup under the
+// workload's canonical seed, captured at the settled instant. The capture
+// runs at most once per workload even under concurrent callers.
+func (r *Runner) snapshotFor(kind workload.Kind) *cluster.Snapshot {
+	e := r.snapshotEntryFor(kind)
+	e.once.Do(func() {
+		cfg := r.ClusterConfig.Clone()
+		cfg.Seed = bootstrapSeed(kind)
+		cl := cluster.New(cfg)
+		cl.Loop.SetEventBudget(eventBudget)
+		cl.Start()
+		cl.AwaitSettled(bootstrapDeadline)
+		driver := workload.NewDriver(cl, kind)
+		driver.Setup()
+		e.snap = cl.Snapshot()
+	})
+	return e.snap
 }
 
 // Baseline returns (building if needed) the golden baseline for a workload.
@@ -113,7 +166,7 @@ func (r *Runner) Baseline(kind workload.Kind) *classify.Baseline {
 		}
 		obs := make([]*classify.Observation, n)
 		forEach(n, r.Parallelism, func(i int) {
-			obs[i], _ = r.observe(Spec{Workload: kind, Seed: goldenSeed(kind, i)}, nil)
+			obs[i], _, _ = r.runExperiment(Spec{Workload: kind, Seed: goldenSeed(kind, i)}, true)
 		})
 		e.golden = obs
 		e.baseline = classify.BuildBaseline(obs)
@@ -138,7 +191,7 @@ func (r *Runner) Run(spec Spec) *Result {
 // and the raw observation (e.g. for rendering Figure 5's time series).
 func (r *Runner) RunObserved(spec Spec) (*Result, *classify.Observation) {
 	baseline := r.Baseline(spec.Workload)
-	obs, rep := r.observe(spec, baseline)
+	obs, rep, _ := r.runExperiment(spec, true)
 	res := &Result{
 		Spec:        spec,
 		OF:          classify.ClassifyOF(obs, baseline),
@@ -147,36 +200,78 @@ func (r *Runner) RunObserved(spec Spec) (*Result, *classify.Observation) {
 		UserErrors:  obs.UserErrors,
 		PodsCreated: obs.PodsCreated,
 	}
-	if rep != nil {
-		res.Report = *rep
+	if spec.Injection != nil {
+		res.Report = rep
 	}
 	return res, obs
 }
 
-// observe executes the experiment lifecycle of Figure 4: cluster restart,
-// scenario set-up, client start, injector programming, workload execution,
-// and data collection.
-func (r *Runner) observe(spec Spec, _ *classify.Baseline) (*classify.Observation, *inject.Report) {
-	cfg := r.ClusterConfig
+// RunPropagation executes a component→apiserver channel experiment and
+// reports the Table VI outcome columns.
+//
+// Unlike the observation path, this path runs without the application
+// client and collector (collect=false): Table VI audits the control-plane
+// request stream, and the client's VIP traffic never touches the API
+// server. The consequence — intentional, and kept for bit-compatibility
+// with prior campaigns — is that Result.UserErrors here counts only the
+// kbench driver's API requests over a window without client-induced
+// dynamics, while the main path's Observation.UserErrors is measured with
+// the client (and the collector's periodic reads) running.
+func (r *Runner) RunPropagation(spec Spec) *Result {
+	_, rep, audit := r.runExperiment(spec, false)
+	return &Result{
+		Spec:          spec,
+		Report:        rep,
+		UserErrors:    audit.ErrorsBy(workload.UserIdentity),
+		PropPersisted: audit.TamperedPersisted() > 0,
+		PropErrored:   audit.TamperedErrored() > 0,
+	}
+}
+
+// bootCluster brings up the cluster for one experiment: forked from the
+// workload's shared bootstrap snapshot when ShareBootstrap is on, or the
+// legacy full replay (bootstrap, settle, scenario setup — all under the
+// per-experiment seed). Either way the returned cluster is settled, has the
+// scenario set up, and carries an attached (not yet armed) injector.
+func (r *Runner) bootCluster(spec Spec) (*cluster.Cluster, *inject.Injector, *workload.Driver) {
+	if r.ShareBootstrap {
+		cl := r.snapshotFor(spec.Workload).Fork(spec.Seed)
+		cl.Loop.SetEventBudget(eventBudget)
+		injector := inject.New(cl.Loop)
+		cl.AttachInjector(injector)
+		return cl, injector, workload.NewDriver(cl, spec.Workload)
+	}
+	cfg := r.ClusterConfig.Clone()
 	cfg.Seed = spec.Seed
 	cl := cluster.New(cfg)
 	cl.Loop.SetEventBudget(eventBudget)
-
 	injector := inject.New(cl.Loop)
 	cl.AttachInjector(injector)
-
 	cl.Start()
 	cl.AwaitSettled(bootstrapDeadline)
-
 	driver := workload.NewDriver(cl, spec.Workload)
 	driver.Setup()
+	return cl, injector, driver
+}
 
-	ns, svc := driver.TargetService()
-	client := workload.NewClient(cl, ns, svc)
-	collector := classify.NewCollector(cl)
+// runExperiment executes the experiment lifecycle of Figure 4 — cluster
+// (re)start, scenario set-up, client start, injector programming, workload
+// execution, and data collection — shared by the observation path (collect
+// = true: application client plus collector attached) and the propagation
+// path (collect = false: audit-only, see RunPropagation). The returned
+// audit trail belongs to the experiment's (stopped) cluster.
+func (r *Runner) runExperiment(spec Spec, collect bool) (*classify.Observation, inject.Report, *apiserver.Audit) {
+	cl, injector, driver := r.bootCluster(spec)
 
-	collector.Start()
-	client.Start()
+	var client *workload.Client
+	var collector *classify.Collector
+	if collect {
+		ns, svc := driver.TargetService()
+		client = workload.NewClient(cl, ns, svc)
+		collector = classify.NewCollector(cl)
+		collector.Start()
+		client.Start()
+	}
 	if spec.Injection != nil {
 		injector.Arm(*spec.Injection)
 	}
@@ -185,59 +280,21 @@ func (r *Runner) observe(spec Spec, _ *classify.Baseline) (*classify.Observation
 	driver.Run()
 	cl.Loop.RunUntil(windowStart + windowLength)
 
-	obs := collector.Finish(client)
+	var obs *classify.Observation
+	if collect {
+		obs = collector.Finish(client)
+	}
 	rep := injector.Report()
-	cl.Stop()
-	if spec.Injection != nil {
-		return obs, &rep
-	}
-	return obs, nil
-}
-
-// RunPropagation executes a component→apiserver channel experiment and
-// reports the Table VI outcome columns.
-func (r *Runner) RunPropagation(spec Spec) *Result {
-	res := r.runWithAudit(spec)
-	return res
-}
-
-func (r *Runner) runWithAudit(spec Spec) *Result {
-	cfg := r.ClusterConfig
-	cfg.Seed = spec.Seed
-	cl := cluster.New(cfg)
-	cl.Loop.SetEventBudget(eventBudget)
-	injector := inject.New(cl.Loop)
-	cl.AttachInjector(injector)
-	cl.Start()
-	cl.AwaitSettled(bootstrapDeadline)
-
-	driver := workload.NewDriver(cl, spec.Workload)
-	driver.Setup()
-	if spec.Injection != nil {
-		injector.Arm(*spec.Injection)
-	}
-	start := cl.Loop.Now()
-	cl.Loop.RunUntil(start + opStartDelay)
-	driver.Run()
-	cl.Loop.RunUntil(start + windowLength)
-
 	audit := cl.Server.Audit()
-	res := &Result{
-		Spec:          spec,
-		Report:        injector.Report(),
-		UserErrors:    audit.ErrorsBy(workload.UserIdentity),
-		PropPersisted: audit.TamperedPersisted() > 0,
-		PropErrored:   audit.TamperedErrored() > 0,
-	}
 	cl.Stop()
-	return res
+	return obs, rep, audit
 }
 
 // Record performs a nominal run of a workload with the wire recorder
 // attached from cluster bootstrap (so node registrations, leases, and
 // system workloads are inventoried too) and returns the recorded fields.
 func (r *Runner) Record(kind workload.Kind) *inject.Recorder {
-	cfg := r.ClusterConfig
+	cfg := r.ClusterConfig.Clone()
 	cfg.Seed = goldenSeed(kind, 999)
 	cl := cluster.New(cfg)
 	rec := inject.NewRecorder()
@@ -268,3 +325,8 @@ func goldenSeed(kind workload.Kind, i int) int64 {
 	}
 	return base + int64(i)
 }
+
+// bootstrapSeed is the canonical per-workload seed the shared bootstrap runs
+// under (the seed-split's bootstrap half). It is disjoint from every golden
+// seed (base+0..GoldenRuns) and from Record's base+999.
+func bootstrapSeed(kind workload.Kind) int64 { return goldenSeed(kind, 555_555) }

@@ -29,6 +29,16 @@ type Config struct {
 	// isolated simulations and results are merged in generated-spec order —
 	// so this knob trades only wall-clock for cores.
 	Parallelism int
+	// ShareBootstrap runs every experiment as a fork of one settled
+	// bootstrap snapshot per workload instead of replaying bootstrap and
+	// scenario setup per experiment, cutting per-experiment cost by the
+	// bootstrap share. Golden baselines are forked the same way, so
+	// classification is preserved relative to the full-replay path (see the
+	// cluster package docs for the exact equivalence contract); individual
+	// observations are not bit-identical to it. Off keeps the legacy
+	// full-replay behavior. Either way, campaign outputs remain bit-
+	// reproducible run-to-run and across Parallelism settings.
+	ShareBootstrap bool
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +93,7 @@ func RunCampaign(cfg Config) *Output {
 	runner := NewRunner()
 	runner.GoldenRuns = cfg.GoldenRuns
 	runner.Parallelism = workers
+	runner.ShareBootstrap = cfg.ShareBootstrap
 
 	out := &Output{
 		Main:           NewAggregate(),
@@ -121,12 +132,7 @@ func RunCampaign(cfg Config) *Output {
 	}
 
 	if !cfg.SkipRefinement {
-		var refineSpecs []Spec
-		perWorkloadCritical := make(map[workload.Kind][]inject.RecordedField)
-		for _, wl := range cfg.Workloads {
-			perWorkloadCritical[wl] = criticalFieldsFor(out.Main, wl)
-			refineSpecs = append(refineSpecs, GenerateCriticalRefinement(wl, perWorkloadCritical[wl])...)
-		}
+		refineSpecs := refinementSpecs(cfg, out.Main)
 		progress.addTotal(len(refineSpecs))
 		for _, res := range runAll(refineSpecs, workers, runner.Run, progress.tick) {
 			out.Refinement.Add(res)
@@ -161,6 +167,18 @@ func RunCampaign(cfg Config) *Output {
 		}
 	}
 	return out
+}
+
+// refinementSpecs derives the §V-C2 critical-field value-set round from the
+// main aggregate. The round honors Config.SampleStride like every other
+// generated spec list: a strided smoke campaign must subsample the
+// refinement experiments too, not run the full set.
+func refinementSpecs(cfg Config, main *Aggregate) []Spec {
+	var specs []Spec
+	for _, wl := range cfg.Workloads {
+		specs = append(specs, sample(GenerateCriticalRefinement(wl, criticalFieldsFor(main, wl)), cfg.SampleStride)...)
+	}
+	return specs
 }
 
 // criticalFieldsFor narrows the critical fields to one workload.

@@ -1,0 +1,239 @@
+package campaign
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/mutiny-sim/mutiny/internal/classify"
+	"github.com/mutiny-sim/mutiny/internal/inject"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/workload"
+)
+
+// The shared-bootstrap fast path must preserve the campaign's scientific
+// output. The equivalence contract, spec by spec (both regimes generate the
+// identical campaign, so results align by index):
+//
+//   - OF classifications are identical for every deterministic fault
+//     (BitFlip / SetValue / DropMessage tamper a chosen field or message —
+//     the fault is the same in both regimes).
+//   - CF classifications are identical except flips involving HRT, the one
+//     category defined purely by thresholding a continuous statistic (the
+//     client z-score against the regime's own golden distribution): an
+//     experiment whose client impact rides the threshold can land on either
+//     side, exactly as it can between two different seeds. Such flips must
+//     be rare (bounded below) and must stay invisible at table granularity
+//     (per-cell counts within a small tolerance).
+//   - FlipProtoByte faults corrupt a byte chosen from the experiment's RNG
+//     stream; the regimes run different streams by design (that is the seed
+//     split), so they execute literally different corruptions — per-spec
+//     equality is no better defined than between two different seeds. They
+//     are covered by the table-level comparison only.
+//   - Propagation cells (Table VI) are identical.
+func TestShareBootstrapEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two multi-experiment campaigns")
+	}
+	base := Config{
+		GoldenRuns:   8,
+		SampleStride: 60,
+		Parallelism:  1,
+	}
+	replay := base
+	shared := base
+	shared.ShareBootstrap = true
+
+	a := RunCampaign(replay)
+	b := RunCampaign(shared)
+
+	if a.Main.Total() == 0 {
+		t.Fatal("campaign ran zero experiments; the test is vacuous")
+	}
+	compareResults(t, "main", a.Main, b.Main)
+	compareResults(t, "refinement", a.Refinement, b.Refinement)
+	if !reflect.DeepEqual(a.Propagation, b.Propagation) {
+		t.Errorf("propagation cells diverged:\n  replay=%+v\n  shared=%+v", a.Propagation, b.Propagation)
+	}
+}
+
+// maxTieShare bounds the tolerated HRT-involved CF flips as a fraction of
+// compared specs; beyond it the regimes genuinely disagree.
+const maxTieShare = 0.05
+
+// cellTolerance bounds how far any per-(workload, group, classification)
+// table cell may drift between regimes: the HRT ties and randomized faults
+// must stay invisible at table granularity.
+const cellTolerance = 2
+
+func compareResults(t *testing.T, label string, wa, wb *Aggregate) {
+	t.Helper()
+	if len(wa.Results) != len(wb.Results) {
+		t.Fatalf("%s: experiment counts diverged: %d vs %d", label, len(wa.Results), len(wb.Results))
+	}
+	ties := 0
+	for i := range wa.Results {
+		ra, rb := wa.Results[i], wb.Results[i]
+		if ra.Spec.Workload != rb.Spec.Workload || ra.Spec.Seed != rb.Spec.Seed ||
+			!reflect.DeepEqual(ra.Spec.Injection, rb.Spec.Injection) {
+			t.Fatalf("%s: spec %d differs between campaigns: %+v vs %+v", label, i, ra.Spec, rb.Spec)
+		}
+		if ra.Spec.Injection != nil && ra.Spec.Injection.Type == inject.FlipProtoByte {
+			continue // randomized fault: different corruption per regime by design
+		}
+		desc := fmt.Sprintf("%s spec %d (%s %s)", label, i, ra.Spec.Workload, injLabel(ra.Spec))
+		if ra.OF != rb.OF {
+			t.Errorf("%s: OF diverged: replay=%s shared=%s", desc, ra.OF, rb.OF)
+		}
+		if ra.CF != rb.CF {
+			if ra.CF != classify.CFHRT && rb.CF != classify.CFHRT {
+				t.Errorf("%s: CF diverged: replay=%s (z=%.2f) shared=%s (z=%.2f)", desc, ra.CF, ra.Z, rb.CF, rb.Z)
+				continue
+			}
+			ties++
+		}
+	}
+	if max := int(maxTieShare * float64(len(wa.Results))); ties > max {
+		t.Errorf("%s: %d HRT-threshold CF flips out of %d specs (max tolerated %d)", label, ties, len(wa.Results), max)
+	}
+	compareCells(t, label+" Table IV (OF)", ofCells(wa), ofCells(wb))
+	compareCells(t, label+" Table V (CF)", cfCells(wa), cfCells(wb))
+}
+
+// ofCells and cfCells flatten the aggregate's table maps into comparable
+// cell counts.
+func ofCells(a *Aggregate) map[string]int {
+	out := make(map[string]int)
+	for wl, groups := range a.OFCounts {
+		for group, counts := range groups {
+			for of, n := range counts {
+				out[fmt.Sprintf("%s|%s|%s", wl, group, of)] = n
+			}
+		}
+	}
+	return out
+}
+
+func cfCells(a *Aggregate) map[string]int {
+	out := make(map[string]int)
+	for wl, groups := range a.CFCounts {
+		for group, counts := range groups {
+			for cf, n := range counts {
+				out[fmt.Sprintf("%s|%s|%s", wl, group, cf)] = n
+			}
+		}
+	}
+	return out
+}
+
+func compareCells(t *testing.T, label string, want, got map[string]int) {
+	t.Helper()
+	keys := make(map[string]bool)
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range keys {
+		if d := got[k] - want[k]; d > cellTolerance || d < -cellTolerance {
+			t.Errorf("%s cell %s drifted: replay=%d shared=%d", label, k, want[k], got[k])
+		}
+	}
+}
+
+func injLabel(s Spec) string {
+	if s.Injection == nil {
+		return "golden"
+	}
+	return s.Injection.Label()
+}
+
+// Forked experiments must be as deterministic as replayed ones: the same
+// spec through the same Runner twice — and through a second Runner with its
+// own snapshot — yields the same verdict.
+func TestShareBootstrapDeterministic(t *testing.T) {
+	spec := Spec{Workload: workload.Deploy, Seed: 5151, Injection: &inject.Injection{
+		Channel: inject.ChannelStore, Kind: spec.KindDeployment,
+		FieldPath: "spec.replicas", Type: inject.BitFlip, Bit: 0, Occurrence: 1,
+	}}
+	newRunner := func() *Runner {
+		r := NewRunner()
+		r.GoldenRuns = 5
+		r.ShareBootstrap = true
+		return r
+	}
+	r1 := newRunner()
+	a := r1.Run(spec)
+	b := r1.Run(spec)
+	c := newRunner().Run(spec)
+	for i, other := range []*Result{b, c} {
+		if a.OF != other.OF || a.CF != other.CF || a.Z != other.Z ||
+			a.PodsCreated != other.PodsCreated || a.Report != other.Report {
+			t.Fatalf("forked run %d diverged:\n  a=%+v\n  other=%+v", i, a, other)
+		}
+	}
+}
+
+// The shared-bootstrap path must stay bit-identical across worker counts,
+// like the replay path: forks are isolated deterministic simulations, the
+// snapshot is built once behind a per-kind guard, and results merge in
+// generated order.
+func TestShareBootstrapParallelDeterministic(t *testing.T) {
+	base := Config{
+		Workloads:      []workload.Kind{workload.Deploy, workload.ScaleUp},
+		GoldenRuns:     3,
+		SampleStride:   101,
+		ShareBootstrap: true,
+	}
+	seq := base
+	seq.Parallelism = 1
+	par := base
+	par.Parallelism = 8
+
+	a := RunCampaign(seq)
+	b := RunCampaign(par)
+	if a.Main.Total() == 0 {
+		t.Fatal("campaign ran zero experiments")
+	}
+	if !reflect.DeepEqual(a.Main, b.Main) {
+		t.Errorf("Main aggregate diverged across worker counts")
+	}
+	if !reflect.DeepEqual(a.Refinement, b.Refinement) {
+		t.Errorf("Refinement aggregate diverged across worker counts")
+	}
+	if !reflect.DeepEqual(a.Propagation, b.Propagation) {
+		t.Errorf("Propagation cells diverged across worker counts")
+	}
+}
+
+// The §V-C2 refinement round must honor Config.SampleStride: a strided
+// smoke campaign subsamples the value-set round like every other generated
+// spec list instead of running it in full.
+func TestRefinementRespectsSampleStride(t *testing.T) {
+	agg := NewAggregate()
+	for i := 0; i < 3; i++ {
+		in := &inject.Injection{
+			Channel: inject.ChannelStore, Kind: spec.KindPod,
+			FieldPath: fmt.Sprintf("spec.nodeName%d", i),
+			Type:      inject.SetValue, Value: "ghost", Occurrence: 1,
+		}
+		agg.Add(&Result{Spec: Spec{Workload: workload.Deploy, Injection: in}, OF: classify.OFSta})
+	}
+	cfg := Config{Workloads: []workload.Kind{workload.Deploy}, SampleStride: 1}
+	full := refinementSpecs(cfg, agg)
+	if len(full) < 4 {
+		t.Fatalf("synthetic aggregate generated too few refinement specs (%d) to exercise striding", len(full))
+	}
+	cfg.SampleStride = 3
+	strided := refinementSpecs(cfg, agg)
+	want := (len(full) + 2) / 3
+	if len(strided) != want {
+		t.Fatalf("stride 3 kept %d of %d refinement specs, want %d", len(strided), len(full), want)
+	}
+	for i, s := range strided {
+		if !reflect.DeepEqual(s, full[i*3]) {
+			t.Fatalf("strided spec %d is not the %d-th generated spec", i, i*3)
+		}
+	}
+}

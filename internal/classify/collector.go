@@ -83,14 +83,15 @@ func (c *Collector) onPod(ev apiserver.WatchEvent) {
 }
 
 func (c *Collector) sample() {
+	// View reads: the scrape only tallies status fields.
 	s := Sample{At: c.cl.Loop.Now() - c.windowStart}
-	for _, ro := range c.admin.List(spec.KindReplicaSet, spec.DefaultNamespace) {
+	for _, ro := range c.admin.ListView(spec.KindReplicaSet, spec.DefaultNamespace) {
 		s.ReadyReplicas += ro.(*spec.ReplicaSet).Status.ReadyReplicas
 	}
-	for _, eo := range c.admin.List(spec.KindEndpoints, spec.DefaultNamespace) {
+	for _, eo := range c.admin.ListView(spec.KindEndpoints, spec.DefaultNamespace) {
 		s.Endpoints += eo.(*spec.Endpoints).Count()
 	}
-	for _, po := range c.admin.List(spec.KindPod, spec.DefaultNamespace) {
+	for _, po := range c.admin.ListView(spec.KindPod, spec.DefaultNamespace) {
 		if po.(*spec.Pod).Active() {
 			s.ActivePods++
 		}
@@ -130,7 +131,7 @@ func (c *Collector) Finish(client *workload.Client) *Observation {
 }
 
 func (c *Collector) probePrometheus() bool {
-	obj, err := c.admin.Get(spec.KindService, spec.SystemNamespace, "prometheus")
+	obj, err := c.admin.GetView(spec.KindService, spec.SystemNamespace, "prometheus")
 	if err != nil {
 		return false
 	}

@@ -3,6 +3,38 @@
 // and the virtual network — in the paper's testbed shape (one control-plane
 // node plus four workers, one of which is reserved for the application
 // client and monitoring).
+//
+// # Bootstrapped-cluster snapshots
+//
+// Booting a cluster to a settled state costs ~20 s of simulated time, which
+// dominates an injection experiment whose measurement window is 45 s. The
+// snapshot/fork subsystem (snapshot.go) amortizes it: bootstrap once, call
+// Cluster.Snapshot at the settled instant, then Snapshot.Fork(seed) per
+// experiment. A fork resumes the snapshot's store contents, virtual clock,
+// and event-budget accounting, and restarts every component over that state
+// — the same re-list/reconcile path components walk after a real restart —
+// so only the injection window is simulated.
+//
+// # Seed-split semantics
+//
+// A forked experiment draws from two random streams: the bootstrap ran
+// under the snapshot's canonical seed (one per workload/topology), and the
+// fork's window runs under the per-experiment seed. A full replay instead
+// threads the per-experiment seed through bootstrap and window alike, and
+// timer phases relative to the window differ slightly between the two
+// (forked components restart their periodic timers at the fork instant).
+// Forked and replayed runs of the same spec are therefore NOT bit-identical
+// — the contract is distributional: golden baselines built from forks and
+// injected forks shift together, so for deterministic faults the OF
+// classification is preserved per experiment and the CF classification is
+// preserved up to threshold-adjacent HRT ties (the client z-score rides the
+// 2.0 threshold exactly as it does between two seeds); faults that are
+// themselves randomized (proto-byte flips) draw a different corruption per
+// regime by construction. The campaign's equivalence test asserts all of
+// this plus table-level count stability. Campaigns that need bit-level
+// reproducibility against historical results keep the full-replay path
+// (campaign.Config.ShareBootstrap = false); forking is deterministic within
+// itself — the same snapshot and seed always yield the same experiment.
 package cluster
 
 import (
@@ -97,16 +129,42 @@ type Cluster struct {
 	started bool
 }
 
+// Clone deep-copies the config, including the pointer-typed option structs.
+// Callers that stamp per-experiment fields (like Seed) onto a shared template
+// must clone first: a by-value copy would share the options across clusters,
+// and concurrent campaign workers would then race on (or cross-contaminate)
+// option state.
+func (c Config) Clone() Config {
+	out := c
+	if c.StoreOptions != nil {
+		opts := *c.StoreOptions
+		out.StoreOptions = &opts
+	}
+	if c.ServerOptions != nil {
+		opts := *c.ServerOptions
+		out.ServerOptions = &opts
+	}
+	return out
+}
+
 // New builds a cluster; call Start to boot it, then drive Loop.
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	loop := sim.NewLoop(cfg.Seed)
-	var backend store.Backend
+	return assemble(cfg, loop, newBackend(loop, cfg))
+}
+
+// newBackend builds the storage backend the config asks for.
+func newBackend(loop *sim.Loop, cfg Config) store.Backend {
 	if cfg.ControlPlaneReplicas > 1 {
-		backend = store.NewReplicated(loop, cfg.ControlPlaneReplicas, cfg.StoreOptions)
-	} else {
-		backend = store.New(loop, cfg.StoreOptions)
+		return store.NewReplicated(loop, cfg.ControlPlaneReplicas, cfg.StoreOptions)
 	}
+	return store.New(loop, cfg.StoreOptions)
+}
+
+// assemble wires all components over an existing loop and backend; shared by
+// New (empty backend) and Snapshot.Fork (restored backend).
+func assemble(cfg Config, loop *sim.Loop, backend store.Backend) *Cluster {
 	srv := apiserver.New(loop, backend, cfg.ServerOptions)
 	c := &Cluster{
 		cfg:       cfg,
@@ -199,8 +257,8 @@ func (c *Cluster) AwaitSettled(deadline time.Duration) bool {
 }
 
 func (c *Cluster) systemReady(admin *apiserver.Client) bool {
-	// Network manager on every node.
-	nodes := admin.List(spec.KindNode, "")
+	// Network manager on every node (view reads: the probe only inspects).
+	nodes := admin.ListView(spec.KindNode, "")
 	for _, no := range nodes {
 		if !c.Net.RoutesUp(no.Meta().Name) {
 			return false
@@ -210,7 +268,7 @@ func (c *Cluster) systemReady(admin *apiserver.Client) bool {
 		return false
 	}
 	// Monitoring stack serving.
-	obj, err := admin.Get(spec.KindDeployment, spec.SystemNamespace, "prometheus")
+	obj, err := admin.GetView(spec.KindDeployment, spec.SystemNamespace, "prometheus")
 	if err != nil {
 		return false
 	}
@@ -251,7 +309,7 @@ func (c *Cluster) AttachInjector(j *inject.Injector) {
 
 func (c *Cluster) guardHealth() guard.Health {
 	active := 0
-	for _, po := range c.Server.ClientFor("field-guard").List(spec.KindPod, "") {
+	for _, po := range c.Server.ClientFor("field-guard").ListView(spec.KindPod, "") {
 		if po.(*spec.Pod).Active() {
 			active++
 		}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/kubelet"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/store"
+)
+
+// This file implements bootstrapped-cluster snapshots: capture a settled
+// cluster once, then fork cheap copies that resume at the settled instant —
+// the campaign fast path that removes the ~20 s simulated bootstrap from
+// every injection experiment.
+//
+// A Snapshot holds only immutable data: store contents (every replica of a
+// replicated backend), the API server's admission counters and audit trail,
+// the controller manager's child-name counter, and each kubelet's runtime
+// state (image cache, IP allocator, per-pod pipeline position). Everything
+// else — watch registrations, periodic timers, controller caches, the
+// scheduler's pending/assumed sets, the data-plane view — is deliberately
+// NOT captured: a fork rebuilds it by re-listing the restored store, the
+// same recovery path every real component walks after a restart. That keeps
+// the snapshot free of closures (simulation events cannot be copied between
+// loops) and makes one snapshot safely forkable from many goroutines at
+// once.
+//
+// Seed split: the snapshot's bootstrap runs under one canonical seed; each
+// Fork(seed) gets a fresh RNG seeded per experiment while resuming the
+// snapshot's virtual clock and event-budget accounting. See the package
+// documentation for the equivalence contract this implies.
+type Snapshot struct {
+	cfg      Config
+	now      time.Duration
+	executed int64
+
+	store    *store.Snapshot
+	server   apiserver.Snapshot
+	nameSeq  int64
+	kubelets map[string]kubelet.Snapshot
+}
+
+// settleMargin is simulated after capture-point checks before the state is
+// read: it drains in-flight watch deliveries (store and dispatch latencies
+// are ~1 ms) so the capture sees a quiescent system, not one with committed-
+// but-undelivered events that a fork would silently drop.
+const settleMargin = 100 * time.Millisecond
+
+// forkDither is the upper bound of the random phase offset each fork runs
+// before it is handed to the caller. Forking restarts every periodic timer
+// at the same instant, so without it all forks of one snapshot would share
+// exactly the same component phases (scheduler ticks, controller sync and
+// resync, heartbeats) relative to the measurement window — a degenerate
+// alignment a full replay never exhibits, which would collapse the variance
+// of golden-run baselines and inflate every z-score. The dither is drawn
+// from the fork's own RNG, so it is deterministic per seed; one second
+// covers the short control-loop periods that dominate window-visible
+// timing (scheduler 100 ms, controller sync 50 ms).
+const forkDither = time.Second
+
+// Snapshot captures the cluster's resumable state. Call it on a started,
+// settled cluster (after AwaitSettled and any scenario setup); the capture
+// advances the clock by a small settle margin first so no watch delivery is
+// in flight. The result is immutable and safe for concurrent Fork calls.
+func (c *Cluster) Snapshot() *Snapshot {
+	c.Loop.RunUntil(c.Loop.Now() + settleMargin)
+	snap := &Snapshot{
+		cfg:      c.cfg.Clone(),
+		now:      c.Loop.Now(),
+		executed: c.Loop.EventsExecuted(),
+		store:    store.CaptureSnapshot(c.Backend),
+		server:   c.Server.Snapshot(),
+		nameSeq:  c.Manager.NameSeq(),
+		kubelets: make(map[string]kubelet.Snapshot, len(c.Kubelets)),
+	}
+	for _, name := range c.nodeOrder {
+		snap.kubelets[name] = c.Kubelets[name].Snapshot()
+	}
+	return snap
+}
+
+// Fork builds a started cluster that resumes from the snapshot: same store
+// contents, same virtual clock, same settled workloads — but all randomness
+// from here on is drawn from a fresh RNG seeded with seed. The fork is
+// already running (components started, leases adopted, data plane primed);
+// drive its Loop directly, there is no bootstrap to await.
+func (s *Snapshot) Fork(seed int64) *Cluster {
+	cfg := s.cfg.Clone()
+	cfg.Seed = seed
+	loop := sim.NewLoop(seed)
+	loop.Resume(s.now, s.executed)
+
+	backend := newBackend(loop, cfg)
+	store.RestoreSnapshot(backend, s.store)
+	c := assemble(cfg, loop, backend)
+	// Rebuild the watch cache from the restored store and resume the
+	// admission counters before any component starts issuing requests.
+	c.Server.RestoreSnapshot(s.server)
+	// Seed-derived UID skew: replayed runs never reach the window with
+	// exactly the same UID counter (bootstrap length varies per seed), and
+	// per-pod behavior keyed on UIDs must keep that run-to-run variability.
+	c.Server.SkewUIDCounter(loop.Rand().Int63n(1000))
+	c.Manager.ResumeNameSeq(s.nameSeq)
+
+	// Kubelets adopt their pods before starting, so the pod watch treats
+	// them as already-owned state rather than new arrivals.
+	for _, name := range c.nodeOrder {
+		if ks, ok := s.kubelets[name]; ok {
+			c.Kubelets[name].RestoreSnapshot(ks)
+		}
+	}
+
+	c.started = true
+	for _, name := range c.nodeOrder {
+		c.Kubelets[name].Start()
+	}
+	// The data plane re-lists the restored control-plane state (netsim's
+	// watches only carry changes), then the control loops start: their
+	// electors find their own identities on the restored leases and resume
+	// leadership on the first tick, and the controllers and scheduler prime
+	// their caches from the store exactly as after a component restart.
+	c.Net.Prime()
+	c.Manager.Start()
+	c.Scheduler.Start()
+	// Run a seed-random phase dither so this fork's component timers
+	// de-phase from every other fork's (see forkDither).
+	loop.RunUntil(loop.Now() + time.Duration(loop.Rand().Int63n(int64(forkDither))))
+	return c
+}

@@ -43,7 +43,7 @@ func (c *daemonSetController) enqueueFor(ev apiserver.WatchEvent) {
 }
 
 func (c *daemonSetController) resync() {
-	for _, ds := range c.m.client.List(spec.KindDaemonSet, "") {
+	for _, ds := range c.m.client.ListView(spec.KindDaemonSet, "") {
 		c.q.add(objKey(ds))
 	}
 }
@@ -62,8 +62,10 @@ func (c *daemonSetController) sync(key string) {
 
 	// Group this DaemonSet's pods by node. Identification goes through the
 	// selector AND the owner reference, like the ReplicaSet controller.
+	// View read: pods are only grouped and inspected; release mutates a
+	// private clone (see releasePod).
 	podsByNode := make(map[string][]*spec.Pod)
-	for _, po := range c.m.client.List(spec.KindPod, ns) {
+	for _, po := range c.m.client.ListView(spec.KindPod, ns) {
 		pod := po.(*spec.Pod)
 		if !pod.Active() {
 			continue
@@ -83,7 +85,7 @@ func (c *daemonSetController) sync(key string) {
 	}
 
 	var desired, current, ready int64
-	for _, no := range c.m.client.List(spec.KindNode, "") {
+	for _, no := range c.m.client.ListView(spec.KindNode, "") {
 		node := no.(*spec.Node)
 		eligible := c.nodeEligible(ds, node)
 		pods := podsByNode[node.Metadata.Name]
@@ -159,6 +161,7 @@ func (c *daemonSetController) createPod(ds *spec.DaemonSet, nodeName string) {
 }
 
 func (c *daemonSetController) releasePod(pod *spec.Pod) {
+	pod = pod.Clone().(*spec.Pod) // the argument may be a shared cache view
 	var kept []spec.OwnerReference
 	for _, ref := range pod.Metadata.OwnerReferences {
 		if !ref.Controller {

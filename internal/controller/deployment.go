@@ -37,7 +37,7 @@ func (c *deploymentController) enqueueFor(ev apiserver.WatchEvent) {
 }
 
 func (c *deploymentController) resync() {
-	for _, d := range c.m.client.List(spec.KindDeployment, "") {
+	for _, d := range c.m.client.ListView(spec.KindDeployment, "") {
 		c.q.add(objKey(d))
 	}
 }
@@ -54,9 +54,10 @@ func (c *deploymentController) sync(key string) {
 	}
 	d := obj.(*spec.Deployment)
 
-	// Collect owned ReplicaSets.
+	// Collect owned ReplicaSets (view read: scaling mutates a private clone,
+	// see setReplicas).
 	var owned []*spec.ReplicaSet
-	for _, ro := range c.m.client.List(spec.KindReplicaSet, ns) {
+	for _, ro := range c.m.client.ListView(spec.KindReplicaSet, ns) {
 		rs := ro.(*spec.ReplicaSet)
 		if ref := rs.Metadata.ControllerOf(); ref != nil && ref.UID == d.Metadata.UID {
 			owned = append(owned, rs)
@@ -179,6 +180,7 @@ func (c *deploymentController) setReplicas(rs *spec.ReplicaSet, n int64) {
 	if rs.Spec.Replicas == n {
 		return
 	}
+	rs = rs.Clone().(*spec.ReplicaSet) // the argument may be a shared cache view
 	rs.Spec.Replicas = n
 	if err := c.m.client.Update(rs); errors.Is(err, apiserver.ErrConflict) {
 		// Re-read next sync; the resync loop will retry.

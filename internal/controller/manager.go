@@ -189,6 +189,15 @@ func (m *Manager) nextName(base string) string {
 	return fmt.Sprintf("%s-%05d", base, m.nameSeq)
 }
 
+// NameSeq exposes the child-name counter for cluster snapshots.
+func (m *Manager) NameSeq() int64 { return m.nameSeq }
+
+// ResumeNameSeq restores the child-name counter in a forked cluster. The
+// controllers themselves hold no authoritative state (their caches rebuild
+// from watches and resyncs), but a fork whose counter restarted at zero
+// would mint child names that collide with bootstrap-era objects.
+func (m *Manager) ResumeNameSeq(seq int64) { m.nameSeq = seq }
+
 // templateHash mirrors the pod-template-hash mechanism: deployments stamp
 // their ReplicaSets and pods with a hash of the pod template, so template
 // corruption surfaces as a new hash — triggering a rolling update.

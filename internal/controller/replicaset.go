@@ -46,8 +46,9 @@ func (c *replicaSetController) enqueueFor(ev apiserver.WatchEvent) {
 			c.q.add(meta.Namespace + "/" + ref.Name)
 			return
 		}
-		// Orphan pod: only ReplicaSets whose selector matches could adopt it.
-		for _, ro := range c.m.client.List(spec.KindReplicaSet, meta.Namespace) {
+		// Orphan pod: only ReplicaSets whose selector matches could adopt it
+		// (view read: the scan only enqueues keys).
+		for _, ro := range c.m.client.ListView(spec.KindReplicaSet, meta.Namespace) {
 			rs := ro.(*spec.ReplicaSet)
 			if rs.Spec.Selector.Matches(meta.Labels) {
 				c.q.add(objKey(rs))
@@ -57,7 +58,7 @@ func (c *replicaSetController) enqueueFor(ev apiserver.WatchEvent) {
 }
 
 func (c *replicaSetController) resync() {
-	for _, rs := range c.m.client.List(spec.KindReplicaSet, "") {
+	for _, rs := range c.m.client.ListView(spec.KindReplicaSet, "") {
 		c.q.add(objKey(rs))
 	}
 }
@@ -74,8 +75,10 @@ func (c *replicaSetController) sync(key string) {
 	}
 	rs := obj.(*spec.ReplicaSet)
 
+	// View read: owned pods are only inspected here; adoption and release
+	// mutate a private clone (see adoptPod / releasePod).
 	var owned, matched []*spec.Pod
-	for _, po := range c.m.client.List(spec.KindPod, ns) {
+	for _, po := range c.m.client.ListView(spec.KindPod, ns) {
 		pod := po.(*spec.Pod)
 		if !pod.Active() {
 			continue
@@ -139,6 +142,7 @@ func (c *replicaSetController) createPod(rs *spec.ReplicaSet) {
 }
 
 func (c *replicaSetController) adoptPod(rs *spec.ReplicaSet, pod *spec.Pod) bool {
+	pod = pod.Clone().(*spec.Pod) // the argument may be a shared cache view
 	pod.Metadata.OwnerReferences = append(pod.Metadata.OwnerReferences, spec.OwnerReference{
 		Kind: string(spec.KindReplicaSet), Name: rs.Metadata.Name,
 		UID: rs.Metadata.UID, Controller: true,
@@ -147,6 +151,7 @@ func (c *replicaSetController) adoptPod(rs *spec.ReplicaSet, pod *spec.Pod) bool
 }
 
 func (c *replicaSetController) releasePod(pod *spec.Pod) {
+	pod = pod.Clone().(*spec.Pod) // the argument may be a shared cache view
 	var kept []spec.OwnerReference
 	for _, ref := range pod.Metadata.OwnerReferences {
 		if !ref.Controller {

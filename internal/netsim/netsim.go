@@ -106,6 +106,31 @@ func (s *State) Close() {
 	}
 }
 
+// Prime rebuilds the data-plane view from the control plane's current state,
+// for forked clusters: the watches registered by New only observe changes,
+// so a State attached to an already-populated control plane must list the
+// existing objects once — the kube-proxy/CNI equivalent of a re-list after
+// reconnecting. Nodes whose network-manager pod is ready are treated as
+// freshly confirmed (their route-decay clock starts at the prime instant,
+// exactly as if the ready status had just been observed).
+func (s *State) Prime() {
+	for _, o := range s.client.List(spec.KindService, "") {
+		s.onService(apiserver.WatchEvent{Type: apiserver.Added, Kind: spec.KindService, Object: o})
+	}
+	for _, o := range s.client.List(spec.KindEndpoints, "") {
+		s.onEndpoints(apiserver.WatchEvent{Type: apiserver.Added, Kind: spec.KindEndpoints, Object: o})
+	}
+	for _, o := range s.client.List(spec.KindPod, "") {
+		s.onPod(apiserver.WatchEvent{Type: apiserver.Added, Kind: spec.KindPod, Object: o})
+	}
+	for _, o := range s.client.List(spec.KindNode, "") {
+		s.onNode(apiserver.WatchEvent{Type: apiserver.Added, Kind: spec.KindNode, Object: o})
+	}
+	for _, o := range s.client.List(spec.KindConfigMap, "") {
+		s.onConfigMap(apiserver.WatchEvent{Type: apiserver.Added, Kind: spec.KindConfigMap, Object: o})
+	}
+}
+
 func (s *State) onService(ev apiserver.WatchEvent) {
 	svc := ev.Object.(*spec.Service)
 	if ev.Type == apiserver.Deleted {

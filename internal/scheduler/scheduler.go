@@ -124,8 +124,8 @@ func (s *Scheduler) run() {
 	s.lastPreempt = make(map[string]time.Duration)
 	s.cancelW = s.client.Watch(spec.KindPod, s.onPodEvent)
 	s.ticker = s.loop.Every(schedulePeriod, s.scheduleAll)
-	// Prime from the current state.
-	for _, po := range s.client.List(spec.KindPod, "") {
+	// Prime from the current state (view read: priming only inspects).
+	for _, po := range s.client.ListView(spec.KindPod, "") {
 		pod := po.(*spec.Pod)
 		if pod.Spec.NodeName == "" && pod.Active() {
 			s.pending[podKey(pod)] = true
@@ -230,7 +230,9 @@ func (s *Scheduler) scheduleAll() {
 			continue
 		}
 		if pod.Spec.Priority > 0 && podSnapshot == nil {
-			for _, po := range s.client.List(spec.KindPod, "") {
+			// View read: preemption picks victims by name; they are deleted,
+			// never mutated.
+			for _, po := range s.client.ListView(spec.KindPod, "") {
 				podSnapshot = append(podSnapshot, po.(*spec.Pod))
 			}
 		}
@@ -247,10 +249,12 @@ type nodeInfo struct {
 }
 
 // snapshotNodes computes per-node free resources from the current pod set.
+// View reads throughout: the scheduler treats the listed objects as a
+// read-only world snapshot (bindings go through a fresh Get per pod).
 func (s *Scheduler) snapshotNodes() []*nodeInfo {
 	var infos []*nodeInfo
 	byName := make(map[string]*nodeInfo)
-	for _, no := range s.client.List(spec.KindNode, "") {
+	for _, no := range s.client.ListView(spec.KindNode, "") {
 		node := no.(*spec.Node)
 		info := &nodeInfo{
 			node:    node,
@@ -260,7 +264,7 @@ func (s *Scheduler) snapshotNodes() []*nodeInfo {
 		infos = append(infos, info)
 		byName[node.Metadata.Name] = info
 	}
-	for _, po := range s.client.List(spec.KindPod, "") {
+	for _, po := range s.client.ListView(spec.KindPod, "") {
 		pod := po.(*spec.Pod)
 		if pod.Spec.NodeName == "" || !pod.Active() {
 			continue

@@ -99,6 +99,21 @@ func (l *Loop) SetEventBudget(n int64) { l.budget = n }
 // EventsExecuted reports how many events have run.
 func (l *Loop) EventsExecuted() int64 { return l.executed }
 
+// Resume positions a fresh loop at a snapshot instant: the clock jumps to
+// now and the executed-event counter resumes from executed, so an event
+// budget set afterwards leaves exactly the same headroom as a loop that
+// actually replayed those events. Resume supports forking a bootstrapped
+// cluster: the fork's loop continues the virtual timeline of the snapshot
+// while drawing randomness from its own (per-experiment) seed. It must be
+// called before any event is scheduled or executed on the loop.
+func (l *Loop) Resume(now time.Duration, executed int64) {
+	if l.executed != 0 || len(l.events) != 0 || l.seq != 0 {
+		panic("sim: Resume called on a loop that already ran or has pending events")
+	}
+	l.now = now
+	l.executed = executed
+}
+
 // BudgetExhausted reports whether the event budget was consumed.
 func (l *Loop) BudgetExhausted() bool { return l.budget > 0 && l.executed >= l.budget }
 

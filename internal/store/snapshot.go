@@ -1,0 +1,101 @@
+package store
+
+import (
+	"sort"
+
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// This file implements store snapshot/restore: the storage half of the
+// bootstrapped-cluster fork path. A Snapshot is pure immutable data — no
+// loop, watcher, or timer references — so one snapshot can seed any number
+// of forked clusters concurrently; every restore deep-copies the value
+// bytes into the target store.
+
+// ItemSnapshot is one stored key with its full revision metadata.
+type ItemSnapshot struct {
+	Key       string
+	Kind      spec.Kind
+	Value     []byte
+	CreateRev int64
+	ModRev    int64
+}
+
+// StoreSnapshot captures one replica's contents and counters.
+type StoreSnapshot struct {
+	Items []ItemSnapshot // sorted by key
+	Rev   int64
+	Size  int64
+}
+
+// Snapshot captures a whole Backend: one StoreSnapshot for a single-replica
+// Store, one per replica for a Replicated backend (replicas can diverge
+// transiently while the raft log drains, so each is captured independently).
+type Snapshot struct {
+	Replicas []StoreSnapshot
+}
+
+// CaptureSnapshot snapshots any supported Backend.
+func CaptureSnapshot(b Backend) *Snapshot {
+	switch be := b.(type) {
+	case *Store:
+		return &Snapshot{Replicas: []StoreSnapshot{be.snapshot()}}
+	case *Replicated:
+		snap := &Snapshot{}
+		for _, rep := range be.replicas {
+			snap.Replicas = append(snap.Replicas, rep.snapshot())
+		}
+		return snap
+	default:
+		return nil
+	}
+}
+
+// RestoreSnapshot loads a snapshot into a freshly constructed Backend of the
+// same shape (same replica count). It must run before any component writes:
+// items are installed directly, without watch notifications, exactly like a
+// store process reopening its database file.
+func RestoreSnapshot(b Backend, snap *Snapshot) {
+	if snap == nil {
+		return
+	}
+	switch be := b.(type) {
+	case *Store:
+		be.restore(snap.Replicas[0])
+	case *Replicated:
+		for i, rep := range be.replicas {
+			if i < len(snap.Replicas) {
+				rep.restore(snap.Replicas[i])
+			}
+		}
+	}
+}
+
+func (s *Store) snapshot() StoreSnapshot {
+	out := StoreSnapshot{Rev: s.rev, Size: s.size, Items: make([]ItemSnapshot, 0, len(s.items))}
+	for key, it := range s.items {
+		out.Items = append(out.Items, ItemSnapshot{
+			Key:       key,
+			Kind:      it.kind,
+			Value:     append([]byte(nil), it.value...),
+			CreateRev: it.createRev,
+			ModRev:    it.modRev,
+		})
+	}
+	sort.Slice(out.Items, func(i, j int) bool { return out.Items[i].Key < out.Items[j].Key })
+	return out
+}
+
+func (s *Store) restore(snap StoreSnapshot) {
+	s.items = make(map[string]*item, len(snap.Items))
+	for _, it := range snap.Items {
+		s.items[it.Key] = &item{
+			kind:      it.Kind,
+			value:     append([]byte(nil), it.Value...),
+			createRev: it.CreateRev,
+			modRev:    it.ModRev,
+		}
+	}
+	s.rev = snap.Rev
+	s.size = snap.Size
+}
