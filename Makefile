@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check ci build vet test race race-all smoke bench bench-codec bench-campaign
+.PHONY: check ci build vet test race race-all smoke bench bench-full bench-codec bench-campaign
 
 check: build vet test race smoke
 
@@ -37,8 +37,27 @@ race:
 smoke:
 	MUTINY_STRIDE=200 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime=1x .
 
-# Full paper-style benchmark run (minutes; see bench_test.go header).
+# Perf gate: the hot-path benchmarks (experiment throughput replay vs share,
+# bootstrap-share ratio, parallel campaign speedup) parsed into BENCH_PR3.json
+# via tools/benchjson. CI runs this on the 4-vCPU hosted runner on every push
+# and uploads the JSON as an artifact, so the bench trajectory is recorded
+# per commit. MUTINY_SHARE is irrelevant here: ExperimentThroughput measures
+# both regimes itself.
+# Each bench run writes to its own file first so a benchmark failure fails
+# the target (piping straight into benchjson would report the parser's exit
+# status and let a broken benchmark slip through the gate); benchjson itself
+# also fails when it parses no benchmark lines.
+BENCH_JSON ?= BENCH_PR3.json
 bench:
+	@set -e; out=$$(mktemp -d); \
+	$(GO) test -run xxx -bench 'BenchmarkExperimentThroughput|BenchmarkBootstrapShare' -benchmem -benchtime 30x . > $$out/hot.txt; \
+	MUTINY_STRIDE=96 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime 1x . > $$out/campaign.txt; \
+	cat $$out/hot.txt $$out/campaign.txt | $(GO) run ./tools/benchjson -out $(BENCH_JSON); \
+	rm -rf $$out
+	@echo "wrote $(BENCH_JSON)"
+
+# Full paper-style benchmark run (minutes; see bench_test.go header).
+bench-full:
 	$(GO) test -bench=. -benchmem .
 
 bench-codec:

@@ -269,7 +269,7 @@ func BenchmarkAblationAtRestCorruption(b *testing.B) {
 		corrupt()
 		obj, _ := admin.Get(spec.KindDeployment, spec.DefaultNamespace, workload.AppName(0))
 		maskedByCache := obj.(*spec.Deployment).Spec.Replicas == 2
-		d := obj.(*spec.Deployment)
+		d := spec.CloneForWriteAs(obj.(*spec.Deployment))
 		d.Metadata.Annotations = map[string]string{"touch": "1"}
 		_ = admin.Update(d)
 		cl.Loop.RunUntil(cl.Loop.Now() + 2_000_000_000)

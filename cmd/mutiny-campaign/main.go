@@ -14,6 +14,14 @@
 // Experiments fan out across -parallel worker goroutines (default: all
 // cores). Campaign outputs are bit-identical for every -parallel value, so
 // the knob only trades wall-clock for CPU.
+//
+// -share-bootstrap forks every experiment from a settled per-workload
+// bootstrap snapshot instead of replaying the ~20 s simulated bootstrap each
+// time. Snapshots live in a process-wide cache keyed on the cluster
+// configuration plus the workload kind, so repeated campaigns (and every
+// Runner constructed in the process) bootstrap each workload exactly once;
+// forks share the snapshot's store bytes copy-on-write, so a fork costs
+// ~0.5 ms regardless of cluster size.
 package main
 
 import (
@@ -37,8 +45,8 @@ func run(args []string) error {
 	var (
 		stride    = fs.Int("stride", 1, "run every n-th generated experiment (1 = full campaign)")
 		golden    = fs.Int("golden", 100, "golden runs per workload")
-		parallel  = fs.Int("parallel", 0, "experiment worker goroutines (0 = all cores, 1 = sequential; output is identical either way)")
-		share     = fs.Bool("share-bootstrap", false, "fork each experiment from a settled bootstrap snapshot instead of replaying bootstrap (faster; preserves classification aggregates, not bit-level observations)")
+		parallel  = fs.Int("parallel", 0, "experiment worker goroutines (0 = all cores, 1 = sequential; output is bit-identical either way)")
+		share     = fs.Bool("share-bootstrap", false, "fork each experiment from a settled bootstrap snapshot instead of replaying bootstrap (snapshots are cached process-wide per cluster-config+workload and forked copy-on-write; preserves classification aggregates, not bit-level observations)")
 		noRefine  = fs.Bool("no-refinement", false, "skip the critical-field refinement round")
 		noProp    = fs.Bool("no-propagation", false, "skip the component-channel propagation experiments")
 		quiet     = fs.Bool("quiet", false, "suppress progress output")

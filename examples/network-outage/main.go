@@ -68,7 +68,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cm := obj.(*mutiny.ConfigMap)
+		cm := mutiny.CloneForWrite(obj).(*mutiny.ConfigMap)
 		cm.Data[mutiny.NetConfigKey] = value
 		return admin.Update(cm)
 	}

@@ -7,6 +7,13 @@ import (
 // Client is a component's handle on the API server, carrying the component's
 // identity so that the audit trail and the propagation experiments can
 // attribute every request.
+//
+// Reads follow the sealed-read contract: Get and List return the server's
+// sealed cache instances with zero copies. Callers may read and retain them
+// freely — sealed objects never change — but must obtain a private copy via
+// spec.CloneForWrite before mutating. Writes serialize the argument without
+// copying it first (the server decodes its own private instance from the
+// wire bytes), so the caller keeps ownership of what it passed in.
 type Client struct {
 	srv      *Server
 	identity string
@@ -15,20 +22,21 @@ type Client struct {
 // Identity returns the component identity bound to this client.
 func (c *Client) Identity() string { return c.identity }
 
-// Create persists a new object.
+// Create persists a new object. The argument is only serialized, never
+// retained or mutated by the server.
 func (c *Client) Create(obj spec.Object) error {
-	return c.srv.handle(c.identity, VerbCreate, obj.Clone())
+	return c.srv.handle(c.identity, VerbCreate, obj)
 }
 
 // Update replaces an existing object (spec + metadata); its resourceVersion
 // must match the current one.
 func (c *Client) Update(obj spec.Object) error {
-	return c.srv.handle(c.identity, VerbUpdate, obj.Clone())
+	return c.srv.handle(c.identity, VerbUpdate, obj)
 }
 
 // UpdateStatus updates only the status subresource of an existing object.
 func (c *Client) UpdateStatus(obj spec.Object) error {
-	return c.srv.handle(c.identity, VerbUpdateStatus, obj.Clone())
+	return c.srv.handle(c.identity, VerbUpdateStatus, obj)
 }
 
 // Delete removes an object.
@@ -39,34 +47,22 @@ func (c *Client) Delete(kind spec.Kind, namespace, name string) error {
 	return c.srv.handle(c.identity, VerbDelete, obj)
 }
 
-// Get fetches one object (served from the watch cache, like a real
-// apiserver read).
+// Get fetches one object (served from the watch cache, like a real apiserver
+// read) as a sealed reference: shared, immutable, free to retain. To modify
+// the result, pass it through spec.CloneForWrite first.
 func (c *Client) Get(kind spec.Kind, namespace, name string) (spec.Object, error) {
 	return c.srv.get(kind, namespace, name)
 }
 
 // List returns all objects of a kind, optionally restricted to a namespace
-// (empty namespace means all).
+// (empty namespace means all), as sealed references under the same contract
+// as Get.
 func (c *Client) List(kind spec.Kind, namespace string) []spec.Object {
 	return c.srv.list(kind, namespace)
 }
 
-// GetView is Get without the defensive copy. The returned object is shared
-// with the watch cache and MUST NOT be mutated — use it on read-only hot
-// paths (polling a status, resolving a service VIP). To modify an object,
-// Get it.
-func (c *Client) GetView(kind spec.Kind, namespace, name string) (spec.Object, error) {
-	return c.srv.getView(kind, namespace, name)
-}
-
-// ListView is List without the per-object defensive copies, under the same
-// read-only contract as GetView.
-func (c *Client) ListView(kind spec.Kind, namespace string) []spec.Object {
-	return c.srv.listView(kind, namespace)
-}
-
 // ListSelected returns the objects of a kind in a namespace whose labels
-// match the selector.
+// match the selector, as sealed references.
 func (c *Client) ListSelected(kind spec.Kind, namespace string, sel spec.LabelSelector) []spec.Object {
 	all := c.srv.list(kind, namespace)
 	var out []spec.Object
@@ -78,8 +74,9 @@ func (c *Client) ListSelected(kind spec.Kind, namespace string, sel spec.LabelSe
 	return out
 }
 
-// Watch subscribes to change events for a kind ("" for all kinds). The
-// cancel function detaches the watcher.
+// Watch subscribes to change events for a kind ("" for all kinds). Event
+// objects are sealed references shared across all watchers. The cancel
+// function detaches the watcher.
 func (c *Client) Watch(kind spec.Kind, fn func(WatchEvent)) (cancel func()) {
 	return c.srv.watch(kind, fn)
 }

@@ -117,11 +117,15 @@ func (t WatchEventType) String() string {
 	}
 }
 
-// WatchEvent is delivered to component watchers.
+// WatchEvent is delivered to component watchers. Object is the *sealed*
+// cache instance shared by every watcher and every read of that revision —
+// zero copies are made per dispatch. Watchers may read and retain it freely;
+// to mutate, they must go through spec.CloneForWrite (the seal-contract
+// guard test enforces this).
 type WatchEvent struct {
 	Type   WatchEventType
 	Kind   spec.Kind
-	Object spec.Object // decoded; a deep copy per watcher
+	Object spec.Object
 }
 
 // Options configure a Server.
@@ -160,7 +164,14 @@ type Server struct {
 
 	storeWriteHook Hook
 	requestHook    Hook
-	accessHook     func(key string)
+	// requestWireGate, when set alongside a request hook, reports whether the
+	// hook currently needs the serialized request bytes. While it returns
+	// false the server elides the component→apiserver wire round-trip
+	// (encode + decode) and applies a deep copy of the request object
+	// directly — semantically identical for an uninterested hook, and the
+	// dominant write-path saving of the copy-on-write pipeline.
+	requestWireGate func() bool
+	accessHook      func(key string)
 
 	audit *Audit
 
@@ -196,6 +207,11 @@ func (s *Server) SetStoreWriteHook(h Hook) { s.storeWriteHook = h }
 
 // SetRequestHook installs the component→apiserver channel hook.
 func (s *Server) SetRequestHook(h Hook) { s.requestHook = h }
+
+// SetRequestWireGate installs the request-wire interest gate (see the field
+// docs). Without a gate, any installed request hook always receives the
+// serialized message, preserving the legacy contract.
+func (s *Server) SetRequestWireGate(g func() bool) { s.requestWireGate = g }
 
 // SetAccessHook installs a callback invoked with the store key of every
 // object served by a read or watch dispatch; the injection framework uses it
@@ -236,6 +252,7 @@ func (s *Server) rebuildCache(dispatch bool) {
 		// and serving that stale version would make every post-restart
 		// update fail its optimistic-concurrency check.
 		obj.Meta().ResourceVersion = kv.Revision
+		spec.Seal(obj) // entering the shared read path: immutable from here on
 		s.cache[kv.Key] = obj
 		if dispatch {
 			s.dispatch(WatchEvent{Type: Added, Kind: kv.Kind, Object: obj})
@@ -255,6 +272,15 @@ func (s *Server) handle(identity string, verb Verb, obj spec.Object) error {
 		Name:      meta.Name,
 		Source:    identity,
 		Data:      nil,
+	}
+	// Fast path: no request hook, or the installed hook declares (via the
+	// wire gate) that it does not currently need the serialized bytes —
+	// e.g. an injector armed on the store channel. The component→apiserver
+	// round-trip (encode + decode) is then observationally dead weight; a
+	// deep copy of the request object is bit-equivalent to decoding its own
+	// encoding, and roughly 5× cheaper.
+	if s.requestHook == nil || (s.requestWireGate != nil && !s.requestWireGate()) {
+		return s.apply(identity, verb, msg, obj.Clone())
 	}
 	// The request wire bytes live only for the duration of this (synchronous)
 	// handle call — the store copies on Put — so they are encoded into a
@@ -334,12 +360,12 @@ func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object
 			return s.audit.record(identity, verb, kind, msg.Name, ErrConflict, msg.Tampered)
 		}
 		// Status updates cannot change spec or metadata: graft the incoming
-		// status onto the current object (subresource semantics).
-		merged := cur.Clone()
-		if err := mergeStatus(merged, obj); err != nil {
+		// status onto the current object (subresource semantics). cur is a
+		// private decode off the backend — never shared, so no copy needed.
+		if err := mergeStatus(cur, obj); err != nil {
 			return s.audit.record(identity, verb, kind, msg.Name, err, msg.Tampered)
 		}
-		obj = merged
+		obj = cur
 	case VerbDelete:
 		if !exists {
 			return s.audit.record(identity, verb, kind, msg.Name, ErrNotFound, msg.Tampered)
@@ -444,6 +470,7 @@ func (s *Server) onStoreEvent(ev store.Event) {
 		// The resource version every reader sees is the store revision of
 		// the write, exactly like etcd's mod revision.
 		obj.Meta().ResourceVersion = ev.Revision
+		spec.Seal(obj) // entering the shared read path: immutable from here on
 		_, existed := s.cache[ev.Key]
 		s.cache[ev.Key] = obj
 		typ := Added
@@ -508,10 +535,10 @@ func (s *Server) dispatch(ev WatchEvent) {
 	if s.accessHook != nil {
 		s.accessHook(spec.KeyOf(ev.Object))
 	}
-	// One shared copy per event: watchers treat delivered objects as
-	// read-only (they re-Get before mutating), so per-watcher clones would
-	// only burn cycles at campaign scale.
-	shared := WatchEvent{Type: ev.Type, Kind: ev.Kind, Object: ev.Object.Clone()}
+	// Zero copies per dispatch: the event object is sealed, so all ~13
+	// watchers share the cache instance itself. Watchers that need to mutate
+	// go through spec.CloneForWrite; at campaign scale the per-event deep
+	// copy this replaces was the single largest allocation source.
 	for _, w := range s.watchers {
 		if w.cancelled || (w.kind != "" && w.kind != ev.Kind) {
 			continue
@@ -519,7 +546,7 @@ func (s *Server) dispatch(ev WatchEvent) {
 		w := w
 		s.loop.After(0, func() {
 			if !w.cancelled {
-				w.fn(shared)
+				w.fn(ev)
 			}
 		})
 	}
@@ -527,45 +554,11 @@ func (s *Server) dispatch(ev WatchEvent) {
 
 // --- reads -------------------------------------------------------------------
 
+// get serves a read as a sealed reference to the cache instance — the uniform
+// sealed-read contract (no per-read defensive copy; writers CloneForWrite).
+// This subsumes the former get/getView split: every read is now "view"-cheap,
+// and immutability rather than copying provides the isolation.
 func (s *Server) get(kind spec.Kind, namespace, name string) (spec.Object, error) {
-	key := spec.Key(kind, namespace, name)
-	obj, ok := s.cache[key]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	if s.accessHook != nil {
-		s.accessHook(key)
-	}
-	return obj.Clone(), nil
-}
-
-func (s *Server) list(kind spec.Kind, namespace string) []spec.Object {
-	prefix := "/registry/" + string(kind) + "/"
-	if namespace != "" {
-		prefix += namespace + "/"
-	}
-	var keys []string
-	for key := range s.cache {
-		if strings.HasPrefix(key, prefix) {
-			keys = append(keys, key)
-		}
-	}
-	sort.Strings(keys)
-	out := make([]spec.Object, 0, len(keys))
-	for _, key := range keys {
-		if s.accessHook != nil {
-			s.accessHook(key)
-		}
-		out = append(out, s.cache[key].Clone())
-	}
-	return out
-}
-
-// getView serves a read without the defensive copy: the caller promises not
-// to mutate the result. Access-hook (activation) semantics are identical to
-// get — only the clone is skipped, which matters on request-rate paths (the
-// application client resolves the service VIP on every request).
-func (s *Server) getView(kind spec.Kind, namespace, name string) (spec.Object, error) {
 	key := spec.Key(kind, namespace, name)
 	obj, ok := s.cache[key]
 	if !ok {
@@ -577,9 +570,10 @@ func (s *Server) getView(kind spec.Kind, namespace, name string) (spec.Object, e
 	return obj, nil
 }
 
-// listView is list without the per-object defensive copies, under the same
-// read-only contract as getView.
-func (s *Server) listView(kind spec.Kind, namespace string) []spec.Object {
+// list returns sealed references in key order, under the same contract as
+// get. The former per-item clone (one deep copy per cached object per list,
+// on every controller scan and collector scrape) is gone.
+func (s *Server) list(kind spec.Kind, namespace string) []spec.Object {
 	prefix := "/registry/" + string(kind) + "/"
 	if namespace != "" {
 		prefix += namespace + "/"

@@ -80,7 +80,7 @@ func TestUpdateRequiresMatchingResourceVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pod := obj.(*spec.Pod)
+	pod := spec.CloneForWriteAs(obj.(*spec.Pod))
 	stale := pod.Clone().(*spec.Pod)
 
 	pod.Metadata.Labels["extra"] = "x"
@@ -103,7 +103,7 @@ func TestUpdateStatusCannotChangeSpec(t *testing.T) {
 	}
 	loop.RunUntil(time.Second)
 	obj, _ := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
-	pod := obj.(*spec.Pod)
+	pod := spec.CloneForWriteAs(obj.(*spec.Pod))
 	pod.Status.Phase = spec.PodRunning
 	pod.Status.PodIP = "10.244.1.5"
 	pod.Spec.NodeName = "sneaky-node" // must be discarded by the subresource

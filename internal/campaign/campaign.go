@@ -82,6 +82,11 @@ type Runner struct {
 	mu        sync.Mutex
 	baselines map[workload.Kind]*baselineEntry
 	snapshots map[workload.Kind]*snapshotEntry
+
+	// pool recycles per-experiment series buffers (classify.BufferPool).
+	// Run releases an observation's buffers after classification; golden
+	// observations are retained by baselines and therefore never released.
+	pool *classify.BufferPool
 }
 
 // baselineEntry guards one workload's golden-run build.
@@ -103,6 +108,7 @@ func NewRunner() *Runner {
 		GoldenRuns: 100,
 		baselines:  make(map[workload.Kind]*baselineEntry),
 		snapshots:  make(map[workload.Kind]*snapshotEntry),
+		pool:       classify.NewBufferPool(),
 	}
 }
 
@@ -135,20 +141,26 @@ func (r *Runner) snapshotEntryFor(kind workload.Kind) *snapshotEntry {
 
 // snapshotFor returns (capturing if needed) the shared bootstrap snapshot
 // for a workload: cluster bootstrap, settling, and scenario setup under the
-// workload's canonical seed, captured at the settled instant. The capture
-// runs at most once per workload even under concurrent callers.
+// workload's canonical seed, captured at the settled instant. Snapshots are
+// shared process-wide (see snapcache.go): the per-Runner cell only resolves
+// the cache key once, and the capture itself runs at most once per
+// (config, workload) in the whole process, no matter how many Runners ask.
 func (r *Runner) snapshotFor(kind workload.Kind) *cluster.Snapshot {
 	e := r.snapshotEntryFor(kind)
 	e.once.Do(func() {
 		cfg := r.ClusterConfig.Clone()
 		cfg.Seed = bootstrapSeed(kind)
-		cl := cluster.New(cfg)
-		cl.Loop.SetEventBudget(eventBudget)
-		cl.Start()
-		cl.AwaitSettled(bootstrapDeadline)
-		driver := workload.NewDriver(cl, kind)
-		driver.Setup()
-		e.snap = cl.Snapshot()
+		shared := sharedSnapshotEntry(snapshotCacheKey(cfg, kind))
+		shared.once.Do(func() {
+			cl := cluster.New(cfg)
+			cl.Loop.SetEventBudget(eventBudget)
+			cl.Start()
+			cl.AwaitSettled(bootstrapDeadline)
+			driver := workload.NewDriver(cl, kind)
+			driver.Setup()
+			shared.snap = cl.Snapshot()
+		})
+		e.snap = shared.snap
 	})
 	return e.snap
 }
@@ -181,9 +193,12 @@ func (r *Runner) GoldenObservations(kind workload.Kind) []*classify.Observation 
 	return r.entry(kind).golden
 }
 
-// Run executes one experiment and classifies it.
+// Run executes one experiment and classifies it. The observation backing the
+// classification is recycled into the Runner's buffer pool — callers that
+// need the raw observation use RunObserved, whose result is never pooled.
 func (r *Runner) Run(spec Spec) *Result {
-	res, _ := r.RunObserved(spec)
+	res, obs := r.RunObserved(spec)
+	r.pool.Release(obs)
 	return res
 }
 
@@ -269,6 +284,7 @@ func (r *Runner) runExperiment(spec Spec, collect bool) (*classify.Observation, 
 		ns, svc := driver.TargetService()
 		client = workload.NewClient(cl, ns, svc)
 		collector = classify.NewCollector(cl)
+		collector.UsePool(r.pool)
 		collector.Start()
 		client.Start()
 	}

@@ -25,6 +25,8 @@ type Collector struct {
 	podCreatedAt map[string]time.Duration // uid → creation observed
 	podReadyAt   map[string]bool
 
+	pool *BufferPool
+
 	cancels []func()
 	ticker  interface{ Stop() bool }
 }
@@ -40,9 +42,16 @@ func NewCollector(cl *cluster.Cluster) *Collector {
 	}
 }
 
+// UsePool makes the collector grow its series buffers out of the given pool
+// instead of fresh allocations. The resulting Observation then owns pooled
+// memory: release it back via pool.Release once classification is done and
+// it provably does not escape. Call before Start.
+func (c *Collector) UsePool(p *BufferPool) { c.pool = p }
+
 // Start opens the measurement window.
 func (c *Collector) Start() {
 	c.windowStart = c.cl.Loop.Now()
+	c.obs.Samples = c.pool.getSamples()
 	c.cancels = append(c.cancels, c.admin.Watch(spec.KindPod, c.onPod))
 	c.ticker = c.cl.Loop.Every(samplePeriod, c.sample)
 	c.sample()
@@ -85,13 +94,13 @@ func (c *Collector) onPod(ev apiserver.WatchEvent) {
 func (c *Collector) sample() {
 	// View reads: the scrape only tallies status fields.
 	s := Sample{At: c.cl.Loop.Now() - c.windowStart}
-	for _, ro := range c.admin.ListView(spec.KindReplicaSet, spec.DefaultNamespace) {
+	for _, ro := range c.admin.List(spec.KindReplicaSet, spec.DefaultNamespace) {
 		s.ReadyReplicas += ro.(*spec.ReplicaSet).Status.ReadyReplicas
 	}
-	for _, eo := range c.admin.ListView(spec.KindEndpoints, spec.DefaultNamespace) {
+	for _, eo := range c.admin.List(spec.KindEndpoints, spec.DefaultNamespace) {
 		s.Endpoints += eo.(*spec.Endpoints).Count()
 	}
-	for _, po := range c.admin.ListView(spec.KindPod, spec.DefaultNamespace) {
+	for _, po := range c.admin.List(spec.KindPod, spec.DefaultNamespace) {
 		if po.(*spec.Pod).Active() {
 			s.ActivePods++
 		}
@@ -131,7 +140,7 @@ func (c *Collector) Finish(client *workload.Client) *Observation {
 }
 
 func (c *Collector) probePrometheus() bool {
-	obj, err := c.admin.GetView(spec.KindService, spec.SystemNamespace, "prometheus")
+	obj, err := c.admin.Get(spec.KindService, spec.SystemNamespace, "prometheus")
 	if err != nil {
 		return false
 	}

@@ -1,0 +1,45 @@
+package classify
+
+import "sync"
+
+// BufferPool recycles the per-experiment series buffers a Collector grows —
+// today the Observation's Samples slice (one entry per 3-second scrape). A
+// campaign runs thousands of experiments whose observations are classified
+// and immediately discarded; without recycling, every experiment grows a
+// fresh slice through the append ladder. The pool is owned by whoever owns
+// the experiment lifecycle (the campaign Runner keeps one per Runner) so
+// recycling is explicit: only observations that provably do not escape are
+// released (golden-run observations, which baselines retain, never are).
+type BufferPool struct {
+	samples sync.Pool
+}
+
+// NewBufferPool builds an empty pool.
+func NewBufferPool() *BufferPool {
+	p := &BufferPool{}
+	p.samples.New = func() any {
+		s := make([]Sample, 0, 32) // a 45 s window at 3 s period is ~16 samples
+		return &s
+	}
+	return p
+}
+
+// getSamples borrows an empty sample buffer.
+func (p *BufferPool) getSamples() []Sample {
+	if p == nil {
+		return nil
+	}
+	return (*p.samples.Get().(*[]Sample))[:0]
+}
+
+// Release returns an observation's recyclable buffers to the pool and clears
+// them from the observation. The caller must be the last reader: after
+// Release the buffers may be handed to a concurrent experiment.
+func (p *BufferPool) Release(o *Observation) {
+	if p == nil || o == nil || o.Samples == nil {
+		return
+	}
+	s := o.Samples
+	o.Samples = nil
+	p.samples.Put(&s)
+}

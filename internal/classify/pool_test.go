@@ -1,0 +1,32 @@
+package classify
+
+import "testing"
+
+func TestBufferPoolRecyclesSamples(t *testing.T) {
+	p := NewBufferPool()
+	buf := p.getSamples()
+	if len(buf) != 0 {
+		t.Fatalf("borrowed buffer not empty: len=%d", len(buf))
+	}
+	buf = append(buf, Sample{ReadyReplicas: 3})
+	obs := &Observation{Samples: buf}
+	p.Release(obs)
+	if obs.Samples != nil {
+		t.Fatal("Release left the observation holding pooled memory")
+	}
+	// Double release must be a no-op, not a double-put.
+	p.Release(obs)
+
+	again := p.getSamples()
+	if len(again) != 0 {
+		t.Fatal("recycled buffer handed out non-reset")
+	}
+}
+
+func TestBufferPoolNilSafety(t *testing.T) {
+	var p *BufferPool
+	if got := p.getSamples(); got != nil {
+		t.Fatal("nil pool must fall back to plain allocation (nil slice)")
+	}
+	p.Release(&Observation{Samples: []Sample{{}}}) // must not panic
+}

@@ -129,6 +129,29 @@ type Cluster struct {
 	started bool
 }
 
+// Fingerprint returns a canonical string covering every configuration field,
+// with the pointer-typed option structs flattened to their values (or their
+// defaults when nil). Two configs with equal fingerprints build behaviorally
+// identical clusters for the same seed; the campaign's process-wide
+// bootstrap-snapshot cache keys on it. New Config fields are picked up
+// automatically (the fingerprint prints whole structs), so the cache can
+// never conflate two configs that differ in a future knob.
+func (c Config) Fingerprint() string {
+	c = c.withDefaults()
+	var so store.Options
+	if c.StoreOptions != nil {
+		so = *c.StoreOptions
+	}
+	var ao apiserver.Options
+	if c.ServerOptions != nil {
+		ao = *c.ServerOptions
+	}
+	flat := c
+	flat.StoreOptions = nil
+	flat.ServerOptions = nil
+	return fmt.Sprintf("%+v|store:%+v|server:%+v", flat, so, ao)
+}
+
 // Clone deep-copies the config, including the pointer-typed option structs.
 // Callers that stamp per-experiment fields (like Seed) onto a shared template
 // must clone first: a by-value copy would share the options across clusters,
@@ -258,7 +281,7 @@ func (c *Cluster) AwaitSettled(deadline time.Duration) bool {
 
 func (c *Cluster) systemReady(admin *apiserver.Client) bool {
 	// Network manager on every node (view reads: the probe only inspects).
-	nodes := admin.ListView(spec.KindNode, "")
+	nodes := admin.List(spec.KindNode, "")
 	for _, no := range nodes {
 		if !c.Net.RoutesUp(no.Meta().Name) {
 			return false
@@ -268,7 +291,7 @@ func (c *Cluster) systemReady(admin *apiserver.Client) bool {
 		return false
 	}
 	// Monitoring stack serving.
-	obj, err := admin.GetView(spec.KindDeployment, spec.SystemNamespace, "prometheus")
+	obj, err := admin.Get(spec.KindDeployment, spec.SystemNamespace, "prometheus")
 	if err != nil {
 		return false
 	}
@@ -301,6 +324,7 @@ func (c *Cluster) AttachInjector(j *inject.Injector) {
 	if c.guard != nil {
 		c.Server.SetStoreWriteHook(c.guard.Hook(j.StoreHook()))
 		c.Server.SetRequestHook(j.RequestHook())
+		c.Server.SetRequestWireGate(j.WantsRequestWire)
 		c.Server.SetAccessHook(j.AccessHook())
 		return
 	}
@@ -309,7 +333,7 @@ func (c *Cluster) AttachInjector(j *inject.Injector) {
 
 func (c *Cluster) guardHealth() guard.Health {
 	active := 0
-	for _, po := range c.Server.ClientFor("field-guard").ListView(spec.KindPod, "") {
+	for _, po := range c.Server.ClientFor("field-guard").List(spec.KindPod, "") {
 		if po.(*spec.Pod).Active() {
 			active++
 		}

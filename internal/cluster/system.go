@@ -157,6 +157,7 @@ func (c *Cluster) applyNodeRoles() {
 				return
 			}
 		}
+		node = spec.CloneForWriteAs(node) // sealed cache reference
 		node.Spec.Taints = append(node.Spec.Taints, t)
 		if err := admin.Update(node); err != nil {
 			retry()

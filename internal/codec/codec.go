@@ -471,7 +471,7 @@ func setDecoded(f reflect.Value, fd *fieldDesc, wt int, scalar uint64, body []by
 		if !utf8.Valid(body) {
 			return fmt.Errorf("%w: invalid UTF-8 in string field", ErrCorrupt)
 		}
-		f.SetString(string(body))
+		f.SetString(Intern(body))
 
 	case reflect.Bool:
 		if wt != wireVarint {
@@ -546,7 +546,7 @@ func appendDecodedElem(f reflect.Value, elemKind reflect.Kind, wt int, scalar ui
 			f.Set(f.Slice(0, n))
 			return fmt.Errorf("%w: invalid UTF-8 in repeated string", ErrCorrupt)
 		}
-		el.SetString(string(body))
+		el.SetString(Intern(body))
 	case reflect.Int, reflect.Int32, reflect.Int64:
 		el.SetInt(int64(scalar))
 	case reflect.Struct:
@@ -583,9 +583,9 @@ func decodeMapEntry(body []byte) (key, value string, err error) {
 		}
 		switch tag >> 3 {
 		case mapKeyField:
-			key = string(s)
+			key = Intern(s)
 		case mapValueField:
-			value = string(s)
+			value = Intern(s)
 		default:
 			// unknown map entry field: skip
 		}

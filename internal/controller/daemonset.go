@@ -43,7 +43,7 @@ func (c *daemonSetController) enqueueFor(ev apiserver.WatchEvent) {
 }
 
 func (c *daemonSetController) resync() {
-	for _, ds := range c.m.client.ListView(spec.KindDaemonSet, "") {
+	for _, ds := range c.m.client.List(spec.KindDaemonSet, "") {
 		c.q.add(objKey(ds))
 	}
 }
@@ -65,7 +65,7 @@ func (c *daemonSetController) sync(key string) {
 	// View read: pods are only grouped and inspected; release mutates a
 	// private clone (see releasePod).
 	podsByNode := make(map[string][]*spec.Pod)
-	for _, po := range c.m.client.ListView(spec.KindPod, ns) {
+	for _, po := range c.m.client.List(spec.KindPod, ns) {
 		pod := po.(*spec.Pod)
 		if !pod.Active() {
 			continue
@@ -85,7 +85,7 @@ func (c *daemonSetController) sync(key string) {
 	}
 
 	var desired, current, ready int64
-	for _, no := range c.m.client.ListView(spec.KindNode, "") {
+	for _, no := range c.m.client.List(spec.KindNode, "") {
 		node := no.(*spec.Node)
 		eligible := c.nodeEligible(ds, node)
 		pods := podsByNode[node.Metadata.Name]
@@ -161,7 +161,7 @@ func (c *daemonSetController) createPod(ds *spec.DaemonSet, nodeName string) {
 }
 
 func (c *daemonSetController) releasePod(pod *spec.Pod) {
-	pod = pod.Clone().(*spec.Pod) // the argument may be a shared cache view
+	pod = spec.CloneForWriteAs(pod) // the argument may be a sealed cache reference
 	var kept []spec.OwnerReference
 	for _, ref := range pod.Metadata.OwnerReferences {
 		if !ref.Controller {
@@ -176,6 +176,7 @@ func (c *daemonSetController) updateStatus(ds *spec.DaemonSet, desired, current,
 	if ds.Status.DesiredNumber == desired && ds.Status.CurrentNumber == current && ds.Status.NumberReady == ready {
 		return
 	}
+	ds = spec.CloneForWriteAs(ds) // the argument is a sealed cache reference
 	ds.Status.DesiredNumber = desired
 	ds.Status.CurrentNumber = current
 	ds.Status.NumberReady = ready

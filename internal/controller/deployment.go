@@ -13,12 +13,37 @@ import (
 type deploymentController struct {
 	m *Manager
 	q *queue
+	// hashes memoizes templateHash per sealed Deployment revision. Sealed
+	// objects are immutable, so the object pointer is a sound cache key; a
+	// new revision is a new decoded object and misses naturally. Without
+	// this every sync re-serializes the pod template just to hash it.
+	hashes map[*spec.Deployment]string
 }
 
 func newDeploymentController(m *Manager) *deploymentController {
-	c := &deploymentController{m: m}
+	c := &deploymentController{m: m, hashes: make(map[*spec.Deployment]string)}
 	c.q = newQueue(m.loop, syncDelay, c.sync)
 	return c
+}
+
+// maxHashCacheEntries bounds the memo table; revisions churn, so the table is
+// cleared wholesale when it fills (cheaper and simpler than eviction, and the
+// working set is a handful of live deployments).
+const maxHashCacheEntries = 256
+
+func (c *deploymentController) hashFor(d *spec.Deployment) string {
+	if !d.Metadata.Sealed() {
+		return templateHash(d.Spec.Template)
+	}
+	if h, ok := c.hashes[d]; ok {
+		return h
+	}
+	if len(c.hashes) >= maxHashCacheEntries {
+		clear(c.hashes)
+	}
+	h := templateHash(d.Spec.Template)
+	c.hashes[d] = h
+	return h
 }
 
 func (c *deploymentController) start() { c.q.start() }
@@ -37,7 +62,7 @@ func (c *deploymentController) enqueueFor(ev apiserver.WatchEvent) {
 }
 
 func (c *deploymentController) resync() {
-	for _, d := range c.m.client.ListView(spec.KindDeployment, "") {
+	for _, d := range c.m.client.List(spec.KindDeployment, "") {
 		c.q.add(objKey(d))
 	}
 }
@@ -57,14 +82,14 @@ func (c *deploymentController) sync(key string) {
 	// Collect owned ReplicaSets (view read: scaling mutates a private clone,
 	// see setReplicas).
 	var owned []*spec.ReplicaSet
-	for _, ro := range c.m.client.ListView(spec.KindReplicaSet, ns) {
+	for _, ro := range c.m.client.List(spec.KindReplicaSet, ns) {
 		rs := ro.(*spec.ReplicaSet)
 		if ref := rs.Metadata.ControllerOf(); ref != nil && ref.UID == d.Metadata.UID {
 			owned = append(owned, rs)
 		}
 	}
 
-	hash := templateHash(d.Spec.Template)
+	hash := c.hashFor(d)
 	var newRS *spec.ReplicaSet
 	var oldRSs []*spec.ReplicaSet
 	for _, rs := range owned {
@@ -180,7 +205,7 @@ func (c *deploymentController) setReplicas(rs *spec.ReplicaSet, n int64) {
 	if rs.Spec.Replicas == n {
 		return
 	}
-	rs = rs.Clone().(*spec.ReplicaSet) // the argument may be a shared cache view
+	rs = spec.CloneForWriteAs(rs) // the argument may be a sealed cache reference
 	rs.Spec.Replicas = n
 	if err := c.m.client.Update(rs); errors.Is(err, apiserver.ErrConflict) {
 		// Re-read next sync; the resync loop will retry.
@@ -198,6 +223,7 @@ func (c *deploymentController) updateStatus(d *spec.Deployment, newRS *spec.Repl
 		d.Status.UpdatedReplicas == newRS.Status.Replicas {
 		return
 	}
+	d = spec.CloneForWriteAs(d) // the argument is a sealed cache reference
 	d.Status.Replicas = replicas
 	d.Status.ReadyReplicas = ready
 	d.Status.UpdatedReplicas = newRS.Status.Replicas

@@ -33,7 +33,7 @@ func (c *endpointsController) enqueueFor(ev apiserver.WatchEvent) {
 	case spec.KindPod:
 		// Only services selecting this pod (or that could have) are affected.
 		meta := ev.Object.Meta()
-		for _, so := range c.m.client.ListView(spec.KindService, meta.Namespace) {
+		for _, so := range c.m.client.List(spec.KindService, meta.Namespace) {
 			svc := so.(*spec.Service)
 			sel := spec.LabelSelector{MatchLabels: svc.Spec.Selector}
 			if sel.Matches(meta.Labels) || ev.Type == apiserver.Deleted {
@@ -46,7 +46,7 @@ func (c *endpointsController) enqueueFor(ev apiserver.WatchEvent) {
 }
 
 func (c *endpointsController) resync() {
-	for _, svc := range c.m.client.ListView(spec.KindService, "") {
+	for _, svc := range c.m.client.List(spec.KindService, "") {
 		c.q.add(objKey(svc))
 	}
 }
@@ -69,7 +69,7 @@ func (c *endpointsController) sync(key string) {
 	if !sel.Empty() {
 		// View read: the endpoint table is rebuilt from scratch; pods are
 		// never mutated here.
-		for _, po := range c.m.client.ListView(spec.KindPod, ns) {
+		for _, po := range c.m.client.List(spec.KindPod, ns) {
 			pod := po.(*spec.Pod)
 			if !pod.Active() || !pod.Status.Ready || pod.Status.PodIP == "" {
 				continue

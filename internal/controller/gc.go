@@ -56,7 +56,7 @@ func (c *garbageCollector) collect() {
 func (c *garbageCollector) collectOrphans() {
 	for _, kind := range ownedKinds {
 		// View reads: collection only inspects owner refs and deletes by name.
-		for _, obj := range c.m.client.ListView(kind, "") {
+		for _, obj := range c.m.client.List(kind, "") {
 			meta := obj.Meta()
 			ref := meta.ControllerOf()
 			if ref == nil {
@@ -79,7 +79,7 @@ func (c *garbageCollector) ownerAlive(namespace string, ref *spec.OwnerReference
 	if kind == spec.KindNode || kind == spec.KindNamespace {
 		ns = ""
 	}
-	obj, err := c.m.client.GetView(kind, ns, ref.Name)
+	obj, err := c.m.client.Get(kind, ns, ref.Name)
 	if err != nil {
 		return false
 	}
@@ -91,10 +91,10 @@ func (c *garbageCollector) ownerAlive(namespace string, ref *spec.OwnerReference
 func (c *garbageCollector) collectPodsOnMissingNodes() {
 	now := c.m.loop.Now()
 	nodeNames := make(map[string]bool)
-	for _, no := range c.m.client.ListView(spec.KindNode, "") {
+	for _, no := range c.m.client.List(spec.KindNode, "") {
 		nodeNames[no.Meta().Name] = true
 	}
-	for _, po := range c.m.client.ListView(spec.KindPod, "") {
+	for _, po := range c.m.client.List(spec.KindPod, "") {
 		pod := po.(*spec.Pod)
 		key := pod.Metadata.Namespace + "/" + pod.Metadata.Name
 		if pod.Spec.NodeName == "" || nodeNames[pod.Spec.NodeName] {

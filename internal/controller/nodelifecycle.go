@@ -63,8 +63,9 @@ func (c *nodeLifecycleController) monitor() {
 		fresh := now-node.Status.LastHeartbeatMillis <= nodeGracePeriod.Milliseconds()
 		switch {
 		case !fresh && node.Status.Ready:
-			node.Status.Ready = false
-			if c.m.client.UpdateStatus(node) == nil {
+			marked := spec.CloneForWriteAs(node) // node is a sealed cache reference
+			marked.Status.Ready = false
+			if c.m.client.UpdateStatus(marked) == nil {
 				c.addUnreachableTaint(node.Metadata.Name)
 			}
 			unhealthy++
@@ -99,6 +100,7 @@ func (c *nodeLifecycleController) addUnreachableTaint(nodeName string) {
 			return
 		}
 	}
+	node = spec.CloneForWriteAs(node) // sealed cache reference
 	node.Spec.Taints = append(node.Spec.Taints, spec.Taint{
 		Key: taintUnreachable, Effect: spec.TaintNoExecute,
 	})
@@ -118,6 +120,7 @@ func (c *nodeLifecycleController) removeUnreachableTaint(node *spec.Node) {
 	if !removed {
 		return
 	}
+	node = spec.CloneForWriteAs(node) // sealed cache reference
 	node.Spec.Taints = kept
 	_ = c.m.client.Update(node)
 }

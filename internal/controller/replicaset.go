@@ -48,7 +48,7 @@ func (c *replicaSetController) enqueueFor(ev apiserver.WatchEvent) {
 		}
 		// Orphan pod: only ReplicaSets whose selector matches could adopt it
 		// (view read: the scan only enqueues keys).
-		for _, ro := range c.m.client.ListView(spec.KindReplicaSet, meta.Namespace) {
+		for _, ro := range c.m.client.List(spec.KindReplicaSet, meta.Namespace) {
 			rs := ro.(*spec.ReplicaSet)
 			if rs.Spec.Selector.Matches(meta.Labels) {
 				c.q.add(objKey(rs))
@@ -58,7 +58,7 @@ func (c *replicaSetController) enqueueFor(ev apiserver.WatchEvent) {
 }
 
 func (c *replicaSetController) resync() {
-	for _, rs := range c.m.client.ListView(spec.KindReplicaSet, "") {
+	for _, rs := range c.m.client.List(spec.KindReplicaSet, "") {
 		c.q.add(objKey(rs))
 	}
 }
@@ -78,7 +78,7 @@ func (c *replicaSetController) sync(key string) {
 	// View read: owned pods are only inspected here; adoption and release
 	// mutate a private clone (see adoptPod / releasePod).
 	var owned, matched []*spec.Pod
-	for _, po := range c.m.client.ListView(spec.KindPod, ns) {
+	for _, po := range c.m.client.List(spec.KindPod, ns) {
 		pod := po.(*spec.Pod)
 		if !pod.Active() {
 			continue
@@ -142,7 +142,7 @@ func (c *replicaSetController) createPod(rs *spec.ReplicaSet) {
 }
 
 func (c *replicaSetController) adoptPod(rs *spec.ReplicaSet, pod *spec.Pod) bool {
-	pod = pod.Clone().(*spec.Pod) // the argument may be a shared cache view
+	pod = spec.CloneForWriteAs(pod) // the argument may be a sealed cache reference
 	pod.Metadata.OwnerReferences = append(pod.Metadata.OwnerReferences, spec.OwnerReference{
 		Kind: string(spec.KindReplicaSet), Name: rs.Metadata.Name,
 		UID: rs.Metadata.UID, Controller: true,
@@ -151,7 +151,7 @@ func (c *replicaSetController) adoptPod(rs *spec.ReplicaSet, pod *spec.Pod) bool
 }
 
 func (c *replicaSetController) releasePod(pod *spec.Pod) {
-	pod = pod.Clone().(*spec.Pod) // the argument may be a shared cache view
+	pod = spec.CloneForWriteAs(pod) // the argument may be a sealed cache reference
 	var kept []spec.OwnerReference
 	for _, ref := range pod.Metadata.OwnerReferences {
 		if !ref.Controller {
@@ -172,6 +172,7 @@ func (c *replicaSetController) updateStatus(rs *spec.ReplicaSet, owned []*spec.P
 	if rs.Status.Replicas == int64(len(owned)) && rs.Status.ReadyReplicas == ready {
 		return
 	}
+	rs = spec.CloneForWriteAs(rs) // the argument is a sealed cache reference
 	rs.Status.Replicas = int64(len(owned))
 	rs.Status.ReadyReplicas = ready
 	if err := c.m.client.UpdateStatus(rs); errors.Is(err, apiserver.ErrConflict) {

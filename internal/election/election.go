@@ -131,6 +131,7 @@ func (e *Elector) tick() {
 	case lease.Spec.HolderIdentity == e.cfg.Identity:
 		// Renew. A corrupted holder identity makes this branch unreachable:
 		// the component silently loses leadership.
+		lease = spec.CloneForWriteAs(lease) // sealed cache reference
 		lease.Spec.RenewMillis = nowMillis
 		if err := e.client.Update(lease); err == nil {
 			e.becomeLeader()
@@ -139,6 +140,7 @@ func (e *Elector) tick() {
 			return
 		}
 	case expired:
+		lease = spec.CloneForWriteAs(lease) // sealed cache reference
 		lease.Spec.HolderIdentity = e.cfg.Identity
 		lease.Spec.RenewMillis = nowMillis
 		if err := e.client.Update(lease); err == nil {

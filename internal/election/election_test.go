@@ -100,7 +100,7 @@ func TestCorruptedHolderIdentityDeposesLeader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lease := obj.(*spec.Lease)
+	lease := spec.CloneForWriteAs(obj.(*spec.Lease))
 	lease.Spec.HolderIdentity = "kcm-\x31" // flipped character: "kcm-1"
 	lease.Spec.RenewMillis = loop.Time().UnixMilli()
 	if err := admin.Update(lease); err != nil {

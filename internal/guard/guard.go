@@ -236,6 +236,7 @@ func (g *Guard) rollback(key string, w *probationWatch, reason string) {
 		}
 		return
 	}
+	cur = spec.CloneForWrite(cur) // sealed cache reference
 	if err := codec.Set(cur, w.change.Field, w.change.Old); err != nil {
 		return
 	}

@@ -67,7 +67,7 @@ func TestGuardJournalsBenignChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := obj.(*spec.Deployment)
+	d := spec.CloneForWriteAs(obj.(*spec.Deployment))
 	d.Metadata.Labels["team"] = "payments"
 	if err := user.Update(d); err != nil {
 		t.Fatal(err)

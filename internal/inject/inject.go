@@ -161,7 +161,17 @@ func New(loop *sim.Loop) *Injector {
 func (j *Injector) AttachTo(srv *apiserver.Server) {
 	srv.SetStoreWriteHook(j.StoreHook())
 	srv.SetRequestHook(j.RequestHook())
+	srv.SetRequestWireGate(j.WantsRequestWire)
 	srv.SetAccessHook(j.AccessHook())
+}
+
+// WantsRequestWire reports whether the currently armed injection targets the
+// component→apiserver channel and therefore needs the serialized request
+// bytes. The API server consults it (as its request-wire gate) to skip the
+// per-request encode/decode round-trip for store-channel campaigns, where the
+// request hook would pass every message through untouched.
+func (j *Injector) WantsRequestWire() bool {
+	return j.armed != nil && j.armed.Channel == ChannelRequest
 }
 
 // StoreHook returns the apiserver→store channel hook, for callers that need

@@ -101,7 +101,7 @@ func TestBoolInversionAndSetValue(t *testing.T) {
 		FieldPath: "status.ready", Type: BitFlip, Occurrence: 1,
 	})
 	obj, _ := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
-	p := obj.(*spec.Pod)
+	p := spec.CloneForWriteAs(obj.(*spec.Pod))
 	p.Status.Ready = true
 	if err := c.UpdateStatus(p); err != nil {
 		t.Fatal(err)
@@ -117,7 +117,7 @@ func TestBoolInversionAndSetValue(t *testing.T) {
 		FieldPath: "spec.containers[0].image", Type: SetValue, Value: "", Occurrence: 1,
 	})
 	obj, _ = c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
-	p = obj.(*spec.Pod)
+	p = spec.CloneForWriteAs(obj.(*spec.Pod))
 	p.Metadata.Labels["touch"] = "1"
 	if err := c.Update(p); err != nil {
 		t.Fatal(err)
@@ -142,7 +142,7 @@ func TestOccurrenceIndexCounting(t *testing.T) {
 	loop.RunUntil(time.Second)
 	for i := 0; i < 2; i++ {
 		obj, _ := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
-		p := obj.(*spec.Pod)
+		p := spec.CloneForWriteAs(obj.(*spec.Pod))
 		p.Metadata.Annotations = map[string]string{"rev": string(rune('a' + i))}
 		if err := c.Update(p); err != nil {
 			t.Fatal(err)

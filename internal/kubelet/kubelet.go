@@ -172,7 +172,7 @@ func (k *Kubelet) registerNode() {
 	}
 	if err := k.client.Create(node); errors.Is(err, apiserver.ErrAlreadyExists) {
 		if obj, err := k.client.Get(spec.KindNode, "", k.cfg.NodeName); err == nil {
-			existing := obj.(*spec.Node)
+			existing := spec.CloneForWriteAs(obj.(*spec.Node))
 			existing.Status = node.Status
 			_ = k.client.UpdateStatus(existing)
 		}
@@ -193,7 +193,7 @@ func (k *Kubelet) heartbeat() {
 	if err != nil {
 		return
 	}
-	node := obj.(*spec.Node)
+	node := spec.CloneForWriteAs(obj.(*spec.Node))
 	node.Status.Ready = true
 	node.Status.LastHeartbeatMillis = k.loop.Time().UnixMilli()
 	node.Status.CapacityMilliCPU = k.cfg.CapacityMilliCPU
@@ -317,6 +317,7 @@ func (k *Kubelet) evictForCritical(pod *spec.Pod, running []*podRuntime, needCPU
 }
 
 func (k *Kubelet) rejectPod(pod *spec.Pod, reason string) {
+	pod = spec.CloneForWriteAs(pod) // the argument may be a sealed watch-event object
 	pod.Status.Phase = spec.PodFailed
 	pod.Status.Reason = reason
 	pod.Status.Ready = false
@@ -420,7 +421,7 @@ func (k *Kubelet) setStatus(rt *podRuntime, phase, reason string, ready bool, ip
 	if err != nil {
 		return
 	}
-	pod := obj.(*spec.Pod)
+	pod := spec.CloneForWriteAs(obj.(*spec.Pod))
 	pod.Status.Phase = phase
 	pod.Status.Reason = reason
 	pod.Status.Ready = ready
@@ -451,6 +452,7 @@ func (k *Kubelet) syncAllStatuses() {
 		}
 		pod := obj.(*spec.Pod)
 		if pod.Status.PodIP != rt.ip || !pod.Status.Ready || pod.Status.Phase != spec.PodRunning {
+			pod = spec.CloneForWriteAs(pod)
 			pod.Status.PodIP = rt.ip
 			pod.Status.Ready = true
 			pod.Status.Phase = spec.PodRunning

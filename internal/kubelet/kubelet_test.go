@@ -130,7 +130,7 @@ func TestKubeletOverwritesCorruptedStatus(t *testing.T) {
 		t.Fatal(err)
 	}
 	loop.RunUntil(loop.Now() + 10*time.Second)
-	pod := getPod(t, c, "web-1")
+	pod := spec.CloneForWriteAs(getPod(t, c, "web-1"))
 	goodIP := pod.Status.PodIP
 	pod.Status.PodIP = "10.99.99.99" // corrupted
 	pod.Status.Ready = false

@@ -70,6 +70,14 @@ type State struct {
 	// observed ready; routes survive routeDecay past that.
 	flannelLastReady map[string]time.Duration
 
+	// Derived indexes, maintained incrementally on pod events so the
+	// request path (20 req/s × every experiment) and the health probes never
+	// scan the pods map: ready network-manager pods per node, ready DNS pods
+	// per node, and pods by IP.
+	flannelReady map[string]int       // node → ready flannel pod count
+	dnsReady     map[string]int       // node → ready DNS pod count
+	podsByIP     map[string]*spec.Pod // PodIP → active pod
+
 	rr       map[string]int // round-robin counter per clusterIP
 	reqTimes map[string][]time.Duration
 
@@ -86,6 +94,9 @@ func New(loop *sim.Loop, srv *apiserver.Server) *State {
 		pods:             make(map[string]*spec.Pod),
 		nodes:            make(map[string]*spec.Node),
 		flannelLastReady: make(map[string]time.Duration),
+		flannelReady:     make(map[string]int),
+		dnsReady:         make(map[string]int),
+		podsByIP:         make(map[string]*spec.Pod),
 		rr:               make(map[string]int),
 		reqTimes:         make(map[string][]time.Duration),
 	}
@@ -155,15 +166,105 @@ func (s *State) onEndpoints(ev apiserver.WatchEvent) {
 func (s *State) onPod(ev apiserver.WatchEvent) {
 	pod := ev.Object.(*spec.Pod)
 	key := pod.Metadata.Namespace + "/" + pod.Metadata.Name
+	old := s.pods[key]
+	next := pod
 	if ev.Type == apiserver.Deleted {
+		next = nil
 		delete(s.pods, key)
+	} else {
+		s.pods[key] = pod
+	}
+	s.updateSystemIndex(old, next)
+	s.updateIPIndex(old, next)
+	if next != nil && isSystemApp(next, NetManagerLabel) && next.Status.Ready && next.Spec.NodeName != "" {
+		s.flannelLastReady[next.Spec.NodeName] = s.loop.Now()
+	}
+}
+
+func isSystemApp(pod *spec.Pod, label string) bool {
+	return pod.Metadata.Namespace == spec.SystemNamespace &&
+		pod.Metadata.Labels[spec.LabelApp] == label
+}
+
+// updateSystemIndex maintains the per-node ready counts of the two system
+// networking workloads across one pod transition (old → next; nil on either
+// side for add/delete).
+func (s *State) updateSystemIndex(old, next *spec.Pod) {
+	bump := func(p *spec.Pod, delta int) {
+		if p == nil || !p.Status.Ready || p.Spec.NodeName == "" {
+			return
+		}
+		switch {
+		case isSystemApp(p, NetManagerLabel):
+			s.flannelReady[p.Spec.NodeName] += delta
+		case isSystemApp(p, DNSLabel):
+			s.dnsReady[p.Spec.NodeName] += delta
+		}
+	}
+	bump(old, -1)
+	bump(next, +1)
+}
+
+// ipOf returns the indexable IP of a pod: active pods with a status IP.
+func ipOf(p *spec.Pod) string {
+	if p == nil || !p.Active() {
+		return ""
+	}
+	return p.Status.PodIP
+}
+
+// podKeyLess orders pods by namespace/name — the deterministic tie-break for
+// duplicate IPs (possible only under corruption), replacing the old
+// scan-in-map-order pick.
+func podKeyLess(a, b *spec.Pod) bool {
+	if a.Metadata.Namespace != b.Metadata.Namespace {
+		return a.Metadata.Namespace < b.Metadata.Namespace
+	}
+	return a.Metadata.Name < b.Metadata.Name
+}
+
+// updateIPIndex maintains podsByIP across one pod transition. The common case
+// (status refresh, same IP) is a pointer swap; a released IP triggers a
+// deterministic rescan only when the departing pod was the mapped one.
+func (s *State) updateIPIndex(old, next *spec.Pod) {
+	oldIP, newIP := ipOf(old), ipOf(next)
+	if oldIP == newIP {
+		if oldIP == "" {
+			return
+		}
+		if s.podsByIP[oldIP] == old {
+			s.podsByIP[oldIP] = next
+		} else {
+			s.claimIP(newIP, next)
+		}
 		return
 	}
-	s.pods[key] = pod
-	if pod.Metadata.Namespace == spec.SystemNamespace &&
-		pod.Metadata.Labels[spec.LabelApp] == NetManagerLabel &&
-		pod.Status.Ready && pod.Spec.NodeName != "" {
-		s.flannelLastReady[pod.Spec.NodeName] = s.loop.Now()
+	if oldIP != "" && s.podsByIP[oldIP] == old {
+		delete(s.podsByIP, oldIP)
+		s.rescanIP(oldIP)
+	}
+	if newIP != "" {
+		s.claimIP(newIP, next)
+	}
+}
+
+func (s *State) claimIP(ip string, p *spec.Pod) {
+	if cur, ok := s.podsByIP[ip]; !ok || podKeyLess(p, cur) {
+		s.podsByIP[ip] = p
+	}
+}
+
+// rescanIP re-elects the mapped pod for an IP after the previous holder left
+// it; duplicates exist only under corrupted PodIPs, so this scan is cold.
+func (s *State) rescanIP(ip string) {
+	var best *spec.Pod
+	for _, p := range s.pods {
+		if ipOf(p) == ip && (best == nil || podKeyLess(p, best)) {
+			best = p
+		}
+	}
+	if best != nil {
+		s.podsByIP[ip] = best
 	}
 }
 
@@ -208,14 +309,7 @@ func (s *State) RoutesUp(node string) bool {
 }
 
 func (s *State) readyFlannelPod(node string) bool {
-	for _, pod := range s.pods {
-		if pod.Metadata.Namespace == spec.SystemNamespace &&
-			pod.Metadata.Labels[spec.LabelApp] == NetManagerLabel &&
-			pod.Spec.NodeName == node && pod.Status.Ready {
-			return true
-		}
-	}
-	return false
+	return s.flannelReady[node] > 0
 }
 
 func (s *State) configValid() bool {
@@ -223,12 +317,11 @@ func (s *State) configValid() bool {
 }
 
 // DNSHealthy reports whether cluster DNS can answer: at least one ready DNS
-// pod on a routable node.
+// pod on a routable node. (The node count is tiny and the answer is a single
+// bool, so iterating the index map cannot introduce order dependence.)
 func (s *State) DNSHealthy() bool {
-	for _, pod := range s.pods {
-		if pod.Metadata.Namespace == spec.SystemNamespace &&
-			pod.Metadata.Labels[spec.LabelApp] == DNSLabel &&
-			pod.Status.Ready && s.RoutesUp(pod.Spec.NodeName) {
+	for node, n := range s.dnsReady {
+		if n > 0 && s.RoutesUp(node) {
 			return true
 		}
 	}
@@ -296,12 +389,7 @@ func (s *State) findPodByIP(ip string) *spec.Pod {
 	if ip == "" {
 		return nil
 	}
-	for _, pod := range s.pods {
-		if pod.Status.PodIP == ip && pod.Active() {
-			return pod
-		}
-	}
-	return nil
+	return s.podsByIP[ip]
 }
 
 func podListensOn(pod *spec.Pod, port int64) bool {

@@ -125,7 +125,7 @@ func (s *Scheduler) run() {
 	s.cancelW = s.client.Watch(spec.KindPod, s.onPodEvent)
 	s.ticker = s.loop.Every(schedulePeriod, s.scheduleAll)
 	// Prime from the current state (view read: priming only inspects).
-	for _, po := range s.client.ListView(spec.KindPod, "") {
+	for _, po := range s.client.List(spec.KindPod, "") {
 		pod := po.(*spec.Pod)
 		if pod.Spec.NodeName == "" && pod.Active() {
 			s.pending[podKey(pod)] = true
@@ -232,7 +232,7 @@ func (s *Scheduler) scheduleAll() {
 		if pod.Spec.Priority > 0 && podSnapshot == nil {
 			// View read: preemption picks victims by name; they are deleted,
 			// never mutated.
-			for _, po := range s.client.ListView(spec.KindPod, "") {
+			for _, po := range s.client.List(spec.KindPod, "") {
 				podSnapshot = append(podSnapshot, po.(*spec.Pod))
 			}
 		}
@@ -254,7 +254,7 @@ type nodeInfo struct {
 func (s *Scheduler) snapshotNodes() []*nodeInfo {
 	var infos []*nodeInfo
 	byName := make(map[string]*nodeInfo)
-	for _, no := range s.client.ListView(spec.KindNode, "") {
+	for _, no := range s.client.List(spec.KindNode, "") {
 		node := no.(*spec.Node)
 		info := &nodeInfo{
 			node:    node,
@@ -264,7 +264,7 @@ func (s *Scheduler) snapshotNodes() []*nodeInfo {
 		infos = append(infos, info)
 		byName[node.Metadata.Name] = info
 	}
-	for _, po := range s.client.ListView(spec.KindPod, "") {
+	for _, po := range s.client.List(spec.KindPod, "") {
 		pod := po.(*spec.Pod)
 		if pod.Spec.NodeName == "" || !pod.Active() {
 			continue
@@ -300,8 +300,10 @@ func (s *Scheduler) scheduleOne(pod *spec.Pod, nodes []*nodeInfo, podSnapshot []
 		}
 		return false // stays pending
 	}
-	pod.Spec.NodeName = best.node.Metadata.Name
-	if err := s.client.Update(pod); err != nil {
+	// Bind on a private copy: the pod is a sealed cache reference.
+	bound := spec.CloneForWriteAs(pod)
+	bound.Spec.NodeName = best.node.Metadata.Name
+	if err := s.client.Update(bound); err != nil {
 		return false
 	}
 	best.freeCPU -= pod.RequestsMilliCPU()

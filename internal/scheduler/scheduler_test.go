@@ -97,7 +97,7 @@ func TestRespectsNodeSelector(t *testing.T) {
 func TestRespectsTaints(t *testing.T) {
 	loop, c, _ := newScheduler(t)
 	obj, _ := c.Get(spec.KindNode, "", "worker-0")
-	node := obj.(*spec.Node)
+	node := spec.CloneForWriteAs(obj.(*spec.Node))
 	node.Spec.Taints = []spec.Taint{{Key: "dedicated", Effect: spec.TaintNoSchedule}}
 	if err := c.Update(node); err != nil {
 		t.Fatal(err)
@@ -204,7 +204,7 @@ func TestRestartAfterStoreMovesPod(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pod := obj.(*spec.Pod)
+	pod := spec.CloneForWriteAs(obj.(*spec.Pod))
 	if pod.Spec.NodeName == "" {
 		t.Fatal("setup: not scheduled")
 	}

@@ -1,0 +1,75 @@
+package spec
+
+import "testing"
+
+func sealTestPod() *Pod {
+	return &Pod{
+		Metadata: ObjectMeta{
+			Name: "web-1", Namespace: DefaultNamespace,
+			Labels: map[string]string{"app": "web"},
+		},
+		Spec: PodSpec{
+			NodeName:   "worker-0",
+			Containers: []Container{{Name: "web", Image: "registry.local/web:1.0"}},
+		},
+	}
+}
+
+func TestSealMarksAndCloneForWriteCopies(t *testing.T) {
+	p := sealTestPod()
+	if p.Meta().Sealed() {
+		t.Fatal("fresh object reports sealed")
+	}
+	if got := CloneForWrite(p); got != Object(p) {
+		t.Fatal("CloneForWrite copied a private object")
+	}
+	Seal(p)
+	if !p.Meta().Sealed() {
+		t.Fatal("Seal did not mark the object")
+	}
+	w := CloneForWrite(p)
+	if w == Object(p) {
+		t.Fatal("CloneForWrite returned the sealed object itself")
+	}
+	if w.Meta().Sealed() {
+		t.Fatal("clone of a sealed object must start unsealed")
+	}
+	// Mutating the clone must not touch the sealed original.
+	w.(*Pod).Metadata.Labels["app"] = "changed"
+	w.(*Pod).Spec.NodeName = "worker-1"
+	if p.Metadata.Labels["app"] != "web" || p.Spec.NodeName != "worker-0" {
+		t.Fatal("mutating the clone leaked into the sealed object")
+	}
+}
+
+func TestCloneClearsSealed(t *testing.T) {
+	for _, kind := range Kinds() {
+		o := New(kind)
+		Seal(o)
+		if c := o.Clone(); c.Meta().Sealed() {
+			t.Fatalf("%s: Clone kept the sealed bit", kind)
+		}
+	}
+}
+
+func TestCloneForWriteAsKeepsType(t *testing.T) {
+	p := sealTestPod()
+	Seal(p)
+	w := CloneForWriteAs(p)
+	if w == p {
+		t.Fatal("CloneForWriteAs returned the sealed object")
+	}
+	w.Spec.NodeName = "elsewhere" // compiles: concrete *Pod, no assertion
+}
+
+func TestSealHookObservesSeals(t *testing.T) {
+	var seen []Object
+	RegisterSealHook(func(o Object) { seen = append(seen, o) })
+	defer RegisterSealHook(nil)
+	p := sealTestPod()
+	Seal(p)
+	Seal(p) // idempotent: hook must fire once per object, not per call
+	if len(seen) != 1 || seen[0] != Object(p) {
+		t.Fatalf("seal hook saw %d objects, want exactly 1", len(seen))
+	}
+}

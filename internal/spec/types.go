@@ -93,6 +93,11 @@ type ObjectMeta struct {
 	CreatedMillis   int64             `pb:"8,creationTimestamp"`
 	Generation      int64             `pb:"9"`
 	ManagedBy       string            `pb:"10,managedBy"`
+
+	// sealed is the copy-on-write bit (see seal.go): set once the object
+	// enters a shared read path (watch cache, dispatch, snapshots). It is
+	// not part of the wire format and never survives Clone or decode.
+	sealed bool
 }
 
 // OwnerReference links a dependent object to its owner; the garbage

@@ -9,8 +9,14 @@ import (
 // This file implements store snapshot/restore: the storage half of the
 // bootstrapped-cluster fork path. A Snapshot is pure immutable data — no
 // loop, watcher, or timer references — so one snapshot can seed any number
-// of forked clusters concurrently; every restore deep-copies the value
-// bytes into the target store.
+// of forked clusters concurrently.
+//
+// Value bytes are shared, not copied: the store's copy-on-write discipline
+// (see Put) makes every stored array immutable, so capture and restore alias
+// the same arrays across the source cluster, the snapshot, and every fork.
+// A fork that overwrites a key installs a fresh array and the shared one is
+// simply no longer referenced there — forks never observe each other's
+// writes, and snapshot capture/restore is O(items), not O(bytes).
 
 // ItemSnapshot is one stored key with its full revision metadata.
 type ItemSnapshot struct {
@@ -77,7 +83,7 @@ func (s *Store) snapshot() StoreSnapshot {
 		out.Items = append(out.Items, ItemSnapshot{
 			Key:       key,
 			Kind:      it.kind,
-			Value:     append([]byte(nil), it.value...),
+			Value:     it.value, // immutable; shared with the live store
 			CreateRev: it.createRev,
 			ModRev:    it.modRev,
 		})
@@ -91,7 +97,7 @@ func (s *Store) restore(snap StoreSnapshot) {
 	for _, it := range snap.Items {
 		s.items[it.Key] = &item{
 			kind:      it.Kind,
-			value:     append([]byte(nil), it.Value...),
+			value:     it.Value, // immutable; shared across every fork
 			createRev: it.CreateRev,
 			modRev:    it.ModRev,
 		}

@@ -159,6 +159,13 @@ func (s *Store) QuotaExceeded() bool { return s.size > s.opts.QuotaBytes }
 // Put stores value under key and notifies watchers. The value is stored
 // verbatim: corruption introduced upstream is preserved and observed by
 // every component, exactly like a faulty transaction committed to etcd.
+//
+// Copy-on-write discipline: Put copies the caller's bytes exactly once into a
+// fresh backing array (callers commonly pass pooled encode buffers), and that
+// array becomes *immutable* — the watch event, every Get/List, and snapshot
+// capture all share it by reference. Overwrites install a new array instead
+// of scribbling over the old one, so readers holding the previous revision
+// keep a consistent view.
 func (s *Store) Put(key string, kind spec.Kind, value []byte) (int64, error) {
 	if int64(len(value)) > s.opts.MaxValueBytes {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(value))
@@ -167,36 +174,36 @@ func (s *Store) Put(key string, kind spec.Kind, value []byte) (int64, error) {
 		return 0, ErrNoSpace
 	}
 	s.rev++
+	stored := append([]byte(nil), value...)
 	it, exists := s.items[key]
 	if exists {
 		s.size -= int64(len(it.value))
-		// Overwrites reuse the item's backing array: nothing outside the
-		// store aliases it (Get, List and watch events all hand out copies),
-		// and update-heavy workloads rewrite the same keys every heartbeat.
-		it.value = append(it.value[:0], value...)
+		it.value = stored
 		it.modRev = s.rev
 		it.kind = kind
 	} else {
 		s.items[key] = &item{
 			kind:      kind,
-			value:     append([]byte(nil), value...),
+			value:     stored,
 			createRev: s.rev,
 			modRev:    s.rev,
 		}
 		s.size += int64(len(key))
 	}
 	s.size += int64(len(value))
-	s.notify(Event{Type: EventPut, Key: key, Kind: kind, Value: append([]byte(nil), value...), Revision: s.rev})
+	s.notify(Event{Type: EventPut, Key: key, Kind: kind, Value: stored, Revision: s.rev})
 	return s.rev, nil
 }
 
-// Get returns the stored bytes for key.
+// Get returns the stored bytes for key. The value is a sealed reference to
+// the immutable stored array — callers must not mutate it (CorruptAtRest is
+// the one sanctioned mutation path, and it replaces the array).
 func (s *Store) Get(key string) (KV, bool) {
 	it, ok := s.items[key]
 	if !ok {
 		return KV{}, false
 	}
-	return KV{Key: key, Kind: it.kind, Value: append([]byte(nil), it.value...), Revision: it.modRev}, true
+	return KV{Key: key, Kind: it.kind, Value: it.value, Revision: it.modRev}, true
 }
 
 // Delete removes key, notifying watchers. Deletes succeed even past quota so
@@ -213,12 +220,13 @@ func (s *Store) Delete(key string) bool {
 	return true
 }
 
-// List returns all entries under prefix in key order.
+// List returns all entries under prefix in key order. Values are sealed
+// references under the same read-only contract as Get.
 func (s *Store) List(prefix string) []KV {
 	var out []KV
 	for key, it := range s.items {
 		if strings.HasPrefix(key, prefix) {
-			out = append(out, KV{Key: key, Kind: it.kind, Value: append([]byte(nil), it.value...), Revision: it.modRev})
+			out = append(out, KV{Key: key, Kind: it.kind, Value: it.value, Revision: it.modRev})
 		}
 	}
 	sortKVs(out)
@@ -252,10 +260,13 @@ func (s *Store) Watch(prefix string, fn func(Event)) (cancel func()) {
 	}
 }
 
-// CorruptAtRest mutates the stored bytes of key in place without bumping the
-// revision or notifying watchers — a silent at-rest corruption (the §V-C1
-// ablation: such corruption hides behind the API server's watch cache until
-// a refresh happens).
+// CorruptAtRest silently corrupts the stored bytes of key without bumping the
+// revision or notifying watchers (the §V-C1 ablation: such corruption hides
+// behind the API server's watch cache until a refresh happens). The mutate
+// callback receives a private copy and the result becomes a new backing
+// array, honoring the copy-on-write discipline — readers and snapshots that
+// alias the old array keep the uncorrupted bytes, exactly like a disk-level
+// flip that postdates a backup.
 func (s *Store) CorruptAtRest(key string, mutate func([]byte) []byte) bool {
 	it, ok := s.items[key]
 	if !ok {

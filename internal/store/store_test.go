@@ -196,16 +196,44 @@ func TestCorruptAtRestIsSilent(t *testing.T) {
 	}
 }
 
-func TestGetReturnsCopy(t *testing.T) {
+// TestValueImmutability covers the copy-on-write contract that replaced the
+// old copy-per-read behavior: Put severs the caller's buffer, overwrites
+// install a fresh array (readers of the old revision keep the old bytes), and
+// CorruptAtRest never touches an array readers may hold.
+func TestValueImmutability(t *testing.T) {
 	_, s := newTestStore(t)
-	if _, err := s.Put("/a", spec.KindPod, []byte{1, 2, 3}); err != nil {
+	buf := []byte{1, 2, 3}
+	if _, err := s.Put("/a", spec.KindPod, buf); err != nil {
 		t.Fatal(err)
 	}
+	// The caller's (possibly pooled) buffer must not alias the stored value.
+	buf[0] = 99
 	kv, _ := s.Get("/a")
-	kv.Value[0] = 99
-	kv2, _ := s.Get("/a")
-	if kv2.Value[0] != 1 {
-		t.Fatal("Get leaked internal buffer")
+	if kv.Value[0] != 1 {
+		t.Fatal("Put retained the caller's buffer")
+	}
+	// Overwrites replace the backing array: a reader holding the previous
+	// revision keeps a consistent view.
+	old := kv.Value
+	if _, err := s.Put("/a", spec.KindPod, []byte{7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if old[0] != 1 {
+		t.Fatal("overwrite scribbled over the previous revision's array")
+	}
+	cur, _ := s.Get("/a")
+	if cur.Value[0] != 7 {
+		t.Fatal("overwrite not visible")
+	}
+	// CorruptAtRest replaces, never mutates in place.
+	held, _ := s.Get("/a")
+	s.CorruptAtRest("/a", func(b []byte) []byte { b[0] = 0xff; return b })
+	if held.Value[0] != 7 {
+		t.Fatal("CorruptAtRest mutated an array a reader held")
+	}
+	after, _ := s.Get("/a")
+	if after.Value[0] != 0xff {
+		t.Fatal("CorruptAtRest not visible on a fresh read")
 	}
 }
 

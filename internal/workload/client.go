@@ -87,7 +87,7 @@ func (c *Client) issue() {
 func (c *Client) request() netsim.RequestResult {
 	// View read: 20 req/s × 30 s per experiment only inspect the VIP, and
 	// activation accounting (the access hook) is identical to a full Get.
-	obj, err := c.api.GetView(spec.KindService, c.ns, c.service)
+	obj, err := c.api.Get(spec.KindService, c.ns, c.service)
 	if err != nil {
 		return netsim.RequestResult{Err: netsim.ErrRefused}
 	}

@@ -167,7 +167,7 @@ func (d *Driver) awaitFailover(victim string) {
 	for d.Cluster.Loop.Now() < deadline {
 		d.Cluster.Loop.RunUntil(d.Cluster.Loop.Now() + opPollPeriod)
 		drained := true
-		for _, po := range d.User.ListView(spec.KindPod, spec.DefaultNamespace) {
+		for _, po := range d.User.List(spec.KindPod, spec.DefaultNamespace) {
 			pod := po.(*spec.Pod)
 			if pod.Active() && pod.Spec.NodeName == victim {
 				drained = false
@@ -179,7 +179,7 @@ func (d *Driver) awaitFailover(victim string) {
 		}
 		allReady := true
 		for i := 0; i < failoverDeploys; i++ {
-			obj, err := d.User.GetView(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
+			obj, err := d.User.Get(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
 			if err != nil || obj.(*spec.Deployment).Status.ReadyReplicas < deployReplicas {
 				allReady = false
 				break
@@ -203,7 +203,7 @@ func (d *Driver) scaleTo(name string, replicas int64) {
 		if err != nil {
 			return
 		}
-		deploy := obj.(*spec.Deployment)
+		deploy := spec.CloneForWriteAs(obj.(*spec.Deployment))
 		deploy.Spec.Replicas = replicas
 		err = d.User.Update(deploy)
 		if err == nil || !errors.Is(err, apiserver.ErrConflict) {
@@ -218,7 +218,7 @@ func (d *Driver) scaleTo(name string, replicas int64) {
 // Nodes". It returns the tainted node's name.
 func (d *Driver) taintBusiestNode() string {
 	counts := make(map[string]int)
-	for _, po := range d.User.ListView(spec.KindPod, spec.DefaultNamespace) {
+	for _, po := range d.User.List(spec.KindPod, spec.DefaultNamespace) {
 		pod := po.(*spec.Pod)
 		if pod.Active() && pod.Spec.NodeName != "" {
 			counts[pod.Spec.NodeName]++
@@ -241,7 +241,7 @@ func (d *Driver) taintBusiestNode() string {
 		if err != nil {
 			return victim
 		}
-		node := obj.(*spec.Node)
+		node := spec.CloneForWriteAs(obj.(*spec.Node))
 		node.Spec.Taints = append(node.Spec.Taints, spec.Taint{
 			Key: failoverTaintKey, Effect: spec.TaintNoExecute,
 		})
@@ -262,7 +262,7 @@ func (d *Driver) awaitReady(deployments int, replicas int64) {
 		allReady := true
 		for i := 0; i < deployments; i++ {
 			// View read: the poll only inspects ready-replica counts.
-			obj, err := d.User.GetView(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
+			obj, err := d.User.Get(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
 			if err != nil {
 				allReady = false
 				break

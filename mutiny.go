@@ -39,6 +39,35 @@
 // Full campaigns (Tables III–V, Figures 6–7 of the paper) run through
 // RunCampaign; see the examples directory and the benchmark harness in
 // bench_test.go for the per-table reproduction entry points.
+//
+// # Performance model
+//
+// Campaign wall-clock is dominated by per-experiment simulation cost, which
+// three mechanisms keep low:
+//
+//   - Copy-on-write objects. API reads (APIClient.Get/List, watch events)
+//     return sealed, immutable references shared with the server's watch
+//     cache — zero copies per read or per watch dispatch. Callers may read
+//     and retain them freely; to modify one for an Update, obtain a private
+//     copy via CloneForWrite first. The store applies the same discipline to
+//     value bytes (stored arrays are immutable; snapshots and forks alias
+//     them), and the codec interns hot decoded strings (names, namespaces,
+//     label keys/values) process-wide.
+//
+//   - Shared bootstrap snapshots (CampaignConfig.ShareBootstrap, CLI
+//     -share-bootstrap, bench MUTINY_SHARE=1). Each experiment forks a
+//     settled per-workload snapshot instead of replaying the ~20 s simulated
+//     bootstrap. Snapshots are cached process-wide, keyed on the cluster
+//     configuration plus workload, so every Runner in the process bootstraps
+//     each workload at most once.
+//
+//   - Parallel execution (CampaignConfig.Parallelism, CLI -parallel, bench
+//     MUTINY_PARALLEL). Experiments are isolated simulations merged in
+//     generated order; outputs are bit-identical for every worker count.
+//
+// `make bench` measures all three (ms/exp, allocs/exp, replay-vs-share
+// ratio, parallel speedup) and emits BENCH_PR3.json; CI uploads it on every
+// push.
 package mutiny
 
 import (

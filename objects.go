@@ -61,6 +61,13 @@ type (
 // critical set (dependency, identity, and networking fields).
 func CriticalFieldPath(path string) bool { return spec.CriticalFieldPath(path) }
 
+// CloneForWrite is the mutation gate of the copy-on-write object contract:
+// APIClient reads (Get, List, watch events) return sealed, immutable
+// references shared with the server's watch cache; pass one through
+// CloneForWrite to obtain a private copy before modifying it for an Update.
+// Objects the caller built itself pass through unchanged.
+func CloneForWrite(o Object) Object { return spec.CloneForWrite(o) }
+
 // Well-known names of the system plane.
 const (
 	// SystemNamespace hosts control-plane and networking workloads.

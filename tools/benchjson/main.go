@@ -1,0 +1,195 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON artifact. `make bench` pipes the perf-gate benchmarks through it to
+// produce BENCH_PR3.json, which CI uploads on every push so the benchmark
+// trajectory of the hot experiment path is recorded per commit (ms/exp,
+// allocs/exp, the replay-vs-share ratio, and the parallel-campaign speedup).
+//
+// Usage:
+//
+//	go test -run xxx -bench ... -benchmem . | go run ./tools/benchjson -out BENCH_PR3.json
+//
+// Unknown lines are ignored, so the full interleaved test output (campaign
+// progress, table renders) can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MsPerOp     float64            `json:"ms_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"` // custom b.ReportMetric units
+}
+
+// Report is the emitted artifact.
+type Report struct {
+	Benchmarks map[string]Bench   `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	report := Report{Benchmarks: map[string]Bench{}, Derived: map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	// Benchmarks that print to stdout mid-iteration split their result line:
+	// the name appears alone (followed by the stray print), and the numbers
+	// arrive on a later line. Track the pending name so such results are
+	// still attributed.
+	pending := ""
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the console log stays readable
+		if name, b, ok := parseBenchLine(line); ok {
+			report.Benchmarks[name] = b
+			pending = ""
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) > 0 && strings.HasPrefix(fields[0], "Benchmark") {
+			pending = trimProcSuffix(fields[0])
+			continue
+		}
+		if pending != "" {
+			if b, ok := parseResultFields(fields); ok {
+				report.Benchmarks[pending] = b
+				pending = ""
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		// An empty artifact means the benchmarks never ran (build failure,
+		// panic, wrong -bench filter); fail loudly rather than record a
+		// hollow gate result.
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+	derive(&report)
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
+
+// trimProcSuffix strips the trailing -GOMAXPROCS suffix from a benchmark
+// name, keeping sub-benchmark paths.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseBenchLine parses one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...`
+// line; it returns ok=false for everything else.
+func parseBenchLine(line string) (string, Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Bench{}, false
+	}
+	b, ok := parseResultFields(fields[1:])
+	if !ok {
+		return "", Bench{}, false
+	}
+	return trimProcSuffix(fields[0]), b, true
+}
+
+// parseResultFields parses `N  v1 unit1  v2 unit2 ...` (a result line minus
+// the benchmark name).
+func parseResultFields(fields []string) (Bench, bool) {
+	if len(fields) < 3 {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Iterations: iters}
+	seen := false
+	for i := 1; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+			b.MsPerOp = val / 1e6
+			seen = true
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[unit] = val
+		}
+	}
+	return b, seen
+}
+
+// derive computes the headline metrics the perf gate tracks across PRs.
+func derive(r *Report) {
+	replay, hasReplay := r.Benchmarks["BenchmarkExperimentThroughput/replay"]
+	share, hasShare := r.Benchmarks["BenchmarkExperimentThroughput/share"]
+	if hasReplay {
+		r.Derived["experiment_ms_replay"] = replay.MsPerOp
+		r.Derived["experiment_allocs_replay"] = replay.AllocsPerOp
+	}
+	if hasShare {
+		r.Derived["experiment_ms_share"] = share.MsPerOp
+		r.Derived["experiment_allocs_share"] = share.AllocsPerOp
+	}
+	if hasReplay && hasShare && share.NsPerOp > 0 {
+		r.Derived["replay_vs_share_ratio"] = replay.NsPerOp / share.NsPerOp
+	}
+	if bs, ok := r.Benchmarks["BenchmarkBootstrapShare"]; ok {
+		if v, ok := bs.Extra["replay/fork-×"]; ok {
+			r.Derived["bootstrap_replay_vs_fork_ratio"] = v
+		}
+	}
+	var seq, par float64
+	for name, b := range r.Benchmarks {
+		switch {
+		case name == "BenchmarkCampaignParallel/sequential":
+			seq = b.NsPerOp
+		case strings.HasPrefix(name, "BenchmarkCampaignParallel/workers="):
+			par = b.NsPerOp
+		}
+	}
+	if seq > 0 && par > 0 {
+		r.Derived["campaign_parallel_speedup"] = seq / par
+	}
+}
