@@ -38,21 +38,27 @@ smoke:
 	MUTINY_STRIDE=200 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime=1x .
 
 # Perf gate: the hot-path benchmarks (experiment throughput replay vs share,
-# bootstrap-share ratio, parallel campaign speedup) parsed into BENCH_PR3.json
-# via tools/benchjson. CI runs this on the 4-vCPU hosted runner on every push
-# and uploads the JSON as an artifact, so the bench trajectory is recorded
-# per commit. MUTINY_SHARE is irrelevant here: ExperimentThroughput measures
-# both regimes itself.
+# bootstrap-share ratio, parallel campaign workers-vs-sequential speedup)
+# parsed into BENCH_PR$(PR).json via tools/benchjson. The artifact is
+# committed per PR (the trajectory lives in-repo, not just as a CI upload);
+# CI re-runs the gate on the 4-vCPU hosted runner on every push and uploads
+# its own copy. The run is compared against the newest committed BENCH_PR*
+# artifact from an earlier PR: a >10% ms/exp regression prints a
+# non-blocking warning (see tools/benchjson). MUTINY_SHARE is irrelevant
+# here: ExperimentThroughput measures both regimes itself.
 # Each bench run writes to its own file first so a benchmark failure fails
 # the target (piping straight into benchjson would report the parser's exit
 # status and let a broken benchmark slip through the gate); benchjson itself
 # also fails when it parses no benchmark lines.
-BENCH_JSON ?= BENCH_PR3.json
+PR ?= 4
+BENCH_JSON ?= BENCH_PR$(PR).json
 bench:
 	@set -e; out=$$(mktemp -d); \
+	prev=$$(ls BENCH_PR*.json 2>/dev/null | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$$/\1/p' | awk '$$1 < $(PR)' | sort -n | tail -1); \
+	prev=$${prev:+BENCH_PR$$prev.json}; \
 	$(GO) test -run xxx -bench 'BenchmarkExperimentThroughput|BenchmarkBootstrapShare' -benchmem -benchtime 30x . > $$out/hot.txt; \
 	MUTINY_STRIDE=96 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime 1x . > $$out/campaign.txt; \
-	cat $$out/hot.txt $$out/campaign.txt | $(GO) run ./tools/benchjson -out $(BENCH_JSON); \
+	cat $$out/hot.txt $$out/campaign.txt | $(GO) run ./tools/benchjson -out $(BENCH_JSON) $${prev:+-prev $$prev}; \
 	rm -rf $$out
 	@echo "wrote $(BENCH_JSON)"
 

@@ -154,10 +154,60 @@ type Server struct {
 	opts    Options
 
 	cache map[string]spec.Object // decoded watch cache, by store key
-	// watchers is kept in registration order: dispatch schedules callbacks
-	// in iteration order, and map iteration would randomize the delivery
-	// order of same-tick events across runs, breaking bit-reproducibility.
-	watchers []*watcher
+	// kindIndex mirrors cache as per-kind slices sorted by store key, so
+	// list — the hottest read (every controller scan, scheduler pass, and
+	// collector scrape) — is a binary search plus one contiguous copy
+	// instead of a full map iteration and sort per call.
+	kindIndex map[spec.Kind]*kindBucket
+	// watchers is kept in registration order: dispatch delivers in iteration
+	// order, and map iteration would randomize the delivery order of
+	// same-tick events across runs, breaking bit-reproducibility. The slice
+	// is append-only while deliveries are pending (cancelled watchers are
+	// flagged and swept lazily), so the watcher-count snapshot taken at
+	// dispatch time keeps indexing the same registrations.
+	watchers          []*watcher
+	cancelledWatchers int
+
+	// Batched fan-out: each dispatch appends one pendingDispatch and
+	// schedules fanoutFn (built once — no per-dispatch closure) on the loop.
+	// The scheduled events fire in dispatch order, and each delivers the
+	// queue's front event to every matching watcher in one callback — the
+	// exact delivery order of the former one-loop-event-per-watcher
+	// scheduling, at a thirteenth of the event-heap traffic. head indexes
+	// the front; the backing array is reused once the queue drains.
+	pending     []pendingDispatch
+	pendingHead int
+	fanningOut  int // depth of in-flight fanout calls; blocks the sweep
+	fanoutFn    func()
+
+	// decoded is the revision-tagged decoded-object cache: the sealed decoded
+	// form of each store key's *current* bytes. The invariant is that an
+	// entry's Meta().ResourceVersion equals the backend mod revision of the
+	// bytes it was decoded from (or round-trip-encoded to, on the write
+	// path), so a lookup is valid exactly when that tag matches the
+	// backend's current revision for the key. It elides the backend-byte
+	// codec.Unmarshal on the write path's conflict check (current), on watch
+	// ingest (onStoreEvent), and on cache rebuilds (restart re-list, fork
+	// restore — forks inherit the snapshot's entries and skip almost the
+	// whole re-decode).
+	//
+	// Byte-level fault semantics stay intact: tampered store writes are
+	// never cached (the next read decodes the corrupted bytes for real), and
+	// silent same-revision rewrites (CorruptAtRest) invalidate the entry via
+	// the store's OnRewrite hook.
+	decoded            map[string]spec.Object
+	decodeHits         int64
+	decodeMisses       int64
+	decodeInvalidation int64
+	// tainted marks keys whose stored bytes were silently rewritten
+	// (CorruptAtRest) and not yet overwritten by a revision-advancing
+	// write. Watch events carry a byte snapshot taken at commit time, so
+	// for a tainted key an in-flight event may hold *pre-rewrite* bytes
+	// under the current revision — caching (or serving) a decode for it
+	// would resurrect the clean object and mask the corruption forever.
+	// Event ingest therefore bypasses the cache entirely for tainted keys;
+	// backend reads (current, rebuildCache) are live and stay cached.
+	tainted map[string]struct{}
 
 	uidCounter int64
 	ipCounter  int64
@@ -184,19 +234,119 @@ type watcher struct {
 	cancelled bool
 }
 
+// kindBucket holds one kind's cached objects in store-key order. keys and
+// objs move in lockstep; namespace prefixes select a contiguous range.
+type kindBucket struct {
+	keys []string
+	objs []spec.Object
+}
+
+// insert adds or replaces the object at key, keeping key order.
+func (b *kindBucket) insert(key string, obj spec.Object) {
+	i := sort.SearchStrings(b.keys, key)
+	if i < len(b.keys) && b.keys[i] == key {
+		b.objs[i] = obj
+		return
+	}
+	b.keys = append(b.keys, "")
+	copy(b.keys[i+1:], b.keys[i:])
+	b.keys[i] = key
+	b.objs = append(b.objs, nil)
+	copy(b.objs[i+1:], b.objs[i:])
+	b.objs[i] = obj
+}
+
+// remove deletes key if present.
+func (b *kindBucket) remove(key string) {
+	i := sort.SearchStrings(b.keys, key)
+	if i >= len(b.keys) || b.keys[i] != key {
+		return
+	}
+	b.keys = append(b.keys[:i], b.keys[i+1:]...)
+	copy(b.objs[i:], b.objs[i+1:])
+	b.objs[len(b.objs)-1] = nil
+	b.objs = b.objs[:len(b.objs)-1]
+}
+
+// pendingDispatch is one watch event queued for batched fan-out: the event
+// plus the length of the watcher list at dispatch time, so watchers
+// registered between dispatch and delivery do not receive it (exactly as
+// under the old per-watcher scheduling, where missing the dispatch meant
+// missing the event).
+type pendingDispatch struct {
+	ev WatchEvent
+	n  int
+}
+
 // New creates a Server over the given backend and starts its store watch.
 func New(loop *sim.Loop, backend store.Backend, opts *Options) *Server {
 	s := &Server{
 		loop:    loop,
 		backend: backend,
-		cache:   make(map[string]spec.Object),
+		cache:     make(map[string]spec.Object),
+		kindIndex: make(map[spec.Kind]*kindBucket),
+		decoded:   make(map[string]spec.Object),
 		audit:   NewAudit(loop),
 	}
+	s.fanoutFn = s.fanout
 	if opts != nil {
 		s.opts = *opts
 	}
+	if rn, ok := backend.(rewriteNotifier); ok {
+		rn.OnRewrite(s.invalidateDecoded)
+	}
 	s.cancelStoreWatch = backend.Watch("/registry/", s.onStoreEvent)
 	return s
+}
+
+// rewriteNotifier is the optional backend capability the decode cache needs:
+// notification of silent same-revision byte rewrites (at-rest corruption).
+type rewriteNotifier interface {
+	OnRewrite(fn func(key string))
+}
+
+// invalidateDecoded drops the decoded form of key and taints it. Called for
+// every silent byte rewrite on the backend; a revision tag cannot detect
+// those, and any watch event already in flight for the key still carries
+// the pre-rewrite bytes under the same revision.
+func (s *Server) invalidateDecoded(key string) {
+	if _, ok := s.decoded[key]; ok {
+		delete(s.decoded, key)
+		s.decodeInvalidation++
+	}
+	if s.tainted == nil {
+		s.tainted = make(map[string]struct{})
+	}
+	s.tainted[key] = struct{}{}
+}
+
+// DecodeCacheStats reports decode-cache hits, misses, and rewrite
+// invalidations (diagnostics and tests).
+func (s *Server) DecodeCacheStats() (hits, misses, invalidations int64) {
+	return s.decodeHits, s.decodeMisses, s.decodeInvalidation
+}
+
+// decodeCached returns the sealed decoded form of (key, data) at the backend
+// mod revision rev, reusing the cached decode when its revision tag matches
+// and performing (and caching) a real decode otherwise. Decode errors are
+// never cached: undecodable bytes are re-examined on every access, exactly
+// like before.
+func (s *Server) decodeCached(kind spec.Kind, key string, data []byte, rev int64) (spec.Object, error) {
+	if obj, ok := s.decoded[key]; ok && obj.Meta().ResourceVersion == rev {
+		s.decodeHits++
+		return obj, nil
+	}
+	obj, err := s.decode(kind, data)
+	if err != nil {
+		return nil, err
+	}
+	s.decodeMisses++
+	// The resource version every reader sees is the store revision of the
+	// write, exactly like etcd's mod revision.
+	obj.Meta().ResourceVersion = rev
+	spec.Seal(obj) // entering the shared read path: immutable from here on
+	s.decoded[key] = obj
+	return obj, nil
 }
 
 // Audit returns the server's audit trail.
@@ -241,22 +391,44 @@ func (s *Server) Restart() {
 // prime their own views when they start).
 func (s *Server) rebuildCache(dispatch bool) {
 	s.cache = make(map[string]spec.Object)
+	s.kindIndex = make(map[spec.Kind]*kindBucket)
 	for _, kv := range s.backend.List("/registry/") {
-		obj, err := s.decode(kv.Kind, kv.Value)
+		// decodeCached stamps the store's mod revision and seals, exactly
+		// like the watch path: the serialized bytes carry the resource
+		// version the *writer* saw, and serving that stale version would
+		// make every post-restart update fail its optimistic-concurrency
+		// check. Unmodified keys hit the decode cache (a restart re-list or
+		// fork restore decodes almost nothing); keys whose bytes were
+		// rewritten at rest were invalidated and decode for real, which is
+		// when the corruption becomes visible (§V-C1).
+		obj, err := s.decodeCached(kv.Kind, kv.Key, kv.Value, kv.Revision)
 		if err != nil {
 			s.handleUndecodable(kv.Key, kv.Kind)
 			continue
 		}
-		// Stamp the store's mod revision, exactly like the watch path does:
-		// the serialized bytes carry the resource version the *writer* saw,
-		// and serving that stale version would make every post-restart
-		// update fail its optimistic-concurrency check.
-		obj.Meta().ResourceVersion = kv.Revision
-		spec.Seal(obj) // entering the shared read path: immutable from here on
-		s.cache[kv.Key] = obj
+		s.cacheSet(kv.Key, kv.Kind, obj)
 		if dispatch {
 			s.dispatch(WatchEvent{Type: Added, Kind: kv.Kind, Object: obj})
 		}
+	}
+}
+
+// cacheSet installs obj in the watch cache and the per-kind list index.
+func (s *Server) cacheSet(key string, kind spec.Kind, obj spec.Object) {
+	s.cache[key] = obj
+	b := s.kindIndex[kind]
+	if b == nil {
+		b = &kindBucket{}
+		s.kindIndex[kind] = b
+	}
+	b.insert(key, obj)
+}
+
+// cacheDelete removes key from the watch cache and the per-kind list index.
+func (s *Server) cacheDelete(key string, kind spec.Kind) {
+	delete(s.cache, key)
+	if b := s.kindIndex[kind]; b != nil {
+		b.remove(key)
 	}
 }
 
@@ -360,8 +532,9 @@ func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object
 			return s.audit.record(identity, verb, kind, msg.Name, ErrConflict, msg.Tampered)
 		}
 		// Status updates cannot change spec or metadata: graft the incoming
-		// status onto the current object (subresource semantics). cur is a
-		// private decode off the backend — never shared, so no copy needed.
+		// status onto the current object (subresource semantics). cur is the
+		// shared decode-cache instance, so take a private copy to mutate.
+		cur = spec.CloneForWrite(cur)
 		if err := mergeStatus(cur, obj); err != nil {
 			return s.audit.record(identity, verb, kind, msg.Name, err, msg.Tampered)
 		}
@@ -406,7 +579,21 @@ func (s *Server) persistWrite(identity string, verb Verb, msg *Message, obj spec
 	if err != nil {
 		return s.audit.record(identity, verb, msg.Kind, msg.Name, fmt.Errorf("%w: %v", ErrUnavailable, err), msg.Tampered)
 	}
-	_ = rev
+	// Prime the decode cache with the object just persisted: decoding the
+	// stored bytes would reproduce obj field for field (the codec round-trips
+	// exactly), so the conflict check of the next write to this key — and the
+	// watch ingest of this very write — skip the backend-byte Unmarshal. Only
+	// if the bytes that reached the store are verbatim the encoding of obj,
+	// though: a store-channel hook that replaced or tampered the payload
+	// keeps byte-level fault semantics by forcing a real decode later.
+	// A revision-advancing write supersedes any silent rewrite: events for
+	// the new revision carry the new bytes, so the key's taint is lifted.
+	delete(s.tainted, key)
+	if !out.Tampered && len(out.Data) == len(data) && (len(data) == 0 || &out.Data[0] == &data[0]) {
+		obj.Meta().ResourceVersion = rev
+		spec.Seal(obj) // entering the shared read path via the decode cache
+		s.decoded[key] = obj
+	}
 	s.audit.countOK(identity, verb)
 	if msg.Tampered {
 		s.audit.countTamperedOK()
@@ -462,28 +649,45 @@ func (s *Server) admitCreate(obj spec.Object) {
 func (s *Server) onStoreEvent(ev store.Event) {
 	switch ev.Type {
 	case store.EventPut:
-		obj, err := s.decode(ev.Kind, ev.Value)
+		// The untampered write path already cached the decoded form at this
+		// revision (persistWrite); ingesting the event is then free of any
+		// codec.Unmarshal. Tampered or externally-written bytes miss and
+		// decode for real. Tainted keys bypass the cache entirely: ev.Value
+		// is a commit-time snapshot, and after an at-rest rewrite it may be
+		// the *pre-corruption* bytes under the current revision — neither a
+		// hit (would serve the corrupted decode for clean bytes) nor a
+		// cache fill (would resurrect the clean object and mask the
+		// corruption past every future rebuild) is sound.
+		var obj spec.Object
+		var err error
+		if _, bad := s.tainted[ev.Key]; bad {
+			obj, err = s.decode(ev.Kind, ev.Value)
+			if err == nil {
+				obj.Meta().ResourceVersion = ev.Revision
+				spec.Seal(obj)
+			}
+		} else {
+			obj, err = s.decodeCached(ev.Kind, ev.Key, ev.Value, ev.Revision)
+		}
 		if err != nil {
 			s.handleUndecodable(ev.Key, ev.Kind)
 			return
 		}
-		// The resource version every reader sees is the store revision of
-		// the write, exactly like etcd's mod revision.
-		obj.Meta().ResourceVersion = ev.Revision
-		spec.Seal(obj) // entering the shared read path: immutable from here on
 		_, existed := s.cache[ev.Key]
-		s.cache[ev.Key] = obj
+		s.cacheSet(ev.Key, ev.Kind, obj)
 		typ := Added
 		if existed {
 			typ = Modified
 		}
 		s.dispatch(WatchEvent{Type: typ, Kind: ev.Kind, Object: obj})
 	case store.EventDelete:
+		delete(s.decoded, ev.Key)
+		delete(s.tainted, ev.Key)
 		obj, existed := s.cache[ev.Key]
 		if !existed {
 			return
 		}
-		delete(s.cache, ev.Key)
+		s.cacheDelete(ev.Key, ev.Kind)
 		s.dispatch(WatchEvent{Type: Deleted, Kind: ev.Kind, Object: obj})
 	}
 }
@@ -501,18 +705,19 @@ func (s *Server) handleUndecodable(key string, kind spec.Kind) {
 	})
 }
 
-// current reads the authoritative state of key from the backend.
+// current reads the authoritative state of key from the backend. The result
+// is the *sealed* decode-cache instance — shared, read-only; the one write
+// path that mutates it (status merge) goes through spec.CloneForWrite.
 func (s *Server) current(kind spec.Kind, key string) (spec.Object, bool, error) {
 	kv, ok := s.backend.Get(key)
 	if !ok {
 		return nil, false, nil
 	}
-	obj, err := s.decode(kind, kv.Value)
+	obj, err := s.decodeCached(kind, key, kv.Value, kv.Revision)
 	if err != nil {
 		s.handleUndecodable(key, kind)
 		return nil, true, err
 	}
-	obj.Meta().ResourceVersion = kv.Revision
 	return obj, true, nil
 }
 
@@ -539,17 +744,45 @@ func (s *Server) dispatch(ev WatchEvent) {
 	// watchers share the cache instance itself. Watchers that need to mutate
 	// go through spec.CloneForWrite; at campaign scale the per-event deep
 	// copy this replaces was the single largest allocation source.
-	for _, w := range s.watchers {
-		if w.cancelled || (w.kind != "" && w.kind != ev.Kind) {
+	//
+	// Deliveries are batched per watcher: the event is appended to the
+	// watcher's queue, and one flush per watcher per virtual tick drains it.
+	// A burst of same-tick events (a reconcile loop's writes landing after
+	// the store's fixed watch latency, a restart re-list) schedules ~13 loop
+	// events total instead of ~13 per object.
+	// No watchers yet (e.g. a restart re-list before any component
+	// watches): pd.n would be zero and the fanout would deliver to nobody,
+	// so skip the queue and loop-event traffic outright.
+	if len(s.watchers) == 0 {
+		return
+	}
+	s.pending = append(s.pending, pendingDispatch{ev: ev, n: len(s.watchers)})
+	s.loop.After(0, s.fanoutFn)
+}
+
+// fanout delivers the front pending event to every watcher that was
+// registered at dispatch time and matches its kind, in registration order —
+// one loop event per watch event instead of one per (event, watcher) pair.
+func (s *Server) fanout() {
+	pd := s.pending[s.pendingHead]
+	s.pending[s.pendingHead] = pendingDispatch{} // release the object ref
+	s.pendingHead++
+	if s.pendingHead == len(s.pending) {
+		s.pending = s.pending[:0]
+		s.pendingHead = 0
+	}
+	s.fanningOut++
+	for _, w := range s.watchers[:pd.n] {
+		if w.cancelled || (w.kind != "" && w.kind != pd.ev.Kind) {
 			continue
 		}
-		w := w
-		s.loop.After(0, func() {
-			if !w.cancelled {
-				w.fn(ev)
-			}
-		})
+		w.fn(pd.ev)
 	}
+	s.fanningOut--
+	// Sweep only after delivering: pd.n indexes the pre-sweep list, so the
+	// list must not be compacted while any fanout is iterating it (a watcher
+	// callback may cancel watches mid-delivery).
+	s.sweepWatchers()
 }
 
 // --- reads -------------------------------------------------------------------
@@ -571,27 +804,32 @@ func (s *Server) get(kind spec.Kind, namespace, name string) (spec.Object, error
 }
 
 // list returns sealed references in key order, under the same contract as
-// get. The former per-item clone (one deep copy per cached object per list,
-// on every controller scan and collector scrape) is gone.
+// get. The per-kind index makes this a binary search plus one contiguous
+// copy: no map iteration, no per-call sort, no per-item clone.
 func (s *Server) list(kind spec.Kind, namespace string) []spec.Object {
-	prefix := "/registry/" + string(kind) + "/"
-	if namespace != "" {
-		prefix += namespace + "/"
+	b := s.kindIndex[kind]
+	if b == nil || len(b.keys) == 0 {
+		return nil
 	}
-	var keys []string
-	for key := range s.cache {
-		if strings.HasPrefix(key, prefix) {
-			keys = append(keys, key)
+	i, j := 0, len(b.keys)
+	if namespace != "" {
+		prefix := "/registry/" + string(kind) + "/" + namespace + "/"
+		i = sort.SearchStrings(b.keys, prefix)
+		j = i
+		for j < len(b.keys) && strings.HasPrefix(b.keys[j], prefix) {
+			j++
 		}
 	}
-	sort.Strings(keys)
-	out := make([]spec.Object, 0, len(keys))
-	for _, key := range keys {
-		if s.accessHook != nil {
+	if i == j {
+		return nil
+	}
+	if s.accessHook != nil {
+		for _, key := range b.keys[i:j] {
 			s.accessHook(key)
 		}
-		out = append(out, s.cache[key])
 	}
+	out := make([]spec.Object, j-i)
+	copy(out, b.objs[i:j])
 	return out
 }
 
@@ -599,14 +837,33 @@ func (s *Server) watch(kind spec.Kind, fn func(WatchEvent)) (cancel func()) {
 	w := &watcher{kind: kind, fn: fn}
 	s.watchers = append(s.watchers, w)
 	return func() {
+		if w.cancelled {
+			return
+		}
 		w.cancelled = true
-		for i, cur := range s.watchers {
-			if cur == w {
-				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
-				break
-			}
+		s.cancelledWatchers++
+		s.sweepWatchers()
+	}
+}
+
+// sweepWatchers splices cancelled watchers out of the registration list —
+// but only while no dispatches are pending, because pending deliveries index
+// the list by its dispatch-time length.
+func (s *Server) sweepWatchers() {
+	if s.cancelledWatchers == 0 || len(s.pending) != 0 || s.fanningOut != 0 {
+		return
+	}
+	live := s.watchers[:0]
+	for _, w := range s.watchers {
+		if !w.cancelled {
+			live = append(live, w)
 		}
 	}
+	for i := len(live); i < len(s.watchers); i++ {
+		s.watchers[i] = nil
+	}
+	s.watchers = live
+	s.cancelledWatchers = 0
 }
 
 func mergeStatus(dst, src spec.Object) error {

@@ -1,5 +1,7 @@
 package apiserver
 
+import "github.com/mutiny-sim/mutiny/internal/spec"
+
 // This file implements server snapshot/restore for the bootstrapped-cluster
 // fork path. The server's durable state outside the store is tiny: the
 // admission counters (UIDs and service cluster IPs must keep advancing in a
@@ -13,6 +15,14 @@ type Snapshot struct {
 	UIDCounter int64
 	IPCounter  int64
 	Audit      AuditSnapshot
+	// Decoded carries the revision-tagged decoded-object cache. Its entries
+	// are sealed (immutable) objects whose ResourceVersion equals the mod
+	// revision of the store bytes they decode to, so sharing them across
+	// every fork is exactly as safe as sharing the store's byte arrays —
+	// and it lets a fork's watch-cache rebuild skip nearly every
+	// codec.Unmarshal. The map itself is copied per restore; the objects
+	// are shared.
+	Decoded map[string]spec.Object
 }
 
 // AuditSnapshot is a deep copy of the audit trail's counters and entries.
@@ -30,10 +40,15 @@ type AuditSnapshot struct {
 // Snapshot captures the server's fork-relevant state. The result is
 // immutable data, safe to restore into many forks concurrently.
 func (s *Server) Snapshot() Snapshot {
+	decoded := make(map[string]spec.Object, len(s.decoded))
+	for k, v := range s.decoded {
+		decoded[k] = v
+	}
 	return Snapshot{
 		UIDCounter: s.uidCounter,
 		IPCounter:  s.ipCounter,
 		Audit:      s.audit.snapshot(),
+		Decoded:    decoded,
 	}
 }
 
@@ -47,6 +62,10 @@ func (s *Server) RestoreSnapshot(snap Snapshot) {
 	s.uidCounter = snap.UIDCounter
 	s.ipCounter = snap.IPCounter
 	s.audit.restore(snap.Audit)
+	s.decoded = make(map[string]spec.Object, len(snap.Decoded))
+	for k, v := range snap.Decoded {
+		s.decoded[k] = v
+	}
 	s.rebuildCache(false)
 }
 

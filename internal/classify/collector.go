@@ -112,9 +112,7 @@ func (c *Collector) sample() {
 // the client's data, and returns the Observation.
 func (c *Collector) Finish(client *workload.Client) *Observation {
 	c.sample()
-	if c.ticker != nil {
-		c.ticker.Stop()
-	}
+	c.ticker.Stop()
 	for _, cancel := range c.cancels {
 		cancel()
 	}

@@ -18,7 +18,7 @@ import (
 // example).
 type garbageCollector struct {
 	m      *Manager
-	ticker *sim.Timer
+	ticker sim.Timer
 	// firstMissing records when a pod's node was first seen missing.
 	firstMissing map[string]time.Duration
 }
@@ -33,9 +33,7 @@ func (c *garbageCollector) start() {
 }
 
 func (c *garbageCollector) stop() {
-	if c.ticker != nil {
-		c.ticker.Stop()
-	}
+	c.ticker.Stop()
 }
 
 func (c *garbageCollector) enqueueFor(apiserver.WatchEvent) {}

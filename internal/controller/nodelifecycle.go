@@ -17,7 +17,7 @@ import (
 // path than on every node at once.
 type nodeLifecycleController struct {
 	m      *Manager
-	ticker *sim.Timer
+	ticker sim.Timer
 	// taintedSince records when a NoExecute taint was first observed per
 	// node, to honor the eviction wait.
 	taintedSince map[string]time.Duration
@@ -33,9 +33,7 @@ func (c *nodeLifecycleController) start() {
 }
 
 func (c *nodeLifecycleController) stop() {
-	if c.ticker != nil {
-		c.ticker.Stop()
-	}
+	c.ticker.Stop()
 }
 
 func (c *nodeLifecycleController) enqueueFor(ev apiserver.WatchEvent) {

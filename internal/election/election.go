@@ -62,7 +62,7 @@ type Elector struct {
 	client  *apiserver.Client
 	cfg     Config
 	leading bool
-	ticker  *sim.Timer
+	ticker  sim.Timer
 	stopped bool
 }
 
@@ -82,9 +82,7 @@ func (e *Elector) Start() {
 // (the lease simply expires for everyone else).
 func (e *Elector) Stop() {
 	e.stopped = true
-	if e.ticker != nil {
-		e.ticker.Stop()
-	}
+	e.ticker.Stop()
 	if e.leading {
 		e.leading = false
 		e.cfg.OnStoppedLeading()

@@ -85,7 +85,7 @@ type probationWatch struct {
 	change   Change
 	snapshot spec.Object // the object before the change
 	baseline Health
-	timer    *sim.Timer
+	timer    sim.Timer
 	checks   int
 }
 

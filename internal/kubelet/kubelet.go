@@ -68,8 +68,8 @@ type Kubelet struct {
 	podOrder []*podRuntime
 	pulled   map[string]bool // images already present on this node
 	ipSeq   int64
-	hbTimer *sim.Timer
-	stTimer *sim.Timer
+	hbTimer sim.Timer
+	stTimer sim.Timer
 	cancelW func()
 	stopped bool
 	// Down simulates a node crash: no heartbeats, no pod management.
@@ -94,7 +94,7 @@ type podRuntime struct {
 	ip           string
 	restartCount int64
 	backoff      time.Duration
-	timer        *sim.Timer
+	timer        sim.Timer
 	startedAt    time.Duration
 }
 
@@ -123,19 +123,13 @@ func (k *Kubelet) Start() {
 // Stop halts the kubelet (normal shutdown; pods are left as-is).
 func (k *Kubelet) Stop() {
 	k.stopped = true
-	if k.hbTimer != nil {
-		k.hbTimer.Stop()
-	}
-	if k.stTimer != nil {
-		k.stTimer.Stop()
-	}
+	k.hbTimer.Stop()
+	k.stTimer.Stop()
 	if k.cancelW != nil {
 		k.cancelW()
 	}
 	for _, rt := range k.pods {
-		if rt.timer != nil {
-			rt.timer.Stop()
-		}
+		rt.timer.Stop()
 	}
 }
 
@@ -225,9 +219,7 @@ func (k *Kubelet) onPodEvent(ev apiserver.WatchEvent) {
 	switch ev.Type {
 	case apiserver.Deleted:
 		if rt, ok := k.pods[uid]; ok {
-			if rt.timer != nil {
-				rt.timer.Stop()
-			}
+			rt.timer.Stop()
 			k.untrackPod(uid)
 		}
 	case apiserver.Added, apiserver.Modified:
@@ -235,9 +227,7 @@ func (k *Kubelet) onPodEvent(ev apiserver.WatchEvent) {
 			// Pod moved away (corrupted nodeName): the local runtime keeps
 			// no claim on it.
 			if rt, ok := k.pods[uid]; ok {
-				if rt.timer != nil {
-					rt.timer.Stop()
-				}
+				rt.timer.Stop()
 				k.untrackPod(uid)
 			}
 			return
@@ -308,9 +298,7 @@ func (k *Kubelet) evictForCritical(pod *spec.Pod, running []*podRuntime, needCPU
 	}
 	for _, rt := range chosen {
 		_ = k.client.Delete(spec.KindPod, rt.pod.Metadata.Namespace, rt.pod.Metadata.Name)
-		if rt.timer != nil {
-			rt.timer.Stop()
-		}
+		rt.timer.Stop()
 		k.untrackPod(rt.pod.Metadata.UID)
 	}
 	return true

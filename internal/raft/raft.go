@@ -112,8 +112,8 @@ type node struct {
 	nextIndex  []int64
 	matchIndex []int64
 
-	electionTimer  *sim.Timer
-	heartbeatTimer *sim.Timer
+	electionTimer  sim.Timer
+	heartbeatTimer sim.Timer
 	stopped        bool
 }
 
@@ -239,21 +239,15 @@ func (c *Cluster) broadcast(from int, m message) {
 // --- node behaviour -----------------------------------------------------------
 
 func (n *node) resetElectionTimer() {
-	if n.electionTimer != nil {
-		n.electionTimer.Stop()
-	}
+	n.electionTimer.Stop()
 	span := int64(electionTimeoutMax - electionTimeoutMin)
 	d := electionTimeoutMin + time.Duration(n.c.loop.Rand().Int63n(span))
 	n.electionTimer = n.c.loop.After(d, n.startElection)
 }
 
 func (n *node) stopTimers() {
-	if n.electionTimer != nil {
-		n.electionTimer.Stop()
-	}
-	if n.heartbeatTimer != nil {
-		n.heartbeatTimer.Stop()
-	}
+	n.electionTimer.Stop()
+	n.heartbeatTimer.Stop()
 }
 
 func (n *node) lastLogIndex() int64 {
@@ -302,9 +296,7 @@ func (n *node) maybeWinElection() {
 	for i := range n.nextIndex {
 		n.nextIndex[i] = n.lastLogIndex() + 1
 	}
-	if n.heartbeatTimer != nil {
-		n.heartbeatTimer.Stop()
-	}
+	n.heartbeatTimer.Stop()
 	n.heartbeatTimer = n.c.loop.Every(heartbeatInterval, n.sendHeartbeats)
 	n.sendHeartbeats()
 }
@@ -372,7 +364,7 @@ func (n *node) receive(m message) {
 }
 
 func (n *node) stepDown() {
-	if n.state == Leader && n.heartbeatTimer != nil {
+	if n.state == Leader {
 		n.heartbeatTimer.Stop()
 	}
 	n.state = Follower

@@ -55,7 +55,7 @@ type Scheduler struct {
 	// lastPreempt backs off preemption attempts per pod (the real
 	// scheduler's preemption is similarly rate-limited).
 	lastPreempt map[string]time.Duration
-	ticker      *sim.Timer
+	ticker      sim.Timer
 	cancelW     func()
 	restarts    int
 	epoch       int
@@ -140,9 +140,7 @@ func (s *Scheduler) halt() {
 		return
 	}
 	s.running = false
-	if s.ticker != nil {
-		s.ticker.Stop()
-	}
+	s.ticker.Stop()
 	if s.cancelW != nil {
 		s.cancelW()
 	}

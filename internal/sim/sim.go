@@ -7,6 +7,12 @@
 // executes in well under a millisecond of wall time, and two runs with the
 // same seed produce bit-identical event orders, which is what makes a
 // ~9,000-experiment injection campaign tractable and reproducible.
+//
+// The scheduler is allocation-frugal: event structs are recycled on a
+// per-loop free list (a campaign schedules hundreds of thousands of events
+// per experiment), periodic timers rearm their own event instead of
+// scheduling a fresh closure every tick, and cancelled events are compacted
+// out of the heap lazily once they outnumber the live ones.
 package sim
 
 import (
@@ -33,45 +39,84 @@ type Loop struct {
 
 	executed int64
 	budget   int64 // 0 = unlimited
+
+	// free recycles event structs: an event is returned here after it fires
+	// (or is compacted away as a tombstone) and reused by the next At call.
+	// Each recycle bumps the event's generation, so stale Timer handles can
+	// never cancel an unrelated reuse of the same struct.
+	free []*event
+	// cancelled counts tombstones currently sitting in the heap. Once they
+	// outnumber the live events, compact sweeps them out in one pass instead
+	// of letting each wait for its deadline to pop it.
+	cancelled int
 }
 
-// Timer is a handle to a scheduled callback. Stop cancels it.
+// Timer is a handle to a scheduled callback. Stop cancels it. Timer is a
+// small value (copyable, comparable to its zero value by Pending); the zero
+// Timer is valid and behaves like an already-fired one.
 type Timer struct {
-	ev       *event
-	periodic *bool // set for Every timers; true once stopped
+	ev  *event
+	gen uint32
 }
 
-// Stop cancels the timer. It is safe to call on an already-fired or
-// already-stopped timer, and reports whether the call prevented the callback
-// from firing again.
-func (t *Timer) Stop() bool {
-	if t == nil {
-		return false
-	}
-	if t.periodic != nil {
-		if *t.periodic {
-			return false
-		}
-		*t.periodic = true
-		if t.ev != nil {
-			t.ev.cancelled = true
-		}
-		return true
-	}
-	if t.ev == nil || t.ev.cancelled || t.ev.fired {
-		return false
-	}
-	t.ev.cancelled = true
-	return true
-}
-
+// event is one heap entry. Events are pooled: gen distinguishes successive
+// uses of the same struct, period > 0 marks a periodic (Every) event that
+// rearms itself after each firing, and index is the heap position (-1 while
+// popped or free).
 type event struct {
+	loop      *Loop
 	at        time.Duration
 	seq       uint64
 	fn        func()
+	period    time.Duration
+	gen       uint32
 	cancelled bool
 	fired     bool
 	index     int
+}
+
+// valid reports whether t still refers to the scheduling it was created for
+// (the underlying struct may have been recycled for a newer event).
+func (t Timer) valid() bool {
+	return t.ev != nil && t.ev.gen == t.gen
+}
+
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer (and on the zero Timer), and reports whether the
+// call prevented the callback from firing again. Stopping a periodic timer
+// from inside its own callback prevents the rearm.
+func (t Timer) Stop() bool {
+	if !t.valid() || t.ev.cancelled {
+		return false
+	}
+	ev := t.ev
+	if ev.period == 0 && ev.fired {
+		return false
+	}
+	ev.cancelled = true
+	if ev.index >= 0 {
+		// Tombstone in the heap: count it and compact when the dead outweigh
+		// the living (a stopped Every timer used to linger until its next
+		// deadline popped it).
+		l := ev.loop
+		l.cancelled++
+		if l.cancelled*2 >= len(l.events) {
+			l.compact()
+		}
+	}
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire (again, for
+// periodic timers). The zero Timer is not pending.
+func (t Timer) Pending() bool {
+	if !t.valid() || t.ev.cancelled {
+		return false
+	}
+	if t.ev.period > 0 {
+		return true
+	}
+	return !t.ev.fired
 }
 
 // NewLoop returns a loop whose random source is seeded with seed.
@@ -117,8 +162,38 @@ func (l *Loop) Resume(now time.Duration, executed int64) {
 // BudgetExhausted reports whether the event budget was consumed.
 func (l *Loop) BudgetExhausted() bool { return l.budget > 0 && l.executed >= l.budget }
 
+// alloc takes an event off the free list (or news one) and stamps it with
+// the next sequence number.
+func (l *Loop) alloc(at time.Duration, fn func()) *event {
+	var ev *event
+	if n := len(l.free); n > 0 {
+		ev = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	} else {
+		ev = &event{loop: l}
+	}
+	ev.at = at
+	ev.seq = l.seq
+	ev.fn = fn
+	l.seq++
+	return ev
+}
+
+// recycle returns a popped (or compacted) event to the free list. The
+// generation bump invalidates every Timer handle still pointing at it.
+func (l *Loop) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.period = 0
+	ev.cancelled = false
+	ev.fired = false
+	ev.index = -1
+	l.free = append(l.free, ev)
+}
+
 // After schedules fn to run d from now. Negative d is treated as zero.
-func (l *Loop) After(d time.Duration, fn func()) *Timer {
+func (l *Loop) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -126,35 +201,26 @@ func (l *Loop) After(d time.Duration, fn func()) *Timer {
 }
 
 // At schedules fn at the absolute virtual time t (clamped to now).
-func (l *Loop) At(t time.Duration, fn func()) *Timer {
+func (l *Loop) At(t time.Duration, fn func()) Timer {
 	if t < l.now {
 		t = l.now
 	}
-	ev := &event{at: t, seq: l.seq, fn: fn}
-	l.seq++
+	ev := l.alloc(t, fn)
 	heap.Push(&l.events, ev)
-	return &Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // Every schedules fn to run every interval, starting one interval from now,
 // until the returned Timer is stopped. The interval must be positive.
-func (l *Loop) Every(interval time.Duration, fn func()) *Timer {
+// Periodic events rearm themselves after each firing — no per-tick closure
+// or event allocation — drawing a fresh sequence number after the callback
+// returns, exactly as if the callback had rescheduled itself.
+func (l *Loop) Every(interval time.Duration, fn func()) Timer {
 	if interval <= 0 {
 		interval = time.Nanosecond
 	}
-	stopped := false
-	t := &Timer{periodic: &stopped}
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped {
-			t.ev = l.After(interval, tick).ev
-		}
-	}
-	t.ev = l.After(interval, tick).ev
+	t := l.After(interval, fn)
+	t.ev.period = interval
 	return t
 }
 
@@ -167,12 +233,25 @@ func (l *Loop) Step() bool {
 	for l.events.Len() > 0 {
 		ev := heap.Pop(&l.events).(*event)
 		if ev.cancelled {
+			l.cancelled--
+			l.recycle(ev)
 			continue
 		}
 		l.now = ev.at
 		ev.fired = true
 		l.executed++
 		ev.fn()
+		if ev.period > 0 && !ev.cancelled {
+			// Rearm in place: same struct, same generation (the Timer handle
+			// stays live), next interval, fresh sequence number.
+			ev.at = l.now + ev.period
+			ev.seq = l.seq
+			l.seq++
+			ev.fired = false
+			heap.Push(&l.events, ev)
+		} else {
+			l.recycle(ev)
+		}
 		return true
 	}
 	return false
@@ -187,6 +266,8 @@ func (l *Loop) RunUntil(deadline time.Duration) {
 		ev := l.events[0]
 		if ev.cancelled {
 			heap.Pop(&l.events)
+			l.cancelled--
+			l.recycle(ev)
 			continue
 		}
 		if ev.at > deadline {
@@ -210,14 +291,26 @@ func (l *Loop) Run() {
 func (l *Loop) Stop() { l.stopped = true }
 
 // Pending reports the number of scheduled, uncancelled events.
-func (l *Loop) Pending() int {
-	n := 0
+func (l *Loop) Pending() int { return len(l.events) - l.cancelled }
+
+// compact sweeps cancelled events out of the heap in one pass and restores
+// the heap invariant. Ordering is untouched: heap order is fully determined
+// by (at, seq), so re-heapifying the survivors yields the same pop order.
+func (l *Loop) compact() {
+	live := l.events[:0]
 	for _, ev := range l.events {
-		if !ev.cancelled {
-			n++
+		if ev.cancelled {
+			l.recycle(ev)
+		} else {
+			live = append(live, ev)
 		}
 	}
-	return n
+	for i := len(live); i < len(l.events); i++ {
+		l.events[i] = nil
+	}
+	l.events = live
+	l.cancelled = 0
+	heap.Init(&l.events)
 }
 
 type eventHeap []*event
@@ -248,6 +341,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1
 	*h = old[:n-1]
 	return ev
 }

@@ -93,7 +93,7 @@ func TestRunUntilAdvancesClock(t *testing.T) {
 func TestEvery(t *testing.T) {
 	l := NewLoop(1)
 	var n int
-	var tick *Timer
+	var tick Timer
 	tick = l.Every(time.Second, func() {
 		n++
 		if n == 5 {
@@ -202,5 +202,127 @@ func TestTimeEpoch(t *testing.T) {
 	want := Epoch.Add(90 * time.Second)
 	if !l.Time().Equal(want) {
 		t.Fatalf("Time() = %v, want %v", l.Time(), want)
+	}
+}
+
+// Regression: a stopped Every timer used to leave its cancelled event in the
+// heap until the deadline popped it. Now tombstones are compacted as soon as
+// they outnumber live events, so stopping periodic timers shrinks the heap
+// without the loop ever running.
+func TestStoppedPeriodicTimersAreCompacted(t *testing.T) {
+	l := NewLoop(1)
+	l.After(time.Hour, func() {}) // one live long-deadline event
+	var timers []Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, l.Every(time.Minute, func() {}))
+	}
+	for _, tm := range timers {
+		if !tm.Stop() {
+			t.Fatal("Stop() = false on a running periodic timer")
+		}
+	}
+	if got := len(l.events); got != 1 {
+		t.Fatalf("heap holds %d events after stopping all periodics, want 1 (tombstones not compacted)", got)
+	}
+	if got := l.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1", got)
+	}
+}
+
+// A periodic timer's event is rearmed in place: no allocation per tick once
+// the loop is warm.
+func TestEveryRearmDoesNotAllocate(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	l.Every(time.Second, func() { n++ })
+	l.RunUntil(time.Second) // warm: event struct allocated, first tick fired
+	allocs := testing.AllocsPerRun(100, func() {
+		l.RunUntil(l.Now() + time.Second)
+	})
+	if allocs > 0 {
+		t.Fatalf("periodic rearm allocates %.1f objects/tick, want 0", allocs)
+	}
+	if n < 100 {
+		t.Fatalf("ticked %d times, want >= 100", n)
+	}
+}
+
+// Recycled events must not be cancellable through stale Timer handles: a
+// handle from a fired one-shot keeps returning false even after its struct
+// is reused for a new event.
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	l := NewLoop(1)
+	first := l.After(time.Second, func() {})
+	l.RunUntil(2 * time.Second) // fires and recycles the event struct
+	if first.Stop() {
+		t.Fatal("Stop() = true on a fired timer")
+	}
+	fired := false
+	l.After(time.Second, func() { fired = true }) // reuses the recycled struct
+	if first.Stop() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if first.Pending() {
+		t.Fatal("stale handle reports Pending")
+	}
+	l.RunUntil(l.Now() + 2*time.Second)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// Stopping a periodic timer from inside its own callback prevents the rearm.
+func TestEveryStopFromOwnCallback(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	var tick Timer
+	tick = l.Every(time.Second, func() {
+		n++
+		if !tick.Stop() {
+			t.Error("Stop() = false from inside the periodic callback")
+		}
+	})
+	l.RunUntil(time.Minute)
+	if n != 1 {
+		t.Fatalf("periodic fired %d times after self-stop, want 1", n)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("Pending() = %d after self-stop, want 0", l.Pending())
+	}
+}
+
+// Determinism must survive pooling: interleaved one-shot and periodic
+// scheduling with stops produces the identical trace run-to-run.
+func TestDeterminismWithPoolingAndPeriodics(t *testing.T) {
+	run := func() []int64 {
+		l := NewLoop(99)
+		var trace []int64
+		var tickers []Timer
+		for i := 0; i < 20; i++ {
+			i := i
+			tickers = append(tickers, l.Every(time.Duration(50+i)*time.Millisecond, func() {
+				trace = append(trace, int64(i)<<32|int64(l.Now()/time.Millisecond))
+			}))
+		}
+		for i := 0; i < 200; i++ {
+			d := time.Duration(l.Rand().Intn(2000)) * time.Millisecond
+			l.After(d, func() { trace = append(trace, int64(l.Now())) })
+		}
+		l.After(time.Second, func() {
+			for _, tm := range tickers[:10] {
+				tm.Stop()
+			}
+		})
+		l.RunUntil(3 * time.Second)
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
 	}
 }

@@ -25,7 +25,7 @@ type Replicated struct {
 	replicas []*Store
 	cluster  *raft.Cluster
 	pending  [][]byte
-	retry    *sim.Timer
+	retry    sim.Timer
 }
 
 type repOp struct {
@@ -100,6 +100,14 @@ func (r *Replicated) List(prefix string) []KV { return r.primary.List(prefix) }
 // Watch observes the primary replica.
 func (r *Replicated) Watch(prefix string, fn func(Event)) (cancel func()) {
 	return r.primary.Watch(prefix, fn)
+}
+
+// OnRewrite observes silent byte rewrites on the primary replica — the one
+// the API server reads, and therefore the one whose decoded forms must be
+// invalidated. Follower-replica corruption stays invisible until a quorum
+// read, exactly as before.
+func (r *Replicated) OnRewrite(fn func(key string)) {
+	r.primary.OnRewrite(fn)
 }
 
 // Revision returns the primary replica's revision.
@@ -181,11 +189,8 @@ func (r *Replicated) flush() {
 		if _, err := r.cluster.Propose(r.pending[0]); err != nil {
 			// No raft leader yet (e.g. during initial election): retry
 			// shortly, like an etcd client would.
-			if r.retry == nil {
-				r.retry = r.loop.After(50*time.Millisecond, func() {
-					r.retry = nil
-					r.flush()
-				})
+			if !r.retry.Pending() {
+				r.retry = r.loop.After(50*time.Millisecond, r.flush)
 			}
 			return
 		}

@@ -121,6 +121,12 @@ type Store struct {
 	// deterministically (map iteration would randomize the order of
 	// same-tick events between runs).
 	watchers []*watcher
+	// rewriteHooks observe silent byte rewrites — mutations of stored values
+	// that do NOT bump the revision or notify watchers (CorruptAtRest). The
+	// API server's revision-tagged decoded-object cache registers here: a
+	// revision tag alone cannot see a same-revision byte change, so every
+	// such rewrite must explicitly invalidate the decoded form.
+	rewriteHooks []func(key string)
 }
 
 type item struct {
@@ -275,7 +281,22 @@ func (s *Store) CorruptAtRest(key string, mutate func([]byte) []byte) bool {
 	s.size -= int64(len(it.value))
 	it.value = mutate(append([]byte(nil), it.value...))
 	s.size += int64(len(it.value))
+	// The bytes changed under an unchanged revision: anyone holding a
+	// revision-tagged decoded form of this key must drop it, or the
+	// corruption would stay invisible even past a cache rebuild.
+	for _, fn := range s.rewriteHooks {
+		fn(key)
+	}
 	return true
+}
+
+// OnRewrite registers fn to be called with the key of every silent byte
+// rewrite (a value mutation that keeps its revision, i.e. CorruptAtRest).
+// Ordinary writes are observable through Watch and revision tags; this hook
+// exists solely so decoded-object caches keyed on revision stay honest in
+// the face of at-rest corruption.
+func (s *Store) OnRewrite(fn func(key string)) {
+	s.rewriteHooks = append(s.rewriteHooks, fn)
 }
 
 // Keys returns all keys in order (diagnostics).

@@ -37,7 +37,7 @@ type Client struct {
 	service string
 
 	Records []RequestRecord
-	ticker  *sim.Timer
+	ticker  sim.Timer
 	sent    int
 }
 
@@ -60,9 +60,7 @@ func (c *Client) Start() {
 
 // Stop cancels the client early.
 func (c *Client) Stop() {
-	if c.ticker != nil {
-		c.ticker.Stop()
-	}
+	c.ticker.Stop()
 }
 
 // Done reports whether the full request series was issued.

@@ -43,7 +43,7 @@
 // # Performance model
 //
 // Campaign wall-clock is dominated by per-experiment simulation cost, which
-// three mechanisms keep low:
+// four mechanisms keep low:
 //
 //   - Copy-on-write objects. API reads (APIClient.Get/List, watch events)
 //     return sealed, immutable references shared with the server's watch
@@ -53,6 +53,24 @@
 //     value bytes (stored arrays are immutable; snapshots and forks alias
 //     them), and the codec interns hot decoded strings (names, namespaces,
 //     label keys/values) process-wide.
+//
+//   - A lean event path. The scheduler pools event structs and rearms
+//     periodic timers in place (no allocation per tick), and stopped timers
+//     are compacted out of the heap instead of lingering as tombstones.
+//     Watch fan-out is batched: each committed change schedules one loop
+//     event that delivers the sealed object to all ~13 watchers in
+//     registration order — identical delivery order to per-watcher
+//     scheduling at a thirteenth of the heap traffic. List reads are served
+//     from per-kind key-sorted indexes instead of scanning the cache map.
+//
+//   - A revision-tagged decoded-object cache. The API server keeps the
+//     sealed decoded form of each store key tagged with its mod revision,
+//     primed directly by untampered writes. Conflict checks, watch ingest,
+//     and cache rebuilds (restarts, forks — snapshots carry the cache) skip
+//     the backend-byte decode when the tag matches. Byte-level fault
+//     semantics survive: tampered store writes are never cached, and
+//     at-rest corruption invalidates the entry through the store's rewrite
+//     hook, so corrupted bytes are always decoded for real.
 //
 //   - Shared bootstrap snapshots (CampaignConfig.ShareBootstrap, CLI
 //     -share-bootstrap, bench MUTINY_SHARE=1). Each experiment forks a
@@ -65,9 +83,10 @@
 //     MUTINY_PARALLEL). Experiments are isolated simulations merged in
 //     generated order; outputs are bit-identical for every worker count.
 //
-// `make bench` measures all three (ms/exp, allocs/exp, replay-vs-share
-// ratio, parallel speedup) and emits BENCH_PR3.json; CI uploads it on every
-// push.
+// `make bench PR=N` measures all of it (ms/exp, allocs/exp, replay-vs-share
+// ratio, parallel speedup) and emits BENCH_PRN.json, committed per PR; CI
+// re-runs the gate on every push and warns — without failing — when ms/exp
+// regresses >10% against the previous PR's committed artifact.
 package mutiny
 
 import (

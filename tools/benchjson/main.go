@@ -1,12 +1,21 @@
 // Command benchjson turns `go test -bench` output into a machine-readable
-// JSON artifact. `make bench` pipes the perf-gate benchmarks through it to
-// produce BENCH_PR3.json, which CI uploads on every push so the benchmark
-// trajectory of the hot experiment path is recorded per commit (ms/exp,
-// allocs/exp, the replay-vs-share ratio, and the parallel-campaign speedup).
+// JSON artifact. `make bench PR=N` pipes the perf-gate benchmarks through it
+// to produce BENCH_PRN.json, which is committed per PR and uploaded by CI on
+// every push, so the benchmark trajectory of the hot experiment path is
+// recorded per commit (ms/exp, allocs/exp, the replay-vs-share ratio, and
+// the parallel-campaign workers-vs-sequential speedup).
 //
 // Usage:
 //
-//	go test -run xxx -bench ... -benchmem . | go run ./tools/benchjson -out BENCH_PR3.json
+//	go test -run xxx -bench ... -benchmem . | go run ./tools/benchjson -out BENCH_PR4.json [-prev BENCH_PR3.json]
+//
+// With -prev, the derived per-experiment latencies are compared against the
+// previous PR's committed artifact: a >10% ms/exp regression (tunable with
+// -warn-threshold) emits a non-blocking warning — on stderr and as a GitHub
+// Actions "::warning::" annotation — and is recorded in the artifact's
+// "regressions" field. The exit status stays zero: machine variance between
+// runners makes a hard gate too noisy, but the warning makes the drift
+// visible on every push.
 //
 // Unknown lines are ignored, so the full interleaved test output (campaign
 // progress, table renders) can be piped in unfiltered.
@@ -36,10 +45,18 @@ type Bench struct {
 type Report struct {
 	Benchmarks map[string]Bench   `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived"`
+	// Baseline echoes the previous artifact's derived metrics (when -prev
+	// is given) and Regressions lists human-readable >threshold ms/exp
+	// drifts against it. Both are informational — the perf gate warns, it
+	// does not block.
+	Baseline    map[string]float64 `json:"baseline,omitempty"`
+	Regressions []string           `json:"regressions,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	prev := flag.String("prev", "", "previous PR's committed artifact to compare against")
+	warnThreshold := flag.Float64("warn-threshold", 0.10, "fractional ms/exp regression that triggers a warning")
 	flag.Parse()
 
 	report := Report{Benchmarks: map[string]Bench{}, Derived: map[string]float64{}}
@@ -82,6 +99,12 @@ func main() {
 		os.Exit(1)
 	}
 	derive(&report)
+	if *prev != "" {
+		// The ::warning annotation goes to stdout only when the JSON goes to
+		// a file — with -out unset, stdout IS the artifact and must stay
+		// pure JSON.
+		compareBaseline(&report, *prev, *warnThreshold, *out != "")
+	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -158,6 +181,41 @@ func parseResultFields(fields []string) (Bench, bool) {
 		}
 	}
 	return b, seen
+}
+
+// compareBaseline loads the previous artifact and warns — without failing —
+// when a headline per-experiment latency regressed by more than threshold.
+func compareBaseline(r *Report, path string, threshold float64, annotate bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// A missing baseline is normal on the first PR that adopts the
+		// comparison; note it and move on.
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s unreadable (%v); skipping comparison\n", path, err)
+		return
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v; skipping comparison\n", path, err)
+		return
+	}
+	r.Baseline = base.Derived
+	for _, metric := range []string{"experiment_ms_share", "experiment_ms_replay"} {
+		was, okWas := base.Derived[metric]
+		now, okNow := r.Derived[metric]
+		if !okWas || !okNow || was <= 0 {
+			continue
+		}
+		if now > was*(1+threshold) {
+			msg := fmt.Sprintf("%s regressed %.1f%% vs %s (%.2f -> %.2f ms/exp)",
+				metric, (now/was-1)*100, path, was, now)
+			r.Regressions = append(r.Regressions, msg)
+			fmt.Fprintln(os.Stderr, "benchjson: WARNING:", msg)
+			if annotate {
+				// GitHub Actions annotation; inert noise anywhere else.
+				fmt.Printf("::warning title=perf regression::%s\n", msg)
+			}
+		}
+	}
 }
 
 // derive computes the headline metrics the perf gate tracks across PRs.
