@@ -5,13 +5,13 @@
 
 GO ?= go
 
-.PHONY: check ci build vet test race race-all smoke bench bench-full bench-codec bench-campaign
+.PHONY: check ci build vet test race race-all smoke docs-lint bench bench-full bench-codec bench-campaign
 
-check: build vet test race smoke
+check: build vet test race smoke docs-lint
 
-# Full CI gate (also run by .github/workflows/ci.yml): build, vet, and the
-# whole test suite under the race detector.
-ci: build vet race-all
+# Full CI gate (also run by .github/workflows/ci.yml): build, vet, the whole
+# test suite under the race detector, and the docs lint.
+ci: build vet race-all docs-lint
 
 race-all:
 	$(GO) test -race ./...
@@ -37,6 +37,22 @@ race:
 smoke:
 	MUTINY_STRIDE=200 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime=1x .
 
+# Docs lint: every Go file gofmt-clean, and every local link in README.md /
+# ARCHITECTURE.md resolving to a file or directory that actually exists
+# (anchors and external URLs are skipped).
+docs-lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	@fail=0; \
+	for f in README.md ARCHITECTURE.md; do \
+		for link in $$(grep -oE '\]\([^)#]+\)?' $$f | sed -e 's/^](//' -e 's/)$$//' | grep -v '^http'); do \
+			if [ ! -e "$$link" ]; then echo "$$f: broken link: $$link"; fail=1; fi; \
+		done; \
+	done; \
+	[ $$fail -eq 0 ] && echo "docs-lint OK"
+
 # Perf gate: the hot-path benchmarks (experiment throughput replay vs share,
 # bootstrap-share ratio, parallel campaign workers-vs-sequential speedup)
 # parsed into BENCH_PR$(PR).json via tools/benchjson. The artifact is
@@ -50,7 +66,7 @@ smoke:
 # the target (piping straight into benchjson would report the parser's exit
 # status and let a broken benchmark slip through the gate); benchjson itself
 # also fails when it parses no benchmark lines.
-PR ?= 4
+PR ?= 5
 BENCH_JSON ?= BENCH_PR$(PR).json
 bench:
 	@set -e; out=$$(mktemp -d); \

@@ -22,6 +22,15 @@
 // Runner constructed in the process) bootstrap each workload exactly once;
 // forks share the snapshot's store bytes copy-on-write, so a fork costs
 // ~0.5 ms regardless of cluster size.
+//
+// Readiness tracking inside each experiment is watch-driven: the kbench
+// driver, the application client, the controllers, and the scheduler consume
+// informer-style views fed by the API server's watch fan-out (with a
+// low-frequency resync re-list as the safety net) rather than polling
+// re-lists, and the driver resumes on the exact event that completes an
+// operation. The watch stream is itself an injectable channel
+// (mutiny.ChannelWatch) alongside the apiserver→store and
+// component→apiserver channels the paper's campaign targets.
 package main
 
 import (

@@ -80,3 +80,13 @@ func (c *Client) ListSelected(kind spec.Kind, namespace string, sel spec.LabelSe
 func (c *Client) Watch(kind spec.Kind, fn func(WatchEvent)) (cancel func()) {
 	return c.srv.watch(kind, fn)
 }
+
+// NoteAccess records a read of the given store key with the server's access
+// hook, exactly as a successful Get of that key would. Components that serve
+// reads from a watch-maintained local view (see Reflector) call it so the
+// injection framework's activation accounting — "the injected resource
+// instance is requested after the injection" — keeps the same per-request
+// granularity it had when every read hit the server.
+func (c *Client) NoteAccess(key string) {
+	c.srv.noteAccess(key)
+}

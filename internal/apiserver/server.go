@@ -1,14 +1,22 @@
 // Package apiserver implements the API server: the single component that
 // talks to the data store, validates and admits requests from every other
 // component, maintains the watch cache, and fans out change notifications.
+// It also provides Reflector, the informer-style client-side view that the
+// controllers, the scheduler, and the workload driver consume instead of
+// polling re-lists.
 //
-// It hosts the two communication channels Mutiny injects into (§IV-A):
+// It hosts the three communication channels Mutiny injects into:
 //
-//   - the apiserver→store channel, where a tampered transaction lands in the
-//     store unvalidated (emulating faults that originate in the apiserver or
-//     propagate undetected), and
-//   - the component→apiserver channel, where tampered requests face the
-//     validation layer, used by the propagation experiments of §V-C4.
+//   - the apiserver→store channel (§IV-A), where a tampered transaction
+//     lands in the store unvalidated (emulating faults that originate in
+//     the apiserver or propagate undetected),
+//   - the component→apiserver channel (§IV-A), where tampered requests face
+//     the validation layer, used by the propagation experiments of §V-C4,
+//     and
+//   - the apiserver→component watch channel, where dropped or corrupted
+//     notifications starve or mislead the informer views without touching
+//     the agreed cluster state — the watch-staleness fault family the
+//     informer architecture implies.
 package apiserver
 
 import (
@@ -214,6 +222,17 @@ type Server struct {
 
 	storeWriteHook Hook
 	requestHook    Hook
+	// watchHook intercepts the apiserver→component watch channel: every
+	// committed change is offered to it once, before the batched fan-out
+	// delivers the event to the registered watchers. Drop loses the
+	// notification (the cache and store keep the change — only the
+	// subscribers go stale until their next resync re-list); a tampered
+	// payload is decoded into a private corrupted instance that only the
+	// watchers see. watchGate mirrors requestWireGate: while it reports
+	// false, the hook (and the per-event encode it requires) is skipped
+	// entirely, keeping the fan-out free for campaigns armed elsewhere.
+	watchHook Hook
+	watchGate func() bool
 	// requestWireGate, when set alongside a request hook, reports whether the
 	// hook currently needs the serialized request bytes. While it returns
 	// false the server elides the component→apiserver wire round-trip
@@ -281,12 +300,12 @@ type pendingDispatch struct {
 // New creates a Server over the given backend and starts its store watch.
 func New(loop *sim.Loop, backend store.Backend, opts *Options) *Server {
 	s := &Server{
-		loop:    loop,
-		backend: backend,
+		loop:      loop,
+		backend:   backend,
 		cache:     make(map[string]spec.Object),
 		kindIndex: make(map[spec.Kind]*kindBucket),
 		decoded:   make(map[string]spec.Object),
-		audit:   NewAudit(loop),
+		audit:     NewAudit(loop),
 	}
 	s.fanoutFn = s.fanout
 	if opts != nil {
@@ -363,11 +382,28 @@ func (s *Server) SetRequestHook(h Hook) { s.requestHook = h }
 // serialized message, preserving the legacy contract.
 func (s *Server) SetRequestWireGate(g func() bool) { s.requestWireGate = g }
 
+// SetWatchHook installs the apiserver→component watch-channel hook (see the
+// field docs): the third injectable channel, covering the notifications the
+// informer-style readiness pipeline depends on.
+func (s *Server) SetWatchHook(h Hook) { s.watchHook = h }
+
+// SetWatchGate installs the watch-channel interest gate. Without a gate, an
+// installed watch hook sees every event.
+func (s *Server) SetWatchGate(g func() bool) { s.watchGate = g }
+
 // SetAccessHook installs a callback invoked with the store key of every
 // object served by a read or watch dispatch; the injection framework uses it
 // to measure activation ("an injection is activated when the injected
 // resource instance is requested after the injection").
 func (s *Server) SetAccessHook(h func(key string)) { s.accessHook = h }
+
+// noteAccess feeds one view-served read into the access hook (see
+// Client.NoteAccess).
+func (s *Server) noteAccess(key string) {
+	if s.accessHook != nil {
+		s.accessHook(key)
+	}
+}
 
 // ClientFor returns a client bound to a component identity.
 func (s *Server) ClientFor(identity string) *Client {
@@ -408,7 +444,7 @@ func (s *Server) rebuildCache(dispatch bool) {
 		}
 		s.cacheSet(kv.Key, kv.Kind, obj)
 		if dispatch {
-			s.dispatch(WatchEvent{Type: Added, Kind: kv.Kind, Object: obj})
+			s.dispatch(kv.Key, WatchEvent{Type: Added, Kind: kv.Kind, Object: obj})
 		}
 	}
 }
@@ -679,7 +715,7 @@ func (s *Server) onStoreEvent(ev store.Event) {
 		if existed {
 			typ = Modified
 		}
-		s.dispatch(WatchEvent{Type: typ, Kind: ev.Kind, Object: obj})
+		s.dispatch(ev.Key, WatchEvent{Type: typ, Kind: ev.Kind, Object: obj})
 	case store.EventDelete:
 		delete(s.decoded, ev.Key)
 		delete(s.tainted, ev.Key)
@@ -688,7 +724,7 @@ func (s *Server) onStoreEvent(ev store.Event) {
 			return
 		}
 		s.cacheDelete(ev.Key, ev.Kind)
-		s.dispatch(WatchEvent{Type: Deleted, Kind: ev.Kind, Object: obj})
+		s.dispatch(ev.Key, WatchEvent{Type: Deleted, Kind: ev.Kind, Object: obj})
 	}
 }
 
@@ -736,9 +772,12 @@ func (s *Server) decode(kind spec.Kind, data []byte) (spec.Object, error) {
 	return obj, nil
 }
 
-func (s *Server) dispatch(ev WatchEvent) {
+// dispatch queues ev for batched fan-out. key is the store key of the event's
+// object — callers always have it at hand, which saves re-deriving (and
+// allocating) it here for the access hook.
+func (s *Server) dispatch(key string, ev WatchEvent) {
 	if s.accessHook != nil {
-		s.accessHook(spec.KeyOf(ev.Object))
+		s.accessHook(key)
 	}
 	// Zero copies per dispatch: the event object is sealed, so all ~13
 	// watchers share the cache instance itself. Watchers that need to mutate
@@ -763,6 +802,8 @@ func (s *Server) dispatch(ev WatchEvent) {
 // fanout delivers the front pending event to every watcher that was
 // registered at dispatch time and matches its kind, in registration order —
 // one loop event per watch event instead of one per (event, watcher) pair.
+// When a watch-channel injection is armed (the gate reports interest), the
+// event passes through the watch hook exactly once before delivery.
 func (s *Server) fanout() {
 	pd := s.pending[s.pendingHead]
 	s.pending[s.pendingHead] = pendingDispatch{} // release the object ref
@@ -771,18 +812,88 @@ func (s *Server) fanout() {
 		s.pending = s.pending[:0]
 		s.pendingHead = 0
 	}
-	s.fanningOut++
-	for _, w := range s.watchers[:pd.n] {
-		if w.cancelled || (w.kind != "" && w.kind != pd.ev.Kind) {
-			continue
+	ev, deliver := s.interceptWatch(pd.ev)
+	if deliver {
+		s.fanningOut++
+		for _, w := range s.watchers[:pd.n] {
+			if w.cancelled || (w.kind != "" && w.kind != ev.Kind) {
+				continue
+			}
+			w.fn(ev)
 		}
-		w.fn(pd.ev)
+		s.fanningOut--
 	}
-	s.fanningOut--
 	// Sweep only after delivering: pd.n indexes the pre-sweep list, so the
 	// list must not be compacted while any fanout is iterating it (a watcher
 	// callback may cancel watches mid-delivery).
 	s.sweepWatchers()
+}
+
+// interceptWatch offers ev to the watch-channel hook. It reports the event to
+// deliver (possibly carrying a tampered private instance) and whether to
+// deliver it at all. The store and the server's own cache are untouched
+// either way — this channel models the notifications, not the state.
+func (s *Server) interceptWatch(ev WatchEvent) (WatchEvent, bool) {
+	if s.watchHook == nil || (s.watchGate != nil && !s.watchGate()) {
+		return ev, true
+	}
+	meta := ev.Object.Meta()
+	msg := &Message{
+		Verb:      watchVerb(ev.Type),
+		Kind:      ev.Kind,
+		Namespace: meta.Namespace,
+		Name:      meta.Name,
+		Source:    "apiserver",
+	}
+	// Deletion notifications carry no payload worth tampering; field and
+	// byte faults need the serialized event object on the wire. Same pooled-
+	// buffer discipline as handle/persistWrite: the bytes live only until
+	// the in-function decode below, and a hook that swaps in its own slice
+	// leaves the pooled one free regardless.
+	if ev.Type != Deleted {
+		buf := codec.NewBuffer()
+		defer buf.Free()
+		data, err := codec.AppendMarshal(buf.B[:0], ev.Object)
+		if err == nil {
+			buf.B = data
+			msg.Data = data
+		}
+	}
+	if s.watchHook(msg) == Drop {
+		// The notification is lost in flight; subscribers stay stale until
+		// their next resync re-list reconciles them.
+		return ev, false
+	}
+	if !msg.Tampered {
+		return ev, true
+	}
+	recv := spec.New(ev.Kind)
+	if err := codec.Unmarshal(msg.Data, recv); err != nil {
+		// The tampered event no longer decodes on the client side: the
+		// notification is effectively lost, like a dropped message.
+		return ev, false
+	}
+	// Watchers see the corrupted instance under the committed revision; the
+	// server's cache, decode cache, and store keep the clean object, so the
+	// next list or resync observes the truth — watch-channel corruption is
+	// transient by architecture.
+	recv.Meta().ResourceVersion = meta.ResourceVersion
+	spec.Seal(recv)
+	ev.Object = recv
+	return ev, true
+}
+
+// watchVerb maps a watch event type onto the verb vocabulary hooks share
+// with the other two channels.
+func watchVerb(t WatchEventType) Verb {
+	switch t {
+	case Added:
+		return VerbCreate
+	case Deleted:
+		return VerbDelete
+	default:
+		return VerbUpdate
+	}
 }
 
 // --- reads -------------------------------------------------------------------

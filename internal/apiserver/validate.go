@@ -3,7 +3,6 @@ package apiserver
 import (
 	"fmt"
 	"net"
-	"regexp"
 	"strings"
 
 	"github.com/mutiny-sim/mutiny/internal/spec"
@@ -16,12 +15,60 @@ import (
 // template labels of the same resource instance (the condition that triggers
 // the infinite Pod spawn). Valid-but-wrong values pass, which is exactly the
 // weakness the propagation experiments measure.
+//
+// The three character-class matchers below are hand-rolled equivalents of
+// the regexes they replace (validation runs on every write, and the
+// backtracking matcher was measurable at campaign scale):
+//
+//	dns1123:  ^[a-z0-9]([-a-z0-9.]*[a-z0-9])?$
+//	label:    ^(([A-Za-z0-9][-A-Za-z0-9_./]*)?[A-Za-z0-9])?$
+//	image:    ^[a-z0-9]([-a-z0-9._/:]*[a-zA-Z0-9])?$
+//
+// TestValidationMatchersMatchRegexes pins the equivalence over the full
+// single-byte neighborhood the bit-flip campaign explores.
 
-var (
-	_dns1123Re = regexp.MustCompile(`^[a-z0-9]([-a-z0-9.]*[a-z0-9])?$`)
-	_labelRe   = regexp.MustCompile(`^(([A-Za-z0-9][-A-Za-z0-9_./]*)?[A-Za-z0-9])?$`)
-	_imageRe   = regexp.MustCompile(`^[a-z0-9]([-a-z0-9._/:]*[a-zA-Z0-9])?$`)
-)
+func lowerAlnum(c byte) bool { return c >= 'a' && c <= 'z' || c >= '0' && c <= '9' }
+
+func alnum(c byte) bool { return lowerAlnum(c) || c >= 'A' && c <= 'Z' }
+
+// matchClass reports whether s matches: first(s[0]) then inner* then
+// last(s[n-1]), with the single-character case requiring first AND last.
+func matchClass(s string, first, inner, last func(byte) bool) bool {
+	n := len(s)
+	if n == 0 {
+		return false
+	}
+	if !first(s[0]) || !last(s[n-1]) {
+		return false
+	}
+	for i := 1; i < n-1; i++ {
+		if !inner(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchDNS1123(s string) bool {
+	return matchClass(s, lowerAlnum, func(c byte) bool {
+		return lowerAlnum(c) || c == '-' || c == '.'
+	}, lowerAlnum)
+}
+
+func matchLabelValue(s string) bool {
+	if s == "" {
+		return true
+	}
+	return matchClass(s, alnum, func(c byte) bool {
+		return alnum(c) || c == '-' || c == '_' || c == '.' || c == '/'
+	}, alnum)
+}
+
+func matchImageRef(s string) bool {
+	return matchClass(s, lowerAlnum, func(c byte) bool {
+		return lowerAlnum(c) || c == '-' || c == '.' || c == '_' || c == '/' || c == ':'
+	}, alnum)
+}
 
 func (s *Server) validate(verb Verb, msg *Message, obj spec.Object, cur spec.Object) error {
 	m := obj.Meta()
@@ -46,7 +93,7 @@ func (s *Server) validate(verb Verb, msg *Message, obj spec.Object, cur spec.Obj
 		}
 	}
 	for k, v := range m.Labels {
-		if !_labelRe.MatchString(v) || k == "" {
+		if !matchLabelValue(v) || k == "" {
 			return fmt.Errorf("%w: invalid label %q=%q", ErrInvalid, k, v)
 		}
 	}
@@ -80,7 +127,7 @@ func validateName(name string) error {
 	if name == "" {
 		return fmt.Errorf("%w: empty name", ErrInvalid)
 	}
-	if len(name) > 253 || !_dns1123Re.MatchString(name) {
+	if len(name) > 253 || !matchDNS1123(name) {
 		return fmt.Errorf("%w: invalid DNS-1123 name %q", ErrInvalid, name)
 	}
 	return nil
@@ -99,7 +146,7 @@ func (s *Server) validatePod(p *spec.Pod, cur spec.Object) error {
 		if c.Name == "" {
 			return fmt.Errorf("%w: container %d has no name", ErrInvalid, i)
 		}
-		if !_imageRe.MatchString(c.Image) {
+		if !matchImageRef(c.Image) {
 			return fmt.Errorf("%w: invalid image reference %q", ErrInvalid, c.Image)
 		}
 		if err := validateResources(c); err != nil {
@@ -157,7 +204,7 @@ func validateWorkload(replicas int64, sel spec.LabelSelector, tpl spec.PodTempla
 	}
 	for i := range tpl.Spec.Containers {
 		c := &tpl.Spec.Containers[i]
-		if !_imageRe.MatchString(c.Image) {
+		if !matchImageRef(c.Image) {
 			return fmt.Errorf("%w: invalid image reference %q", ErrInvalid, c.Image)
 		}
 		if err := validateResources(c); err != nil {
@@ -253,5 +300,5 @@ func validateEndpoints(e *spec.Endpoints) error {
 // validNameChars reports whether every byte of s could appear in a DNS-1123
 // name (used by tests exploring the bit-flip space).
 func validNameChars(s string) bool {
-	return _dns1123Re.MatchString(strings.ToLower(s))
+	return matchDNS1123(strings.ToLower(s))
 }

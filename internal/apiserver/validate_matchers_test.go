@@ -1,0 +1,51 @@
+package apiserver
+
+import (
+	"regexp"
+	"testing"
+)
+
+// The hand-rolled character-class matchers replaced backtracking regexes on
+// the write hot path. This test pins exact observational equivalence over
+// the inputs the bit-flip campaign explores: well-formed identifiers, their
+// single-byte mutations, and assorted border cases.
+func TestValidationMatchersMatchRegexes(t *testing.T) {
+	dns1123Re := regexp.MustCompile(`^[a-z0-9]([-a-z0-9.]*[a-z0-9])?$`)
+	labelRe := regexp.MustCompile(`^(([A-Za-z0-9][-A-Za-z0-9_./]*)?[A-Za-z0-9])?$`)
+	imageRe := regexp.MustCompile(`^[a-z0-9]([-a-z0-9._/:]*[a-zA-Z0-9])?$`)
+
+	seeds := []string{
+		"", "a", "A", "-", ".", "/", ":", "_", "0",
+		"webapp-0", "webapp-0-5f6b7c8d", "kube-system", "default",
+		"registry.local/webapp:1.0", "node-role.kubernetes.io/control-plane",
+		"a-b.c", "a..b", "-a", "a-", ".a", "a.", "aB", "Ba", "a_b", "a/b",
+		"uid-42", "10.96.0.1", "worker-3",
+	}
+	var cases []string
+	cases = append(cases, seeds...)
+	// Every single-byte substitution and bit flip of each seed — the
+	// neighborhood the BitFlip fault model produces.
+	for _, s := range seeds {
+		for i := 0; i < len(s); i++ {
+			for _, c := range []byte{'-', '.', '/', ':', '_', 'a', 'Z', '9', 0x00, 0x7f, ' '} {
+				b := []byte(s)
+				b[i] = c
+				cases = append(cases, string(b))
+			}
+			b := []byte(s)
+			b[i] ^= 1
+			cases = append(cases, string(b))
+		}
+	}
+	for _, s := range cases {
+		if got, want := matchDNS1123(s), dns1123Re.MatchString(s); got != want {
+			t.Errorf("matchDNS1123(%q) = %v, regex says %v", s, got, want)
+		}
+		if got, want := matchLabelValue(s), labelRe.MatchString(s); got != want {
+			t.Errorf("matchLabelValue(%q) = %v, regex says %v", s, got, want)
+		}
+		if got, want := matchImageRef(s), imageRe.MatchString(s); got != want {
+			t.Errorf("matchImageRef(%q) = %v, regex says %v", s, got, want)
+		}
+	}
+}

@@ -125,6 +125,9 @@ type Cluster struct {
 	// iterate the Kubelets map, since map order would randomize heartbeat
 	// timer scheduling between runs and break bit-reproducibility.
 	nodeOrder []string
+	// monitoring caches the monitoring node's name: the application client
+	// asks for it on every one of its 600 requests per experiment.
+	monitoring string
 
 	started bool
 }
@@ -190,14 +193,15 @@ func newBackend(loop *sim.Loop, cfg Config) store.Backend {
 func assemble(cfg Config, loop *sim.Loop, backend store.Backend) *Cluster {
 	srv := apiserver.New(loop, backend, cfg.ServerOptions)
 	c := &Cluster{
-		cfg:       cfg,
-		Loop:      loop,
-		Backend:   backend,
-		Server:    srv,
-		Manager:   controller.NewManager(loop, srv, cfg.ManagerOptions),
-		Scheduler: scheduler.New(loop, srv, cfg.SchedulerOptions),
-		Net:       netsim.New(loop, srv),
-		Kubelets:  make(map[string]*kubelet.Kubelet),
+		cfg:        cfg,
+		Loop:       loop,
+		Backend:    backend,
+		Server:     srv,
+		Manager:    controller.NewManager(loop, srv, cfg.ManagerOptions),
+		Scheduler:  scheduler.New(loop, srv, cfg.SchedulerOptions),
+		Net:        netsim.New(loop, srv),
+		Kubelets:   make(map[string]*kubelet.Kubelet),
+		monitoring: fmt.Sprintf("worker-%d", cfg.Workers-1),
 	}
 	if cfg.EnableFieldGuard {
 		c.guard = guard.New(loop, srv, c.guardHealth)
@@ -228,7 +232,7 @@ func (c *Cluster) addKubelet(name string, cidrIndex int, labels map[string]strin
 
 func (c *Cluster) monitoringNode() string {
 	// The last worker hosts the application client and monitoring pods.
-	return fmt.Sprintf("worker-%d", c.cfg.Workers-1)
+	return c.monitoring
 }
 
 // MonitoringNode returns the node reserved for client/monitoring pods.
@@ -325,6 +329,8 @@ func (c *Cluster) AttachInjector(j *inject.Injector) {
 		c.Server.SetStoreWriteHook(c.guard.Hook(j.StoreHook()))
 		c.Server.SetRequestHook(j.RequestHook())
 		c.Server.SetRequestWireGate(j.WantsRequestWire)
+		c.Server.SetWatchHook(j.WatchHook())
+		c.Server.SetWatchGate(j.WantsWatchChannel)
 		c.Server.SetAccessHook(j.AccessHook())
 		return
 	}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/apiserver"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// A reflector subscription established on a forked cluster (the share
+// regime) must prime from the restored store state — the same re-list a
+// component performs after a real restart — and then track live events on
+// the fork's own watch fan-out.
+func TestReflectorSubscriptionEstablishedMidFork(t *testing.T) {
+	c := bootCluster(t, 4101)
+	snap := c.Snapshot()
+	c.Stop()
+
+	fork := snap.Fork(777)
+	client := fork.Client("reflector-test")
+	view := apiserver.NewReflector(fork.Loop, client, 5*time.Second, nil,
+		spec.KindNode, spec.KindDeployment)
+	view.Start()
+
+	// Prime must see the restored state: every node, and the system
+	// deployments captured in the snapshot.
+	wantNodes := len(client.List(spec.KindNode, ""))
+	if wantNodes == 0 {
+		t.Fatal("fork has no nodes")
+	}
+	if got := view.Len(spec.KindNode); got != wantNodes {
+		t.Fatalf("primed node view has %d entries, want %d", got, wantNodes)
+	}
+	if _, ok := view.Get(spec.KindDeployment, spec.SystemNamespace, "prometheus"); !ok {
+		t.Fatal("primed view missing the restored prometheus deployment")
+	}
+
+	// Live events on the fork reach the mid-fork subscription.
+	if err := client.Create(appDeployment("mid-fork", 1)); err != nil {
+		t.Fatal(err)
+	}
+	fork.Loop.RunUntil(fork.Loop.Now() + time.Second)
+	obj, ok := view.Get(spec.KindDeployment, spec.DefaultNamespace, "mid-fork")
+	if !ok {
+		t.Fatal("mid-fork subscription missed a live event")
+	}
+	if !obj.Meta().Sealed() {
+		t.Fatal("view must hold sealed instances on forks too")
+	}
+	fork.Stop()
+}
+
+// The driver-facing consequence of the informer pipeline on forks: the
+// controllers' views (rebuilt at fork start) reconcile the forked cluster
+// exactly like a restarted one — a new deployment still rolls out to ready.
+func TestForkedControllersReconcileThroughViews(t *testing.T) {
+	c := bootCluster(t, 4102)
+	snap := c.Snapshot()
+	c.Stop()
+
+	fork := snap.Fork(778)
+	client := fork.Client("test")
+	if err := client.Create(appDeployment("post-fork", 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := fork.Loop.Now() + 30*time.Second
+	for fork.Loop.Now() < deadline {
+		fork.Loop.RunUntil(fork.Loop.Now() + time.Second)
+		obj, err := client.Get(spec.KindDeployment, spec.DefaultNamespace, "post-fork")
+		if err == nil && obj.(*spec.Deployment).Status.ReadyReplicas == 2 {
+			fork.Stop()
+			return
+		}
+	}
+	t.Fatal("deployment created on a fork never became ready through the informer pipeline")
+}

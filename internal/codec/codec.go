@@ -359,33 +359,45 @@ func appendMap(b []byte, num int, v reflect.Value) ([]byte, error) {
 	if v.Len() == 0 {
 		return b, nil
 	}
-	// One MapRange pass collects both halves of each entry, avoiding a
-	// re-boxed MapIndex lookup per key on the hot path.
-	pairs := make([]mapPair, 0, v.Len())
-	iter := v.MapRange()
-	for iter.Next() {
-		pairs = append(pairs, mapPair{k: iter.Key().String(), v: iter.Value().String()})
+	// All supported maps are map[string]string; the direct assertion is
+	// allocation-free (map headers are pointer-shaped), unlike the
+	// reflect.MapRange Key()/Value() boxing it replaces, which cost two
+	// allocations per entry on every labels/selector/annotations encode.
+	m, ok := v.Interface().(map[string]string)
+	if !ok {
+		return nil, fmt.Errorf("codec: unsupported map type %s", v.Type())
 	}
-	slices.SortFunc(pairs, func(a, b mapPair) int { return strings.Compare(a.k, b.k) })
+	kp := _mapKeyPool.Get().(*[]string)
+	keys := (*kp)[:0]
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
 	sp := getScratch()
 	entry := (*sp)[:0]
-	for _, p := range pairs {
+	for _, k := range keys {
+		val := m[k]
 		entry = entry[:0]
 		entry = appendTag(entry, mapKeyField, wireBytes)
-		entry = appendVarint(entry, uint64(len(p.k)))
-		entry = append(entry, p.k...)
+		entry = appendVarint(entry, uint64(len(k)))
+		entry = append(entry, k...)
 		entry = appendTag(entry, mapValueField, wireBytes)
-		entry = appendVarint(entry, uint64(len(p.v)))
-		entry = append(entry, p.v...)
+		entry = appendVarint(entry, uint64(len(val)))
+		entry = append(entry, val...)
 		b = appendTag(b, num, wireBytes)
 		b = appendVarint(b, uint64(len(entry)))
 		b = append(b, entry...)
 	}
 	putScratch(sp, entry)
+	*kp = keys[:0]
+	_mapKeyPool.Put(kp)
 	return b, nil
 }
 
-type mapPair struct{ k, v string }
+var _mapKeyPool = sync.Pool{New: func() any {
+	s := make([]string, 0, 8)
+	return &s
+}}
 
 func appendTag(b []byte, num, wt int) []byte {
 	return appendVarint(b, uint64(num)<<3|uint64(wt))

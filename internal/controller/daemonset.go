@@ -1,8 +1,6 @@
 package controller
 
 import (
-	"errors"
-
 	"github.com/mutiny-sim/mutiny/internal/apiserver"
 	"github.com/mutiny-sim/mutiny/internal/spec"
 )
@@ -17,6 +15,10 @@ import (
 type daemonSetController struct {
 	m *Manager
 	q *queue
+	// byNodeScratch / nodeSeenScratch are the per-sync grouping structures,
+	// reused across syncs (neither outlives the sync call).
+	byNodeScratch   map[string][]*spec.Pod
+	nodeSeenScratch []string
 }
 
 func newDaemonSetController(m *Manager) *daemonSetController {
@@ -43,49 +45,58 @@ func (c *daemonSetController) enqueueFor(ev apiserver.WatchEvent) {
 }
 
 func (c *daemonSetController) resync() {
-	for _, ds := range c.m.client.List(spec.KindDaemonSet, "") {
-		c.q.add(objKey(ds))
-	}
+	c.m.views.ForEach(spec.KindDaemonSet, "", func(o spec.Object) bool {
+		c.q.add(objKey(o))
+		return true
+	})
 }
 
 func (c *daemonSetController) sync(key string) {
-	ns, name := splitKey(key)
-	obj, err := c.m.client.Get(spec.KindDaemonSet, ns, name)
-	if errors.Is(err, apiserver.ErrNotFound) {
-		return
-	}
-	if err != nil {
-		c.q.addAfter(key, conflictRetryDelay)
+	ns, _ := splitKey(key)
+	obj, ok := c.m.views.GetByKey(spec.KindDaemonSet, key)
+	if !ok {
 		return
 	}
 	ds := obj.(*spec.DaemonSet)
 
 	// Group this DaemonSet's pods by node. Identification goes through the
 	// selector AND the owner reference, like the ReplicaSet controller.
-	// View read: pods are only grouped and inspected; release mutates a
-	// private clone (see releasePod).
-	podsByNode := make(map[string][]*spec.Pod)
-	for _, po := range c.m.client.List(spec.KindPod, ns) {
+	// Informer-view scan: pods are only grouped and inspected; release
+	// mutates a private clone (see releasePod). nodeSeen records first-seen
+	// order so the missing-node sweep below is deterministic (map iteration
+	// would randomize delete order between runs).
+	if c.byNodeScratch == nil {
+		c.byNodeScratch = make(map[string][]*spec.Pod)
+	} else {
+		clear(c.byNodeScratch)
+	}
+	podsByNode := c.byNodeScratch
+	nodeSeen := c.nodeSeenScratch[:0]
+	c.m.views.ForEach(spec.KindPod, ns, func(po spec.Object) bool {
 		pod := po.(*spec.Pod)
 		if !pod.Active() {
-			continue
+			return true
 		}
 		ref := pod.Metadata.ControllerOf()
 		if ref == nil || ref.UID != ds.Metadata.UID {
-			continue
+			return true
 		}
 		if !ds.Spec.Selector.Matches(pod.Metadata.Labels) {
 			// The pod no longer looks like ours: release it. The replacement
 			// spawned below starts the uncontrolled-replication loop if the
 			// corruption is in the template.
 			c.releasePod(pod)
-			continue
+			return true
+		}
+		if _, seen := podsByNode[pod.Spec.NodeName]; !seen {
+			nodeSeen = append(nodeSeen, pod.Spec.NodeName)
 		}
 		podsByNode[pod.Spec.NodeName] = append(podsByNode[pod.Spec.NodeName], pod)
-	}
+		return true
+	})
 
 	var desired, current, ready int64
-	for _, no := range c.m.client.List(spec.KindNode, "") {
+	c.m.views.ForEach(spec.KindNode, "", func(no spec.Object) bool {
 		node := no.(*spec.Node)
 		eligible := c.nodeEligible(ds, node)
 		pods := podsByNode[node.Metadata.Name]
@@ -94,7 +105,7 @@ func (c *daemonSetController) sync(key string) {
 			for _, pod := range pods {
 				_ = c.m.client.Delete(spec.KindPod, ns, pod.Metadata.Name)
 			}
-			continue
+			return true
 		}
 		desired++
 		switch {
@@ -111,13 +122,15 @@ func (c *daemonSetController) sync(key string) {
 				ready++
 			}
 		}
-	}
-	// Pods on nodes that no longer exist.
-	for _, pods := range podsByNode {
-		for _, pod := range pods {
+		return true
+	})
+	// Pods on nodes that no longer exist, in first-seen node order.
+	for _, name := range nodeSeen {
+		for _, pod := range podsByNode[name] {
 			_ = c.m.client.Delete(spec.KindPod, ns, pod.Metadata.Name)
 		}
 	}
+	c.nodeSeenScratch = nodeSeen
 
 	c.updateStatus(ds, desired, current, ready)
 }

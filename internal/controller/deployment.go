@@ -18,6 +18,9 @@ type deploymentController struct {
 	// new revision is a new decoded object and misses naturally. Without
 	// this every sync re-serializes the pod template just to hash it.
 	hashes map[*spec.Deployment]string
+	// ownedScratch is the owned-ReplicaSet buffer reused across syncs (the
+	// collected set never outlives the sync call).
+	ownedScratch []*spec.ReplicaSet
 }
 
 func newDeploymentController(m *Manager) *deploymentController {
@@ -62,32 +65,31 @@ func (c *deploymentController) enqueueFor(ev apiserver.WatchEvent) {
 }
 
 func (c *deploymentController) resync() {
-	for _, d := range c.m.client.List(spec.KindDeployment, "") {
-		c.q.add(objKey(d))
-	}
+	c.m.views.ForEach(spec.KindDeployment, "", func(o spec.Object) bool {
+		c.q.add(objKey(o))
+		return true
+	})
 }
 
 func (c *deploymentController) sync(key string) {
-	ns, name := splitKey(key)
-	obj, err := c.m.client.Get(spec.KindDeployment, ns, name)
-	if errors.Is(err, apiserver.ErrNotFound) {
-		return
-	}
-	if err != nil {
-		c.q.addAfter(key, conflictRetryDelay)
+	ns, _ := splitKey(key)
+	obj, ok := c.m.views.GetByKey(spec.KindDeployment, key)
+	if !ok {
 		return
 	}
 	d := obj.(*spec.Deployment)
 
-	// Collect owned ReplicaSets (view read: scaling mutates a private clone,
-	// see setReplicas).
-	var owned []*spec.ReplicaSet
-	for _, ro := range c.m.client.List(spec.KindReplicaSet, ns) {
+	// Collect owned ReplicaSets from the informer view (scaling mutates a
+	// private clone, see setReplicas).
+	owned := c.ownedScratch[:0]
+	c.m.views.ForEach(spec.KindReplicaSet, ns, func(ro spec.Object) bool {
 		rs := ro.(*spec.ReplicaSet)
 		if ref := rs.Metadata.ControllerOf(); ref != nil && ref.UID == d.Metadata.UID {
 			owned = append(owned, rs)
 		}
-	}
+		return true
+	})
+	c.ownedScratch = owned
 
 	hash := c.hashFor(d)
 	var newRS *spec.ReplicaSet

@@ -15,6 +15,12 @@ import (
 type endpointsController struct {
 	m *Manager
 	q *queue
+	// addrScratch / portScratch back the rebuilt endpoint table, reused
+	// across syncs: the desired object is serialized (or deep-copied) by the
+	// client write path and never retained, so the backing arrays are free
+	// again once sync returns.
+	addrScratch []spec.EndpointAddress
+	portScratch []int64
 }
 
 func newEndpointsController(m *Manager) *endpointsController {
@@ -33,49 +39,47 @@ func (c *endpointsController) enqueueFor(ev apiserver.WatchEvent) {
 	case spec.KindPod:
 		// Only services selecting this pod (or that could have) are affected.
 		meta := ev.Object.Meta()
-		for _, so := range c.m.client.List(spec.KindService, meta.Namespace) {
+		c.m.views.ForEach(spec.KindService, meta.Namespace, func(so spec.Object) bool {
 			svc := so.(*spec.Service)
 			sel := spec.LabelSelector{MatchLabels: svc.Spec.Selector}
 			if sel.Matches(meta.Labels) || ev.Type == apiserver.Deleted {
 				c.q.add(objKey(svc))
 			}
-		}
+			return true
+		})
 	case spec.KindEndpoints:
 		c.q.add(objKey(ev.Object)) // repair manual/corrupted edits
 	}
 }
 
 func (c *endpointsController) resync() {
-	for _, svc := range c.m.client.List(spec.KindService, "") {
-		c.q.add(objKey(svc))
-	}
+	c.m.views.ForEach(spec.KindService, "", func(o spec.Object) bool {
+		c.q.add(objKey(o))
+		return true
+	})
 }
 
 func (c *endpointsController) sync(key string) {
 	ns, name := splitKey(key)
-	obj, err := c.m.client.Get(spec.KindService, ns, name)
-	if errors.Is(err, apiserver.ErrNotFound) {
+	obj, ok := c.m.views.GetByKey(spec.KindService, key)
+	if !ok {
 		// Service gone: its Endpoints are garbage-collected via owner refs.
-		return
-	}
-	if err != nil {
-		c.q.addAfter(key, conflictRetryDelay)
 		return
 	}
 	svc := obj.(*spec.Service)
 
 	sel := spec.LabelSelector{MatchLabels: svc.Spec.Selector}
-	var addrs []spec.EndpointAddress
+	addrs := c.addrScratch[:0]
 	if !sel.Empty() {
-		// View read: the endpoint table is rebuilt from scratch; pods are
-		// never mutated here.
-		for _, po := range c.m.client.List(spec.KindPod, ns) {
+		// Informer-view scan: the endpoint table is rebuilt from scratch;
+		// pods are never mutated here.
+		c.m.views.ForEach(spec.KindPod, ns, func(po spec.Object) bool {
 			pod := po.(*spec.Pod)
 			if !pod.Active() || !pod.Status.Ready || pod.Status.PodIP == "" {
-				continue
+				return true
 			}
 			if !sel.Matches(pod.Metadata.Labels) {
-				continue
+				return true
 			}
 			addrs = append(addrs, spec.EndpointAddress{
 				IP:       pod.Status.PodIP,
@@ -84,12 +88,15 @@ func (c *endpointsController) sync(key string) {
 					Kind: string(spec.KindPod), Name: pod.Metadata.Name, UID: pod.Metadata.UID,
 				},
 			})
-		}
+			return true
+		})
 	}
-	var ports []int64
+	c.addrScratch = addrs
+	ports := c.portScratch[:0]
 	for _, p := range svc.Spec.Ports {
 		ports = append(ports, p.TargetPort)
 	}
+	c.portScratch = ports
 
 	desired := &spec.Endpoints{
 		Metadata: spec.ObjectMeta{
@@ -105,13 +112,11 @@ func (c *endpointsController) sync(key string) {
 		desired.Subsets = []spec.EndpointSubset{{Addresses: addrs, Ports: ports}}
 	}
 
-	curObj, err := c.m.client.Get(spec.KindEndpoints, ns, name)
-	if errors.Is(err, apiserver.ErrNotFound) {
+	curObj, ok := c.m.views.GetByKey(spec.KindEndpoints, key)
+	if !ok {
+		// A stale view at worst turns this into a failed Create
+		// (ErrAlreadyExists), repaired on the next event or resync.
 		_ = c.m.client.Create(desired)
-		return
-	}
-	if err != nil {
-		c.q.addAfter(key, conflictRetryDelay)
 		return
 	}
 	cur := curObj.(*spec.Endpoints)

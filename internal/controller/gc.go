@@ -53,18 +53,20 @@ func (c *garbageCollector) collect() {
 
 func (c *garbageCollector) collectOrphans() {
 	for _, kind := range ownedKinds {
-		// View reads: collection only inspects owner refs and deletes by name.
-		for _, obj := range c.m.client.List(kind, "") {
+		// Informer-view scans: collection only inspects owner refs and
+		// deletes by name.
+		c.m.views.ForEach(kind, "", func(obj spec.Object) bool {
 			meta := obj.Meta()
 			ref := meta.ControllerOf()
 			if ref == nil {
-				continue
+				return true
 			}
 			if c.ownerAlive(meta.Namespace, ref) {
-				continue
+				return true
 			}
 			_ = c.m.client.Delete(kind, meta.Namespace, meta.Name)
-		}
+			return true
+		})
 	}
 }
 
@@ -77,9 +79,21 @@ func (c *garbageCollector) ownerAlive(namespace string, ref *spec.OwnerReference
 	if kind == spec.KindNode || kind == spec.KindNamespace {
 		ns = ""
 	}
-	obj, err := c.m.client.Get(kind, ns, ref.Name)
-	if err != nil {
-		return false
+	var obj spec.Object
+	if c.m.views.Tracks(kind) {
+		var ok bool
+		obj, ok = c.m.views.Get(kind, ns, ref.Name)
+		if !ok {
+			return false
+		}
+	} else {
+		// Owner kinds outside the informer set (e.g. a corrupted ref naming
+		// a Namespace) resolve against the server.
+		var err error
+		obj, err = c.m.client.Get(kind, ns, ref.Name)
+		if err != nil {
+			return false
+		}
 	}
 	// UID must match: a same-named successor object does not resurrect
 	// ownership (and a corrupted ref UID orphans the dependent).
@@ -89,24 +103,26 @@ func (c *garbageCollector) ownerAlive(namespace string, ref *spec.OwnerReference
 func (c *garbageCollector) collectPodsOnMissingNodes() {
 	now := c.m.loop.Now()
 	nodeNames := make(map[string]bool)
-	for _, no := range c.m.client.List(spec.KindNode, "") {
+	c.m.views.ForEach(spec.KindNode, "", func(no spec.Object) bool {
 		nodeNames[no.Meta().Name] = true
-	}
-	for _, po := range c.m.client.List(spec.KindPod, "") {
+		return true
+	})
+	c.m.views.ForEach(spec.KindPod, "", func(po spec.Object) bool {
 		pod := po.(*spec.Pod)
-		key := pod.Metadata.Namespace + "/" + pod.Metadata.Name
+		key := pod.Metadata.NamespacedName()
 		if pod.Spec.NodeName == "" || nodeNames[pod.Spec.NodeName] {
 			delete(c.firstMissing, key)
-			continue
+			return true
 		}
 		first, seen := c.firstMissing[key]
 		if !seen {
 			c.firstMissing[key] = now
-			continue
+			return true
 		}
 		if now-first >= podGCMinAge {
 			_ = c.m.client.Delete(spec.KindPod, pod.Metadata.Namespace, pod.Metadata.Name)
 			delete(c.firstMissing, key)
 		}
-	}
+		return true
+	})
 }

@@ -55,6 +55,14 @@ type Options struct {
 }
 
 // Manager wires all controllers behind one leader election.
+//
+// All controllers share one informer view set (an apiserver.Reflector over
+// the kinds they reconcile): watch events update the views first and are
+// then routed to the controllers' work queues, so a sync handler reads the
+// same local state the event announced — the informer architecture — and
+// the per-sync server re-lists of earlier revisions are gone. The periodic
+// resync both reconciles the views against the server (the safety net for
+// lost watch events) and re-enqueues everything level-triggered.
 type Manager struct {
 	loop    *sim.Loop
 	client  *apiserver.Client
@@ -68,9 +76,19 @@ type Manager struct {
 	nodes       *nodeLifecycleController
 	gc          *garbageCollector
 
+	// views is the shared informer view set, live while the controllers run.
+	views *apiserver.Reflector
+
 	nameSeq int64
 	running bool
 	cancels []func()
+}
+
+// viewKinds are the kinds the manager's informer views mirror — everything
+// any controller reconciles or scans.
+var viewKinds = []spec.Kind{
+	spec.KindPod, spec.KindReplicaSet, spec.KindDeployment, spec.KindDaemonSet,
+	spec.KindService, spec.KindEndpoints, spec.KindNode,
 }
 
 // NewManager builds a controller manager against the given API server.
@@ -129,9 +147,14 @@ func (m *Manager) startControllers() {
 	for _, c := range m.controllers() {
 		c.start()
 	}
-	// Watches: a single all-kinds watch fans out to interested controllers.
-	cancel := m.client.Watch("", m.route)
-	m.cancels = append(m.cancels, cancel)
+	// The shared views prime from the server's current state (a fork or
+	// restart re-list) and route every subsequent event to the controllers.
+	// The reflector's own periodic resync is disabled: resyncAll reconciles
+	// explicitly so view repair and the level-triggered re-enqueue happen on
+	// one schedule.
+	m.views = apiserver.NewReflector(m.loop, m.client, 0, m.route, viewKinds...)
+	m.views.Start()
+	m.cancels = append(m.cancels, m.views.Stop)
 	resync := m.loop.Every(resyncInterval, m.resyncAll)
 	m.cancels = append(m.cancels, func() { resync.Stop() })
 	m.resyncAll()
@@ -177,6 +200,10 @@ func (m *Manager) resyncAll() {
 	if !m.running {
 		return
 	}
+	// Reconcile the views first: entries a lost watch event left stale are
+	// repaired and re-announced through route, so the queues below always
+	// enqueue against repaired state.
+	m.views.Resync()
 	for _, c := range m.controllers() {
 		c.resync()
 	}
@@ -221,6 +248,5 @@ func splitKey(key string) (namespace, name string) {
 }
 
 func objKey(o spec.Object) string {
-	m := o.Meta()
-	return m.Namespace + "/" + m.Name
+	return o.Meta().NamespacedName() // cached on sealed objects
 }

@@ -21,10 +21,23 @@ type nodeLifecycleController struct {
 	// taintedSince records when a NoExecute taint was first observed per
 	// node, to honor the eviction wait.
 	taintedSince map[string]time.Duration
+	// monitorPending coalesces event-driven monitor passes: a burst of node
+	// events in one tick (five heartbeats landing together) schedules one
+	// monitor, not five. monitorFn is the prebuilt callback so scheduling
+	// allocates no closure.
+	monitorPending bool
+	monitorFn      func()
+	// scratch is the reused node slice the monitor pass collects into.
+	scratch []*spec.Node
 }
 
 func newNodeLifecycleController(m *Manager) *nodeLifecycleController {
-	return &nodeLifecycleController{m: m, taintedSince: make(map[string]time.Duration)}
+	c := &nodeLifecycleController{m: m, taintedSince: make(map[string]time.Duration)}
+	c.monitorFn = func() {
+		c.monitorPending = false
+		c.monitor()
+	}
+	return c
 }
 
 func (c *nodeLifecycleController) start() {
@@ -39,8 +52,9 @@ func (c *nodeLifecycleController) stop() {
 func (c *nodeLifecycleController) enqueueFor(ev apiserver.WatchEvent) {
 	// Node state is polled on a fixed monitor period, like the real
 	// controller; NoExecute taints react immediately though.
-	if ev.Kind == spec.KindNode {
-		c.m.loop.After(0, c.monitor)
+	if ev.Kind == spec.KindNode && !c.monitorPending {
+		c.monitorPending = true
+		c.m.loop.After(0, c.monitorFn)
 	}
 }
 
@@ -51,12 +65,16 @@ func (c *nodeLifecycleController) monitor() {
 		return
 	}
 	now := c.m.loop.Time().UnixMilli()
-	nodes := c.m.client.List(spec.KindNode, "")
+	nodes := c.scratch[:0]
+	c.m.views.ForEach(spec.KindNode, "", func(o spec.Object) bool {
+		nodes = append(nodes, o.(*spec.Node))
+		return true
+	})
+	c.scratch = nodes
 
 	unhealthy := 0
 	total := 0
-	for _, no := range nodes {
-		node := no.(*spec.Node)
+	for _, node := range nodes {
 		total++
 		fresh := now-node.Status.LastHeartbeatMillis <= nodeGracePeriod.Milliseconds()
 		switch {
@@ -88,8 +106,8 @@ func (c *nodeLifecycleController) monitor() {
 }
 
 func (c *nodeLifecycleController) addUnreachableTaint(nodeName string) {
-	obj, err := c.m.client.Get(spec.KindNode, "", nodeName)
-	if err != nil {
+	obj, ok := c.m.views.Get(spec.KindNode, "", nodeName)
+	if !ok {
 		return
 	}
 	node := obj.(*spec.Node)
@@ -125,11 +143,10 @@ func (c *nodeLifecycleController) removeUnreachableTaint(node *spec.Node) {
 
 // evict deletes pods from nodes carrying NoExecute taints the pod does not
 // tolerate, after the eviction wait has elapsed.
-func (c *nodeLifecycleController) evict(nodes []spec.Object) {
+func (c *nodeLifecycleController) evict(nodes []*spec.Node) {
 	now := c.m.loop.Now()
 	tainted := make(map[string][]spec.Taint)
-	for _, no := range nodes {
-		node := no.(*spec.Node)
+	for _, node := range nodes {
 		var noExec []spec.Taint
 		for _, t := range node.Spec.Taints {
 			if t.Effect == spec.TaintNoExecute {
@@ -148,24 +165,21 @@ func (c *nodeLifecycleController) evict(nodes []spec.Object) {
 	if len(tainted) == 0 {
 		return
 	}
-	for _, po := range c.m.client.List(spec.KindPod, "") {
+	c.m.views.ForEach(spec.KindPod, "", func(po spec.Object) bool {
 		pod := po.(*spec.Pod)
 		taints, onTainted := tainted[pod.Spec.NodeName]
 		if !onTainted || !pod.Active() {
-			continue
+			return true
 		}
 		if now-c.taintedSince[pod.Spec.NodeName] < evictionWait {
-			continue
+			return true
 		}
-		evict := false
 		for _, t := range taints {
 			if !pod.Tolerates(t) {
-				evict = true
-				break
+				_ = c.m.client.Delete(spec.KindPod, pod.Metadata.Namespace, pod.Metadata.Name)
+				return true
 			}
 		}
-		if evict {
-			_ = c.m.client.Delete(spec.KindPod, pod.Metadata.Namespace, pod.Metadata.Name)
-		}
-	}
+		return true
+	})
 }

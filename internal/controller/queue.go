@@ -18,6 +18,10 @@ type queue struct {
 	dirty     map[string]bool
 	scheduled bool
 	stopped   bool
+	// scratch is the reusable key buffer drains sort into; a drain fires every
+	// syncDelay under load, and reallocating the map and slice each time was
+	// measurable at campaign scale.
+	scratch []string
 }
 
 func newQueue(loop *sim.Loop, delay time.Duration, handler func(key string)) *queue {
@@ -46,12 +50,15 @@ func (q *queue) drain() {
 	if q.stopped || len(q.dirty) == 0 {
 		return
 	}
-	keys := make([]string, 0, len(q.dirty))
+	keys := q.scratch[:0]
 	for k := range q.dirty {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	q.dirty = make(map[string]bool)
+	clear(q.dirty)
+	q.scratch = keys
+	// Handlers may re-add keys (retries, follow-up syncs); those land in the
+	// cleared dirty map and schedule their own drain, never in this pass.
 	for _, k := range keys {
 		if q.stopped {
 			return
@@ -63,7 +70,7 @@ func (q *queue) drain() {
 // stop drops pending work and refuses new keys.
 func (q *queue) stop() {
 	q.stopped = true
-	q.dirty = make(map[string]bool)
+	clear(q.dirty)
 }
 
 // start re-enables a stopped queue.

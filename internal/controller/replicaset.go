@@ -23,6 +23,9 @@ import (
 type replicaSetController struct {
 	m *Manager
 	q *queue
+	// ownedScratch is the owned-pod buffer reused across syncs (the
+	// collected set never outlives the sync call).
+	ownedScratch []*spec.Pod
 }
 
 func newReplicaSetController(m *Manager) *replicaSetController {
@@ -47,41 +50,39 @@ func (c *replicaSetController) enqueueFor(ev apiserver.WatchEvent) {
 			return
 		}
 		// Orphan pod: only ReplicaSets whose selector matches could adopt it
-		// (view read: the scan only enqueues keys).
-		for _, ro := range c.m.client.List(spec.KindReplicaSet, meta.Namespace) {
+		// (informer-view scan: only enqueues keys).
+		c.m.views.ForEach(spec.KindReplicaSet, meta.Namespace, func(ro spec.Object) bool {
 			rs := ro.(*spec.ReplicaSet)
 			if rs.Spec.Selector.Matches(meta.Labels) {
 				c.q.add(objKey(rs))
 			}
-		}
+			return true
+		})
 	}
 }
 
 func (c *replicaSetController) resync() {
-	for _, rs := range c.m.client.List(spec.KindReplicaSet, "") {
-		c.q.add(objKey(rs))
-	}
+	c.m.views.ForEach(spec.KindReplicaSet, "", func(o spec.Object) bool {
+		c.q.add(objKey(o))
+		return true
+	})
 }
 
 func (c *replicaSetController) sync(key string) {
-	ns, name := splitKey(key)
-	obj, err := c.m.client.Get(spec.KindReplicaSet, ns, name)
-	if errors.Is(err, apiserver.ErrNotFound) {
-		return
-	}
-	if err != nil {
-		c.q.addAfter(key, conflictRetryDelay)
+	ns, _ := splitKey(key)
+	obj, ok := c.m.views.GetByKey(spec.KindReplicaSet, key)
+	if !ok {
 		return
 	}
 	rs := obj.(*spec.ReplicaSet)
 
-	// View read: owned pods are only inspected here; adoption and release
-	// mutate a private clone (see adoptPod / releasePod).
-	var owned, matched []*spec.Pod
-	for _, po := range c.m.client.List(spec.KindPod, ns) {
+	// Informer-view scan: owned pods are only inspected here; adoption and
+	// release mutate a private clone (see adoptPod / releasePod).
+	owned := c.ownedScratch[:0]
+	c.m.views.ForEach(spec.KindPod, ns, func(po spec.Object) bool {
 		pod := po.(*spec.Pod)
 		if !pod.Active() {
-			continue
+			return true
 		}
 		ref := pod.Metadata.ControllerOf()
 		matches := rs.Spec.Selector.Matches(pod.Metadata.Labels)
@@ -99,8 +100,9 @@ func (c *replicaSetController) sync(key string) {
 				owned = append(owned, pod)
 			}
 		}
-		_ = matched
-	}
+		return true
+	})
+	c.ownedScratch = owned
 
 	diff := int(rs.Spec.Replicas) - len(owned)
 	switch {

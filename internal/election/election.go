@@ -127,8 +127,15 @@ func (e *Elector) tick() {
 	expired := nowMillis-lease.Spec.RenewMillis > e.cfg.LeaseDuration.Milliseconds()
 	switch {
 	case lease.Spec.HolderIdentity == e.cfg.Identity:
-		// Renew. A corrupted holder identity makes this branch unreachable:
-		// the component silently loses leadership.
+		// Renew on the renew interval, not on every retry tick: holding the
+		// lease needs no write while the last renewal is fresh (the
+		// kube-controller-manager renews every 10 s on a 15 s lease). A
+		// corrupted holder identity makes this branch unreachable: the
+		// component silently loses leadership.
+		if nowMillis-lease.Spec.RenewMillis < e.cfg.RenewInterval.Milliseconds() {
+			e.becomeLeader()
+			return
+		}
 		lease = spec.CloneForWriteAs(lease) // sealed cache reference
 		lease.Spec.RenewMillis = nowMillis
 		if err := e.client.Update(lease); err == nil {

@@ -39,6 +39,18 @@ const (
 	// authentication, validation and admission (the §V-C4 propagation
 	// experiments).
 	ChannelRequest
+	// ChannelWatch is the apiserver→component watch stream feeding the
+	// informer-style readiness pipeline (workload driver, controllers,
+	// scheduler, data plane). Tampering here never touches the agreed
+	// cluster state: a dropped event starves the subscribers and a
+	// corrupted event shows them a state the store never held — the
+	// watch-channel staleness fault family. How long the staleness lasts
+	// depends on the subscriber: Reflector-backed consumers (driver,
+	// application client, controllers, scheduler) repair at their next
+	// resync re-list, while raw watchers with no re-list (the netsim data
+	// plane, the kubelets) stay stale for the rest of the experiment —
+	// exactly the asymmetry that makes the channel an interesting target.
+	ChannelWatch
 )
 
 func (c Channel) String() string {
@@ -47,6 +59,8 @@ func (c Channel) String() string {
 		return "apiserver→etcd"
 	case ChannelRequest:
 		return "component→apiserver"
+	case ChannelWatch:
+		return "apiserver→watch"
 	default:
 		return fmt.Sprintf("Channel(%d)", int(c))
 	}
@@ -162,6 +176,8 @@ func (j *Injector) AttachTo(srv *apiserver.Server) {
 	srv.SetStoreWriteHook(j.StoreHook())
 	srv.SetRequestHook(j.RequestHook())
 	srv.SetRequestWireGate(j.WantsRequestWire)
+	srv.SetWatchHook(j.WatchHook())
+	srv.SetWatchGate(j.WantsWatchChannel)
 	srv.SetAccessHook(j.AccessHook())
 }
 
@@ -172,6 +188,15 @@ func (j *Injector) AttachTo(srv *apiserver.Server) {
 // request hook would pass every message through untouched.
 func (j *Injector) WantsRequestWire() bool {
 	return j.armed != nil && j.armed.Channel == ChannelRequest
+}
+
+// WantsWatchChannel reports whether the currently armed injection targets the
+// apiserver→component watch stream. The API server consults it (as its watch
+// gate) so the batched fan-out stays hook- and encode-free whenever the
+// campaign is armed on another channel — the watch path is on every
+// experiment's hot path, the fault on it is not.
+func (j *Injector) WantsWatchChannel() bool {
+	return j.armed != nil && j.armed.Channel == ChannelWatch
 }
 
 // StoreHook returns the apiserver→store channel hook, for callers that need
@@ -186,6 +211,16 @@ func (j *Injector) StoreHook() apiserver.Hook {
 func (j *Injector) RequestHook() apiserver.Hook {
 	return func(m *apiserver.Message) apiserver.Action {
 		return j.intercept(ChannelRequest, m)
+	}
+}
+
+// WatchHook returns the apiserver→component watch-channel hook. Occurrence
+// counting follows the same per-instance rule as the other channels, counting
+// watch events for the instance from arming; Drop loses the notification,
+// field and proto-byte faults corrupt what the subscribers decode.
+func (j *Injector) WatchHook() apiserver.Hook {
+	return func(m *apiserver.Message) apiserver.Action {
+		return j.intercept(ChannelWatch, m)
 	}
 }
 

@@ -67,11 +67,11 @@ type Kubelet struct {
 	// bit-reproducibility.
 	podOrder []*podRuntime
 	pulled   map[string]bool // images already present on this node
-	ipSeq   int64
-	hbTimer sim.Timer
-	stTimer sim.Timer
-	cancelW func()
-	stopped bool
+	ipSeq    int64
+	hbTimer  sim.Timer
+	stTimer  sim.Timer
+	cancelW  func()
+	stopped  bool
 	// Down simulates a node crash: no heartbeats, no pod management.
 	down bool
 }

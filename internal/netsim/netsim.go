@@ -155,7 +155,7 @@ func (s *State) onService(ev apiserver.WatchEvent) {
 
 func (s *State) onEndpoints(ev apiserver.WatchEvent) {
 	ep := ev.Object.(*spec.Endpoints)
-	key := ep.Metadata.Namespace + "/" + ep.Metadata.Name
+	key := ep.Metadata.NamespacedName()
 	if ev.Type == apiserver.Deleted {
 		delete(s.endpoints, key)
 		return
@@ -165,7 +165,7 @@ func (s *State) onEndpoints(ev apiserver.WatchEvent) {
 
 func (s *State) onPod(ev apiserver.WatchEvent) {
 	pod := ev.Object.(*spec.Pod)
-	key := pod.Metadata.Namespace + "/" + pod.Metadata.Name
+	key := pod.Metadata.NamespacedName()
 	old := s.pods[key]
 	next := pod
 	if ev.Type == apiserver.Deleted {
@@ -356,14 +356,20 @@ func (s *State) Request(fromNode, clusterIP string, port int64) RequestResult {
 	if targetPort < 0 {
 		return RequestResult{Err: ErrRefused}
 	}
-	ep, ok := s.endpoints[svc.Metadata.Namespace+"/"+svc.Metadata.Name]
+	ep, ok := s.endpoints[svc.Metadata.NamespacedName()]
 	if !ok || ep.Count() == 0 {
 		return RequestResult{Err: ErrRefused}
 	}
-	// kube-proxy round-robin across all subset addresses.
+	// kube-proxy round-robin across all subset addresses. The endpoints
+	// controller emits a single subset, so the common case aliases its
+	// (sealed, immutable) address slice instead of flattening per request.
 	var addrs []spec.EndpointAddress
-	for i := range ep.Subsets {
-		addrs = append(addrs, ep.Subsets[i].Addresses...)
+	if len(ep.Subsets) == 1 {
+		addrs = ep.Subsets[0].Addresses
+	} else {
+		for i := range ep.Subsets {
+			addrs = append(addrs, ep.Subsets[i].Addresses...)
+		}
 	}
 	idx := s.rr[clusterIP] % len(addrs)
 	s.rr[clusterIP]++
@@ -406,7 +412,8 @@ func podListensOn(pod *spec.Pod, port int64) bool {
 // under-provisioned services (fewer pods than intended) answer slower —
 // the LeR → HRT propagation of Table III.
 func (s *State) serviceLatency(pod *spec.Pod) time.Duration {
-	key := pod.Metadata.Namespace + "/" + pod.Metadata.Name
+	key := pod.Metadata.NamespacedName() // cached on sealed pods
+
 	now := s.loop.Now()
 	times := s.reqTimes[key]
 	keep := times[:0]

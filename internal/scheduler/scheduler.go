@@ -11,7 +11,6 @@
 package scheduler
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -28,6 +27,10 @@ const (
 	// "after a new leader Scheduler is elected (after 20 seconds, in the
 	// standard configuration)".
 	restartDelay = 5 * time.Second
+	// viewResync is the low-frequency safety net of the scheduler's informer
+	// views: a pod event lost on the watch channel surfaces at the next
+	// reconcile instead of leaving the pod pending forever.
+	viewResync = 5 * time.Second
 )
 
 // Options configure the scheduler.
@@ -56,9 +59,13 @@ type Scheduler struct {
 	// scheduler's preemption is similarly rate-limited).
 	lastPreempt map[string]time.Duration
 	ticker      sim.Timer
-	cancelW     func()
-	restarts    int
-	epoch       int
+	// views is the scheduler's informer view of pods and nodes: pod events
+	// drive the pending/assumed bookkeeping (including the cache-self-check
+	// restart), and every scheduling pass reads nodes and pods from the view
+	// instead of re-listing the server.
+	views    *apiserver.Reflector
+	restarts int
+	epoch    int
 }
 
 // New builds a scheduler against the API server.
@@ -122,17 +129,21 @@ func (s *Scheduler) run() {
 	s.pending = make(map[string]bool)
 	s.assumed = make(map[string]string)
 	s.lastPreempt = make(map[string]time.Duration)
-	s.cancelW = s.client.Watch(spec.KindPod, s.onPodEvent)
+	s.views = apiserver.NewReflector(s.loop, s.client, viewResync, s.onViewEvent,
+		spec.KindPod, spec.KindNode)
+	s.views.Start()
 	s.ticker = s.loop.Every(schedulePeriod, s.scheduleAll)
-	// Prime from the current state (view read: priming only inspects).
-	for _, po := range s.client.List(spec.KindPod, "") {
+	// Prime from the view's initial state (the re-list a restarted scheduler
+	// performs).
+	s.views.ForEach(spec.KindPod, "", func(po spec.Object) bool {
 		pod := po.(*spec.Pod)
 		if pod.Spec.NodeName == "" && pod.Active() {
 			s.pending[podKey(pod)] = true
 		} else if pod.Spec.NodeName != "" {
 			s.assumed[pod.Metadata.UID] = pod.Spec.NodeName
 		}
-	}
+		return true
+	})
 }
 
 func (s *Scheduler) halt() {
@@ -141,13 +152,16 @@ func (s *Scheduler) halt() {
 	}
 	s.running = false
 	s.ticker.Stop()
-	if s.cancelW != nil {
-		s.cancelW()
+	if s.views != nil {
+		s.views.Stop()
 	}
 }
 
-func (s *Scheduler) onPodEvent(ev apiserver.WatchEvent) {
-	if !s.running {
+// onViewEvent reacts to the informer view's events — live watch deliveries
+// and resync repairs alike, so a pod whose binding the scheduler missed on
+// the watch channel still trips the cache self-check at the next reconcile.
+func (s *Scheduler) onViewEvent(ev apiserver.WatchEvent) {
+	if !s.running || ev.Kind != spec.KindPod {
 		return
 	}
 	pod := ev.Object.(*spec.Pod)
@@ -213,13 +227,9 @@ func (s *Scheduler) scheduleAll() {
 	// replication injection floods the cluster with pending pods.
 	var podSnapshot []*spec.Pod
 	for _, key := range keys {
-		ns, name := splitKey(key)
-		obj, err := s.client.Get(spec.KindPod, ns, name)
-		if errors.Is(err, apiserver.ErrNotFound) {
+		obj, ok := s.views.GetByKey(spec.KindPod, key)
+		if !ok {
 			delete(s.pending, key)
-			continue
-		}
-		if err != nil {
 			continue
 		}
 		pod := obj.(*spec.Pod)
@@ -228,11 +238,12 @@ func (s *Scheduler) scheduleAll() {
 			continue
 		}
 		if pod.Spec.Priority > 0 && podSnapshot == nil {
-			// View read: preemption picks victims by name; they are deleted,
-			// never mutated.
-			for _, po := range s.client.List(spec.KindPod, "") {
+			// Informer-view scan: preemption picks victims by name; they are
+			// deleted, never mutated.
+			s.views.ForEach(spec.KindPod, "", func(po spec.Object) bool {
 				podSnapshot = append(podSnapshot, po.(*spec.Pod))
-			}
+				return true
+			})
 		}
 		if s.scheduleOne(pod, nodes, podSnapshot) {
 			delete(s.pending, key)
@@ -247,12 +258,12 @@ type nodeInfo struct {
 }
 
 // snapshotNodes computes per-node free resources from the current pod set.
-// View reads throughout: the scheduler treats the listed objects as a
-// read-only world snapshot (bindings go through a fresh Get per pod).
+// Informer-view scans throughout: the scheduler treats the view objects as a
+// read-only world snapshot (bindings clone before writing).
 func (s *Scheduler) snapshotNodes() []*nodeInfo {
 	var infos []*nodeInfo
 	byName := make(map[string]*nodeInfo)
-	for _, no := range s.client.List(spec.KindNode, "") {
+	s.views.ForEach(spec.KindNode, "", func(no spec.Object) bool {
 		node := no.(*spec.Node)
 		info := &nodeInfo{
 			node:    node,
@@ -261,17 +272,19 @@ func (s *Scheduler) snapshotNodes() []*nodeInfo {
 		}
 		infos = append(infos, info)
 		byName[node.Metadata.Name] = info
-	}
-	for _, po := range s.client.List(spec.KindPod, "") {
+		return true
+	})
+	s.views.ForEach(spec.KindPod, "", func(po spec.Object) bool {
 		pod := po.(*spec.Pod)
 		if pod.Spec.NodeName == "" || !pod.Active() {
-			continue
+			return true
 		}
 		if info, ok := byName[pod.Spec.NodeName]; ok {
 			info.freeCPU -= pod.RequestsMilliCPU()
 			info.freeMem -= pod.RequestsMemMB()
 		}
-	}
+		return true
+	})
 	return infos
 }
 
@@ -368,13 +381,4 @@ func (s *Scheduler) preempt(pod *spec.Pod, nodes []*nodeInfo, podSnapshot []*spe
 	}
 }
 
-func podKey(p *spec.Pod) string { return p.Metadata.Namespace + "/" + p.Metadata.Name }
-
-func splitKey(key string) (namespace, name string) {
-	for i := 0; i < len(key); i++ {
-		if key[i] == '/' {
-			return key[:i], key[i+1:]
-		}
-	}
-	return "", key
-}
+func podKey(p *spec.Pod) string { return p.Metadata.NamespacedName() } // cached on sealed pods

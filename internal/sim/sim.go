@@ -280,6 +280,39 @@ func (l *Loop) RunUntil(deadline time.Duration) {
 	}
 }
 
+// RunUntilStopped executes events scheduled at or before deadline, like
+// RunUntil, but returns the moment Stop is called — without advancing the
+// clock to the deadline. It reports whether it was stopped early.
+//
+// This is the wakeup primitive of the watch-driven readiness pipeline: a
+// subscriber calls Stop from an event callback when its condition is met,
+// and the caller resumes at the exact instant of that event instead of the
+// next poll boundary. When the deadline passes (or the queue drains, or the
+// event budget runs out) the clock lands on deadline, exactly as RunUntil.
+func (l *Loop) RunUntilStopped(deadline time.Duration) bool {
+	l.stopped = false
+	for !l.BudgetExhausted() && l.events.Len() > 0 {
+		ev := l.events[0]
+		if ev.cancelled {
+			heap.Pop(&l.events)
+			l.cancelled--
+			l.recycle(ev)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		l.Step()
+		if l.stopped {
+			return true
+		}
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+	return false
+}
+
 // Run executes events until the queue drains or Stop is called.
 func (l *Loop) Run() {
 	l.stopped = false

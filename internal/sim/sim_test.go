@@ -326,3 +326,39 @@ func TestDeterminismWithPoolingAndPeriodics(t *testing.T) {
 		}
 	}
 }
+
+// RunUntilStopped is the watch-driven wakeup primitive: Stop from a callback
+// returns control at the exact event instant, without warping the clock to
+// the deadline; an undisturbed run behaves exactly like RunUntil.
+func TestRunUntilStopped(t *testing.T) {
+	l := NewLoop(1)
+	fired := time.Duration(-1)
+	l.After(300*time.Millisecond, func() {
+		fired = l.Now()
+		l.Stop()
+	})
+	l.After(700*time.Millisecond, func() {
+		t.Fatal("event past the stop point must not run in this pass")
+	})
+	if !l.RunUntilStopped(10 * time.Second) {
+		t.Fatal("RunUntilStopped did not report the stop")
+	}
+	if fired != 300*time.Millisecond {
+		t.Fatalf("callback at %v, want 300ms", fired)
+	}
+	if l.Now() != 300*time.Millisecond {
+		t.Fatalf("clock advanced to %v on stop, want the event instant", l.Now())
+	}
+
+	// Without a Stop the deadline semantics match RunUntil: remaining events
+	// execute and the clock lands on the deadline.
+	l2 := NewLoop(1)
+	ran := 0
+	l2.After(time.Second, func() { ran++ })
+	if l2.RunUntilStopped(5 * time.Second) {
+		t.Fatal("nothing called Stop")
+	}
+	if ran != 1 || l2.Now() != 5*time.Second {
+		t.Fatalf("ran=%d now=%v, want 1 event and clock at deadline", ran, l2.Now())
+	}
+}

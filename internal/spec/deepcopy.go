@@ -33,6 +33,7 @@ func cloneInts(in []int64) []int64 {
 func (m ObjectMeta) clone() ObjectMeta {
 	out := m
 	out.sealed = false // clones are private until sealed themselves
+	out.nsName = ""    // a clone may be renamed before it is written back
 	out.Labels = cloneStringMap(m.Labels)
 	out.Annotations = cloneStringMap(m.Annotations)
 	if m.OwnerReferences != nil {

@@ -40,6 +40,10 @@ func Seal(o Object) Object {
 	m := o.Meta()
 	if !m.sealed {
 		m.sealed = true
+		// Cache the namespaced name while the fields are known-final; every
+		// consumer that keys state by object identity reads it back through
+		// NamespacedName with zero allocations.
+		m.nsName = m.Namespace + "/" + m.Name
 		if sealHook != nil {
 			sealHook(o)
 		}

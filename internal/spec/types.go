@@ -98,6 +98,13 @@ type ObjectMeta struct {
 	// enters a shared read path (watch cache, dispatch, snapshots). It is
 	// not part of the wire format and never survives Clone or decode.
 	sealed bool
+	// nsName caches Namespace+"/"+Name, computed once at Seal time. Sealed
+	// objects are immutable, so the cache can never go stale; consumers that
+	// key maps by object identity (controller work queues, the scheduler's
+	// pending set, netsim's per-pod accounting) would otherwise re-concatenate
+	// the same two strings millions of times per campaign. Like sealed, it is
+	// not part of the wire format and never survives Clone or decode.
+	nsName string
 }
 
 // OwnerReference links a dependent object to its owner; the garbage
@@ -119,8 +126,12 @@ func (m *ObjectMeta) ControllerOf() *OwnerReference {
 	return nil
 }
 
-// NamespacedName returns "namespace/name".
+// NamespacedName returns "namespace/name". For sealed objects the string is
+// computed once (at Seal time) and served from a cache thereafter.
 func (m *ObjectMeta) NamespacedName() string {
+	if m.nsName != "" {
+		return m.nsName
+	}
 	return m.Namespace + "/" + m.Name
 }
 

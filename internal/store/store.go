@@ -112,15 +112,32 @@ func (o *Options) withDefaults() Options {
 // Store is a single-replica data store. All methods must be called from the
 // simulation loop; watch callbacks are delivered asynchronously on the loop.
 type Store struct {
-	loop     *sim.Loop
-	opts     Options
+	loop  *sim.Loop
+	opts  Options
 	items map[string]*item
 	rev   int64
 	size  int64
 	// watchers is kept in registration order so notify schedules deliveries
 	// deterministically (map iteration would randomize the order of
-	// same-tick events between runs).
-	watchers []*watcher
+	// same-tick events between runs). Cancellation marks and sweeps lazily
+	// (like the API server's fan-out list): pending deliveries snapshot the
+	// list length at notify time, so it must not be compacted under them.
+	watchers          []*watcher
+	cancelledWatchers int
+
+	// Batched delivery: notify queues one pendingEvent and schedules
+	// deliverFn (built once) after the watch latency; the fired event hands
+	// the queue's front entry to every watcher registered at notify time.
+	// Same commit order, same per-watcher order as the former
+	// one-closure-per-(event, watcher) scheduling, without the closure.
+	// This mirrors the apiserver's fan-out machinery (Server.pending /
+	// fanout / sweepWatchers) — the snapshot-by-length and sweep-deferral
+	// invariants are shared; a fix to one almost certainly applies to the
+	// other.
+	pendingEv   []pendingEvent
+	pendingHead int
+	delivering  int
+	deliverFn   func()
 	// rewriteHooks observe silent byte rewrites — mutations of stored values
 	// that do NOT bump the revision or notify watchers (CorruptAtRest). The
 	// API server's revision-tagged decoded-object cache registers here: a
@@ -142,15 +159,25 @@ type watcher struct {
 	cancelled bool
 }
 
+// pendingEvent is one committed change awaiting delivery: the event plus the
+// watcher-list length at notify time, so watchers registered between commit
+// and delivery do not receive it.
+type pendingEvent struct {
+	ev Event
+	n  int
+}
+
 var _ Backend = (*Store)(nil)
 
 // New returns an empty store bound to the simulation loop.
 func New(loop *sim.Loop, opts *Options) *Store {
-	return &Store{
+	s := &Store{
 		loop:  loop,
 		opts:  opts.withDefaults(),
 		items: make(map[string]*item),
 	}
+	s.deliverFn = s.deliver
+	return s
 }
 
 // Revision returns the latest committed revision.
@@ -256,14 +283,33 @@ func (s *Store) Watch(prefix string, fn func(Event)) (cancel func()) {
 	w := &watcher{prefix: prefix, fn: fn}
 	s.watchers = append(s.watchers, w)
 	return func() {
+		if w.cancelled {
+			return
+		}
 		w.cancelled = true
-		for i, cur := range s.watchers {
-			if cur == w {
-				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
-				break
-			}
+		s.cancelledWatchers++
+		s.sweepWatchers()
+	}
+}
+
+// sweepWatchers compacts cancelled watchers out of the registration list —
+// only while no deliveries are pending or in flight, because pending entries
+// index the list by its notify-time length.
+func (s *Store) sweepWatchers() {
+	if s.cancelledWatchers == 0 || len(s.pendingEv) != 0 || s.delivering != 0 {
+		return
+	}
+	live := s.watchers[:0]
+	for _, w := range s.watchers {
+		if !w.cancelled {
+			live = append(live, w)
 		}
 	}
+	for i := len(live); i < len(s.watchers); i++ {
+		s.watchers[i] = nil
+	}
+	s.watchers = live
+	s.cancelledWatchers = 0
 }
 
 // CorruptAtRest silently corrupts the stored bytes of key without bumping the
@@ -310,14 +356,33 @@ func (s *Store) Keys() []string {
 }
 
 func (s *Store) notify(ev Event) {
-	for _, w := range s.watchers {
-		w := w
-		s.loop.After(s.opts.WatchLatency, func() {
-			if !w.cancelled && strings.HasPrefix(ev.Key, w.prefix) {
-				w.fn(ev)
-			}
-		})
+	if len(s.watchers) == 0 {
+		return
 	}
+	s.pendingEv = append(s.pendingEv, pendingEvent{ev: ev, n: len(s.watchers)})
+	s.loop.After(s.opts.WatchLatency, s.deliverFn)
+}
+
+// deliver hands the front pending event to every watcher registered at
+// notify time, in registration order — the same delivery order as scheduling
+// one closure per (event, watcher), at one loop event and zero closures per
+// commit.
+func (s *Store) deliver() {
+	pe := s.pendingEv[s.pendingHead]
+	s.pendingEv[s.pendingHead] = pendingEvent{}
+	s.pendingHead++
+	if s.pendingHead == len(s.pendingEv) {
+		s.pendingEv = s.pendingEv[:0]
+		s.pendingHead = 0
+	}
+	s.delivering++
+	for _, w := range s.watchers[:pe.n] {
+		if !w.cancelled && strings.HasPrefix(pe.ev.Key, w.prefix) {
+			w.fn(pe.ev)
+		}
+	}
+	s.delivering--
+	s.sweepWatchers()
 }
 
 func sortKVs(kvs []KV) {

@@ -30,11 +30,22 @@ type RequestRecord struct {
 // Client is the application client (AC): it resolves the target service's
 // VIP and issues requests from the monitoring node, recording the response
 // time series the client-failure classification is built on.
+//
+// The VIP is resolved from a watch-maintained service view (the same
+// informer-style pipeline the driver's readiness checks use) instead of a
+// per-request server Get; each request still notes an access of the service
+// key so the injection framework's activation accounting keeps per-request
+// granularity.
 type Client struct {
 	cl      *cluster.Cluster
 	api     *apiserver.Client
 	ns      string
 	service string
+	// view mirrors the target service; nsKey is the precomputed view key and
+	// svcKey the precomputed store key the per-request access note reports.
+	view   *apiserver.Reflector
+	nsKey  string
+	svcKey string
 
 	Records []RequestRecord
 	ticker  sim.Timer
@@ -48,6 +59,8 @@ func NewClient(cl *cluster.Cluster, namespace, service string) *Client {
 		api:     cl.Client("appclient"),
 		ns:      namespace,
 		service: service,
+		nsKey:   namespace + "/" + service,
+		svcKey:  spec.Key(spec.KindService, namespace, service),
 		Records: make([]RequestRecord, 0, TotalRequests),
 	}
 }
@@ -55,12 +68,17 @@ func NewClient(cl *cluster.Cluster, namespace, service string) *Client {
 // Start begins issuing requests on the simulation loop; it stops by itself
 // after TotalRequests.
 func (c *Client) Start() {
+	c.view = apiserver.NewReflector(c.cl.Loop, c.api, readinessResync, nil, spec.KindService)
+	c.view.Start()
 	c.ticker = c.cl.Loop.Every(requestInterval, c.issue)
 }
 
 // Stop cancels the client early.
 func (c *Client) Stop() {
 	c.ticker.Stop()
+	if c.view != nil {
+		c.view.Stop()
+	}
 }
 
 // Done reports whether the full request series was issued.
@@ -68,7 +86,7 @@ func (c *Client) Done() bool { return c.sent >= TotalRequests }
 
 func (c *Client) issue() {
 	if c.sent >= TotalRequests {
-		c.ticker.Stop()
+		c.Stop()
 		return
 	}
 	c.sent++
@@ -83,12 +101,14 @@ func (c *Client) issue() {
 }
 
 func (c *Client) request() netsim.RequestResult {
-	// View read: 20 req/s × 30 s per experiment only inspect the VIP, and
-	// activation accounting (the access hook) is identical to a full Get.
-	obj, err := c.api.Get(spec.KindService, c.ns, c.service)
-	if err != nil {
+	// The VIP comes from the watch-maintained view: a local lookup over the
+	// sealed service object, no server round-trip per request. NoteAccess
+	// preserves the activation accounting a per-request Get used to provide.
+	obj, ok := c.view.GetByKey(spec.KindService, c.nsKey)
+	if !ok {
 		return netsim.RequestResult{Err: netsim.ErrRefused}
 	}
+	c.api.NoteAccess(c.svcKey)
 	vip := obj.(*spec.Service).Spec.ClusterIP
 	if vip == "" {
 		return netsim.RequestResult{Err: netsim.ErrRefused}

@@ -41,10 +41,14 @@ const (
 	scaleStepDelay    = 10 * time.Second
 	failoverDeploys   = 3
 	requestTimeout    = 40 * time.Second // kbench wait bound
-	opPollPeriod      = 500 * time.Millisecond
 	failoverTaintKey  = "kbench-failover"
 	appPort           = 80
 	appTargetPort     = 8080
+	// readinessResync is the low-frequency safety-net re-list of the
+	// watch-driven readiness views: lost watch notifications (crashes,
+	// injected watch-channel drops) surface at most one resync later
+	// instead of stalling the driver until the kbench bound.
+	readinessResync = 5 * time.Second
 )
 
 // AppName returns the name of the i-th service application deployment.
@@ -158,34 +162,60 @@ func (d *Driver) Run() {
 
 // awaitFailover waits until the tainted node is drained of application pods
 // AND every deployment is back to full readiness (or the kbench bound
-// expires) — the metric kbench reports for the failover scenario.
+// expires) — the metric kbench reports for the failover scenario. The
+// condition is evaluated on a watch-maintained pod/deployment view and the
+// driver wakes on the exact event that completes the failover, instead of
+// re-listing the namespace on a poll period.
 func (d *Driver) awaitFailover(victim string) {
 	if victim == "" {
 		return
 	}
-	deadline := d.Cluster.Loop.Now() + requestTimeout
-	for d.Cluster.Loop.Now() < deadline {
-		d.Cluster.Loop.RunUntil(d.Cluster.Loop.Now() + opPollPeriod)
+	done := func(view *apiserver.Reflector) bool {
 		drained := true
-		for _, po := range d.User.List(spec.KindPod, spec.DefaultNamespace) {
-			pod := po.(*spec.Pod)
+		view.ForEach(spec.KindPod, spec.DefaultNamespace, func(o spec.Object) bool {
+			pod := o.(*spec.Pod)
 			if pod.Active() && pod.Spec.NodeName == victim {
 				drained = false
-				break
+				return false
 			}
-		}
+			return true
+		})
 		if !drained {
-			continue
+			return false
 		}
-		allReady := true
 		for i := 0; i < failoverDeploys; i++ {
-			obj, err := d.User.Get(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
-			if err != nil || obj.(*spec.Deployment).Status.ReadyReplicas < deployReplicas {
-				allReady = false
-				break
+			obj, ok := view.Get(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
+			if !ok || obj.(*spec.Deployment).Status.ReadyReplicas < deployReplicas {
+				return false
 			}
 		}
-		if allReady {
+		return true
+	}
+	d.awaitCondition(done, spec.KindPod, spec.KindDeployment)
+}
+
+// awaitCondition drives the loop until cond holds over a watch-maintained
+// view of the given kinds, or the kbench wait bound expires. The view's
+// events (and its resync repairs) wake the driver; between events the loop
+// runs freely, so the wait adds no polling traffic of its own.
+func (d *Driver) awaitCondition(cond func(*apiserver.Reflector) bool, kinds ...spec.Kind) {
+	loop := d.Cluster.Loop
+	deadline := loop.Now() + requestTimeout
+	var view *apiserver.Reflector
+	view = apiserver.NewReflector(loop, d.User, readinessResync, func(apiserver.WatchEvent) {
+		if cond(view) {
+			loop.Stop()
+		}
+	}, kinds...)
+	view.Start()
+	defer view.Stop()
+	for loop.Now() < deadline {
+		if cond(view) {
+			return
+		}
+		if !loop.RunUntilStopped(deadline) {
+			// Deadline passed (or the queue drained / budget ran out): the
+			// kbench bound expires like a real timeout.
 			return
 		}
 	}
@@ -254,27 +284,18 @@ func (d *Driver) taintBusiestNode() string {
 	return victim
 }
 
-// awaitReady polls deployments until all report the desired ready replicas
-// or the kbench bound expires.
+// awaitReady waits until all deployments report the desired ready replicas
+// or the kbench bound expires. Readiness is tracked on a watch-maintained
+// deployment view — the driver wakes on the status update that completes the
+// rollout rather than polling Get per deployment per period.
 func (d *Driver) awaitReady(deployments int, replicas int64) {
-	deadline := d.Cluster.Loop.Now() + requestTimeout
-	for d.Cluster.Loop.Now() < deadline {
-		allReady := true
+	d.awaitCondition(func(view *apiserver.Reflector) bool {
 		for i := 0; i < deployments; i++ {
-			// View read: the poll only inspects ready-replica counts.
-			obj, err := d.User.Get(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
-			if err != nil {
-				allReady = false
-				break
-			}
-			if obj.(*spec.Deployment).Status.ReadyReplicas < replicas {
-				allReady = false
-				break
+			obj, ok := view.Get(spec.KindDeployment, spec.DefaultNamespace, AppName(i))
+			if !ok || obj.(*spec.Deployment).Status.ReadyReplicas < replicas {
+				return false
 			}
 		}
-		if allReady {
-			return
-		}
-		d.Cluster.Loop.RunUntil(d.Cluster.Loop.Now() + opPollPeriod)
-	}
+		return true
+	}, spec.KindDeployment)
 }

@@ -43,7 +43,7 @@
 // # Performance model
 //
 // Campaign wall-clock is dominated by per-experiment simulation cost, which
-// four mechanisms keep low:
+// five mechanisms keep low:
 //
 //   - Copy-on-write objects. API reads (APIClient.Get/List, watch events)
 //     return sealed, immutable references shared with the server's watch
@@ -54,14 +54,30 @@
 //     them), and the codec interns hot decoded strings (names, namespaces,
 //     label keys/values) process-wide.
 //
+//   - A watch-driven readiness pipeline. Components no longer poll: the
+//     workload driver's readiness waits, the application client's VIP
+//     resolution, the controllers' reconcile scans, and the scheduler's
+//     world snapshots all read informer-style local views (apiserver
+//     Reflector) maintained by the sealed watch fan-out, with a
+//     low-frequency resync re-list as the safety net. The driver wakes on
+//     the exact event that completes a rollout (sim.Loop.RunUntilStopped)
+//     instead of a poll boundary, and per-sync server re-lists are gone.
+//     The watch stream itself is the third injectable channel
+//     (ChannelWatch): campaigns can drop or corrupt the notifications the
+//     pipeline depends on, and the views degrade to bounded staleness
+//     repaired at the next resync.
+//
 //   - A lean event path. The scheduler pools event structs and rearms
 //     periodic timers in place (no allocation per tick), and stopped timers
 //     are compacted out of the heap instead of lingering as tombstones.
-//     Watch fan-out is batched: each committed change schedules one loop
-//     event that delivers the sealed object to all ~13 watchers in
-//     registration order — identical delivery order to per-watcher
-//     scheduling at a thirteenth of the heap traffic. List reads are served
-//     from per-kind key-sorted indexes instead of scanning the cache map.
+//     Watch fan-out is batched at both hops (store→apiserver and
+//     apiserver→watchers): each committed change schedules one loop event
+//     that delivers the sealed object to every subscriber in registration
+//     order — identical delivery order to per-watcher scheduling at a
+//     fraction of the heap traffic. List reads are served from per-kind
+//     key-sorted indexes, identity keys are cached at seal time, and
+//     validation runs hand-rolled character-class matchers instead of
+//     backtracking regexes.
 //
 //   - A revision-tagged decoded-object cache. The API server keeps the
 //     sealed decoded form of each store key tagged with its mod revision,
@@ -77,7 +93,9 @@
 //     settled per-workload snapshot instead of replaying the ~20 s simulated
 //     bootstrap. Snapshots are cached process-wide, keyed on the cluster
 //     configuration plus workload, so every Runner in the process bootstraps
-//     each workload at most once.
+//     each workload at most once. Reflector views established on a fork
+//     prime from the restored store — the same re-list a restarted
+//     component performs.
 //
 //   - Parallel execution (CampaignConfig.Parallelism, CLI -parallel, bench
 //     MUTINY_PARALLEL). Experiments are isolated simulations merged in
@@ -158,6 +176,12 @@ const (
 	// ChannelRequest targets component→apiserver requests (faces the
 	// validation layer: the propagation experiments).
 	ChannelRequest = inject.ChannelRequest
+	// ChannelWatch targets the apiserver→component watch stream feeding the
+	// informer-style readiness pipeline: dropped or corrupted notifications
+	// mislead subscribers while the agreed cluster state stays clean.
+	// Reflector-backed subscribers repair at their next resync re-list;
+	// raw watchers without a re-list (data plane, kubelets) stay stale.
+	ChannelWatch = inject.ChannelWatch
 )
 
 // Fault models (what).
