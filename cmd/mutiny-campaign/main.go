@@ -56,6 +56,7 @@ func run(args []string) error {
 		golden    = fs.Int("golden", 100, "golden runs per workload")
 		parallel  = fs.Int("parallel", 0, "experiment worker goroutines (0 = all cores, 1 = sequential; output is bit-identical either way)")
 		share     = fs.Bool("share-bootstrap", false, "fork each experiment from a settled bootstrap snapshot instead of replaying bootstrap (snapshots are cached process-wide per cluster-config+workload and forked copy-on-write; preserves classification aggregates, not bit-level observations)")
+		replicas  = fs.Int("control-plane-replicas", 1, "apiserver/store replicas per experiment cluster; >= 2 adds the HA fault axes (apiserver crash, master partition, store loss) and the failover/stale-read table")
 		noRefine  = fs.Bool("no-refinement", false, "skip the critical-field refinement round")
 		noProp    = fs.Bool("no-propagation", false, "skip the component-channel propagation experiments")
 		quiet     = fs.Bool("quiet", false, "suppress progress output")
@@ -66,12 +67,13 @@ func run(args []string) error {
 	}
 
 	cfg := mutiny.CampaignConfig{
-		GoldenRuns:      *golden,
-		SampleStride:    *stride,
-		Parallelism:     *parallel,
-		ShareBootstrap:  *share,
-		SkipRefinement:  *noRefine,
-		SkipPropagation: *noProp,
+		GoldenRuns:           *golden,
+		SampleStride:         *stride,
+		Parallelism:          *parallel,
+		ShareBootstrap:       *share,
+		ControlPlaneReplicas: *replicas,
+		SkipRefinement:       *noRefine,
+		SkipPropagation:      *noProp,
 	}
 	if *workloads != "" {
 		for _, w := range splitComma(*workloads) {
@@ -102,6 +104,10 @@ func run(args []string) error {
 	fmt.Println()
 	mutiny.RenderTable6(os.Stdout, out.Propagation)
 	fmt.Println()
+	if *replicas > 1 {
+		mutiny.RenderHATable(os.Stdout, out.Main)
+		fmt.Println()
+	}
 	mutiny.RenderFigure6(os.Stdout, out.Main)
 	fmt.Println()
 	mutiny.RenderFigure7(os.Stdout, out.Main)

@@ -1,6 +1,8 @@
 package apiserver
 
 import (
+	"time"
+
 	"github.com/mutiny-sim/mutiny/internal/spec"
 )
 
@@ -14,9 +16,22 @@ import (
 // spec.CloneForWrite before mutating. Writes serialize the argument without
 // copying it first (the server decodes its own private instance from the
 // wire bytes), so the caller keeps ownership of what it passed in.
+// An HA client (built via Endpoints.ClientFor) additionally knows every
+// apiserver replica and fails over between them; see endpoints.go. A client
+// built from a single Server (eps nil) takes none of those paths — the
+// single-apiserver hot path is unchanged.
 type Client struct {
 	srv      *Server
 	identity string
+
+	// Failover state; nil/empty for single-server clients. cur is the
+	// endpoint the client is homed on, deadline/fails the per-endpoint
+	// backoff state, watches the subscriptions that migrate on failover.
+	eps      *Endpoints
+	cur      int
+	deadline []time.Duration
+	fails    []int
+	watches  []*clientWatch
 }
 
 // Identity returns the component identity bound to this client.
@@ -25,18 +40,27 @@ func (c *Client) Identity() string { return c.identity }
 // Create persists a new object. The argument is only serialized, never
 // retained or mutated by the server.
 func (c *Client) Create(obj spec.Object) error {
-	return c.srv.handle(c.identity, VerbCreate, obj)
+	if c.eps == nil {
+		return c.srv.handle(c.identity, VerbCreate, obj)
+	}
+	return c.do(func(srv *Server) error { return srv.handle(c.identity, VerbCreate, obj) })
 }
 
 // Update replaces an existing object (spec + metadata); its resourceVersion
 // must match the current one.
 func (c *Client) Update(obj spec.Object) error {
-	return c.srv.handle(c.identity, VerbUpdate, obj)
+	if c.eps == nil {
+		return c.srv.handle(c.identity, VerbUpdate, obj)
+	}
+	return c.do(func(srv *Server) error { return srv.handle(c.identity, VerbUpdate, obj) })
 }
 
 // UpdateStatus updates only the status subresource of an existing object.
 func (c *Client) UpdateStatus(obj spec.Object) error {
-	return c.srv.handle(c.identity, VerbUpdateStatus, obj)
+	if c.eps == nil {
+		return c.srv.handle(c.identity, VerbUpdateStatus, obj)
+	}
+	return c.do(func(srv *Server) error { return srv.handle(c.identity, VerbUpdateStatus, obj) })
 }
 
 // Delete removes an object.
@@ -44,27 +68,47 @@ func (c *Client) Delete(kind spec.Kind, namespace, name string) error {
 	obj := spec.New(kind)
 	obj.Meta().Namespace = namespace
 	obj.Meta().Name = name
-	return c.srv.handle(c.identity, VerbDelete, obj)
+	if c.eps == nil {
+		return c.srv.handle(c.identity, VerbDelete, obj)
+	}
+	return c.do(func(srv *Server) error { return srv.handle(c.identity, VerbDelete, obj) })
 }
 
 // Get fetches one object (served from the watch cache, like a real apiserver
 // read) as a sealed reference: shared, immutable, free to retain. To modify
 // the result, pass it through spec.CloneForWrite first.
 func (c *Client) Get(kind spec.Kind, namespace, name string) (spec.Object, error) {
-	return c.srv.get(kind, namespace, name)
+	if c.eps == nil {
+		return c.srv.get(kind, namespace, name)
+	}
+	var obj spec.Object
+	err := c.do(func(srv *Server) error {
+		var err error
+		obj, err = srv.get(kind, namespace, name)
+		return err
+	})
+	return obj, err
 }
 
 // List returns all objects of a kind, optionally restricted to a namespace
 // (empty namespace means all), as sealed references under the same contract
 // as Get.
 func (c *Client) List(kind spec.Kind, namespace string) []spec.Object {
-	return c.srv.list(kind, namespace)
+	if c.eps == nil {
+		return c.srv.list(kind, namespace)
+	}
+	var out []spec.Object
+	_ = c.do(func(srv *Server) error {
+		out = srv.list(kind, namespace)
+		return nil
+	})
+	return out
 }
 
 // ListSelected returns the objects of a kind in a namespace whose labels
 // match the selector, as sealed references.
 func (c *Client) ListSelected(kind spec.Kind, namespace string, sel spec.LabelSelector) []spec.Object {
-	all := c.srv.list(kind, namespace)
+	all := c.List(kind, namespace)
 	var out []spec.Object
 	for _, obj := range all {
 		if sel.Matches(obj.Meta().Labels) {
@@ -78,7 +122,10 @@ func (c *Client) ListSelected(kind spec.Kind, namespace string, sel spec.LabelSe
 // objects are sealed references shared across all watchers. The cancel
 // function detaches the watcher.
 func (c *Client) Watch(kind spec.Kind, fn func(WatchEvent)) (cancel func()) {
-	return c.srv.watch(kind, fn)
+	if c.eps == nil {
+		return c.srv.watch(kind, fn)
+	}
+	return c.watchFailover(kind, fn)
 }
 
 // NoteAccess records a read of the given store key with the server's access

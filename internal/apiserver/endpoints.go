@@ -1,0 +1,218 @@
+package apiserver
+
+import (
+	"errors"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/store"
+)
+
+// This file implements the failover-aware client layer of the HA control
+// plane: a Client built from an Endpoints set knows every apiserver replica,
+// sticks to one, and on endpoint failure retries the request against the
+// others in deterministic index order with exponential backoff (jitter drawn
+// from the simulation RNG, so bit-reproducibility holds). Its watches migrate
+// with it: reconnecting to a new endpoint replays that server's current state
+// as Added events — client-go's ListAndWatch on reconnect — and the Reflector
+// resync absorbs anything missed in between.
+
+// Failover tuning. Base doubles per consecutive failure of one endpoint up
+// to the cap; a quarter of the resulting wait is added as seeded jitter.
+const (
+	failoverBackoffBase = 250 * time.Millisecond
+	failoverBackoffCap  = 8 * time.Second
+)
+
+// ClientSource hands out identity-bound clients. Both a single *Server and an
+// HA *Endpoints satisfy it; components take this so their wiring is agnostic
+// to the control-plane replica count.
+type ClientSource interface {
+	ClientFor(identity string) *Client
+}
+
+var (
+	_ ClientSource = (*Server)(nil)
+	_ ClientSource = (*Endpoints)(nil)
+)
+
+// Endpoints is the client-side view of an HA apiserver set.
+type Endpoints struct {
+	loop    *sim.Loop
+	servers []*Server
+	// clients lists every handed-out client in creation order, for the eager
+	// migration sweep when a server crashes (a broken connection tells the
+	// client immediately; it does not wait for its next request to fail).
+	clients []*Client
+}
+
+// NewEndpoints builds the failover client factory over the given servers.
+func NewEndpoints(loop *sim.Loop, servers ...*Server) *Endpoints {
+	return &Endpoints{loop: loop, servers: servers}
+}
+
+// Servers returns the endpoint list in index order.
+func (e *Endpoints) Servers() []*Server { return e.servers }
+
+// ClientFor returns a failover-aware client bound to a component identity,
+// initially homed on endpoint 0 (every replica healthy, every client on the
+// first endpoint — byte-for-byte the single-server request stream).
+func (e *Endpoints) ClientFor(identity string) *Client {
+	c := &Client{
+		srv:      e.servers[0],
+		identity: identity,
+		eps:      e,
+		deadline: make([]time.Duration, len(e.servers)),
+		fails:    make([]int, len(e.servers)),
+	}
+	e.clients = append(e.clients, c)
+	return c
+}
+
+// NoteServerDown migrates every client homed on server i to the next healthy
+// endpoint — the eager half of failover, modelling the broken connection a
+// crashed apiserver gives its clients. Lazy (per-request) failover covers
+// everything else.
+func (e *Endpoints) NoteServerDown(i int) {
+	for _, c := range e.clients {
+		if c.cur == i {
+			c.evacuate()
+		}
+	}
+}
+
+// --- failover-aware request path ---------------------------------------------
+
+// isEndpointFailure reports whether err marks the *endpoint* as unusable
+// (crashed server, lost store replica, minority partition side) rather than
+// the request as invalid. Only these trigger failover.
+func isEndpointFailure(err error) bool {
+	return errors.Is(err, ErrTimeout) ||
+		errors.Is(err, store.ErrReplicaDown) ||
+		errors.Is(err, store.ErrNoQuorum)
+}
+
+// do runs req against the current endpoint, failing over through the others
+// in index order. Endpoints in backoff are skipped; a success pins the client
+// (and its watches) to the serving endpoint.
+func (c *Client) do(req func(*Server) error) error {
+	n := len(c.eps.servers)
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt < n; attempt++ {
+		idx := (c.cur + attempt) % n
+		if c.inBackoff(idx) {
+			continue
+		}
+		srv := c.eps.servers[idx]
+		if srv.Down() {
+			c.noteFailure(idx)
+			continue
+		}
+		err := req(srv)
+		if isEndpointFailure(err) {
+			c.noteFailure(idx)
+			lastErr = err
+			continue
+		}
+		c.noteSuccess(idx)
+		return err
+	}
+	return lastErr
+}
+
+func (c *Client) inBackoff(idx int) bool {
+	return c.eps.loop.Now() < c.deadline[idx]
+}
+
+// noteFailure backs the endpoint off exponentially with seeded jitter. The
+// RNG is only consumed on failure, so fault-free runs draw exactly the same
+// random sequence as a single-server cluster.
+func (c *Client) noteFailure(idx int) {
+	c.fails[idx]++
+	back := failoverBackoffBase << (c.fails[idx] - 1)
+	if back > failoverBackoffCap || back <= 0 {
+		back = failoverBackoffCap
+	}
+	back += time.Duration(c.eps.loop.Rand().Int63n(int64(back / 4)))
+	c.deadline[idx] = c.eps.loop.Now() + back
+}
+
+func (c *Client) noteSuccess(idx int) {
+	c.fails[idx] = 0
+	c.deadline[idx] = 0
+	if idx != c.cur {
+		c.failTo(idx)
+	}
+}
+
+// evacuate moves the client off a crashed endpoint to the next one not known
+// down, without waiting for a request to fail.
+func (c *Client) evacuate() {
+	n := len(c.eps.servers)
+	for attempt := 1; attempt < n; attempt++ {
+		idx := (c.cur + attempt) % n
+		if !c.eps.servers[idx].Down() {
+			c.failTo(idx)
+			return
+		}
+	}
+}
+
+// failTo re-homes the client on endpoint idx and migrates its watches: each
+// is cancelled on the old server, re-registered on the new one, and then fed
+// the new server's current state as Added events — the re-list half of
+// ListAndWatch. Consumers are built for replayed Addeds (idempotent handlers,
+// resync-repairing reflectors), exactly as across a server restart.
+func (c *Client) failTo(idx int) {
+	c.cur = idx
+	srv := c.eps.servers[idx]
+	c.srv = srv
+	if len(c.watches) == 0 {
+		return
+	}
+	for _, w := range c.watches {
+		w.cancel()
+		w.cancel = srv.watch(w.kind, w.fn)
+	}
+	for _, w := range c.watches {
+		w.replay(srv)
+	}
+}
+
+// clientWatch is one logical watch subscription that survives failover.
+type clientWatch struct {
+	kind   spec.Kind
+	fn     func(WatchEvent)
+	cancel func()
+}
+
+// replay feeds the server's current state for the watched kind(s) to the
+// subscriber as synthetic Added events, in store-key order.
+func (w *clientWatch) replay(srv *Server) {
+	kinds := []spec.Kind{w.kind}
+	if w.kind == "" {
+		kinds = spec.Kinds()
+	}
+	for _, kind := range kinds {
+		for _, obj := range srv.list(kind, "") {
+			w.fn(WatchEvent{Type: Added, Kind: kind, Object: obj})
+		}
+	}
+}
+
+// watchFailover registers a migrating watch subscription.
+func (c *Client) watchFailover(kind spec.Kind, fn func(WatchEvent)) (cancel func()) {
+	w := &clientWatch{kind: kind, fn: fn}
+	w.cancel = c.eps.servers[c.cur].watch(kind, fn)
+	c.watches = append(c.watches, w)
+	return func() {
+		w.cancel()
+		for i, cw := range c.watches {
+			if cw == w {
+				c.watches = append(c.watches[:i], c.watches[i+1:]...)
+				break
+			}
+		}
+	}
+}

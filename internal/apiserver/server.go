@@ -20,6 +20,7 @@
 package apiserver
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -161,6 +162,22 @@ type Server struct {
 	backend store.Backend
 	opts    Options
 
+	// origin is the store replica this server binds to: its reads, writes
+	// and watch feed all go through replica `origin` when the backend is
+	// replicated (routed non-nil). Replica 0 with a plain Store backend is
+	// the historical single-apiserver shape.
+	origin int
+	routed *store.Replicated
+	// down marks a crashed apiserver replica (FaultAPIServerCrash): requests
+	// fail like timeouts, the store watch is detached, and no events fan out
+	// until restart.
+	down bool
+
+	// uidStride spaces server-assigned UIDs and service IPs so N replicas
+	// mint disjoint sequences (server i assigns origin+k·N). 1 for a single
+	// server — the historical sequence.
+	uidStride int64
+
 	cache map[string]spec.Object // decoded watch cache, by store key
 	// kindIndex mirrors cache as per-kind slices sorted by store key, so
 	// list — the hottest read (every controller scan, scheduler pass, and
@@ -298,24 +315,120 @@ type pendingDispatch struct {
 }
 
 // New creates a Server over the given backend and starts its store watch.
+// With a replicated backend it binds to replica 0.
 func New(loop *sim.Loop, backend store.Backend, opts *Options) *Server {
+	return NewAt(loop, backend, 0, opts)
+}
+
+// NewAt creates a Server bound to store replica origin — one member of an HA
+// control plane. Every origin serves reads and its watch feed from its own
+// replica and writes through it, so a partitioned or lost replica degrades
+// exactly the apiservers bound to it while the survivors keep serving.
+func NewAt(loop *sim.Loop, backend store.Backend, origin int, opts *Options) *Server {
 	s := &Server{
 		loop:      loop,
 		backend:   backend,
+		origin:    origin,
+		uidStride: 1,
 		cache:     make(map[string]spec.Object),
 		kindIndex: make(map[spec.Kind]*kindBucket),
 		decoded:   make(map[string]spec.Object),
 		audit:     NewAudit(loop),
 	}
+	if rep, ok := backend.(*store.Replicated); ok {
+		s.routed = rep
+	}
 	s.fanoutFn = s.fanout
 	if opts != nil {
 		s.opts = *opts
 	}
-	if rn, ok := backend.(rewriteNotifier); ok {
+	if s.routed != nil {
+		s.routed.OnRewriteAt(origin, s.invalidateDecoded)
+	} else if rn, ok := backend.(rewriteNotifier); ok {
 		rn.OnRewrite(s.invalidateDecoded)
 	}
-	s.cancelStoreWatch = backend.Watch("/registry/", s.onStoreEvent)
+	s.cancelStoreWatch = s.subscribeStore()
 	return s
+}
+
+// subscribeStore attaches the server's watch to its own store replica.
+func (s *Server) subscribeStore() func() {
+	if s.routed != nil {
+		return s.routed.WatchReplica(s.origin, "/registry/", s.onStoreEvent)
+	}
+	return s.backend.Watch("/registry/", s.onStoreEvent)
+}
+
+// Origin returns the index of the store replica this server binds to.
+func (s *Server) Origin() int { return s.origin }
+
+// SetAdmissionStride configures UID and service-IP assignment so this server
+// mints the residue class offset mod stride — HA replicas never collide even
+// when clients fail over between them mid-workload.
+func (s *Server) SetAdmissionStride(offset, stride int) {
+	s.uidCounter = int64(offset)
+	s.ipCounter = int64(offset)
+	s.uidStride = int64(stride)
+}
+
+// SetAudit replaces the server's audit trail. The HA control plane shares one
+// trail across all replicas so per-identity error accounting is cluster-wide,
+// like scraping every apiserver's audit log into one place. Call before any
+// request is served.
+func (s *Server) SetAudit(a *Audit) { s.audit = a }
+
+// SetDown crashes or revives this apiserver replica. While down, requests
+// fail like timeouts, reads error, the store watch is detached and no events
+// fan out — a dead process. Reviving restarts the server: the watch cache
+// rebuilds from its replica and surviving watchers get a re-list.
+func (s *Server) SetDown(down bool) {
+	if s.down == down {
+		return
+	}
+	s.down = down
+	if down {
+		if s.cancelStoreWatch != nil {
+			s.cancelStoreWatch()
+			s.cancelStoreWatch = nil
+		}
+		return
+	}
+	s.cancelStoreWatch = s.subscribeStore()
+	s.rebuildCache(true)
+}
+
+// Down reports whether this apiserver replica is crashed.
+func (s *Server) Down() bool { return s.down }
+
+// --- origin-aware backend access ---------------------------------------------
+
+func (s *Server) backendGet(key string) (store.KV, bool, error) {
+	if s.routed != nil {
+		return s.routed.GetFrom(s.origin, key)
+	}
+	kv, ok := s.backend.Get(key)
+	return kv, ok, nil
+}
+
+func (s *Server) backendList(prefix string) ([]store.KV, error) {
+	if s.routed != nil {
+		return s.routed.ListFrom(s.origin, prefix)
+	}
+	return s.backend.List(prefix), nil
+}
+
+func (s *Server) backendPut(key string, kind spec.Kind, value []byte) (int64, error) {
+	if s.routed != nil {
+		return s.routed.PutVia(s.origin, key, kind, value)
+	}
+	return s.backend.Put(key, kind, value)
+}
+
+func (s *Server) backendDelete(key string) (bool, error) {
+	if s.routed != nil {
+		return s.routed.DeleteVia(s.origin, key)
+	}
+	return s.backend.Delete(key), nil
 }
 
 // rewriteNotifier is the optional backend capability the decode cache needs:
@@ -426,9 +539,22 @@ func (s *Server) Restart() {
 // without it, the cache is rebuilt silently (a fork's restore — components
 // prime their own views when they start).
 func (s *Server) rebuildCache(dispatch bool) {
+	kvs, err := s.backendList("/registry/")
+	if err != nil {
+		// The local replica is lost: keep serving the frozen cache (stale
+		// reads are this fault's signature) until the replica is restored.
+		return
+	}
 	s.cache = make(map[string]spec.Object)
 	s.kindIndex = make(map[spec.Kind]*kindBucket)
-	for _, kv := range s.backend.List("/registry/") {
+	for _, kv := range kvs {
+		if s.routed != nil {
+			// A replicated backend re-lists through quorum reads: a restart
+			// serves the value the majority agrees on, so single-replica
+			// at-rest corruption is masked instead of resurrected — "quorum
+			// reads mitigate corrupted values" (§V-C1).
+			kv = s.quorumVerify(kv)
+		}
 		// decodeCached stamps the store's mod revision and seals, exactly
 		// like the watch path: the serialized bytes carry the resource
 		// version the *writer* saw, and serving that stale version would
@@ -447,6 +573,18 @@ func (s *Server) rebuildCache(dispatch bool) {
 			s.dispatch(kv.Key, WatchEvent{Type: Added, Kind: kv.Kind, Object: obj})
 		}
 	}
+}
+
+// quorumVerify checks one re-listed KV against a quorum read. When the local
+// bytes lose the vote (corrupted or lost-update replica), the quorum value is
+// served under the local revision so per-replica RV semantics hold.
+func (s *Server) quorumVerify(kv store.KV) store.KV {
+	qkv, ok := s.routed.QuorumGet(kv.Key)
+	if !ok || bytes.Equal(qkv.Value, kv.Value) {
+		return kv
+	}
+	kv.Value = qkv.Value
+	return kv
 }
 
 // cacheSet installs obj in the watch cache and the per-kind list index.
@@ -471,6 +609,11 @@ func (s *Server) cacheDelete(key string, kind spec.Kind) {
 // --- request path (component → apiserver → store) ---------------------------
 
 func (s *Server) handle(identity string, verb Verb, obj spec.Object) error {
+	if s.down {
+		// A crashed apiserver never answers: the caller observes a timeout.
+		// Nothing is audited — a dead process writes no log.
+		return ErrTimeout
+	}
 	kind := obj.Kind()
 	meta := obj.Meta()
 	msg := &Message{
@@ -527,6 +670,12 @@ func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object
 	kind := msg.Kind
 	key := spec.Key(kind, msg.Namespace, msg.Name)
 	cur, exists, curErr := s.current(kind, key)
+	if errors.Is(curErr, store.ErrReplicaDown) {
+		// This server's store replica is lost: every verb fails, and the
+		// wrapped cause lets failover clients tell "endpoint unusable" from
+		// an application error.
+		return s.audit.record(identity, verb, kind, msg.Name, fmt.Errorf("%w: %w", ErrUnavailable, curErr), msg.Tampered)
+	}
 	if curErr != nil && verb != VerbDelete {
 		// The current object is undecodable: mutating requests fail until
 		// the undecodable-deletion sweep removes it.
@@ -611,9 +760,11 @@ func (s *Server) persistWrite(identity string, verb Verb, msg *Message, obj spec
 			return nil // the caller believes the write happened
 		}
 	}
-	rev, err := s.backend.Put(key, msg.Kind, out.Data)
+	rev, err := s.backendPut(key, msg.Kind, out.Data)
 	if err != nil {
-		return s.audit.record(identity, verb, msg.Kind, msg.Name, fmt.Errorf("%w: %v", ErrUnavailable, err), msg.Tampered)
+		// %w on the cause too: failover clients match store.ErrReplicaDown /
+		// store.ErrNoQuorum to retry against another apiserver.
+		return s.audit.record(identity, verb, msg.Kind, msg.Name, fmt.Errorf("%w: %w", ErrUnavailable, err), msg.Tampered)
 	}
 	// Prime the decode cache with the object just persisted: decoding the
 	// stored bytes would reproduce obj field for field (the codec round-trips
@@ -649,7 +800,11 @@ func (s *Server) persistDelete(identity string, msg *Message, key string) error 
 			return nil
 		}
 	}
-	if !s.backend.Delete(key) {
+	ok, err := s.backendDelete(key)
+	if err != nil {
+		return s.audit.record(identity, VerbDelete, msg.Kind, msg.Name, fmt.Errorf("%w: %w", ErrUnavailable, err), msg.Tampered)
+	}
+	if !ok {
 		return s.audit.record(identity, VerbDelete, msg.Kind, msg.Name, ErrNotFound, msg.Tampered)
 	}
 	s.audit.countOK(identity, VerbDelete)
@@ -660,7 +815,7 @@ func (s *Server) persistDelete(identity string, msg *Message, key string) error 
 func (s *Server) admitCreate(obj spec.Object) {
 	m := obj.Meta()
 	if m.UID == "" {
-		s.uidCounter++
+		s.uidCounter += s.uidStride
 		m.UID = spec.FormatUID(s.uidCounter)
 	}
 	if m.CreatedMillis == 0 {
@@ -669,7 +824,7 @@ func (s *Server) admitCreate(obj spec.Object) {
 	m.Generation = 1
 	if svc, ok := obj.(*spec.Service); ok {
 		if svc.Spec.ClusterIP == "" {
-			s.ipCounter++
+			s.ipCounter += s.uidStride
 			svc.Spec.ClusterIP = fmt.Sprintf("10.96.0.%d", s.ipCounter%250+1)
 		}
 		for i := range svc.Spec.Ports {
@@ -737,7 +892,7 @@ func (s *Server) handleUndecodable(key string, kind spec.Kind) {
 		return
 	}
 	s.loop.After(time.Millisecond, func() {
-		s.backend.Delete(key)
+		_, _ = s.backendDelete(key)
 	})
 }
 
@@ -745,7 +900,10 @@ func (s *Server) handleUndecodable(key string, kind spec.Kind) {
 // is the *sealed* decode-cache instance — shared, read-only; the one write
 // path that mutates it (status merge) goes through spec.CloneForWrite.
 func (s *Server) current(kind spec.Kind, key string) (spec.Object, bool, error) {
-	kv, ok := s.backend.Get(key)
+	kv, ok, err := s.backendGet(key)
+	if err != nil {
+		return nil, false, err
+	}
 	if !ok {
 		return nil, false, nil
 	}
@@ -813,6 +971,11 @@ func (s *Server) fanout() {
 		s.pendingHead = 0
 	}
 	ev, deliver := s.interceptWatch(pd.ev)
+	if s.down {
+		// Crashed between dispatch and delivery: the notification dies with
+		// the process.
+		deliver = false
+	}
 	if deliver {
 		s.fanningOut++
 		for _, w := range s.watchers[:pd.n] {
@@ -903,6 +1066,9 @@ func watchVerb(t WatchEventType) Verb {
 // This subsumes the former get/getView split: every read is now "view"-cheap,
 // and immutability rather than copying provides the isolation.
 func (s *Server) get(kind spec.Kind, namespace, name string) (spec.Object, error) {
+	if s.down {
+		return nil, ErrTimeout
+	}
 	key := spec.Key(kind, namespace, name)
 	obj, ok := s.cache[key]
 	if !ok {
@@ -918,6 +1084,9 @@ func (s *Server) get(kind spec.Kind, namespace, name string) (spec.Object, error
 // get. The per-kind index makes this a binary search plus one contiguous
 // copy: no map iteration, no per-call sort, no per-item clone.
 func (s *Server) list(kind spec.Kind, namespace string) []spec.Object {
+	if s.down {
+		return nil
+	}
 	b := s.kindIndex[kind]
 	if b == nil || len(b.keys) == 0 {
 		return nil

@@ -15,23 +15,35 @@ type InjGroup string
 
 // Injection groups.
 const (
-	GroupBitFlip InjGroup = "Bit-flip"
-	GroupSet     InjGroup = "Value set"
-	GroupDrop    InjGroup = "Drop"
+	GroupBitFlip      InjGroup = "Bit-flip"
+	GroupSet          InjGroup = "Value set"
+	GroupDrop         InjGroup = "Drop"
+	GroupControlPlane InjGroup = "Control plane"
 )
 
 // InjGroups lists the groups in table order.
-func InjGroups() []InjGroup { return []InjGroup{GroupBitFlip, GroupSet, GroupDrop} }
+func InjGroups() []InjGroup {
+	return []InjGroup{GroupBitFlip, GroupSet, GroupDrop, GroupControlPlane}
+}
 
 // GroupOf buckets a fault type.
 func GroupOf(t inject.FaultType) InjGroup {
-	switch t {
-	case inject.SetValue:
+	switch {
+	case t.IsControlPlane():
+		return GroupControlPlane
+	case t == inject.SetValue:
 		return GroupSet
-	case inject.DropMessage:
+	case t == inject.DropMessage:
 		return GroupDrop
 	default: // BitFlip and FlipProtoByte are both single-bit corruptions
 		return GroupBitFlip
+	}
+}
+
+// ControlPlaneFaults lists the HA fault axes in table order.
+func ControlPlaneFaults() []inject.FaultType {
+	return []inject.FaultType{
+		inject.FaultAPIServerCrash, inject.FaultMasterPartition, inject.FaultStoreLoss,
 	}
 }
 
@@ -51,16 +63,24 @@ type Aggregate struct {
 	UserErrByOF map[workload.Kind]map[classify.OF]int
 	// Activation statistics (F1 discussion).
 	Fired, Activated int
+	// FailoverByFault / StaleByFault collect the HA windows (simulated ms
+	// per experiment) for each control-plane fault axis: how long the
+	// control plane was unresponsive, and how long some live store replica
+	// served a stale revision.
+	FailoverByFault map[inject.FaultType][]float64
+	StaleByFault    map[inject.FaultType][]float64
 }
 
 // NewAggregate returns an empty aggregate.
 func NewAggregate() *Aggregate {
 	return &Aggregate{
-		OFCounts:    make(map[workload.Kind]map[InjGroup]map[classify.OF]int),
-		CFCounts:    make(map[workload.Kind]map[InjGroup]map[classify.CF]int),
-		OFToCF:      make(map[workload.Kind]map[classify.OF]map[classify.CF]int),
-		ZByOF:       make(map[workload.Kind]map[classify.OF][]float64),
-		UserErrByOF: make(map[workload.Kind]map[classify.OF]int),
+		OFCounts:        make(map[workload.Kind]map[InjGroup]map[classify.OF]int),
+		CFCounts:        make(map[workload.Kind]map[InjGroup]map[classify.CF]int),
+		OFToCF:          make(map[workload.Kind]map[classify.OF]map[classify.CF]int),
+		ZByOF:           make(map[workload.Kind]map[classify.OF][]float64),
+		UserErrByOF:     make(map[workload.Kind]map[classify.OF]int),
+		FailoverByFault: make(map[inject.FaultType][]float64),
+		StaleByFault:    make(map[inject.FaultType][]float64),
 	}
 }
 
@@ -98,6 +118,11 @@ func (a *Aggregate) Add(res *Result) {
 		if res.Report.Activated {
 			a.Activated++
 		}
+	}
+	if res.Spec.Injection != nil && res.Spec.Injection.Type.IsControlPlane() {
+		t := res.Spec.Injection.Type
+		a.FailoverByFault[t] = append(a.FailoverByFault[t], res.FailoverMillis)
+		a.StaleByFault[t] = append(a.StaleByFault[t], res.StaleReadMillis)
 	}
 }
 

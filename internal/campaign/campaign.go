@@ -47,6 +47,12 @@ type Result struct {
 	Report      inject.Report
 	UserErrors  int
 	PodsCreated int
+	// FailoverMillis / StaleReadMillis carry the HA control-plane windows
+	// measured by the collector (milliseconds of simulated time the control
+	// plane was unresponsive, and some live store replica served stale
+	// reads). Zero on single-apiserver clusters.
+	FailoverMillis  float64
+	StaleReadMillis float64
 	// PropPersisted / PropErrored serve the Table VI propagation analysis.
 	PropPersisted bool
 	PropErrored   bool
@@ -208,12 +214,14 @@ func (r *Runner) RunObserved(spec Spec) (*Result, *classify.Observation) {
 	baseline := r.Baseline(spec.Workload)
 	obs, rep, _ := r.runExperiment(spec, true)
 	res := &Result{
-		Spec:        spec,
-		OF:          classify.ClassifyOF(obs, baseline),
-		CF:          classify.ClassifyCF(obs, baseline),
-		Z:           classify.ClientZ(obs, baseline),
-		UserErrors:  obs.UserErrors,
-		PodsCreated: obs.PodsCreated,
+		Spec:            spec,
+		OF:              classify.ClassifyOF(obs, baseline),
+		CF:              classify.ClassifyCF(obs, baseline),
+		Z:               classify.ClientZ(obs, baseline),
+		UserErrors:      obs.UserErrors,
+		PodsCreated:     obs.PodsCreated,
+		FailoverMillis:  obs.FailoverMillis,
+		StaleReadMillis: obs.StaleReadMillis,
 	}
 	if spec.Injection != nil {
 		res.Report = rep

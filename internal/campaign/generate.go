@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"strings"
+	"time"
 
 	"github.com/mutiny-sim/mutiny/internal/codec"
 	"github.com/mutiny-sim/mutiny/internal/inject"
@@ -150,6 +151,37 @@ func SemanticValues(path string, kind codec.FieldKind) []any {
 	default:
 		return []any{"wrong-value"}
 	}
+}
+
+// Control-plane fault-axis timeline: the fault strikes shortly after the
+// workload starts so the failover window overlaps the measurement window,
+// and heals with margin before the window closes so reconvergence is
+// observable too.
+const (
+	cpFaultAfter = 3 * time.Second
+	cpFaultHeal  = 18 * time.Second
+)
+
+// GenerateControlPlane derives the HA fault-axis campaign: per control-plane
+// replica, an apiserver crash (with restart), a master partition (healed),
+// and a store-replica loss (restored). Empty when the cluster is not
+// replicated — the axes need survivors to fail over to.
+func GenerateControlPlane(kind workload.Kind, replicas int) []Spec {
+	if replicas < 2 {
+		return nil
+	}
+	var specs []Spec
+	seed := campaignSeedBase(kind) + 900_000
+	for r := 0; r < replicas; r++ {
+		for _, t := range []inject.FaultType{
+			inject.FaultAPIServerCrash, inject.FaultMasterPartition, inject.FaultStoreLoss,
+		} {
+			in := inject.Injection{Type: t, Replica: r, After: cpFaultAfter, Heal: cpFaultHeal}
+			specs = append(specs, Spec{Workload: kind, Injection: &in, Seed: seed})
+			seed++
+		}
+	}
+	return specs
 }
 
 // ComponentKinds maps the injected component (Table VI) to the resource

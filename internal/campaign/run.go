@@ -15,6 +15,12 @@ type Config struct {
 	// campaign). The generated campaign is deterministic, so a stride
 	// subsamples it evenly across kinds, fields and fault models.
 	SampleStride int
+	// ControlPlaneReplicas sets the number of apiserver/store replicas in
+	// every experiment cluster (0 or 1 = the classic single control plane).
+	// With 2+ replicas the campaign additionally generates the HA fault
+	// axes — apiserver crash, master partition, store-replica loss — and the
+	// aggregate gains per-axis failover and stale-read-window statistics.
+	ControlPlaneReplicas int
 	// SkipRefinement disables the §V-C2 critical-field value-set round.
 	SkipRefinement bool
 	// SkipPropagation disables the §V-C4 component-channel experiments.
@@ -94,6 +100,7 @@ func RunCampaign(cfg Config) *Output {
 	runner.GoldenRuns = cfg.GoldenRuns
 	runner.Parallelism = workers
 	runner.ShareBootstrap = cfg.ShareBootstrap
+	runner.ClusterConfig.ControlPlaneReplicas = cfg.ControlPlaneReplicas
 
 	out := &Output{
 		Main:           NewAggregate(),
@@ -111,6 +118,7 @@ func RunCampaign(cfg Config) *Output {
 		recorders[wl] = rec
 		out.FieldsRecorded[wl] = len(rec.Fields())
 		mainSpecs = append(mainSpecs, sample(Generate(wl, rec), cfg.SampleStride)...)
+		mainSpecs = append(mainSpecs, sample(GenerateControlPlane(wl, cfg.ControlPlaneReplicas), cfg.SampleStride)...)
 		if !cfg.SkipPropagation {
 			for _, component := range PropagationComponents() {
 				propSpecs = append(propSpecs, sample(GeneratePropagation(wl, rec, component), cfg.SampleStride)...)

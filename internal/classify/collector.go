@@ -19,8 +19,9 @@ type Collector struct {
 	cl    *cluster.Cluster
 	admin *apiserver.Client
 
-	windowStart time.Duration
-	obs         Observation
+	windowStart  time.Duration
+	lastSampleAt time.Duration
+	obs          Observation
 
 	podCreatedAt map[string]time.Duration // uid → creation observed
 	podReadyAt   map[string]bool
@@ -51,6 +52,7 @@ func (c *Collector) UsePool(p *BufferPool) { c.pool = p }
 // Start opens the measurement window.
 func (c *Collector) Start() {
 	c.windowStart = c.cl.Loop.Now()
+	c.lastSampleAt = c.windowStart
 	c.obs.Samples = c.pool.getSamples()
 	c.cancels = append(c.cancels, c.admin.Watch(spec.KindPod, c.onPod))
 	c.ticker = c.cl.Loop.Every(samplePeriod, c.sample)
@@ -92,8 +94,23 @@ func (c *Collector) onPod(ev apiserver.WatchEvent) {
 }
 
 func (c *Collector) sample() {
+	// HA windows: charge the interval since the last scrape to the failover
+	// gap when the control plane cannot act right now, and to the stale-read
+	// window when a live store replica is serving a lagging revision. The
+	// scrape granularity mirrors the paper's 3 s Prometheus resolution.
+	now := c.cl.Loop.Now()
+	if dt := float64(now-c.lastSampleAt) / float64(time.Millisecond); dt > 0 {
+		if !c.cl.ControlPlaneResponsive() {
+			c.obs.FailoverMillis += dt
+		}
+		if c.cl.StoreLagMax() > 0 {
+			c.obs.StaleReadMillis += dt
+		}
+	}
+	c.lastSampleAt = now
+
 	// View reads: the scrape only tallies status fields.
-	s := Sample{At: c.cl.Loop.Now() - c.windowStart}
+	s := Sample{At: now - c.windowStart}
 	for _, ro := range c.admin.List(spec.KindReplicaSet, spec.DefaultNamespace) {
 		s.ReadyReplicas += ro.(*spec.ReplicaSet).Status.ReadyReplicas
 	}

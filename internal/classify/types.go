@@ -105,6 +105,15 @@ type Observation struct {
 	LastCreationMS   float64
 	SchedulerRestart int
 
+	// HA control-plane metrics, accumulated at the scrape period: simulated
+	// milliseconds of the window during which the control plane could not
+	// react (failover gap: no leading manager or no running scheduler), and
+	// during which some live store replica lagged the most advanced one (an
+	// apiserver serving stale reads). Both stay zero on single-apiserver
+	// clusters in nominal runs.
+	FailoverMillis  float64
+	StaleReadMillis float64
+
 	// End-of-window cluster health probes.
 	ControlPlaneResponsive bool
 	StoreQuotaExceeded     bool

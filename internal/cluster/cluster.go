@@ -110,6 +110,15 @@ func (c Config) withDefaults() Config {
 }
 
 // Cluster is one fully wired simulated cluster.
+//
+// With Config.ControlPlaneReplicas > 1 the control plane is highly available:
+// Servers holds one apiserver per replica (each bound to its own store
+// replica), Endpoints is the failover-aware client factory every component
+// uses, and Managers/Scheds hold one controller manager and scheduler per
+// replica, each pinned to its own apiserver (the co-located deployment kubeadm
+// builds) and leader-elected so exactly one of each is active. Server,
+// Manager and Scheduler always alias replica 0 for single-control-plane
+// callers.
 type Cluster struct {
 	cfg Config
 
@@ -121,6 +130,14 @@ type Cluster struct {
 	Net       *netsim.State
 	Kubelets  map[string]*kubelet.Kubelet
 	guard     *guard.Guard
+
+	// HA control plane (len 1 with a single replica; Endpoints nil then).
+	Servers   []*apiserver.Server
+	Managers  []*controller.Manager
+	Scheds    []*scheduler.Scheduler
+	Endpoints *apiserver.Endpoints
+	// source hands out clients: the Endpoints set when HA, Server otherwise.
+	source apiserver.ClientSource
 	// nodeOrder preserves kubelet creation order: Start/Stop must not
 	// iterate the Kubelets map, since map order would randomize heartbeat
 	// timer scheduling between runs and break bit-reproducibility.
@@ -191,21 +208,72 @@ func newBackend(loop *sim.Loop, cfg Config) store.Backend {
 // assemble wires all components over an existing loop and backend; shared by
 // New (empty backend) and Snapshot.Fork (restored backend).
 func assemble(cfg Config, loop *sim.Loop, backend store.Backend) *Cluster {
-	srv := apiserver.New(loop, backend, cfg.ServerOptions)
+	n := cfg.ControlPlaneReplicas
+	servers := make([]*apiserver.Server, n)
+	for i := range servers {
+		servers[i] = apiserver.NewAt(loop, backend, i, cfg.ServerOptions)
+		// Disjoint UID/IP residues per replica: replica i admits i, i+n,
+		// i+2n, ... so creates routed through different apiservers after a
+		// failover can never collide.
+		servers[i].SetAdmissionStride(i, n)
+	}
+	// One audit trail for the whole control plane, whichever replica served.
+	for i := 1; i < n; i++ {
+		servers[i].SetAudit(servers[0].Audit())
+	}
+	var source apiserver.ClientSource = servers[0]
+	var eps *apiserver.Endpoints
+	if n > 1 {
+		eps = apiserver.NewEndpoints(loop, servers...)
+		source = eps
+	}
+
+	// One manager/scheduler pair per control-plane replica, each pinned to
+	// its co-located apiserver; leader election picks the active pair. With
+	// election disabled there is deliberately only the replica-0 pair — N
+	// unelected active managers would all reconcile at once.
+	managers := make([]*controller.Manager, 0, n)
+	scheds := make([]*scheduler.Scheduler, 0, n)
+	for i := 0; i < n; i++ {
+		mopts := cfg.ManagerOptions
+		sopts := cfg.SchedulerOptions
+		if i > 0 {
+			if mopts.DisableLeaderElection || sopts.DisableLeaderElection {
+				break
+			}
+			mopts.Identity = fmt.Sprintf("kcm-%d", i)
+			sopts.Identity = fmt.Sprintf("kube-scheduler-%d", i)
+		}
+		managers = append(managers, controller.NewManager(loop, servers[i], mopts))
+		scheds = append(scheds, scheduler.New(loop, servers[i], sopts))
+	}
+
 	c := &Cluster{
 		cfg:        cfg,
 		Loop:       loop,
 		Backend:    backend,
-		Server:     srv,
-		Manager:    controller.NewManager(loop, srv, cfg.ManagerOptions),
-		Scheduler:  scheduler.New(loop, srv, cfg.SchedulerOptions),
-		Net:        netsim.New(loop, srv),
+		Server:     servers[0],
+		Servers:    servers,
+		Manager:    managers[0],
+		Managers:   managers,
+		Scheduler:  scheds[0],
+		Scheds:     scheds,
+		Endpoints:  eps,
+		source:     source,
+		Net:        netsim.New(loop, source),
 		Kubelets:   make(map[string]*kubelet.Kubelet),
 		monitoring: fmt.Sprintf("worker-%d", cfg.Workers-1),
 	}
+	if rep, ok := backend.(*store.Replicated); ok {
+		// The virtual network owns the master links; mirror its cuts into
+		// the replicated store's reachability.
+		c.Net.OnMasterLinkChange(func(isolated int) { c.applyMasterLinks(rep, isolated) })
+	}
 	if cfg.EnableFieldGuard {
-		c.guard = guard.New(loop, srv, c.guardHealth)
-		srv.SetStoreWriteHook(c.guard.Hook(nil))
+		c.guard = guard.New(loop, source, c.guardHealth)
+		for _, srv := range servers {
+			srv.SetStoreWriteHook(c.guard.Hook(nil))
+		}
 	}
 	c.addKubelet(ControlPlaneNode, 0, map[string]string{spec.LabelNodeRole: "control-plane"})
 	for i := 0; i < cfg.Workers; i++ {
@@ -221,7 +289,7 @@ func assemble(cfg Config, loop *sim.Loop, backend store.Backend) *Cluster {
 
 func (c *Cluster) addKubelet(name string, cidrIndex int, labels map[string]string) {
 	c.nodeOrder = append(c.nodeOrder, name)
-	c.Kubelets[name] = kubelet.New(c.Loop, c.Server, kubelet.Config{
+	c.Kubelets[name] = kubelet.New(c.Loop, c.source, kubelet.Config{
 		NodeName:         name,
 		CapacityMilliCPU: c.cfg.NodeMilliCPU,
 		CapacityMemMB:    c.cfg.NodeMemMB,
@@ -239,9 +307,10 @@ func (c *Cluster) monitoringNode() string {
 func (c *Cluster) MonitoringNode() string { return c.monitoringNode() }
 
 // Client returns an API client with the given identity ("kbench" for the
-// cluster user driving the workloads).
+// cluster user driving the workloads). In an HA control plane the client is
+// failover-aware.
 func (c *Cluster) Client(identity string) *apiserver.Client {
-	return c.Server.ClientFor(identity)
+	return c.source.ClientFor(identity)
 }
 
 // Start boots the cluster: registers nodes, installs the system workloads,
@@ -256,14 +325,42 @@ func (c *Cluster) Start() {
 	}
 	c.applyNodeRoles()
 	c.installSystemWorkloads()
-	c.Manager.Start()
-	c.Scheduler.Start()
+	// Stagger the standby control loops well past raft leader election and
+	// the first lease replication (~300 ms): a standby whose first tick runs
+	// before the leader's lease create reaches its own store replica would
+	// create a second, divergent lease through it — members join one
+	// kubeadm-join at a time, they don't race the first one.
+	c.startControlLoops(2 * time.Second)
+}
+
+// startControlLoops starts the replica-0 manager/scheduler immediately and
+// the standby pairs at i*stagger. Forks pass zero: their leases are restored
+// on every replica already, so there is nothing to race.
+func (c *Cluster) startControlLoops(stagger time.Duration) {
+	c.Managers[0].Start()
+	c.Scheds[0].Start()
+	for i := 1; i < len(c.Managers); i++ {
+		m, s := c.Managers[i], c.Scheds[i]
+		if stagger == 0 {
+			m.Start()
+			s.Start()
+			continue
+		}
+		c.Loop.After(time.Duration(i)*stagger, func() {
+			m.Start()
+			s.Start()
+		})
+	}
 }
 
 // Stop halts all components.
 func (c *Cluster) Stop() {
-	c.Manager.Stop()
-	c.Scheduler.Stop()
+	for _, m := range c.Managers {
+		m.Stop()
+	}
+	for _, s := range c.Scheds {
+		s.Stop()
+	}
 	for _, name := range c.nodeOrder {
 		c.Kubelets[name].Stop()
 	}
@@ -304,15 +401,25 @@ func (c *Cluster) systemReady(admin *apiserver.Client) bool {
 }
 
 // ControlPlaneResponsive reports whether the reconciliation machinery is
-// able to act: manager leading, scheduler running, store accepting writes.
+// able to act: some manager leading, some scheduler running, store accepting
+// writes. In an HA control plane any replica's active pair counts — the gap
+// between a leader's crash and a standby's takeover is exactly the window
+// this reports false for.
 func (c *Cluster) ControlPlaneResponsive() bool {
-	if !c.Manager.IsLeading() || !c.Scheduler.IsRunning() {
+	leading, running := false, false
+	for _, m := range c.Managers {
+		leading = leading || m.IsLeading()
+	}
+	for _, s := range c.Scheds {
+		running = running || s.IsRunning()
+	}
+	if !leading || !running {
 		return false
 	}
 	if st, ok := c.Backend.(*store.Store); ok && st.QuotaExceeded() {
 		return false
 	}
-	if rep, ok := c.Backend.(*store.Replicated); ok && rep.Primary().QuotaExceeded() {
+	if rep, ok := c.Backend.(*store.Replicated); ok && rep.QuotaExceeded() {
 		return false
 	}
 	return true
@@ -323,18 +430,24 @@ func (c *Cluster) Guard() *guard.Guard { return c.guard }
 
 // AttachInjector wires an injector into the cluster's channels, preserving
 // the guard's observation point (the guard must see the tampered bytes, just
-// as it would see the corrupted transaction in a real deployment).
+// as it would see the corrupted transaction in a real deployment). Every
+// apiserver replica gets the hooks — a fault must fire no matter which
+// replica serves the matching message — and the injector gets the cluster as
+// its control-plane handle for the time-triggered fault axes.
 func (c *Cluster) AttachInjector(j *inject.Injector) {
-	if c.guard != nil {
-		c.Server.SetStoreWriteHook(c.guard.Hook(j.StoreHook()))
-		c.Server.SetRequestHook(j.RequestHook())
-		c.Server.SetRequestWireGate(j.WantsRequestWire)
-		c.Server.SetWatchHook(j.WatchHook())
-		c.Server.SetWatchGate(j.WantsWatchChannel)
-		c.Server.SetAccessHook(j.AccessHook())
-		return
+	for _, srv := range c.Servers {
+		if c.guard != nil {
+			srv.SetStoreWriteHook(c.guard.Hook(j.StoreHook()))
+			srv.SetRequestHook(j.RequestHook())
+			srv.SetRequestWireGate(j.WantsRequestWire)
+			srv.SetWatchHook(j.WatchHook())
+			srv.SetWatchGate(j.WantsWatchChannel)
+			srv.SetAccessHook(j.AccessHook())
+			continue
+		}
+		j.AttachTo(srv)
 	}
-	j.AttachTo(c.Server)
+	j.AttachControlPlane(c)
 }
 
 func (c *Cluster) guardHealth() guard.Health {
@@ -364,4 +477,99 @@ func (c *Cluster) RecoverNode(name string) {
 	if k, ok := c.Kubelets[name]; ok {
 		k.SetDown(false)
 	}
+}
+
+// --- control-plane fault axes -------------------------------------------------
+//
+// These implement inject.ControlPlane: the time-triggered HA fault axes act
+// through them. They are also callable directly from tests and scenarios.
+
+// Replicas returns the number of control-plane replicas.
+func (c *Cluster) Replicas() int { return len(c.Servers) }
+
+// CrashAPIServer kills apiserver replica i: it stops serving (requests time
+// out, watches fall silent) and every client homed on it fails over — the
+// eager sweep models the broken TCP connections a crashed apiserver leaves.
+func (c *Cluster) CrashAPIServer(i int) {
+	c.Servers[i].SetDown(true)
+	if c.Endpoints != nil {
+		c.Endpoints.NoteServerDown(i)
+	}
+}
+
+// RestartAPIServer brings a crashed apiserver replica back: it rebuilds its
+// watch cache from its store replica and resumes serving.
+func (c *Cluster) RestartAPIServer(i int) {
+	c.Servers[i].SetDown(false)
+}
+
+// PartitionMasters isolates control-plane replica i from its peers at the
+// network level: its store replica loses quorum (writes through apiserver i
+// fail, clients fail over), while its apiserver keeps serving progressively
+// staler reads — the stale-read window the campaign measures.
+func (c *Cluster) PartitionMasters(i int) {
+	c.Net.PartitionMasters(i)
+}
+
+// HealMasters reconnects the control-plane replicas; the replicated store
+// flushes writes queued on the majority side and the isolated replica
+// catches up.
+func (c *Cluster) HealMasters() {
+	c.Net.HealMasters()
+}
+
+// applyMasterLinks mirrors the network's master-link state into the
+// replicated store's reachability.
+func (c *Cluster) applyMasterLinks(rep *store.Replicated, isolated int) {
+	if isolated < 0 {
+		rep.Heal()
+		return
+	}
+	rest := make([]int, 0, rep.Replicas()-1)
+	for i := 0; i < rep.Replicas(); i++ {
+		if i != isolated {
+			rest = append(rest, i)
+		}
+	}
+	rep.Partition([]int{isolated}, rest)
+}
+
+// DropStoreReplica destroys the backing store replica of apiserver i — disk
+// loss under one etcd member. The member leaves the raft group; reads and
+// writes through apiserver i fail until the replica is restored.
+func (c *Cluster) DropStoreReplica(i int) {
+	if rep, ok := c.Backend.(*store.Replicated); ok {
+		rep.DropReplica(i)
+	}
+}
+
+// RestoreStoreReplica rebuilds store replica i from a surviving member's
+// snapshot and restarts apiserver i over it.
+func (c *Cluster) RestoreStoreReplica(i int) {
+	if rep, ok := c.Backend.(*store.Replicated); ok {
+		rep.RestoreReplica(i)
+		c.Servers[i].Restart()
+	}
+}
+
+// StoreLagMax returns the largest revision lag of any live store replica
+// behind the most advanced one — 0 when converged or with a single store.
+// A positive lag means some apiserver is serving a stale view: the
+// campaign's stale-read-window probe.
+func (c *Cluster) StoreLagMax() int64 {
+	rep, ok := c.Backend.(*store.Replicated)
+	if !ok {
+		return 0
+	}
+	max := rep.MaxRevision()
+	var lag int64
+	for i := 0; i < rep.Replicas(); i++ {
+		if rep.ReplicaDown(i) {
+			continue
+		}
+		if d := max - rep.RevisionAt(i); d > lag {
+			lag = d
+		}
+	}
+	return lag
 }

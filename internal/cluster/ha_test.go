@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/store"
+)
+
+// bootHA boots a three-replica control plane and lets the standby control
+// loops join (they are staggered 2 s apart).
+func bootHA(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	c := New(Config{Seed: seed, ControlPlaneReplicas: 3})
+	c.Start()
+	if !c.AwaitSettled(30 * time.Second) {
+		t.Fatal("HA cluster did not settle within 30s of simulated time")
+	}
+	c.Loop.RunUntil(c.Loop.Now() + 6*time.Second)
+	return c
+}
+
+// awaitDeploymentReady drives the loop until the deployment reports all
+// replicas ready, or the deadline passes.
+func awaitDeploymentReady(t *testing.T, c *Cluster, name string, deadline time.Duration) {
+	t.Helper()
+	admin := c.Client("test")
+	limit := c.Loop.Now() + deadline
+	for c.Loop.Now() < limit {
+		c.Loop.RunUntil(c.Loop.Now() + time.Second)
+		obj, err := admin.Get(spec.KindDeployment, spec.DefaultNamespace, name)
+		if err != nil {
+			continue
+		}
+		if d := obj.(*spec.Deployment); d.Status.ReadyReplicas >= d.Spec.Replicas {
+			return
+		}
+	}
+	t.Fatalf("deployment %s not ready within %v", name, deadline)
+}
+
+// An apiserver crash must not take the cluster down: clients fail over to the
+// surviving replicas, a standby manager/scheduler pair takes over after the
+// lease expires, and the workload completes.
+func TestHAAPIServerCrashFailover(t *testing.T) {
+	c := bootHA(t, 5001)
+
+	c.CrashAPIServer(0)
+	// The replica-0 leaders lose their leases; a standby takes over within
+	// roughly lease duration + retry interval (~17 s). Give it 25 s.
+	limit := c.Loop.Now() + 25*time.Second
+	for c.Loop.Now() < limit && !c.ControlPlaneResponsive() {
+		c.Loop.RunUntil(c.Loop.Now() + 500*time.Millisecond)
+	}
+	if !c.ControlPlaneResponsive() {
+		t.Fatal("control plane never recovered after apiserver crash")
+	}
+
+	// The workload proceeds against the survivors.
+	admin := c.Client("kbench")
+	if err := admin.Create(appDeployment("crash-ride", 2)); err != nil {
+		t.Fatalf("create after crash: %v", err)
+	}
+	awaitDeploymentReady(t, c, "crash-ride", 40*time.Second)
+
+	// The restarted replica rejoins and serves again.
+	c.RestartAPIServer(0)
+	c.Loop.RunUntil(c.Loop.Now() + 5*time.Second)
+	if c.Servers[0].Down() {
+		t.Fatal("restarted apiserver still down")
+	}
+	c.Stop()
+}
+
+// A master partition isolates one replica: its apiserver serves stale reads
+// and fails writes, the majority side keeps the cluster alive, and healing
+// reconverges the replicas.
+func TestHAMasterPartitionHeals(t *testing.T) {
+	c := bootHA(t, 5002)
+	rep := c.Backend.(*store.Replicated)
+
+	c.PartitionMasters(0)
+	// Leadership moves to the majority side (the replica-0 leaders cannot
+	// renew through their quorumless apiserver).
+	limit := c.Loop.Now() + 40*time.Second
+	for c.Loop.Now() < limit {
+		c.Loop.RunUntil(c.Loop.Now() + time.Second)
+		if c.ControlPlaneResponsive() && !c.Managers[0].IsLeading() {
+			break
+		}
+	}
+	if c.Managers[0].IsLeading() {
+		t.Fatal("isolated manager still claims leadership after partition")
+	}
+	if !c.ControlPlaneResponsive() {
+		t.Fatal("majority side never took over during partition")
+	}
+
+	// Writes land on the majority side; the isolated replica falls behind.
+	admin := c.Client("kbench")
+	if err := admin.Create(appDeployment("split-ride", 2)); err != nil {
+		t.Fatalf("create during partition: %v", err)
+	}
+	// Observe through a majority-side server: a client homed on the isolated
+	// apiserver would read its stale cache — the stale-read window itself —
+	// and never see the deployment land.
+	probe := c.Servers[1].ClientFor("probe")
+	ready := false
+	for end := c.Loop.Now() + 40*time.Second; c.Loop.Now() < end && !ready; {
+		c.Loop.RunUntil(c.Loop.Now() + time.Second)
+		if obj, err := probe.Get(spec.KindDeployment, spec.DefaultNamespace, "split-ride"); err == nil {
+			d := obj.(*spec.Deployment)
+			ready = d.Status.ReadyReplicas >= d.Spec.Replicas
+		}
+	}
+	if !ready {
+		t.Fatal("deployment did not become ready on the majority side")
+	}
+	// Meanwhile the isolated apiserver still answers — with the old view.
+	if _, err := c.Servers[0].ClientFor("stale-probe").Get(spec.KindDeployment, spec.DefaultNamespace, "split-ride"); err == nil {
+		t.Fatal("isolated replica already sees the majority-side deployment")
+	}
+	if lag := c.StoreLagMax(); lag == 0 {
+		t.Fatal("isolated replica reports no revision lag during partition")
+	}
+
+	c.HealMasters()
+	c.Loop.RunUntil(c.Loop.Now() + 10*time.Second)
+	if lag := c.StoreLagMax(); lag != 0 {
+		t.Fatalf("replicas did not reconverge after heal: lag %d", lag)
+	}
+	for i := 0; i < rep.Replicas(); i++ {
+		if rep.ReplicaDown(i) {
+			t.Fatalf("replica %d down after heal", i)
+		}
+	}
+	c.Stop()
+}
+
+// Dropping a store replica leaves its apiserver unusable (clients fail over);
+// restoring it from a surviving member brings both back.
+func TestHAStoreLossAndRestore(t *testing.T) {
+	c := bootHA(t, 5003)
+	rep := c.Backend.(*store.Replicated)
+
+	c.DropStoreReplica(1)
+	if !rep.ReplicaDown(1) {
+		t.Fatal("dropped replica not marked down")
+	}
+	admin := c.Client("kbench")
+	if err := admin.Create(appDeployment("loss-ride", 2)); err != nil {
+		t.Fatalf("create after store loss: %v", err)
+	}
+	awaitDeploymentReady(t, c, "loss-ride", 40*time.Second)
+
+	c.RestoreStoreReplica(1)
+	c.Loop.RunUntil(c.Loop.Now() + 5*time.Second)
+	if rep.ReplicaDown(1) {
+		t.Fatal("restored replica still down")
+	}
+	if lag := c.StoreLagMax(); lag != 0 {
+		t.Fatalf("restored replica lags after state transfer: lag %d", lag)
+	}
+	// The restored replica serves reads again through its apiserver.
+	if _, err := c.Servers[1].ClientFor("probe").Get(spec.KindDeployment, spec.DefaultNamespace, "loss-ride"); err != nil {
+		t.Fatalf("read through restored replica: %v", err)
+	}
+	c.Stop()
+}
+
+// The same HA fault scenario under the same seed is bit-reproducible.
+func TestHACrashScenarioDeterministic(t *testing.T) {
+	run := func() (int64, int, int) {
+		c := New(Config{Seed: 5004, ControlPlaneReplicas: 3})
+		c.Start()
+		if !c.AwaitSettled(30 * time.Second) {
+			t.Fatal("did not settle")
+		}
+		c.Loop.RunUntil(c.Loop.Now() + 6*time.Second)
+		c.CrashAPIServer(0)
+		c.Loop.RunUntil(c.Loop.Now() + 20*time.Second)
+		admin := c.Client("kbench")
+		_ = admin.Create(appDeployment("det-ha", 2))
+		c.Loop.RunUntil(c.Loop.Now() + 30*time.Second)
+		c.RestartAPIServer(0)
+		c.Loop.RunUntil(c.Loop.Now() + 10*time.Second)
+		rev := c.Backend.Revision()
+		pods := len(admin.List(spec.KindPod, ""))
+		errs := c.Server.Audit().ErrorsBy("kbench")
+		c.Stop()
+		return rev, pods, errs
+	}
+	rev1, pods1, errs1 := run()
+	rev2, pods2, errs2 := run()
+	if rev1 != rev2 || pods1 != pods2 || errs1 != errs2 {
+		t.Fatalf("same-seed HA crash runs diverged: rev %d/%d pods %d/%d errs %d/%d",
+			rev1, rev2, pods1, pods2, errs1, errs2)
+	}
+}

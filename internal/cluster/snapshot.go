@@ -35,8 +35,11 @@ type Snapshot struct {
 	now      time.Duration
 	executed int64
 
-	store    *store.Snapshot
-	server   apiserver.Snapshot
+	store *store.Snapshot
+	// servers holds one snapshot per control-plane replica (len 1 without
+	// HA): admission counters differ per replica (strided residues), audit
+	// copies are identical (shared trail) and restore idempotently.
+	servers  []apiserver.Snapshot
 	nameSeq  int64
 	kubelets map[string]kubelet.Snapshot
 }
@@ -70,9 +73,11 @@ func (c *Cluster) Snapshot() *Snapshot {
 		now:      c.Loop.Now(),
 		executed: c.Loop.EventsExecuted(),
 		store:    store.CaptureSnapshot(c.Backend),
-		server:   c.Server.Snapshot(),
 		nameSeq:  c.Manager.NameSeq(),
 		kubelets: make(map[string]kubelet.Snapshot, len(c.Kubelets)),
+	}
+	for _, srv := range c.Servers {
+		snap.servers = append(snap.servers, srv.Snapshot())
 	}
 	for _, name := range c.nodeOrder {
 		snap.kubelets[name] = c.Kubelets[name].Snapshot()
@@ -94,13 +99,20 @@ func (s *Snapshot) Fork(seed int64) *Cluster {
 	backend := newBackend(loop, cfg)
 	store.RestoreSnapshot(backend, s.store)
 	c := assemble(cfg, loop, backend)
-	// Rebuild the watch cache from the restored store and resume the
-	// admission counters before any component starts issuing requests.
-	c.Server.RestoreSnapshot(s.server)
+	// Rebuild each replica's watch cache from the restored store and resume
+	// its admission counters before any component starts issuing requests.
+	for i, srv := range c.Servers {
+		srv.RestoreSnapshot(s.servers[i])
+	}
 	// Seed-derived UID skew: replayed runs never reach the window with
 	// exactly the same UID counter (bootstrap length varies per seed), and
 	// per-pod behavior keyed on UIDs must keep that run-to-run variability.
-	c.Server.SkewUIDCounter(loop.Rand().Int63n(1000))
+	// Every replica skews by the same amount, preserving the disjoint
+	// per-replica residues the admission stride established.
+	skew := loop.Rand().Int63n(1000)
+	for _, srv := range c.Servers {
+		srv.SkewUIDCounter(skew)
+	}
 	c.Manager.ResumeNameSeq(s.nameSeq)
 
 	// Kubelets adopt their pods before starting, so the pod watch treats
@@ -121,8 +133,7 @@ func (s *Snapshot) Fork(seed int64) *Cluster {
 	// leadership on the first tick, and the controllers and scheduler prime
 	// their caches from the store exactly as after a component restart.
 	c.Net.Prime()
-	c.Manager.Start()
-	c.Scheduler.Start()
+	c.startControlLoops(0)
 	// Run a seed-random phase dither so this fork's component timers
 	// de-phase from every other fork's (see forkDither).
 	loop.RunUntil(loop.Now() + time.Duration(loop.Rand().Int63n(int64(forkDither))))

@@ -91,8 +91,9 @@ var viewKinds = []spec.Kind{
 	spec.KindService, spec.KindEndpoints, spec.KindNode,
 }
 
-// NewManager builds a controller manager against the given API server.
-func NewManager(loop *sim.Loop, srv *apiserver.Server, opts Options) *Manager {
+// NewManager builds a controller manager against the given API server (or,
+// in an HA control plane, against a failover-aware endpoint set).
+func NewManager(loop *sim.Loop, srv apiserver.ClientSource, opts Options) *Manager {
 	if opts.Identity == "" {
 		opts.Identity = managerIdentity + "-0"
 	}

@@ -64,6 +64,9 @@ type Elector struct {
 	leading bool
 	ticker  sim.Timer
 	stopped bool
+	// lastContact is the loop time of the last successful lease read; a
+	// leader out of contact longer than LeaseDuration self-demotes.
+	lastContact time.Duration
 }
 
 // New creates an elector; call Start to begin campaigning.
@@ -78,9 +81,39 @@ func (e *Elector) Start() {
 	e.ticker = e.loop.Every(e.cfg.RetryInterval, e.tick)
 }
 
-// Stop halts campaigning; if leading, leadership is relinquished locally
-// (the lease simply expires for everyone else).
+// Stop halts campaigning cleanly; a leading elector releases its lease
+// (clears the holder identity) so other candidates take over at their next
+// retry tick instead of waiting out the full lease duration. A crash is
+// modelled by Abandon, which leaves the lease to expire.
 func (e *Elector) Stop() {
+	wasLeading := e.leading
+	e.Abandon()
+	if wasLeading {
+		e.release(3)
+	}
+}
+
+func (e *Elector) release(attempts int) {
+	obj, err := e.client.Get(spec.KindLease, spec.SystemNamespace, e.cfg.LeaseName)
+	if err != nil {
+		return // control plane unreachable: the lease expires like a crash
+	}
+	lease, ok := obj.(*spec.Lease)
+	if !ok || lease.Spec.HolderIdentity != e.cfg.Identity {
+		return
+	}
+	lease = spec.CloneForWriteAs(lease) // sealed cache reference
+	lease.Spec.HolderIdentity = ""
+	if err := e.client.Update(lease); errors.Is(err, apiserver.ErrConflict) && attempts > 1 {
+		// The watch cache can trail the store by a watch latency right after
+		// a renewal; retry once it catches up.
+		e.loop.After(5*time.Millisecond, func() { e.release(attempts - 1) })
+	}
+}
+
+// Abandon halts campaigning without touching the lease — crash semantics:
+// for everyone else the lease only expires after LeaseDuration.
+func (e *Elector) Abandon() {
 	e.stopped = true
 	e.ticker.Stop()
 	if e.leading {
@@ -114,17 +147,23 @@ func (e *Elector) tick() {
 		return
 	case err != nil:
 		// The control plane is unavailable: a leader that cannot renew must
-		// assume it lost the lease once the lease duration elapses. Handled
-		// implicitly by other candidates taking over; keep leading locally
-		// until observed otherwise.
+		// assume it lost the lease once the lease duration elapses — the
+		// client-go contract that keeps two leaders from acting at once when
+		// this replica's apiserver is the one that crashed.
+		if e.leading && e.loop.Now()-e.lastContact > e.cfg.LeaseDuration {
+			e.loseLeadership()
+		}
 		return
 	}
+	e.lastContact = e.loop.Now()
 
 	lease, ok := obj.(*spec.Lease)
 	if !ok {
 		return
 	}
-	expired := nowMillis-lease.Spec.RenewMillis > e.cfg.LeaseDuration.Milliseconds()
+	// An empty holder identity is a released lease: immediately contestable.
+	expired := lease.Spec.HolderIdentity == "" ||
+		nowMillis-lease.Spec.RenewMillis > e.cfg.LeaseDuration.Milliseconds()
 	switch {
 	case lease.Spec.HolderIdentity == e.cfg.Identity:
 		// Renew on the renew interval, not on every retry tick: holding the
@@ -136,6 +175,7 @@ func (e *Elector) tick() {
 			e.becomeLeader()
 			return
 		}
+		lastRenew := lease.Spec.RenewMillis
 		lease = spec.CloneForWriteAs(lease) // sealed cache reference
 		lease.Spec.RenewMillis = nowMillis
 		if err := e.client.Update(lease); err == nil {
@@ -143,6 +183,13 @@ func (e *Elector) tick() {
 		} else if errors.Is(err, apiserver.ErrConflict) {
 			// Someone rewrote the lease under us: resolve next tick.
 			return
+		} else if nowMillis-lastRenew > e.cfg.LeaseDuration.Milliseconds() {
+			// Renewals have failed for a full lease duration — e.g. our
+			// apiserver's store replica lost quorum, so reads still answer
+			// from its cache but writes bounce. For the rest of the cluster
+			// the lease has expired; assume we lost it (client-go's renew
+			// deadline), so the healthy side's standby is the only leader.
+			e.loseLeadership()
 		}
 	case expired:
 		lease = spec.CloneForWriteAs(lease) // sealed cache reference

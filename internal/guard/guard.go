@@ -90,7 +90,7 @@ type probationWatch struct {
 }
 
 // New builds a guard. health supplies the cluster's current vital signs.
-func New(loop *sim.Loop, srv *apiserver.Server, health func() Health) *Guard {
+func New(loop *sim.Loop, srv apiserver.ClientSource, health func() Health) *Guard {
 	return &Guard{
 		loop:    loop,
 		client:  srv.ClientFor("field-guard"),

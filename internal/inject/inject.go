@@ -83,6 +83,24 @@ const (
 	// FlipProtoByte flips a random bit of the serialized message, exercising
 	// the serialization protocol (undecodable or field-shifted objects).
 	FlipProtoByte
+
+	// The control-plane fault axes are time-triggered rather than
+	// message-triggered: they fire at Injection.After on the simulation clock
+	// and act on the control plane itself instead of a message in flight.
+
+	// FaultAPIServerCrash kills apiserver replica Replica; with a Heal window
+	// the replica restarts after it. Surviving replicas keep serving and
+	// clients fail over to them.
+	FaultAPIServerCrash
+	// FaultMasterPartition splits the control-plane nodes: replica Replica is
+	// isolated from the rest (its store replica loses quorum, its apiserver
+	// serves stale reads and fails writes). Heal rejoins it.
+	FaultMasterPartition
+	// FaultStoreLoss drops the backing store replica of apiserver Replica —
+	// disk loss under one etcd member. With a Heal window the member is
+	// restored from a snapshot of a surviving replica; without one the loss
+	// is permanent and quorum reads decide visibility.
+	FaultStoreLoss
 )
 
 func (t FaultType) String() string {
@@ -95,6 +113,12 @@ func (t FaultType) String() string {
 		return "drop"
 	case FlipProtoByte:
 		return "proto-byte"
+	case FaultAPIServerCrash:
+		return "apiserver-crash"
+	case FaultMasterPartition:
+		return "master-partition"
+	case FaultStoreLoss:
+		return "store-loss"
 	default:
 		return fmt.Sprintf("FaultType(%d)", int(t))
 	}
@@ -126,6 +150,20 @@ type Injection struct {
 	// When: the occurrence index (1-based) of messages related to the same
 	// resource instance.
 	Occurrence int
+
+	// Control-plane faults (FaultAPIServerCrash, FaultMasterPartition,
+	// FaultStoreLoss) are located and timed by the fields below instead of
+	// kind/field/occurrence.
+
+	// Replica is the control-plane replica index the fault targets.
+	Replica int
+	// After is the simulation time (from arming) at which the fault fires.
+	After time.Duration
+	// Heal, when positive, is the simulation time (from arming) at which the
+	// fault is undone: the crashed apiserver restarts, the partition heals,
+	// the lost store replica is restored. Zero means the fault persists for
+	// the rest of the experiment.
+	Heal time.Duration
 }
 
 // Label renders a compact human-readable description.
@@ -139,9 +177,24 @@ func (in Injection) Label() string {
 		return fmt.Sprintf("%s %s drop occ=%d", in.Channel, in.Kind, in.Occurrence)
 	case FlipProtoByte:
 		return fmt.Sprintf("%s %s proto-byte occ=%d", in.Channel, in.Kind, in.Occurrence)
+	case FaultAPIServerCrash, FaultMasterPartition, FaultStoreLoss:
+		if in.Heal > 0 {
+			return fmt.Sprintf("control-plane %s replica=%d after=%v heal=%v", in.Type, in.Replica, in.After, in.Heal)
+		}
+		return fmt.Sprintf("control-plane %s replica=%d after=%v", in.Type, in.Replica, in.After)
 	default:
 		return fmt.Sprintf("%s %s ? occ=%d", in.Channel, in.Kind, in.Occurrence)
 	}
+}
+
+// IsControlPlane reports whether t is a time-triggered control-plane fault
+// rather than a message-channel fault.
+func (t FaultType) IsControlPlane() bool {
+	switch t {
+	case FaultAPIServerCrash, FaultMasterPartition, FaultStoreLoss:
+		return true
+	}
+	return false
 }
 
 // Report describes what the injector actually did.
@@ -154,6 +207,24 @@ type Report struct {
 	// OldValue and NewValue hold the field values around a field fault.
 	OldValue any
 	NewValue any
+	// Healed and HealedAt record the undoing of a control-plane fault.
+	Healed   bool
+	HealedAt time.Duration
+}
+
+// ControlPlane is what a control-plane fault needs from the cluster: crash and
+// restart one apiserver replica, partition one master from the rest and heal
+// the split, drop and restore one backing store replica. Implemented by
+// *cluster.Cluster (the injector cannot import it — the cluster imports the
+// injector).
+type ControlPlane interface {
+	CrashAPIServer(replica int)
+	RestartAPIServer(replica int)
+	PartitionMasters(isolated int)
+	HealMasters()
+	DropStoreReplica(replica int)
+	RestoreStoreReplica(replica int)
+	Replicas() int
 }
 
 // Injector arms one injection and implements the API server hooks.
@@ -163,6 +234,9 @@ type Injector struct {
 	armed  *Injection
 	counts map[string]int
 	report Report
+
+	cp          ControlPlane
+	faultTimers []sim.Timer
 }
 
 // New creates an idle injector.
@@ -233,9 +307,15 @@ func (j *Injector) AccessHook() func(key string) {
 	}
 }
 
+// AttachControlPlane gives the injector the handle the control-plane fault
+// axes act on. Message-channel campaigns never need it.
+func (j *Injector) AttachControlPlane(cp ControlPlane) { j.cp = cp }
+
 // Arm programs the injection; the next matching message occurrence fires it.
 // Mirrors the campaign manager "configuring the injection trigger by sending
 // the triplet (where, when, what) ... to the injected component".
+// Control-plane faults are timed, not message-matched: Arm schedules them on
+// the simulation clock at After (and their heal at Heal).
 func (j *Injector) Arm(in Injection) {
 	cp := in
 	if cp.Occurrence <= 0 {
@@ -244,17 +324,84 @@ func (j *Injector) Arm(in Injection) {
 	j.armed = &cp
 	j.counts = make(map[string]int)
 	j.report = Report{}
+	if cp.Type.IsControlPlane() {
+		j.armControlPlane(&cp)
+	}
 }
 
 // Disarm cancels any pending injection (the report is preserved).
-func (j *Injector) Disarm() { j.armed = nil }
+func (j *Injector) Disarm() {
+	j.armed = nil
+	for _, t := range j.faultTimers {
+		t.Stop()
+	}
+	j.faultTimers = nil
+}
+
+func (j *Injector) armControlPlane(in *Injection) {
+	if j.cp == nil {
+		return // no control plane attached (single-server assembly)
+	}
+	j.faultTimers = append(j.faultTimers, j.loop.After(in.After, func() {
+		if j.armed != in {
+			return
+		}
+		j.fireControlPlane(in)
+	}))
+	if in.Heal > 0 {
+		j.faultTimers = append(j.faultTimers, j.loop.After(in.Heal, func() {
+			if j.armed != in || !j.report.Fired {
+				return
+			}
+			j.healControlPlane(in)
+		}))
+	}
+}
+
+func (j *Injector) fireControlPlane(in *Injection) {
+	replica := in.Replica % j.cp.Replicas()
+	switch in.Type {
+	case FaultAPIServerCrash:
+		j.cp.CrashAPIServer(replica)
+		j.report.Instance = fmt.Sprintf("control-plane/apiserver-%d", replica)
+	case FaultMasterPartition:
+		j.cp.PartitionMasters(replica)
+		j.report.Instance = fmt.Sprintf("control-plane/master-%d", replica)
+	case FaultStoreLoss:
+		j.cp.DropStoreReplica(replica)
+		j.report.Instance = fmt.Sprintf("control-plane/store-%d", replica)
+	default:
+		return
+	}
+	j.report.Fired = true
+	j.report.FiredAt = j.loop.Now()
+	// The fault acts on the control plane itself, not one resource instance:
+	// it is activated by construction the moment it fires.
+	j.report.Activated = true
+}
+
+func (j *Injector) healControlPlane(in *Injection) {
+	replica := in.Replica % j.cp.Replicas()
+	switch in.Type {
+	case FaultAPIServerCrash:
+		j.cp.RestartAPIServer(replica)
+	case FaultMasterPartition:
+		j.cp.HealMasters()
+	case FaultStoreLoss:
+		j.cp.RestoreStoreReplica(replica)
+	default:
+		return
+	}
+	j.report.Healed = true
+	j.report.HealedAt = j.loop.Now()
+}
 
 // Report returns what happened.
 func (j *Injector) Report() Report { return j.report }
 
 func (j *Injector) intercept(ch Channel, m *apiserver.Message) apiserver.Action {
 	in := j.armed
-	if in == nil || j.report.Fired || in.Channel != ch || in.Kind != m.Kind {
+	if in == nil || in.Type.IsControlPlane() || j.report.Fired || in.Channel != ch || in.Kind != m.Kind {
 		return apiserver.Pass
 	}
 	if ch == ChannelRequest && in.SourcePrefix != "" && !hasPrefix(m.Source, in.SourcePrefix) {

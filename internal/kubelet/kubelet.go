@@ -99,7 +99,7 @@ type podRuntime struct {
 }
 
 // New builds a kubelet and registers (or refreshes) its Node object.
-func New(loop *sim.Loop, srv *apiserver.Server, cfg Config) *Kubelet {
+func New(loop *sim.Loop, srv apiserver.ClientSource, cfg Config) *Kubelet {
 	k := &Kubelet{
 		loop:   loop,
 		client: srv.ClientFor("kubelet-" + cfg.NodeName),

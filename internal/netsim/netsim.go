@@ -81,11 +81,18 @@ type State struct {
 	rr       map[string]int // round-robin counter per clusterIP
 	reqTimes map[string][]time.Duration
 
+	// masterIsolated is the control-plane replica currently cut off from its
+	// peers by a master partition, or -1 when the links are intact. The
+	// network owns the link state; the cluster mirrors it into the replicated
+	// store via the change callback.
+	masterIsolated int
+	onMasterLink   func(isolated int)
+
 	cancels []func()
 }
 
 // New builds the network state and subscribes to the control plane.
-func New(loop *sim.Loop, srv *apiserver.Server) *State {
+func New(loop *sim.Loop, srv apiserver.ClientSource) *State {
 	s := &State{
 		loop:             loop,
 		client:           srv.ClientFor("netsim"),
@@ -99,6 +106,7 @@ func New(loop *sim.Loop, srv *apiserver.Server) *State {
 		podsByIP:         make(map[string]*spec.Pod),
 		rr:               make(map[string]int),
 		reqTimes:         make(map[string][]time.Duration),
+		masterIsolated:   -1,
 	}
 	s.cancels = append(s.cancels,
 		s.client.Watch(spec.KindService, s.onService),
@@ -116,6 +124,46 @@ func (s *State) Close() {
 		cancel()
 	}
 }
+
+// --- control-plane (master) link state ---------------------------------------
+//
+// The virtual network also owns the links between control-plane replicas: a
+// master partition is a network event, so the fault axis cuts links here and
+// the cluster mirrors the state into the replicated store's reachability.
+
+// OnMasterLinkChange registers the callback fired whenever the master link
+// state changes; isolated is the cut-off replica index, or -1 on heal.
+func (s *State) OnMasterLinkChange(fn func(isolated int)) { s.onMasterLink = fn }
+
+// PartitionMasters cuts control-plane replica isolated off from its peers.
+func (s *State) PartitionMasters(isolated int) {
+	if s.masterIsolated == isolated {
+		return
+	}
+	s.masterIsolated = isolated
+	if s.onMasterLink != nil {
+		s.onMasterLink(isolated)
+	}
+}
+
+// HealMasters restores all master links.
+func (s *State) HealMasters() {
+	if s.masterIsolated < 0 {
+		return
+	}
+	s.masterIsolated = -1
+	if s.onMasterLink != nil {
+		s.onMasterLink(-1)
+	}
+}
+
+// MasterLinkUp reports whether control-plane replicas a and b can talk.
+func (s *State) MasterLinkUp(a, b int) bool {
+	return a == b || s.masterIsolated < 0 || (a != s.masterIsolated && b != s.masterIsolated)
+}
+
+// MasterIsolated returns the currently isolated replica, or -1.
+func (s *State) MasterIsolated() int { return s.masterIsolated }
 
 // Prime rebuilds the data-plane view from the control plane's current state,
 // for forked clusters: the watches registered by New only observe changes,

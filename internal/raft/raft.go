@@ -138,14 +138,43 @@ func NewCluster(loop *sim.Loop, n int, applyFn func(nodeID int, e Entry)) *Clust
 func (c *Cluster) Size() int { return len(c.nodes) }
 
 // Leader returns the current leader's id, or -1 if none is established.
+// Under a partition a deposed leader on the minority side still believes it
+// leads (it cannot learn of the higher term), so the highest-term claimant
+// wins the scan.
 func (c *Cluster) Leader() int {
+	best, bestTerm := -1, int64(-1)
 	for _, nd := range c.nodes {
-		if nd.state == Leader && !nd.stopped {
-			return nd.id
+		if nd.state == Leader && !nd.stopped && nd.term > bestTerm {
+			best, bestTerm = nd.id, nd.term
 		}
 	}
-	return -1
+	return best
 }
+
+// LeaderFor returns the id of the highest-term leader reachable from origin
+// (links intact in both directions), or -1 if none. Clients co-located with a
+// partitioned store replica can only reach claimants on their own side.
+func (c *Cluster) LeaderFor(origin int) int {
+	best, bestTerm := -1, int64(-1)
+	for _, nd := range c.nodes {
+		if nd.state != Leader || nd.stopped || nd.term <= bestTerm {
+			continue
+		}
+		if nd.id != origin && (c.cut[origin][nd.id] || c.cut[nd.id][origin]) {
+			continue
+		}
+		best, bestTerm = nd.id, nd.term
+	}
+	return best
+}
+
+// ProposeTo appends data via a specific node, which must currently lead.
+func (c *Cluster) ProposeTo(id int, data []byte) (int64, error) {
+	return c.nodes[id].propose(data)
+}
+
+// Stopped reports whether a node is crashed.
+func (c *Cluster) Stopped(id int) bool { return c.nodes[id].stopped }
 
 // Term returns the highest term seen by any node (diagnostics).
 func (c *Cluster) Term() int64 {
@@ -182,6 +211,21 @@ func (c *Cluster) RestartNode(id int) {
 	nd.state = Follower
 	nd.votedFor = -1
 	nd.resetElectionTimer()
+}
+
+// InstallSnapshot fast-forwards node id to node from's log and commit state,
+// marking everything up to the commit index as applied. It models an etcd
+// snapshot transfer: the receiving store is assumed to have been resynced
+// from the donor out of band, so the skipped entries must not be re-applied.
+func (c *Cluster) InstallSnapshot(id, from int) {
+	dst, src := c.nodes[id], c.nodes[from]
+	dst.log = append([]Entry(nil), src.log...)
+	dst.commitIndex = src.commitIndex
+	dst.lastApplied = src.commitIndex
+	if src.term > dst.term {
+		dst.term = src.term
+		dst.votedFor = -1
+	}
 }
 
 // Partition drops all traffic between the two groups of nodes until Heal.

@@ -181,6 +181,38 @@ func componentLabel(prefix string) string {
 	}
 }
 
+// HATable renders the HA control-plane fault-axis statistics: per fault
+// axis, the distribution of the failover window (control plane unable to
+// act) and of the stale-read window (some live store replica serving a
+// lagging revision), in simulated milliseconds per experiment. Empty (a
+// single explanatory line) when the campaign ran without control-plane
+// replication.
+func HATable(w io.Writer, agg *campaign.Aggregate) {
+	fmt.Fprintln(w, "HA control plane — failover and stale-read windows by fault axis (ms, simulated)")
+	total := 0
+	for _, t := range campaign.ControlPlaneFaults() {
+		total += len(agg.FailoverByFault[t])
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "(no control-plane fault experiments; run with ControlPlaneReplicas >= 2)")
+		return
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fault axis\tn\tfailover med\tfailover p95\tstale med\tstale p95")
+	for _, t := range campaign.ControlPlaneFaults() {
+		fo := append([]float64(nil), agg.FailoverByFault[t]...)
+		st := append([]float64(nil), agg.StaleByFault[t]...)
+		if len(fo) == 0 {
+			continue
+		}
+		sort.Float64s(fo)
+		sort.Float64s(st)
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n", t, len(fo),
+			quantile(fo, 0.5), quantile(fo, 0.95), quantile(st, 0.5), quantile(st, 0.95))
+	}
+	tw.Flush()
+}
+
 // Table7 renders the real-world vs Mutiny coverage comparison (Table VII).
 func Table7(w io.Writer) {
 	fmt.Fprintln(w, "Table VII — Real-world subcategories vs what Mutiny can replicate")

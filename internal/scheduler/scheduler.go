@@ -47,7 +47,7 @@ type Options struct {
 // Scheduler assigns pods to nodes.
 type Scheduler struct {
 	loop    *sim.Loop
-	srv     *apiserver.Server
+	srv     apiserver.ClientSource
 	client  *apiserver.Client
 	opts    Options
 	elector *election.Elector
@@ -68,8 +68,9 @@ type Scheduler struct {
 	epoch    int
 }
 
-// New builds a scheduler against the API server.
-func New(loop *sim.Loop, srv *apiserver.Server, opts Options) *Scheduler {
+// New builds a scheduler against the API server (or, in an HA control plane,
+// against a failover-aware endpoint set).
+func New(loop *sim.Loop, srv apiserver.ClientSource, opts Options) *Scheduler {
 	if opts.Identity == "" {
 		opts.Identity = "kube-scheduler-0"
 	}
@@ -202,7 +203,10 @@ func (s *Scheduler) restart() {
 		s.loop.After(restartDelay, s.run)
 		return
 	}
-	s.elector.Stop()
+	// Abandon, not Stop: a crashed scheduler cannot release its lease, so the
+	// stale lease must expire before the fresh identity can campaign — the
+	// ~20 s restart gap the paper measures.
+	s.elector.Abandon()
 	s.epoch++
 	identity := fmt.Sprintf("%s-r%d", s.opts.Identity, s.epoch)
 	s.loop.After(restartDelay, func() {

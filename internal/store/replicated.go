@@ -2,37 +2,67 @@ package store
 
 import (
 	"bytes"
-	"time"
+	"errors"
 
-	"github.com/mutiny-sim/mutiny/internal/codec"
 	"github.com/mutiny-sim/mutiny/internal/raft"
 	"github.com/mutiny-sim/mutiny/internal/sim"
 	"github.com/mutiny-sim/mutiny/internal/spec"
 )
 
-// Replicated is a multi-replica Backend: replica 0 serves the API server's
-// reads, writes and watches, while a Raft log replicates every operation to
-// the other replicas.
+// Errors surfaced by the origin-aware access paths. Both mark the *endpoint*
+// as unusable rather than the request as invalid, so failover-aware clients
+// retry against another apiserver instead of reporting an application error.
+var (
+	// ErrReplicaDown reports that the store replica backing the serving
+	// apiserver is lost (FaultStoreLoss).
+	ErrReplicaDown = errors.New("store: replica down")
+	// ErrNoQuorum reports that a write origin cannot reach a majority of
+	// replicas (master partition minority side, or too many replicas lost).
+	ErrNoQuorum = errors.New("store: no quorum reachable")
+)
+
+// Replicated is a multi-replica Backend: each apiserver replica binds to one
+// store replica as its read/write/watch origin. An accepted write applies
+// synchronously at every replica reachable from its origin — the simulation's
+// stand-in for etcd's linearizable write (which commits through consensus
+// before acknowledging, so no two gateways can disagree on write order) —
+// while replicas unreachable at write time (partition minority) queue the op
+// and catch up in commit order on heal. A raft group runs alongside as the
+// liveness model: member loss and partitions drive its elections exactly as
+// they would etcd's, and its membership/state-transfer machinery backs
+// DropReplica/RestoreReplica.
 //
-// It exists for the §V-C1 ablation: injections on the apiserver→store channel
-// happen *before* consensus, so all replicas agree on the corrupted value and
-// replication provides no protection — while an at-rest corruption of a
-// single replica is masked by quorum reads. Both behaviours are measured by
-// the ablation benches.
+// It exists for the §V-C1 ablation and the HA fault axes: injections on the
+// apiserver→store channel happen *before* consensus, so all replicas agree on
+// the corrupted value and replication provides no protection — while an
+// at-rest corruption of a single replica is masked by quorum reads. Both
+// behaviours are measured by the ablation benches.
+//
+// The legacy Backend methods (Get, List, Put, ...) are the origin-0 view and
+// keep their historical signatures; HA apiservers use the *From/*Via variants
+// that carry their origin and report replica health as errors.
 type Replicated struct {
 	loop     *sim.Loop
 	primary  *Store
 	replicas []*Store
 	cluster  *raft.Cluster
-	pending  [][]byte
-	retry    sim.Timer
+	// down marks lost replicas (FaultStoreLoss). cut marks severed replica
+	// links (FaultMasterPartition); it is queried per-pair, never iterated,
+	// so determinism is unaffected.
+	down []bool
+	cut  map[[2]int]bool
+	// missed queues, per replica, the committed ops the replica could not
+	// apply while cut off, in global commit order; Heal drains them. Lost
+	// replicas do not queue — RestoreReplica is a snapshot state transfer.
+	missed [][]repOp
 }
 
 type repOp struct {
-	Op    int64  `pb:"1"` // 1 = put, 2 = delete
-	Key   string `pb:"2"`
-	Kind  string `pb:"3"`
-	Value []byte `pb:"4"`
+	Op     int64  `pb:"1"` // 1 = put, 2 = delete
+	Key    string `pb:"2"`
+	Kind   string `pb:"3"`
+	Value  []byte `pb:"4"`
+	Origin int64  `pb:"5"` // replica the write was accepted through
 }
 
 var _ Backend = (*Replicated)(nil)
@@ -43,78 +73,212 @@ func NewReplicated(loop *sim.Loop, n int, opts *Options) *Replicated {
 	if n < 1 {
 		n = 1
 	}
-	r := &Replicated{loop: loop}
+	r := &Replicated{
+		loop:   loop,
+		down:   make([]bool, n),
+		cut:    make(map[[2]int]bool),
+		missed: make([][]repOp, n),
+	}
 	for i := 0; i < n; i++ {
 		r.replicas = append(r.replicas, New(loop, opts))
 	}
 	r.primary = r.replicas[0]
-	r.cluster = raft.NewCluster(loop, n, func(nodeID int, e raft.Entry) {
-		// Replica 0 applied synchronously at write time; followers apply
-		// from the committed log.
-		if nodeID == 0 {
-			return
-		}
-		var op repOp
-		if err := codec.Unmarshal(e.Data, &op); err != nil {
-			return // an undecodable log entry cannot be applied
-		}
-		switch op.Op {
-		case 1:
-			_, _ = r.replicas[nodeID].Put(op.Key, spec.Kind(op.Kind), op.Value)
-		case 2:
-			r.replicas[nodeID].Delete(op.Key)
-		}
-	})
+	// The raft group carries no data (writes apply synchronously above); it
+	// models etcd's consensus liveness — election churn under partition and
+	// member loss — and its snapshot transfer backs replica restore.
+	r.cluster = raft.NewCluster(loop, n, func(nodeID int, e raft.Entry) {})
 	return r
 }
 
-// Put writes to the primary replica and replicates through the raft log. The
-// write is acknowledged from the primary — by the time any component
-// observes it, the (possibly corrupted) value is what consensus will agree
-// on.
-func (r *Replicated) Put(key string, kind spec.Kind, value []byte) (int64, error) {
-	rev, err := r.primary.Put(key, kind, value)
+// apply commits one accepted op: synchronously at every replica reachable
+// from the origin, queued for the rest. The loop executes events one at a
+// time, so accepted writes form a single global order that every replica
+// applies (live or on catch-up) identically.
+func (r *Replicated) apply(origin int, op repOp) {
+	valueOwned := false
+	for i, rep := range r.replicas {
+		if i == origin || r.down[i] {
+			continue
+		}
+		if !r.linkUp(origin, i) {
+			// A queued op outlives this call, but op.Value aliases the
+			// caller's (pooled, reused) encode buffer — Store.Put copies on
+			// live applies, so only the missed queue needs its own copy.
+			if !valueOwned && len(op.Value) > 0 {
+				op.Value = append([]byte(nil), op.Value...)
+				valueOwned = true
+			}
+			r.missed[i] = append(r.missed[i], op)
+			continue
+		}
+		switch op.Op {
+		case 1:
+			_, _ = rep.Put(op.Key, spec.Kind(op.Kind), op.Value)
+		case 2:
+			rep.Delete(op.Key)
+		}
+	}
+}
+
+// linkUp reports whether replicas a and b can talk (both directions).
+func (r *Replicated) linkUp(a, b int) bool {
+	if a == b {
+		return true
+	}
+	return !r.cut[[2]int{a, b}] && !r.cut[[2]int{b, a}]
+}
+
+// quorumFrom reports whether origin can reach a majority of live replicas
+// (itself included).
+func (r *Replicated) quorumFrom(origin int) bool {
+	if r.down[origin] {
+		return false
+	}
+	n := 0
+	for i := range r.replicas {
+		if !r.down[i] && r.linkUp(origin, i) {
+			n++
+		}
+	}
+	return n > len(r.replicas)/2
+}
+
+// PutVia writes through the given origin replica and replicates the op. The
+// write is acknowledged from the origin — by the time any component observes
+// it, the (possibly corrupted) value is what consensus will agree on. A lost
+// origin or a minority-side origin rejects the write.
+func (r *Replicated) PutVia(origin int, key string, kind spec.Kind, value []byte) (int64, error) {
+	if r.down[origin] {
+		return 0, ErrReplicaDown
+	}
+	if !r.quorumFrom(origin) {
+		return 0, ErrNoQuorum
+	}
+	rev, err := r.replicas[origin].Put(key, kind, value)
 	if err != nil {
 		return 0, err
 	}
-	r.replicate(repOp{Op: 1, Key: key, Kind: string(kind), Value: value})
+	r.apply(origin, repOp{Op: 1, Key: key, Kind: string(kind), Value: value, Origin: int64(origin)})
 	return rev, nil
 }
 
-// Delete removes from the primary replica and replicates the tombstone.
-func (r *Replicated) Delete(key string) bool {
-	ok := r.primary.Delete(key)
-	if ok {
-		r.replicate(repOp{Op: 2, Key: key})
+// DeleteVia removes through the given origin replica and replicates the
+// tombstone.
+func (r *Replicated) DeleteVia(origin int, key string) (bool, error) {
+	if r.down[origin] {
+		return false, ErrReplicaDown
 	}
+	if !r.quorumFrom(origin) {
+		return false, ErrNoQuorum
+	}
+	ok := r.replicas[origin].Delete(key)
+	if ok {
+		r.apply(origin, repOp{Op: 2, Key: key, Origin: int64(origin)})
+	}
+	return ok, nil
+}
+
+// GetFrom reads from the given origin replica. A lost replica reports
+// ErrReplicaDown instead of serving stale truth.
+func (r *Replicated) GetFrom(origin int, key string) (KV, bool, error) {
+	if r.down[origin] {
+		return KV{}, false, ErrReplicaDown
+	}
+	kv, ok := r.replicas[origin].Get(key)
+	return kv, ok, nil
+}
+
+// ListFrom lists from the given origin replica.
+func (r *Replicated) ListFrom(origin int, prefix string) ([]KV, error) {
+	if r.down[origin] {
+		return nil, ErrReplicaDown
+	}
+	return r.replicas[origin].List(prefix), nil
+}
+
+// WatchReplica observes one replica's local apply stream — the watch feed of
+// the apiserver bound to it.
+func (r *Replicated) WatchReplica(i int, prefix string, fn func(Event)) (cancel func()) {
+	return r.replicas[i].Watch(prefix, fn)
+}
+
+// OnRewriteAt observes silent byte rewrites on one replica — the apiserver
+// bound to it must invalidate its decoded forms.
+func (r *Replicated) OnRewriteAt(i int, fn func(key string)) {
+	r.replicas[i].OnRewrite(fn)
+}
+
+// Put writes via origin 0 (the legacy single-apiserver view).
+func (r *Replicated) Put(key string, kind spec.Kind, value []byte) (int64, error) {
+	return r.PutVia(0, key, kind, value)
+}
+
+// Delete removes via origin 0.
+func (r *Replicated) Delete(key string) bool {
+	ok, _ := r.DeleteVia(0, key)
 	return ok
 }
 
-// Get reads from the primary replica (etcd serves linearizable reads from
-// the leader).
-func (r *Replicated) Get(key string) (KV, bool) { return r.primary.Get(key) }
+// Get reads from replica 0. A lost replica reads as absent here; the
+// origin-aware GetFrom distinguishes "gone" from "not found".
+func (r *Replicated) Get(key string) (KV, bool) {
+	kv, ok, err := r.GetFrom(0, key)
+	if err != nil {
+		return KV{}, false
+	}
+	return kv, ok
+}
 
-// List reads from the primary replica.
-func (r *Replicated) List(prefix string) []KV { return r.primary.List(prefix) }
+// List reads from replica 0; empty when the replica is lost.
+func (r *Replicated) List(prefix string) []KV {
+	kvs, err := r.ListFrom(0, prefix)
+	if err != nil {
+		return nil
+	}
+	return kvs
+}
 
-// Watch observes the primary replica.
+// Watch observes replica 0.
 func (r *Replicated) Watch(prefix string, fn func(Event)) (cancel func()) {
-	return r.primary.Watch(prefix, fn)
+	return r.WatchReplica(0, prefix, fn)
 }
 
-// OnRewrite observes silent byte rewrites on the primary replica — the one
-// the API server reads, and therefore the one whose decoded forms must be
-// invalidated. Follower-replica corruption stays invisible until a quorum
-// read, exactly as before.
+// OnRewrite observes silent byte rewrites on replica 0.
 func (r *Replicated) OnRewrite(fn func(key string)) {
-	r.primary.OnRewrite(fn)
+	r.OnRewriteAt(0, fn)
 }
 
-// Revision returns the primary replica's revision.
+// Revision returns replica 0's revision.
 func (r *Replicated) Revision() int64 { return r.primary.Revision() }
 
-// SizeBytes returns the primary replica's size.
+// RevisionAt returns the i-th replica's revision.
+func (r *Replicated) RevisionAt(i int) int64 { return r.replicas[i].Revision() }
+
+// MaxRevision returns the highest revision across live replicas — the
+// reference point for the stale-read-window metric.
+func (r *Replicated) MaxRevision() int64 {
+	var max int64
+	for i, rep := range r.replicas {
+		if !r.down[i] && rep.Revision() > max {
+			max = rep.Revision()
+		}
+	}
+	return max
+}
+
+// SizeBytes returns replica 0's size.
 func (r *Replicated) SizeBytes() int64 { return r.primary.SizeBytes() }
+
+// QuotaExceeded reports whether any live replica refused a write for space —
+// replicas see the same op stream, so replica 0 stands for all when up.
+func (r *Replicated) QuotaExceeded() bool {
+	for i, rep := range r.replicas {
+		if !r.down[i] && rep.QuotaExceeded() {
+			return true
+		}
+	}
+	return false
+}
 
 // Primary exposes the primary replica (at-rest corruption ablation).
 func (r *Replicated) Primary() *Store { return r.primary }
@@ -125,9 +289,84 @@ func (r *Replicated) Replica(i int) *Store { return r.replicas[i] }
 // Replicas returns the replica count.
 func (r *Replicated) Replicas() int { return len(r.replicas) }
 
-// QuorumGet reads key from every replica and returns the value a majority
-// agrees on. A single corrupted-at-rest replica is outvoted, which is why
-// the paper observes that "quorum reads mitigate corrupted values".
+// ReplicaDown reports whether the i-th replica is lost.
+func (r *Replicated) ReplicaDown(i int) bool { return r.down[i] }
+
+// DropReplica loses the i-th replica: its raft node crashes and every access
+// through it fails until RestoreReplica. The data stays in place (a wiped
+// store is restored by state transfer on recovery, not by log replay), and
+// any catch-up queue is voided — the state transfer supersedes it.
+func (r *Replicated) DropReplica(i int) {
+	if r.down[i] {
+		return
+	}
+	r.down[i] = true
+	r.missed[i] = nil
+	r.cluster.StopNode(i)
+}
+
+// RestoreReplica revives a lost replica by state transfer from the
+// lowest-indexed live replica (an etcd snapshot install): store contents are
+// copied and the raft node fast-forwards past the transferred state, so
+// catch-up never double-applies.
+func (r *Replicated) RestoreReplica(i int) {
+	if !r.down[i] {
+		return
+	}
+	donor := -1
+	for j := range r.replicas {
+		if j != i && !r.down[j] {
+			donor = j
+			break
+		}
+	}
+	if donor >= 0 {
+		r.replicas[i].restore(r.replicas[donor].snapshot())
+		r.cluster.InstallSnapshot(i, donor)
+	}
+	r.down[i] = false
+	r.missed[i] = nil
+	r.cluster.RestartNode(i)
+}
+
+// Partition severs the links between the two replica groups until Heal. The
+// raft transport is cut symmetrically, so a minority-side origin loses write
+// quorum while its local reads keep serving (stale) truth.
+func (r *Replicated) Partition(groupA, groupB []int) {
+	for _, a := range groupA {
+		for _, b := range groupB {
+			r.cut[[2]int{a, b}] = true
+			r.cut[[2]int{b, a}] = true
+		}
+	}
+	r.cluster.Partition(groupA, groupB)
+}
+
+// Heal removes all replica-link cuts; replicas that missed writes while cut
+// off apply them now, in the order the majority committed them.
+func (r *Replicated) Heal() {
+	r.cut = make(map[[2]int]bool)
+	r.cluster.Heal()
+	for i, ops := range r.missed {
+		if len(ops) == 0 {
+			continue
+		}
+		r.missed[i] = nil
+		for _, op := range ops {
+			switch op.Op {
+			case 1:
+				_, _ = r.replicas[i].Put(op.Key, spec.Kind(op.Kind), op.Value)
+			case 2:
+				r.replicas[i].Delete(op.Key)
+			}
+		}
+	}
+}
+
+// QuorumGet reads key from every live replica and returns the value a
+// majority of the full membership agrees on. A single corrupted-at-rest
+// replica is outvoted, which is why the paper observes that "quorum reads
+// mitigate corrupted values".
 func (r *Replicated) QuorumGet(key string) (KV, bool) {
 	type vote struct {
 		kv    KV
@@ -135,7 +374,10 @@ func (r *Replicated) QuorumGet(key string) (KV, bool) {
 		count int
 	}
 	var votes []vote
-	for _, rep := range r.replicas {
+	for i, rep := range r.replicas {
+		if r.down[i] {
+			continue
+		}
 		kv, ok := rep.Get(key)
 		matched := false
 		for i := range votes {
@@ -155,9 +397,14 @@ func (r *Replicated) QuorumGet(key string) (KV, bool) {
 			return v.kv, v.found
 		}
 	}
-	// No majority (possible only with >1 diverging replicas): fall back to
-	// the primary.
-	return r.primary.Get(key)
+	// No majority (diverging replicas, or too many lost): fall back to the
+	// lowest-indexed live replica.
+	for i, rep := range r.replicas {
+		if !r.down[i] {
+			return rep.Get(key)
+		}
+	}
+	return KV{}, false
 }
 
 // Converged reports whether all replicas hold byte-identical values for key.
@@ -170,30 +417,4 @@ func (r *Replicated) Converged(key string) bool {
 		}
 	}
 	return true
-}
-
-func (r *Replicated) replicate(op repOp) {
-	if len(r.replicas) == 1 {
-		return
-	}
-	data, err := codec.Marshal(&op)
-	if err != nil {
-		return
-	}
-	r.pending = append(r.pending, data)
-	r.flush()
-}
-
-func (r *Replicated) flush() {
-	for len(r.pending) > 0 {
-		if _, err := r.cluster.Propose(r.pending[0]); err != nil {
-			// No raft leader yet (e.g. during initial election): retry
-			// shortly, like an etcd client would.
-			if !r.retry.Pending() {
-				r.retry = r.loop.After(50*time.Millisecond, r.flush)
-			}
-			return
-		}
-		r.pending = r.pending[1:]
-	}
 }

@@ -196,6 +196,21 @@ const (
 	FlipProtoByte = inject.FlipProtoByte
 )
 
+// Control-plane fault axes (HA clusters, ClusterConfig.ControlPlaneReplicas
+// >= 2): time-triggered faults against the control plane itself rather than
+// the state crossing its channels.
+const (
+	// FaultAPIServerCrash kills one apiserver replica; survivors keep
+	// serving and its clients fail over. Heal restarts it.
+	FaultAPIServerCrash = inject.FaultAPIServerCrash
+	// FaultMasterPartition cuts one replica's master links: its apiserver
+	// serves stale reads and fails writes until Heal reconnects it.
+	FaultMasterPartition = inject.FaultMasterPartition
+	// FaultStoreLoss drops one backing store replica; Heal restores it from
+	// a surviving member's snapshot.
+	FaultStoreLoss = inject.FaultStoreLoss
+)
+
 // Workloads (§IV-B).
 const (
 	WorkloadDeploy   = workload.Deploy
@@ -239,6 +254,10 @@ const (
 // NewRunner returns a Runner with paper-default settings (100 golden runs
 // per workload).
 func NewRunner() *Runner { return campaign.NewRunner() }
+
+// NewAggregate returns an empty result aggregate, for folding hand-rolled
+// experiment sets into the same tables RunCampaign produces.
+func NewAggregate() *Aggregate { return campaign.NewAggregate() }
 
 // RunCampaign executes the full experimental method of §IV-C: golden runs,
 // field recording, campaign generation, injections, the critical-field

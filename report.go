@@ -31,6 +31,11 @@ func RenderTable6(w io.Writer, cells []PropagationCell) { report.Table6(w, cells
 // (Table VII).
 func RenderTable7(w io.Writer) { report.Table7(w) }
 
+// RenderHATable writes the HA control-plane fault-axis statistics: failover
+// and stale-read window distributions per fault axis. Prints a placeholder
+// line when the campaign ran without control-plane replication.
+func RenderHATable(w io.Writer, agg *Aggregate) { report.HATable(w, agg) }
+
 // RenderFigure5 writes a golden vs injected latency time-series comparison
 // (Figure 5).
 func RenderFigure5(w io.Writer, golden, injected []float64, goldenZ, injectedZ float64) {
