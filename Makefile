@@ -25,9 +25,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The campaign package exercises the worker pool (TestCampaignParallelismIsDeterministic,
-# TestRunnerConcurrentUse) and the codec package exercises the pooled encode
-# buffers, so -race here covers every new concurrency surface.
+# The campaign package exercises the worker engine and the snapshot cache's
+# lock-free read path (TestCampaignParallelismIsDeterministic,
+# TestRunnerConcurrentUse, TestSnapshotCacheConcurrentRunners,
+# TestClearSnapshotCacheRacesActiveForks) and the codec package exercises the
+# sharded intern table and per-worker arenas, so -race here covers every
+# concurrency surface of the parallel engine.
 race:
 	$(GO) test -race ./internal/campaign/... ./internal/codec/...
 
@@ -69,14 +72,14 @@ docs-lint:
 # the target (piping straight into benchjson would report the parser's exit
 # status and let a broken benchmark slip through the gate); benchjson itself
 # also fails when it parses no benchmark lines.
-PR ?= 6
+PR ?= 7
 BENCH_JSON ?= BENCH_PR$(PR).json
 bench:
 	@set -e; out=$$(mktemp -d); \
 	prev=$$(ls BENCH_PR*.json 2>/dev/null | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$$/\1/p' | awk '$$1 < $(PR)' | sort -n | tail -1); \
 	prev=$${prev:+BENCH_PR$$prev.json}; \
 	$(GO) test -run xxx -bench 'BenchmarkExperimentThroughput|BenchmarkBootstrapShare' -benchmem -benchtime 30x . > $$out/hot.txt; \
-	MUTINY_STRIDE=96 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime 1x . > $$out/campaign.txt; \
+	MUTINY_STRIDE=96 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime 3x . > $$out/campaign.txt; \
 	cat $$out/hot.txt $$out/campaign.txt | $(GO) run ./tools/benchjson -out $(BENCH_JSON) $${prev:+-prev $$prev}; \
 	rm -rf $$out
 	@echo "wrote $(BENCH_JSON)"

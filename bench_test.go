@@ -17,12 +17,18 @@
 // bit-identical for every MUTINY_PARALLEL value — experiments are isolated
 // simulations merged in generated order — so the knob only changes
 // wall-clock time. BenchmarkCampaignParallel measures the speedup.
+//
+// Contention: MUTINY_MUTEXPROF=1 enables mutex and block profiling for the
+// whole run and writes mutex.pprof/block.pprof artifacts (to
+// MUTINY_PROF_DIR, default "."), so lock contention on the parallel
+// campaign path can be inspected with `go tool pprof` after any bench run.
 package mutiny
 
 import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"testing"
@@ -43,6 +49,39 @@ var (
 	_campaignOnce sync.Once
 	_campaignOut  *campaign.Output
 )
+
+// TestMain exists to support MUTINY_MUTEXPROF=1: with it set, mutex and
+// block profiling cover the entire run (including the parallel campaign
+// fan-out) and the profiles are written as pprof artifacts after the tests
+// and benchmarks finish. Without it, TestMain is a plain m.Run().
+func TestMain(m *testing.M) {
+	prof := os.Getenv("MUTINY_MUTEXPROF") == "1"
+	if prof {
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(100) // sample blocking events >= 100ns
+	}
+	code := m.Run()
+	if prof {
+		dir := os.Getenv("MUTINY_PROF_DIR")
+		if dir == "" {
+			dir = "."
+		}
+		for _, p := range []string{"mutex", "block"} {
+			path := dir + "/" + p + ".pprof"
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprof: create %s: %v\n", path, err)
+				continue
+			}
+			if err := pprof.Lookup(p).WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mutexprof: write %s: %v\n", path, err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "mutexprof: wrote %s\n", path)
+		}
+	}
+	os.Exit(code)
+}
 
 func envInt(name string, def int) int {
 	if v := os.Getenv(name); v != "" {
@@ -368,10 +407,21 @@ func BenchmarkCampaignParallel(b *testing.B) {
 		SampleStride:   envInt("MUTINY_STRIDE", 48),
 		ShareBootstrap: envInt("MUTINY_SHARE", 0) > 0,
 	}
-	for _, workers := range []int{1, 0} {
+	// A fixed workers=4 case pins one cross-machine-comparable point on the
+	// scaling curve next to the all-cores case; it is skipped on boxes with
+	// fewer than four CPUs and dropped when all-cores IS four workers (the
+	// two runs would duplicate a sub-benchmark name).
+	cases := []int{1}
+	if runtime.NumCPU() >= 4 && runtime.GOMAXPROCS(0) != 4 {
+		cases = append(cases, 4)
+	}
+	cases = append(cases, 0)
+	for _, workers := range cases {
 		name := "sequential"
 		if workers == 0 {
 			name = fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0))
+		} else if workers > 1 {
+			name = fmt.Sprintf("workers=%d", workers)
 		}
 		b.Run(name, func(b *testing.B) {
 			cfg := base

@@ -15,13 +15,23 @@
 // cores). Campaign outputs are bit-identical for every -parallel value, so
 // the knob only trades wall-clock for CPU.
 //
+// -shards splits the campaign across OS processes: the driver spawns N
+// copies of itself (one per shard), each running the experiments whose
+// generated index ≡ shard-index (mod N), then merges their JSON outputs in
+// index order and runs the refinement round. The merged output is
+// bit-identical to a single-process run — campaign generation is
+// deterministic, so every process regenerates the same spec matrix and only
+// results cross the process boundary. -shard-index runs a single shard
+// directly (emitting JSON on stdout), which is how one campaign spreads
+// across machines: run shard i on machine i, ship the JSON back, merge.
+//
 // -share-bootstrap forks every experiment from a settled per-workload
 // bootstrap snapshot instead of replaying the ~20 s simulated bootstrap each
 // time. Snapshots live in a process-wide cache keyed on the cluster
 // configuration plus the workload kind, so repeated campaigns (and every
 // Runner constructed in the process) bootstrap each workload exactly once;
-// forks share the snapshot's store bytes copy-on-write, so a fork costs
-// ~0.5 ms regardless of cluster size.
+// each campaign worker forks from its own copy-on-read view of the snapshot,
+// so parallel forks share no memory.
 //
 // Readiness tracking inside each experiment is watch-driven: the kbench
 // driver, the application client, the controllers, and the scheduler consume
@@ -34,9 +44,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"sync"
 	"time"
 
 	mutiny "github.com/mutiny-sim/mutiny"
@@ -52,24 +66,33 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mutiny-campaign", flag.ContinueOnError)
 	var (
-		stride    = fs.Int("stride", 1, "run every n-th generated experiment (1 = full campaign)")
-		golden    = fs.Int("golden", 100, "golden runs per workload")
-		parallel  = fs.Int("parallel", 0, "experiment worker goroutines (0 = all cores, 1 = sequential; output is bit-identical either way)")
-		share     = fs.Bool("share-bootstrap", false, "fork each experiment from a settled bootstrap snapshot instead of replaying bootstrap (snapshots are cached process-wide per cluster-config+workload and forked copy-on-write; preserves classification aggregates, not bit-level observations)")
-		replicas  = fs.Int("control-plane-replicas", 1, "apiserver/store replicas per experiment cluster; >= 2 adds the HA fault axes (apiserver crash, master partition, store loss) and the failover/stale-read table")
-		noRefine  = fs.Bool("no-refinement", false, "skip the critical-field refinement round")
-		noProp    = fs.Bool("no-propagation", false, "skip the component-channel propagation experiments")
-		quiet     = fs.Bool("quiet", false, "suppress progress output")
-		workloads = fs.String("workloads", "", "comma-separated workload subset (deploy,scale,failover)")
+		stride     = fs.Int("stride", 1, "run every n-th generated experiment (1 = full campaign)")
+		golden     = fs.Int("golden", 100, "golden runs per workload")
+		parallel   = fs.Int("parallel", 0, "experiment worker goroutines (0 = all cores, 1 = sequential; output is bit-identical either way)")
+		shards     = fs.Int("shards", 1, "split the campaign across this many OS processes (driver mode: spawns one child per shard, merges their outputs bit-identically to a single-process run)")
+		shardIndex = fs.Int("shard-index", -1, "run only shard shard-index of -shards and emit its JSON ShardOutput on stdout (child/remote mode; -1 = not a shard)")
+		share      = fs.Bool("share-bootstrap", false, "fork each experiment from a settled bootstrap snapshot instead of replaying bootstrap (snapshots are cached process-wide per cluster-config+workload and forked from per-worker views; preserves classification aggregates, not bit-level observations)")
+		replicas   = fs.Int("control-plane-replicas", 1, "apiserver/store replicas per experiment cluster; >= 2 adds the HA fault axes (apiserver crash, master partition, store loss) and the failover/stale-read table")
+		noRefine   = fs.Bool("no-refinement", false, "skip the critical-field refinement round")
+		noProp     = fs.Bool("no-propagation", false, "skip the component-channel propagation experiments")
+		quiet      = fs.Bool("quiet", false, "suppress progress output")
+		workloads  = fs.String("workloads", "", "comma-separated workload subset (deploy,scale,failover)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if *shardIndex >= *shards {
+		return fmt.Errorf("-shard-index %d out of range for -shards %d", *shardIndex, *shards)
 	}
 
 	cfg := mutiny.CampaignConfig{
 		GoldenRuns:           *golden,
 		SampleStride:         *stride,
 		Parallelism:          *parallel,
+		Shards:               *shards,
 		ShareBootstrap:       *share,
 		ControlPlaneReplicas: *replicas,
 		SkipRefinement:       *noRefine,
@@ -89,7 +112,26 @@ func run(args []string) error {
 		}
 	}
 
-	out := mutiny.RunCampaign(cfg)
+	// Child/remote mode: run one shard, emit JSON, done.
+	if *shardIndex >= 0 {
+		cfg.ShardIndex = *shardIndex
+		out := mutiny.RunCampaignShard(cfg)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\nshard %d/%d finished in %s\n", *shardIndex, *shards, time.Since(start).Round(time.Second))
+		}
+		return json.NewEncoder(os.Stdout).Encode(out)
+	}
+
+	var out *mutiny.CampaignOutput
+	if *shards > 1 {
+		shardOuts, err := spawnShards(args, *shards, *quiet)
+		if err != nil {
+			return err
+		}
+		out = mutiny.MergeCampaignShards(cfg, shardOuts)
+	} else {
+		out = mutiny.RunCampaign(cfg)
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "\ncampaign finished in %s\n\n", time.Since(start).Round(time.Second))
 	}
@@ -116,6 +158,57 @@ func run(args []string) error {
 	fmt.Println()
 	mutiny.RenderFindings(os.Stdout, out.Main)
 	return nil
+}
+
+// spawnShards runs one child process per shard (this binary, same flags,
+// plus -shard-index), collects their JSON outputs, and returns them in
+// shard order. Children run concurrently — the merge is index-ordered, so
+// completion order is irrelevant to the result.
+func spawnShards(args []string, shards int, quiet bool) ([]*mutiny.ShardOutput, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary for shard spawn: %w", err)
+	}
+	outs := make([]*mutiny.ShardOutput, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			childArgs := append(append([]string{}, args...), fmt.Sprintf("-shard-index=%d", i))
+			if !quiet {
+				// Child progress lines would interleave; keep children quiet
+				// and report shard completion from the driver instead.
+				childArgs = append(childArgs, "-quiet")
+			}
+			cmd := exec.Command(self, childArgs...)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w\n%s", i, err, stderr.Bytes())
+				return
+			}
+			so := new(mutiny.ShardOutput)
+			if err := json.Unmarshal(stdout.Bytes(), so); err != nil {
+				errs[i] = fmt.Errorf("shard %d: decoding output: %w", i, err)
+				return
+			}
+			outs[i] = so
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "shard %d/%d done (%d main, %d propagation results)\n",
+					i, shards, len(so.Main), len(so.Prop))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
 }
 
 func splitComma(s string) []string {

@@ -261,6 +261,13 @@ type Server struct {
 
 	audit *Audit
 
+	// arena is the server's private encode workspace. A simulated cluster
+	// runs single-threaded on one campaign worker goroutine, so server-local
+	// is worker-local: every encode on the request, persist, and watch-hook
+	// paths uses this arena instead of the process-wide buffer/encoder
+	// pools, which parallel workers would otherwise contend on.
+	arena *codec.Arena
+
 	cancelStoreWatch func()
 }
 
@@ -334,6 +341,7 @@ func NewAt(loop *sim.Loop, backend store.Backend, origin int, opts *Options) *Se
 		kindIndex: make(map[spec.Kind]*kindBucket),
 		decoded:   make(map[string]spec.Object),
 		audit:     NewAudit(loop),
+		arena:     codec.NewArena(),
 	}
 	if rep, ok := backend.(*store.Replicated); ok {
 		s.routed = rep
@@ -634,11 +642,11 @@ func (s *Server) handle(identity string, verb Verb, obj spec.Object) error {
 		return s.apply(identity, verb, msg, obj.Clone())
 	}
 	// The request wire bytes live only for the duration of this (synchronous)
-	// handle call — the store copies on Put — so they are encoded into a
-	// pooled buffer instead of a per-request allocation.
-	buf := codec.NewBuffer()
+	// handle call — the store copies on Put — so they are encoded into an
+	// arena buffer instead of a per-request allocation.
+	buf := s.arena.NewBuffer()
 	defer buf.Free()
-	data, err := codec.AppendMarshal(buf.B[:0], obj)
+	data, err := s.arena.AppendMarshal(buf.B[:0], obj)
 	if err != nil {
 		return s.audit.record(identity, verb, kind, meta.Name, fmt.Errorf("%w: %v", ErrBadRequest, err), false)
 	}
@@ -738,11 +746,11 @@ func (s *Server) persistWrite(identity string, verb Verb, msg *Message, obj spec
 	if s.opts.CriticalFieldChecksums {
 		stampChecksum(obj)
 	}
-	// Same pooled-buffer discipline as handle: the store copies the value,
+	// Same arena-buffer discipline as handle: the store copies the value,
 	// and injection hooks that replace out.Data swap in their own slice.
-	buf := codec.NewBuffer()
+	buf := s.arena.NewBuffer()
 	defer buf.Free()
-	data, err := codec.AppendMarshal(buf.B[:0], obj)
+	data, err := s.arena.AppendMarshal(buf.B[:0], obj)
 	if err != nil {
 		return s.audit.record(identity, verb, msg.Kind, msg.Name, fmt.Errorf("%w: %v", ErrBadRequest, err), msg.Tampered)
 	}
@@ -1014,9 +1022,9 @@ func (s *Server) interceptWatch(ev WatchEvent) (WatchEvent, bool) {
 	// the in-function decode below, and a hook that swaps in its own slice
 	// leaves the pooled one free regardless.
 	if ev.Type != Deleted {
-		buf := codec.NewBuffer()
+		buf := s.arena.NewBuffer()
 		defer buf.Free()
-		data, err := codec.AppendMarshal(buf.B[:0], ev.Object)
+		data, err := s.arena.AppendMarshal(buf.B[:0], ev.Object)
 		if err == nil {
 			buf.B = data
 			msg.Data = data

@@ -52,6 +52,31 @@ func (s *Server) Snapshot() Snapshot {
 	}
 }
 
+// Clone returns a snapshot with private map and slice structure (the decoded
+// cache map, the audit entries and counters). The decoded *objects* stay
+// shared: they are sealed, immutable, and pointer-shaped, so sharing them
+// across workers costs no coherence traffic — only the map that indexes them
+// is worker-local after a clone.
+func (s Snapshot) Clone() Snapshot {
+	decoded := make(map[string]spec.Object, len(s.Decoded))
+	for k, v := range s.Decoded {
+		decoded[k] = v
+	}
+	return Snapshot{
+		UIDCounter: s.UIDCounter,
+		IPCounter:  s.IPCounter,
+		Audit:      s.Audit.clone(),
+		Decoded:    decoded,
+	}
+}
+
+func (a AuditSnapshot) clone() AuditSnapshot {
+	a.Entries = append([]AuditEntry(nil), a.Entries...)
+	a.OKByIdentity = copyCounts(a.OKByIdentity)
+	a.ErrByIdentity = copyCounts(a.ErrByIdentity)
+	return a
+}
+
 // RestoreSnapshot installs snapshot state into a freshly built server whose
 // backend has already been restored, then silently rebuilds the watch cache
 // from it. No events are dispatched: components prime their own views when

@@ -89,10 +89,32 @@ type Runner struct {
 	baselines map[workload.Kind]*baselineEntry
 	snapshots map[workload.Kind]*snapshotEntry
 
-	// pool recycles per-experiment series buffers (classify.BufferPool).
-	// Run releases an observation's buffers after classification; golden
-	// observations are retained by baselines and therefore never released.
+	// workerMu guards idle, the stack of released Workers. Experiment
+	// execution acquires a Worker (reusing an idle one or building a new
+	// one), runs any number of experiments on it, and releases it — one
+	// lock round-trip per acquire/release, never per experiment.
+	workerMu sync.Mutex
+	idle     []*Worker
+}
+
+// A Worker is one campaign execution lane. It owns every piece of mutable
+// per-experiment scratch state — the classify.BufferPool recycling series
+// buffers, and the per-worker bootstrap-snapshot views forks read from — so
+// two workers running experiments concurrently share only immutable data
+// (golden baselines, the sealed decoded objects) and the Runner's guard
+// cells. A Worker must not run two experiments at once; the Runner hands
+// each one to exactly one goroutine at a time (see forEachWorker).
+type Worker struct {
+	r *Runner
+	// pool recycles per-experiment series buffers. Run releases an
+	// observation's buffers after classification; golden observations are
+	// retained by baselines and therefore never released.
 	pool *classify.BufferPool
+	// views caches this worker's private copy of each workload's shared
+	// bootstrap snapshot (cluster.Snapshot.WorkerView): identical content,
+	// worker-local byte arrays, so parallel forks never read the same
+	// memory.
+	views map[workload.Kind]*cluster.Snapshot
 }
 
 // baselineEntry guards one workload's golden-run build.
@@ -114,8 +136,31 @@ func NewRunner() *Runner {
 		GoldenRuns: 100,
 		baselines:  make(map[workload.Kind]*baselineEntry),
 		snapshots:  make(map[workload.Kind]*snapshotEntry),
-		pool:       classify.NewBufferPool(),
 	}
+}
+
+// acquireWorker pops an idle Worker or builds a fresh one. Pair with
+// releaseWorker so the worker's pool and snapshot views are reused.
+func (r *Runner) acquireWorker() *Worker {
+	r.workerMu.Lock()
+	defer r.workerMu.Unlock()
+	if n := len(r.idle); n > 0 {
+		w := r.idle[n-1]
+		r.idle = r.idle[:n-1]
+		return w
+	}
+	return &Worker{
+		r:     r,
+		pool:  classify.NewBufferPool(),
+		views: make(map[workload.Kind]*cluster.Snapshot),
+	}
+}
+
+// releaseWorker returns a Worker to the idle stack.
+func (r *Runner) releaseWorker(w *Worker) {
+	r.workerMu.Lock()
+	r.idle = append(r.idle, w)
+	r.workerMu.Unlock()
 }
 
 // guardCell returns (creating if needed) the per-workload guard cell in m,
@@ -171,6 +216,20 @@ func (r *Runner) snapshotFor(kind workload.Kind) *cluster.Snapshot {
 	return e.snap
 }
 
+// snapshotView returns this worker's private view of the workload's shared
+// bootstrap snapshot, building it on first use. The shared capture happens
+// once per process (snapshotFor); the view copy happens once per (worker,
+// workload) and every subsequent fork on this worker reads only
+// worker-local arrays.
+func (w *Worker) snapshotView(kind workload.Kind) *cluster.Snapshot {
+	if v, ok := w.views[kind]; ok {
+		return v
+	}
+	v := w.r.snapshotFor(kind).WorkerView()
+	w.views[kind] = v
+	return v
+}
+
 // Baseline returns (building if needed) the golden baseline for a workload.
 // The build runs at most once even under concurrent callers; golden runs are
 // themselves fanned out across Parallelism workers, with observations slotted
@@ -183,8 +242,8 @@ func (r *Runner) Baseline(kind workload.Kind) *classify.Baseline {
 			n = 100
 		}
 		obs := make([]*classify.Observation, n)
-		forEach(n, r.Parallelism, func(i int) {
-			obs[i], _, _ = r.runExperiment(Spec{Workload: kind, Seed: goldenSeed(kind, i)}, true)
+		forEachWorker(n, r.Parallelism, r, func(w *Worker, i int) {
+			obs[i], _, _ = w.runExperiment(Spec{Workload: kind, Seed: goldenSeed(kind, i)}, true)
 		})
 		e.golden = obs
 		e.baseline = classify.BuildBaseline(obs)
@@ -199,20 +258,37 @@ func (r *Runner) GoldenObservations(kind workload.Kind) []*classify.Observation 
 	return r.entry(kind).golden
 }
 
-// Run executes one experiment and classifies it. The observation backing the
-// classification is recycled into the Runner's buffer pool — callers that
-// need the raw observation use RunObserved, whose result is never pooled.
+// Run executes one experiment on a borrowed worker and classifies it. The
+// campaign engine's fan-out path holds a Worker per goroutine and calls
+// Worker.Run directly; this convenience wrapper serves external callers.
 func (r *Runner) Run(spec Spec) *Result {
-	res, obs := r.RunObserved(spec)
-	r.pool.Release(obs)
+	w := r.acquireWorker()
+	defer r.releaseWorker(w)
+	return w.Run(spec)
+}
+
+// RunObserved executes one experiment on a borrowed worker and returns both
+// the classified result and the raw observation.
+func (r *Runner) RunObserved(spec Spec) (*Result, *classify.Observation) {
+	w := r.acquireWorker()
+	defer r.releaseWorker(w)
+	return w.RunObserved(spec)
+}
+
+// Run executes one experiment and classifies it. The observation backing the
+// classification is recycled into the worker's buffer pool — callers that
+// need the raw observation use RunObserved, whose result is never pooled.
+func (w *Worker) Run(spec Spec) *Result {
+	res, obs := w.RunObserved(spec)
+	w.pool.Release(obs)
 	return res
 }
 
 // RunObserved executes one experiment and returns both the classified result
 // and the raw observation (e.g. for rendering Figure 5's time series).
-func (r *Runner) RunObserved(spec Spec) (*Result, *classify.Observation) {
-	baseline := r.Baseline(spec.Workload)
-	obs, rep, _ := r.runExperiment(spec, true)
+func (w *Worker) RunObserved(spec Spec) (*Result, *classify.Observation) {
+	baseline := w.r.Baseline(spec.Workload)
+	obs, rep, _ := w.runExperiment(spec, true)
 	res := &Result{
 		Spec:            spec,
 		OF:              classify.ClassifyOF(obs, baseline),
@@ -241,7 +317,14 @@ func (r *Runner) RunObserved(spec Spec) (*Result, *classify.Observation) {
 // dynamics, while the main path's Observation.UserErrors is measured with
 // the client (and the collector's periodic reads) running.
 func (r *Runner) RunPropagation(spec Spec) *Result {
-	_, rep, audit := r.runExperiment(spec, false)
+	w := r.acquireWorker()
+	defer r.releaseWorker(w)
+	return w.RunPropagation(spec)
+}
+
+// RunPropagation is Runner.RunPropagation on this worker's state.
+func (w *Worker) RunPropagation(spec Spec) *Result {
+	_, rep, audit := w.runExperiment(spec, false)
 	return &Result{
 		Spec:          spec,
 		Report:        rep,
@@ -251,14 +334,16 @@ func (r *Runner) RunPropagation(spec Spec) *Result {
 	}
 }
 
-// bootCluster brings up the cluster for one experiment: forked from the
-// workload's shared bootstrap snapshot when ShareBootstrap is on, or the
-// legacy full replay (bootstrap, settle, scenario setup — all under the
-// per-experiment seed). Either way the returned cluster is settled, has the
-// scenario set up, and carries an attached (not yet armed) injector.
-func (r *Runner) bootCluster(spec Spec) (*cluster.Cluster, *inject.Injector, *workload.Driver) {
+// bootCluster brings up the cluster for one experiment: forked from this
+// worker's private view of the workload's bootstrap snapshot when
+// ShareBootstrap is on, or the legacy full replay (bootstrap, settle,
+// scenario setup — all under the per-experiment seed). Either way the
+// returned cluster is settled, has the scenario set up, and carries an
+// attached (not yet armed) injector.
+func (w *Worker) bootCluster(spec Spec) (*cluster.Cluster, *inject.Injector, *workload.Driver) {
+	r := w.r
 	if r.ShareBootstrap {
-		cl := r.snapshotFor(spec.Workload).Fork(spec.Seed)
+		cl := w.snapshotView(spec.Workload).Fork(spec.Seed)
 		cl.Loop.SetEventBudget(eventBudget)
 		injector := inject.New(cl.Loop)
 		cl.AttachInjector(injector)
@@ -283,8 +368,8 @@ func (r *Runner) bootCluster(spec Spec) (*cluster.Cluster, *inject.Injector, *wo
 // = true: application client plus collector attached) and the propagation
 // path (collect = false: audit-only, see RunPropagation). The returned
 // audit trail belongs to the experiment's (stopped) cluster.
-func (r *Runner) runExperiment(spec Spec, collect bool) (*classify.Observation, inject.Report, *apiserver.Audit) {
-	cl, injector, driver := r.bootCluster(spec)
+func (w *Worker) runExperiment(spec Spec, collect bool) (*classify.Observation, inject.Report, *apiserver.Audit) {
+	cl, injector, driver := w.bootCluster(spec)
 
 	var client *workload.Client
 	var collector *classify.Collector
@@ -292,7 +377,7 @@ func (r *Runner) runExperiment(spec Spec, collect bool) (*classify.Observation, 
 		ns, svc := driver.TargetService()
 		client = workload.NewClient(cl, ns, svc)
 		collector = classify.NewCollector(cl)
-		collector.UsePool(r.pool)
+		collector.UsePool(w.pool)
 		collector.Start()
 		client.Start()
 	}

@@ -60,12 +60,55 @@ func forEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// forEachWorker is forEach with a campaign Worker bound to each goroutine:
+// every goroutine borrows one Worker from the Runner for its whole index
+// stream, so per-experiment scratch state (buffer pool, snapshot views)
+// never crosses a goroutine boundary and is reused across every experiment
+// the goroutine claims. Workers are released back to the Runner's idle
+// stack when the fan-out drains, so a campaign builds at most
+// max(parallelism over all phases) workers total.
+func forEachWorker(n, workers int, r *Runner, fn func(w *Worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		w := r.acquireWorker()
+		defer r.releaseWorker(w)
+		for i := 0; i < n; i++ {
+			fn(w, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			w := r.acquireWorker()
+			defer r.releaseWorker(w)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // runAll executes every spec with run, fanning out across `workers`
-// goroutines, and returns the results in spec order.
-func runAll(specs []Spec, workers int, run func(Spec) *Result, tick func()) []*Result {
+// goroutines (each bound to one campaign Worker), and returns the results
+// in spec order.
+func runAll(specs []Spec, workers int, r *Runner, run func(*Worker, Spec) *Result, tick func()) []*Result {
 	results := make([]*Result, len(specs))
-	forEach(len(specs), workers, func(i int) {
-		results[i] = run(specs[i])
+	forEachWorker(len(specs), workers, r, func(w *Worker, i int) {
+		results[i] = run(w, specs[i])
 		if tick != nil {
 			tick()
 		}

@@ -35,6 +35,16 @@ type Config struct {
 	// isolated simulations and results are merged in generated-spec order —
 	// so this knob trades only wall-clock for cores.
 	Parallelism int
+	// Shards and ShardIndex partition the generated spec matrix across
+	// cooperating processes: experiment i (in generated order) runs in
+	// shard i % Shards, and RunShard executes exactly that slice. Shards
+	// <= 1 means unsharded. Generation is deterministic, so every shard
+	// process regenerates the identical matrix from the same Config and the
+	// index-ordered merge of all shard outputs (MergeShardOutputs) is
+	// bit-identical to a single-process run. Only RunShard reads these;
+	// RunCampaign ignores them (it always runs the full matrix).
+	Shards     int
+	ShardIndex int
 	// ShareBootstrap runs every experiment as a fork of one settled
 	// bootstrap snapshot per workload instead of replaying bootstrap and
 	// scenario setup per experiment, cutting per-experiment cost by the
@@ -56,6 +66,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SampleStride <= 0 {
 		c.SampleStride = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.ShardIndex < 0 || c.ShardIndex >= c.Shards {
+		panic("campaign: ShardIndex out of range")
 	}
 	return c
 }
@@ -93,88 +109,14 @@ type Output struct {
 // the Output is bit-identical to a sequential run because results are merged
 // in generated-spec order and the golden baselines are built once per
 // workload before the fan-out.
+//
+// RunCampaign is exactly the one-shard case of the sharded pipeline: it runs
+// the full matrix as a single shard and merges it (see shard.go), so the
+// sharded and unsharded paths share every line of execution and merge code.
 func RunCampaign(cfg Config) *Output {
 	cfg = cfg.withDefaults()
-	workers := resolveParallelism(cfg.Parallelism)
-	runner := NewRunner()
-	runner.GoldenRuns = cfg.GoldenRuns
-	runner.Parallelism = workers
-	runner.ShareBootstrap = cfg.ShareBootstrap
-	runner.ClusterConfig.ControlPlaneReplicas = cfg.ControlPlaneReplicas
-
-	out := &Output{
-		Main:           NewAggregate(),
-		Refinement:     NewAggregate(),
-		FieldsRecorded: make(map[workload.Kind]int),
-		Runner:         runner,
-	}
-
-	// Recording plus generation first, so the total is known for progress.
-	recorders := make(map[workload.Kind]*inject.Recorder)
-	var mainSpecs []Spec
-	var propSpecs []Spec
-	for _, wl := range cfg.Workloads {
-		rec := runner.Record(wl)
-		recorders[wl] = rec
-		out.FieldsRecorded[wl] = len(rec.Fields())
-		mainSpecs = append(mainSpecs, sample(Generate(wl, rec), cfg.SampleStride)...)
-		mainSpecs = append(mainSpecs, sample(GenerateControlPlane(wl, cfg.ControlPlaneReplicas), cfg.SampleStride)...)
-		if !cfg.SkipPropagation {
-			for _, component := range PropagationComponents() {
-				propSpecs = append(propSpecs, sample(GeneratePropagation(wl, rec, component), cfg.SampleStride)...)
-			}
-		}
-	}
-
-	// Golden baselines are built up front (each internally parallel) so the
-	// experiment workers never contend on a baseline build.
-	for _, wl := range cfg.Workloads {
-		runner.Baseline(wl)
-	}
-
-	// Refinement is counted into the total as it appears.
-	progress := newProgressTicker(len(mainSpecs)+len(propSpecs), cfg.Progress)
-
-	for _, res := range runAll(mainSpecs, workers, runner.Run, progress.tick) {
-		out.Main.Add(res)
-	}
-
-	if !cfg.SkipRefinement {
-		refineSpecs := refinementSpecs(cfg, out.Main)
-		progress.addTotal(len(refineSpecs))
-		for _, res := range runAll(refineSpecs, workers, runner.Run, progress.tick) {
-			out.Refinement.Add(res)
-		}
-	}
-
-	if !cfg.SkipPropagation {
-		propResults := runAll(propSpecs, workers, runner.RunPropagation, progress.tick)
-		cells := make(map[string]*PropagationCell)
-		for i, spec := range propSpecs {
-			res := propResults[i]
-			key := string(spec.Workload) + "/" + spec.Injection.SourcePrefix
-			cell, ok := cells[key]
-			if !ok {
-				cell = &PropagationCell{Workload: spec.Workload, Component: spec.Injection.SourcePrefix}
-				cells[key] = cell
-			}
-			cell.Injected++
-			if res.PropPersisted {
-				cell.Propagated++
-			}
-			if res.PropErrored {
-				cell.Errored++
-			}
-		}
-		for _, wl := range cfg.Workloads {
-			for _, component := range PropagationComponents() {
-				if cell, ok := cells[string(wl)+"/"+component]; ok {
-					out.Propagation = append(out.Propagation, *cell)
-				}
-			}
-		}
-	}
-	return out
+	cfg.Shards, cfg.ShardIndex = 1, 0
+	return MergeShardOutputs(cfg, []*ShardOutput{RunShard(cfg)})
 }
 
 // refinementSpecs derives the §V-C2 critical-field value-set round from the

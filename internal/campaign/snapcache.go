@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/mutiny-sim/mutiny/internal/cluster"
 	"github.com/mutiny-sim/mutiny/internal/workload"
@@ -20,23 +21,49 @@ import (
 // copy-on-write arrays) and safe to share (Fork is concurrent-safe and never
 // mutates the snapshot), so entries live for the process lifetime;
 // ClearSnapshotCache exists for tests and long-lived embedders.
+//
+// The cache is read-mostly in the extreme — a handful of inserts at campaign
+// start, then lookups forever — so the map is published through an atomic
+// pointer as an immutable value: a lookup is one atomic load plus one map
+// read, and workers racing on lookups never touch a lock or each other's
+// cache lines. Inserts copy the map under a slow-path mutex and republish
+// (copy-on-write); the entry's once still guards the actual capture, so
+// concurrent Runners racing on the same key build it exactly once.
 
 var (
+	snapCache atomic.Pointer[map[string]*snapshotEntry]
+	// snapCacheMu serializes the copy-and-republish writers (insert, clear).
+	// Readers never take it.
 	snapCacheMu sync.Mutex
-	snapCache   = make(map[string]*snapshotEntry)
 )
 
+func init() {
+	m := make(map[string]*snapshotEntry)
+	snapCache.Store(&m)
+}
+
 // sharedSnapshotEntry returns (creating if needed) the process-wide cache
-// cell for a key. The cell's once guards the actual capture, so concurrent
-// Runners racing on the same key build it exactly once.
+// cell for a key. The fast path is lock-free; the insert path copies the
+// published map, adds the cell, and republishes.
 func sharedSnapshotEntry(key string) *snapshotEntry {
+	if e, ok := (*snapCache.Load())[key]; ok {
+		return e
+	}
 	snapCacheMu.Lock()
 	defer snapCacheMu.Unlock()
-	e, ok := snapCache[key]
-	if !ok {
-		e = new(snapshotEntry)
-		snapCache[key] = e
+	// Re-check under the lock: a concurrent insert may have published the
+	// cell while we were waiting.
+	cur := *snapCache.Load()
+	if e, ok := cur[key]; ok {
+		return e
 	}
+	next := make(map[string]*snapshotEntry, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	e := new(snapshotEntry)
+	next[key] = e
+	snapCache.Store(&next)
 	return e
 }
 
@@ -51,16 +78,16 @@ func snapshotCacheKey(cfg cluster.Config, kind workload.Kind) string {
 // SnapshotCacheSize reports the number of cached bootstrap snapshots
 // (diagnostics and tests).
 func SnapshotCacheSize() int {
-	snapCacheMu.Lock()
-	defer snapCacheMu.Unlock()
-	return len(snapCache)
+	return len(*snapCache.Load())
 }
 
 // ClearSnapshotCache drops every cached bootstrap snapshot. Subsequent
 // snapshot requests re-capture from scratch; captures already handed out
-// remain valid (snapshots are immutable).
+// remain valid (snapshots are immutable), so clearing can race active forks
+// without invalidating them.
 func ClearSnapshotCache() {
 	snapCacheMu.Lock()
 	defer snapCacheMu.Unlock()
-	snapCache = make(map[string]*snapshotEntry)
+	m := make(map[string]*snapshotEntry)
+	snapCache.Store(&m)
 }

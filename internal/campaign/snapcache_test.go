@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"github.com/mutiny-sim/mutiny/internal/cluster"
@@ -92,4 +93,107 @@ func TestSnapshotCacheForkEquivalence(t *testing.T) {
 	}
 	g1.Stop()
 	g2.Stop()
+}
+
+// TestWorkerViewForkEquivalence: a fork of a worker's private snapshot view
+// must be byte-identical to a fork of the shared snapshot for the same seed
+// — the view changes memory ownership, never content.
+func TestWorkerViewForkEquivalence(t *testing.T) {
+	ClearSnapshotCache()
+	defer ClearSnapshotCache()
+
+	snap := NewRunner().snapshotFor(workload.ScaleUp)
+	view := snap.WorkerView()
+
+	f1 := snap.Fork(777)
+	f2 := view.Fork(777)
+	if f1.Loop.Now() != f2.Loop.Now() {
+		t.Fatalf("view fork resumed at a different clock: %v vs %v", f1.Loop.Now(), f2.Loop.Now())
+	}
+	if !storesEqual(t, store.CaptureSnapshot(f1.Backend), store.CaptureSnapshot(f2.Backend)) {
+		t.Fatal("view fork has diverging store contents")
+	}
+	f1.Loop.RunUntil(f1.Loop.Now() + 2_000_000_000)
+	f2.Loop.RunUntil(f2.Loop.Now() + 2_000_000_000)
+	if !storesEqual(t, store.CaptureSnapshot(f1.Backend), store.CaptureSnapshot(f2.Backend)) {
+		t.Fatal("view fork diverged from snapshot fork while running")
+	}
+	f1.Stop()
+	f2.Stop()
+}
+
+// TestSnapshotCacheConcurrentRunners: Runners racing on a cold cache must
+// resolve to one shared capture (the bootstrap simulates exactly once) with
+// no data race on the published map.
+func TestSnapshotCacheConcurrentRunners(t *testing.T) {
+	ClearSnapshotCache()
+	defer ClearSnapshotCache()
+
+	const n = 4
+	snaps := make([]*cluster.Snapshot, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snaps[i] = NewRunner().snapshotFor(workload.Deploy)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if snaps[i] != snaps[0] {
+			t.Fatalf("runner %d captured a private snapshot despite the shared cache", i)
+		}
+	}
+	if SnapshotCacheSize() != 1 {
+		t.Fatalf("cache size = %d after concurrent capture, want 1", SnapshotCacheSize())
+	}
+}
+
+// TestClearSnapshotCacheRacesActiveForks: clearing the cache must never
+// invalidate snapshots already handed out — workers keep forking (and their
+// forks keep running) while another goroutine clears and repopulates the
+// published map.
+func TestClearSnapshotCacheRacesActiveForks(t *testing.T) {
+	ClearSnapshotCache()
+	defer ClearSnapshotCache()
+
+	snap := NewRunner().snapshotFor(workload.Deploy)
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() { // churn the published map: clear + insert, repeatedly
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ClearSnapshotCache()
+			sharedSnapshotEntry("probe")
+			if SnapshotCacheSize() == 0 {
+				t.Error("probe entry missing right after insert")
+				return
+			}
+		}
+	}()
+
+	const workers, forksEach = 3, 3
+	var forkers sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		forkers.Add(1)
+		go func(g int) {
+			defer forkers.Done()
+			for i := 0; i < forksEach; i++ {
+				f := snap.Fork(int64(1000*g + i))
+				f.Loop.RunUntil(f.Loop.Now() + 500_000_000)
+				f.Stop()
+			}
+		}(g)
+	}
+	forkers.Wait()
+	close(stop)
+	churn.Wait()
 }

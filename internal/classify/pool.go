@@ -1,27 +1,26 @@
 package classify
 
-import "sync"
-
 // BufferPool recycles the per-experiment series buffers a Collector grows —
 // today the Observation's Samples slice (one entry per 3-second scrape). A
 // campaign runs thousands of experiments whose observations are classified
 // and immediately discarded; without recycling, every experiment grows a
-// fresh slice through the append ladder. The pool is owned by whoever owns
-// the experiment lifecycle (the campaign Runner keeps one per Runner) so
-// recycling is explicit: only observations that provably do not escape are
-// released (golden-run observations, which baselines retain, never are).
+// fresh slice through the append ladder.
+//
+// The pool is a plain, unsynchronized free list: it is owned by exactly one
+// campaign worker (one experiment lifecycle at a time), so there is nothing
+// to synchronize. The sync.Pool it replaces was shared across every worker in
+// the process and put its per-P free lists — and their cache lines — in the
+// middle of the parallel engine's hot path. Only observations that provably
+// do not escape are released (golden-run observations, which baselines
+// retain, never are). A BufferPool must not be used from two goroutines at
+// once.
 type BufferPool struct {
-	samples sync.Pool
+	samples [][]Sample
 }
 
 // NewBufferPool builds an empty pool.
 func NewBufferPool() *BufferPool {
-	p := &BufferPool{}
-	p.samples.New = func() any {
-		s := make([]Sample, 0, 32) // a 45 s window at 3 s period is ~16 samples
-		return &s
-	}
-	return p
+	return &BufferPool{}
 }
 
 // getSamples borrows an empty sample buffer.
@@ -29,17 +28,22 @@ func (p *BufferPool) getSamples() []Sample {
 	if p == nil {
 		return nil
 	}
-	return (*p.samples.Get().(*[]Sample))[:0]
+	if n := len(p.samples); n > 0 {
+		s := p.samples[n-1]
+		p.samples = p.samples[:n-1]
+		return s[:0]
+	}
+	return make([]Sample, 0, 32) // a 45 s window at 3 s period is ~16 samples
 }
 
 // Release returns an observation's recyclable buffers to the pool and clears
 // them from the observation. The caller must be the last reader: after
-// Release the buffers may be handed to a concurrent experiment.
+// Release the buffers may be handed to the owner's next experiment.
 func (p *BufferPool) Release(o *Observation) {
 	if p == nil || o == nil || o.Samples == nil {
 		return
 	}
 	s := o.Samples
 	o.Samples = nil
-	p.samples.Put(&s)
+	p.samples = append(p.samples, s)
 }

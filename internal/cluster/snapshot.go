@@ -85,6 +85,37 @@ func (c *Cluster) Snapshot() *Snapshot {
 	return snap
 }
 
+// WorkerView returns a copy of the snapshot that shares no byte arrays or
+// map/slice structure with the original: the store snapshot's value bytes
+// move into fresh per-replica arenas (store.Snapshot.Clone) and each server
+// snapshot gets private maps (apiserver.Snapshot.Clone). Forking from the
+// view is byte-equivalent to forking from the original — the content is
+// identical — but the fork's restore path reads memory owned by one worker
+// instead of the one array set every parallel worker would otherwise hit.
+// Sealed decoded objects and kubelet pod records stay shared: both are
+// immutable, and only read through pointers.
+//
+// The campaign engine calls this once per (worker, workload); the cost is
+// one pass over the store bytes, amortized over every experiment the worker
+// forks from it.
+func (s *Snapshot) WorkerView() *Snapshot {
+	view := &Snapshot{
+		cfg:      s.cfg.Clone(),
+		now:      s.now,
+		executed: s.executed,
+		store:    s.store.Clone(),
+		nameSeq:  s.nameSeq,
+		kubelets: make(map[string]kubelet.Snapshot, len(s.kubelets)),
+	}
+	for _, srv := range s.servers {
+		view.servers = append(view.servers, srv.Clone())
+	}
+	for name, ks := range s.kubelets {
+		view.kubelets[name] = ks
+	}
+	return view
+}
+
 // Fork builds a started cluster that resumes from the snapshot: same store
 // contents, same virtual clock, same settled workloads — but all randomness
 // from here on is drawn from a fresh RNG seeded with seed. The fork is

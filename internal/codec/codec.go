@@ -58,29 +58,58 @@ func Marshal(msg any) ([]byte, error) {
 
 // AppendMarshal encodes msg like Marshal but appends the wire bytes to b
 // (which may be nil, or a pooled buffer reset with b[:0]) and returns the
-// extended slice. It is the zero-garbage entry point for hot paths that
-// encode on every store transaction.
+// extended slice. It borrows a process-wide encoder for the duration of the
+// call; single-owner call sites that encode constantly (the API server's
+// request, persist and watch paths) hold an Arena instead and use
+// Arena.AppendMarshal, which touches no shared pool at all.
 func AppendMarshal(b []byte, msg any) ([]byte, error) {
-	v := reflect.ValueOf(msg)
-	for v.Kind() == reflect.Pointer {
-		if v.IsNil() {
-			return nil, fmt.Errorf("codec: marshal nil %T", msg)
-		}
-		v = v.Elem()
+	e := _encPool.Get().(*encoder)
+	out, err := e.marshal(b, msg)
+	_encPool.Put(e)
+	return out, err
+}
+
+// An Arena is a private encode workspace: the nested-message scratch stack,
+// the map-key sort buffer, and a free list of wire Buffers, all owned by one
+// worker. The campaign engine runs one isolated simulation per worker
+// goroutine, and before arenas every encode in every worker met in the same
+// process-wide sync.Pools; an arena keeps that state worker-local so the
+// encode hot path shares nothing. An Arena must not be used from two
+// goroutines at once. The zero value is ready to use.
+type Arena struct {
+	enc  encoder
+	free []*Buffer
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// AppendMarshal is Marshal into b using only this arena's state: no shared
+// pool, no lock, no cross-worker cache-line traffic.
+func (a *Arena) AppendMarshal(b []byte, msg any) ([]byte, error) {
+	return a.enc.marshal(b, msg)
+}
+
+// NewBuffer borrows a wire buffer from the arena's free list. Free returns
+// it here, not to the process-wide pool.
+func (a *Arena) NewBuffer() *Buffer {
+	if n := len(a.free); n > 0 {
+		b := a.free[n-1]
+		a.free = a.free[:n-1]
+		return b
 	}
-	if v.Kind() != reflect.Struct {
-		return nil, fmt.Errorf("codec: marshal non-struct %T", msg)
-	}
-	return appendStruct(b, v)
+	return &Buffer{B: make([]byte, 0, 1024), owner: a}
 }
 
 // A Buffer is a pooled encode destination for AppendMarshal call sites that
 // would otherwise allocate a fresh wire buffer per message. Borrow one with
-// NewBuffer, encode into B (typically via AppendMarshal(buf.B[:0], msg)),
-// store the returned slice back into B, and Free it once the bytes are no
-// longer referenced — e.g. after the store has copied them into an item.
+// NewBuffer (process-wide pool) or Arena.NewBuffer (worker-local free list),
+// encode into B (typically via AppendMarshal(buf.B[:0], msg)), store the
+// returned slice back into B, and Free it once the bytes are no longer
+// referenced — e.g. after the store has copied them into an item.
 type Buffer struct {
-	B []byte
+	B     []byte
+	owner *Arena // nil for process-pool buffers
 }
 
 // maxPooledBuffer bounds what Free returns to the pool, so one giant message
@@ -89,15 +118,21 @@ const maxPooledBuffer = 1 << 16
 
 var _bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 1024)} }}
 
-// NewBuffer borrows an encode buffer from the pool.
+// NewBuffer borrows an encode buffer from the process-wide pool.
 func NewBuffer() *Buffer { return _bufPool.Get().(*Buffer) }
 
-// Free returns the buffer to the pool. The caller must not retain b.B.
+// Free returns the buffer to its owning arena's free list (or the process
+// pool). The caller must not retain b.B.
 func (b *Buffer) Free() {
-	if cap(b.B) <= maxPooledBuffer {
-		b.B = b.B[:0]
-		_bufPool.Put(b)
+	if cap(b.B) > maxPooledBuffer {
+		return
 	}
+	b.B = b.B[:0]
+	if b.owner != nil {
+		b.owner.free = append(b.owner.free, b)
+		return
+	}
+	_bufPool.Put(b)
 }
 
 // Unmarshal decodes data into msg, which must be a non-nil pointer to a
@@ -214,22 +249,56 @@ func structFields(t reflect.Type) []fieldDesc {
 	return planFor(t).fields
 }
 
-// _scratchPool recycles the intermediate buffers used to encode nested
-// messages (a length-delimited format needs the inner length before the inner
-// bytes can be placed). Without it every nested struct, slice element, and
-// map entry allocates on every Marshal.
-var _scratchPool = sync.Pool{New: func() any {
-	b := make([]byte, 0, 512)
-	return &b
-}}
+// encoder carries the scratch state one Marshal needs: a by-depth stack of
+// intermediate buffers for nested messages (a length-delimited format needs
+// the inner length before the inner bytes can be placed) and the map-key
+// sort buffer. The state is threaded through the encode recursion instead of
+// being fetched from process-wide sync.Pools at every nesting level — one
+// encoder acquisition per top-level Marshal (and zero for arena owners)
+// replaces a pool round-trip per nested struct, slice, and map.
+type encoder struct {
+	// scratch[d] is the reusable buffer for nesting depth d. Buffers that
+	// grew beyond maxPooledBuffer are dropped (slot reset to nil) so one
+	// giant message does not pin its backing array.
+	scratch [][]byte
+	depth   int
+	keys    []string
+}
 
-func getScratch() *[]byte { return _scratchPool.Get().(*[]byte) }
+var _encPool = sync.Pool{New: func() any { return new(encoder) }}
 
-func putScratch(p *[]byte, b []byte) {
-	if cap(b) <= maxPooledBuffer {
-		*p = b[:0]
-		_scratchPool.Put(p)
+// grab claims the scratch slot for the current nesting depth and returns its
+// index. Pair with put.
+func (e *encoder) grab() int {
+	if e.depth == len(e.scratch) {
+		e.scratch = append(e.scratch, nil)
 	}
+	slot := e.depth
+	e.depth++
+	return slot
+}
+
+// put releases a slot, retaining b's backing array for reuse at this depth.
+func (e *encoder) put(slot int, b []byte) {
+	if cap(b) > maxPooledBuffer {
+		b = nil
+	}
+	e.scratch[slot] = b[:0]
+	e.depth--
+}
+
+func (e *encoder) marshal(b []byte, msg any) ([]byte, error) {
+	v := reflect.ValueOf(msg)
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return nil, fmt.Errorf("codec: marshal nil %T", msg)
+		}
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("codec: marshal non-struct %T", msg)
+	}
+	return e.appendStruct(b, v)
 }
 
 func lowerCamel(s string) string {
@@ -239,12 +308,12 @@ func lowerCamel(s string) string {
 	return strings.ToLower(s[:1]) + s[1:]
 }
 
-func appendStruct(b []byte, v reflect.Value) ([]byte, error) {
+func (e *encoder) appendStruct(b []byte, v reflect.Value) ([]byte, error) {
 	var err error
 	plan := planFor(v.Type())
 	for i := range plan.fields {
 		fd := &plan.fields[i]
-		b, err = appendField(b, fd, v.Field(fd.index))
+		b, err = e.appendField(b, fd, v.Field(fd.index))
 		if err != nil {
 			return nil, err
 		}
@@ -252,7 +321,7 @@ func appendStruct(b []byte, v reflect.Value) ([]byte, error) {
 	return b, nil
 }
 
-func appendField(b []byte, fd *fieldDesc, v reflect.Value) ([]byte, error) {
+func (e *encoder) appendField(b []byte, fd *fieldDesc, v reflect.Value) ([]byte, error) {
 	num := fd.number
 	switch fd.kind {
 	case reflect.String:
@@ -278,10 +347,10 @@ func appendField(b []byte, fd *fieldDesc, v reflect.Value) ([]byte, error) {
 		return appendVarint(b, uint64(v.Int())), nil
 
 	case reflect.Struct:
-		sp := getScratch()
-		inner, err := appendStruct((*sp)[:0], v)
+		slot := e.grab()
+		inner, err := e.appendStruct(e.scratch[slot][:0], v)
 		if err != nil {
-			putScratch(sp, *sp) // appendStruct returned nil; keep the buffer
+			e.put(slot, e.scratch[slot]) // appendStruct returned nil; keep the buffer
 			return nil, err
 		}
 		if len(inner) != 0 {
@@ -289,7 +358,7 @@ func appendField(b []byte, fd *fieldDesc, v reflect.Value) ([]byte, error) {
 			b = appendVarint(b, uint64(len(inner)))
 			b = append(b, inner...)
 		}
-		putScratch(sp, inner)
+		e.put(slot, inner)
 		return b, nil
 
 	case reflect.Slice:
@@ -301,17 +370,17 @@ func appendField(b []byte, fd *fieldDesc, v reflect.Value) ([]byte, error) {
 			b = appendVarint(b, uint64(v.Len()))
 			return append(b, v.Bytes()...), nil
 		}
-		return appendSlice(b, num, fd.elemKind, v)
+		return e.appendSlice(b, num, fd.elemKind, v)
 
 	case reflect.Map:
-		return appendMap(b, num, v)
+		return e.appendMap(b, num, v)
 
 	default:
 		return nil, fmt.Errorf("codec: unsupported field kind %s", fd.kind)
 	}
 }
 
-func appendSlice(b []byte, num int, elemKind reflect.Kind, v reflect.Value) ([]byte, error) {
+func (e *encoder) appendSlice(b []byte, num int, elemKind reflect.Kind, v reflect.Value) ([]byte, error) {
 	n := v.Len()
 	if n == 0 {
 		return b, nil
@@ -332,27 +401,27 @@ func appendSlice(b []byte, num int, elemKind reflect.Kind, v reflect.Value) ([]b
 			b = appendVarint(b, uint64(v.Index(i).Int()))
 		}
 	case reflect.Struct:
-		sp := getScratch()
-		inner := (*sp)[:0]
+		slot := e.grab()
+		inner := e.scratch[slot][:0]
 		for i := 0; i < n; i++ {
 			var err error
-			inner, err = appendStruct(inner[:0], v.Index(i))
+			inner, err = e.appendStruct(inner[:0], v.Index(i))
 			if err != nil {
-				putScratch(sp, *sp) // appendStruct returned nil; keep the buffer
+				e.put(slot, e.scratch[slot]) // appendStruct returned nil; keep the buffer
 				return nil, err
 			}
 			b = appendTag(b, num, wireBytes)
 			b = appendVarint(b, uint64(len(inner)))
 			b = append(b, inner...)
 		}
-		putScratch(sp, inner)
+		e.put(slot, inner)
 	default:
 		return nil, fmt.Errorf("codec: unsupported slice element kind %s", elemKind)
 	}
 	return b, nil
 }
 
-func appendMap(b []byte, num int, v reflect.Value) ([]byte, error) {
+func (e *encoder) appendMap(b []byte, num int, v reflect.Value) ([]byte, error) {
 	if v.Type().Key().Kind() != reflect.String || v.Type().Elem().Kind() != reflect.String {
 		return nil, fmt.Errorf("codec: unsupported map type %s", v.Type())
 	}
@@ -367,14 +436,13 @@ func appendMap(b []byte, num int, v reflect.Value) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("codec: unsupported map type %s", v.Type())
 	}
-	kp := _mapKeyPool.Get().(*[]string)
-	keys := (*kp)[:0]
+	keys := e.keys[:0]
 	for k := range m {
 		keys = append(keys, k)
 	}
 	slices.Sort(keys)
-	sp := getScratch()
-	entry := (*sp)[:0]
+	slot := e.grab()
+	entry := e.scratch[slot][:0]
 	for _, k := range keys {
 		val := m[k]
 		entry = entry[:0]
@@ -388,16 +456,10 @@ func appendMap(b []byte, num int, v reflect.Value) ([]byte, error) {
 		b = appendVarint(b, uint64(len(entry)))
 		b = append(b, entry...)
 	}
-	putScratch(sp, entry)
-	*kp = keys[:0]
-	_mapKeyPool.Put(kp)
+	e.put(slot, entry)
+	e.keys = keys[:0]
 	return b, nil
 }
-
-var _mapKeyPool = sync.Pool{New: func() any {
-	s := make([]string, 0, 8)
-	return &s
-}}
 
 func appendTag(b []byte, num, wt int) []byte {
 	return appendVarint(b, uint64(num)<<3|uint64(wt))

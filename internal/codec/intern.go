@@ -1,6 +1,9 @@
 package codec
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Decode-side string interning.
 //
@@ -12,37 +15,48 @@ import "sync"
 // which both removes the allocation and deduplicates the retained heap
 // (decoded objects are long-lived in the watch cache and in snapshots).
 //
-// The table is process-wide and sharded: campaign workers decode concurrently
-// on independent simulations, so each shard takes a short RWMutex. Strings
-// longer than maxInternLen are passed through uncopied-into-the-table (they
-// are unlikely to repeat: serialized payload blobs, corrupted values), and a
-// full shard stops accepting new entries rather than evicting — the hot
-// vocabulary of a campaign is small and stabilizes within the first
-// experiment.
+// The table is process-wide, sharded, and lock-free on the read path:
+// campaign workers decode concurrently on independent simulations, and the
+// hot vocabulary stabilizes within the first experiment, so the steady state
+// is 100% hits. Each shard publishes an immutable map through an atomic
+// pointer — a hit is one atomic load plus one map lookup, with no lock to
+// bounce between cores (the RWMutex this replaces serialized workers on the
+// shard's cache line even when every access was a read). Misses take a
+// shard-local mutex, copy the map, insert, and republish; that copy-on-write
+// cost is paid once per new string and is bounded by maxShardEntries.
+// Strings longer than maxInternLen are passed through uncopied-into-the-
+// table (they are unlikely to repeat: serialized payload blobs, corrupted
+// values), and a full shard stops accepting new entries rather than
+// evicting.
 
 const (
 	// maxInternLen bounds interned string length; hot identifiers (names,
 	// namespaces, labels, images, IPs) are all far below it.
 	maxInternLen = 64
 	// internShardCount must be a power of two (the shard index is a hash
-	// mask).
+	// mask). 64 shards comfortably exceed GOMAXPROCS on any campaign
+	// runner, so concurrent inserts rarely meet on one shard.
 	internShardCount = 64
 	// maxShardEntries bounds one shard's table; beyond it new strings are
 	// allocated per decode like before (graceful degradation, no eviction
-	// churn).
+	// churn). It also bounds the total copy-on-write insert work a shard
+	// can ever do.
 	maxShardEntries = 4096
 )
 
 type internShard struct {
-	mu sync.RWMutex
-	m  map[string]string
+	// table holds the published, immutable map. Readers load it atomically
+	// and never lock; writers replace it wholesale under mu.
+	table atomic.Pointer[map[string]string]
+	mu    sync.Mutex
 }
 
 var internTable [internShardCount]internShard
 
 func init() {
 	for i := range internTable {
-		internTable[i].m = make(map[string]string, 64)
+		m := make(map[string]string)
+		internTable[i].table.Store(&m)
 	}
 }
 
@@ -57,9 +71,9 @@ func internHash(b []byte) uint32 {
 }
 
 // Intern returns a string equal to b, reusing a canonical instance when the
-// same bytes were seen before. The fast path is a shared-lock map hit with
-// zero allocations (the compiler elides the []byte→string conversion for map
-// lookups).
+// same bytes were seen before. The fast path is one atomic load plus a map
+// hit with zero allocations and zero locks (the compiler elides the
+// []byte→string conversion for map lookups).
 func Intern(b []byte) string {
 	if len(b) == 0 {
 		return ""
@@ -68,20 +82,27 @@ func Intern(b []byte) string {
 		return string(b)
 	}
 	s := &internTable[internHash(b)&(internShardCount-1)]
-	s.mu.RLock()
-	v, ok := s.m[string(b)]
-	s.mu.RUnlock()
-	if ok {
+	if v, ok := (*s.table.Load())[string(b)]; ok {
 		return v
 	}
 	str := string(b)
 	s.mu.Lock()
-	if v, ok = s.m[str]; ok {
-		str = v
-	} else if len(s.m) < maxShardEntries {
-		s.m[str] = str
+	defer s.mu.Unlock()
+	// Re-check under the lock: a concurrent insert may have published the
+	// string while we were waiting.
+	cur := *s.table.Load()
+	if v, ok := cur[str]; ok {
+		return v
 	}
-	s.mu.Unlock()
+	if len(cur) >= maxShardEntries {
+		return str // shard full: hand back the private copy, table unchanged
+	}
+	next := make(map[string]string, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[str] = str
+	s.table.Store(&next)
 	return str
 }
 
@@ -89,10 +110,7 @@ func Intern(b []byte) string {
 func internedStrings() int {
 	n := 0
 	for i := range internTable {
-		s := &internTable[i]
-		s.mu.RLock()
-		n += len(s.m)
-		s.mu.RUnlock()
+		n += len(*internTable[i].table.Load())
 	}
 	return n
 }

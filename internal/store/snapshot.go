@@ -41,6 +41,43 @@ type Snapshot struct {
 	Replicas []StoreSnapshot
 }
 
+// Clone returns a snapshot whose value bytes live in freshly allocated,
+// per-replica contiguous arenas. Content is identical — a restore from the
+// clone is byte-equivalent to a restore from the original — but nothing
+// aliases the source snapshot's arrays. The campaign engine gives each
+// worker its own clone, so parallel forks read worker-local memory instead
+// of all hammering the one set of arrays the capture produced.
+func (s *Snapshot) Clone() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	out := &Snapshot{Replicas: make([]StoreSnapshot, len(s.Replicas))}
+	for i := range s.Replicas {
+		out.Replicas[i] = s.Replicas[i].clone()
+	}
+	return out
+}
+
+func (s StoreSnapshot) clone() StoreSnapshot {
+	total := 0
+	for i := range s.Items {
+		total += len(s.Items[i].Value)
+	}
+	// One arena per replica: the capacity is exact, so the appends below
+	// never reallocate, and the three-index reslice caps each item at its
+	// own bytes so a later append through one value can never bleed into
+	// the next item's.
+	arena := make([]byte, 0, total)
+	items := make([]ItemSnapshot, len(s.Items))
+	for i, it := range s.Items {
+		start := len(arena)
+		arena = append(arena, it.Value...)
+		it.Value = arena[start:len(arena):len(arena)]
+		items[i] = it
+	}
+	return StoreSnapshot{Items: items, Rev: s.Rev, Size: s.Size}
+}
+
 // CaptureSnapshot snapshots any supported Backend.
 func CaptureSnapshot(b Backend) *Snapshot {
 	switch be := b.(type) {

@@ -1,0 +1,53 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotCloneIsDeepAndEqual: a clone carries byte-equal content in
+// freshly allocated arrays — nothing aliases the source (the per-worker
+// isolation contract of the campaign engine's WorkerView path).
+func TestSnapshotCloneIsDeepAndEqual(t *testing.T) {
+	src := &Snapshot{Replicas: []StoreSnapshot{{
+		Rev:  42,
+		Size: 11,
+		Items: []ItemSnapshot{
+			{Key: "/registry/pods/a", Kind: "Pod", Value: []byte("alpha"), CreateRev: 1, ModRev: 2},
+			{Key: "/registry/pods/b", Kind: "Pod", Value: []byte("bravo!"), CreateRev: 3, ModRev: 4},
+			{Key: "/registry/svc/c", Kind: "Service", Value: nil, CreateRev: 5, ModRev: 5},
+		},
+	}}}
+
+	got := src.Clone()
+	if len(got.Replicas) != 1 {
+		t.Fatalf("replica count = %d, want 1", len(got.Replicas))
+	}
+	rs, rg := src.Replicas[0], got.Replicas[0]
+	if rg.Rev != rs.Rev || rg.Size != rs.Size || len(rg.Items) != len(rs.Items) {
+		t.Fatalf("clone header mismatch: %+v vs %+v", rg, rs)
+	}
+	for i := range rs.Items {
+		is, ig := rs.Items[i], rg.Items[i]
+		if ig.Key != is.Key || ig.Kind != is.Kind || ig.CreateRev != is.CreateRev || ig.ModRev != is.ModRev {
+			t.Fatalf("item %d metadata mismatch", i)
+		}
+		if !bytes.Equal(ig.Value, is.Value) {
+			t.Fatalf("item %d value mismatch: %q vs %q", i, ig.Value, is.Value)
+		}
+		if len(is.Value) > 0 && &ig.Value[0] == &is.Value[0] {
+			t.Fatalf("item %d value aliases the source array", i)
+		}
+	}
+	// Appending through one cloned value must not bleed into the next item
+	// (the arena reslice is capacity-capped).
+	v := rg.Items[0].Value
+	v = append(v, 'X')
+	if bytes.Contains(rg.Items[1].Value, []byte("X")) {
+		t.Fatal("append through item 0 overwrote item 1's bytes")
+	}
+
+	if (*Snapshot)(nil).Clone() != nil {
+		t.Fatal("nil snapshot must clone to nil")
+	}
+}

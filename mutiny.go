@@ -52,7 +52,9 @@
 //     copy via CloneForWrite first. The store applies the same discipline to
 //     value bytes (stored arrays are immutable; snapshots and forks alias
 //     them), and the codec interns hot decoded strings (names, namespaces,
-//     label keys/values) process-wide.
+//     label keys/values) process-wide through a 64-way sharded table whose
+//     read path is lock-free (atomic map publication, copy-on-write
+//     inserts).
 //
 //   - A watch-driven readiness pipeline. Components no longer poll: the
 //     workload driver's readiness waits, the application client's VIP
@@ -91,20 +93,37 @@
 //   - Shared bootstrap snapshots (CampaignConfig.ShareBootstrap, CLI
 //     -share-bootstrap, bench MUTINY_SHARE=1). Each experiment forks a
 //     settled per-workload snapshot instead of replaying the ~20 s simulated
-//     bootstrap. Snapshots are cached process-wide, keyed on the cluster
-//     configuration plus workload, so every Runner in the process bootstraps
-//     each workload at most once. Reflector views established on a fork
-//     prime from the restored store — the same re-list a restarted
-//     component performs.
+//     bootstrap. Snapshots are cached process-wide in a lock-free read-path
+//     cache (atomic map publication), keyed on the cluster configuration
+//     plus workload, so every Runner in the process bootstraps each
+//     workload at most once. Reflector views established on a fork prime
+//     from the restored store — the same re-list a restarted component
+//     performs.
 //
-//   - Parallel execution (CampaignConfig.Parallelism, CLI -parallel, bench
-//     MUTINY_PARALLEL). Experiments are isolated simulations merged in
-//     generated order; outputs are bit-identical for every worker count.
+//   - Contention-free parallel execution (CampaignConfig.Parallelism, CLI
+//     -parallel, bench MUTINY_PARALLEL). Experiments are isolated
+//     simulations merged in generated order; outputs are bit-identical for
+//     every worker count. Each worker owns everything its running
+//     experiment touches — its classification buffer pool, per-worker
+//     copy-on-read views of the shared bootstrap snapshots (no byte
+//     aliasing between workers), and per-apiserver codec arenas for encode
+//     buffers — so the steady-state campaign path crosses no shared locks.
+//
+//   - Multi-process sharding (CampaignConfig.Shards/ShardIndex, CLI
+//     -shards/-shard-index). Campaign generation is deterministic, so each
+//     shard process regenerates the full spec matrix and runs its
+//     index-slice; only JSON-safe results cross the process boundary, and
+//     the index-ordered merge (plus the post-merge refinement round) is
+//     bit-identical to a single-process run. RunCampaign itself is the
+//     one-shard case of the same pipeline.
 //
 // `make bench PR=N` measures all of it (ms/exp, allocs/exp, replay-vs-share
-// ratio, parallel speedup) and emits BENCH_PRN.json, committed per PR; CI
-// re-runs the gate on every push and warns — without failing — when ms/exp
-// regresses >10% against the previous PR's committed artifact.
+// ratio, parallel speedup) and emits BENCH_PRN.json — which also records
+// GOMAXPROCS and the CPU — committed per PR; CI re-runs the gate on every
+// push and warns — without failing — when ms/exp or the parallel speedup
+// regresses >10% against the previous PR's committed artifact. Set
+// MUTINY_MUTEXPROF=1 on any bench run to capture mutex/block pprof
+// artifacts for the parallel path.
 package mutiny
 
 import (
@@ -132,6 +151,9 @@ type (
 	CampaignOutput = campaign.Output
 	// PropagationCell is one Table VI cell (Inj/Prop/Err).
 	PropagationCell = campaign.PropagationCell
+	// ShardOutput is one shard's share of a campaign (JSON-serializable),
+	// produced by RunCampaignShard and consumed by MergeCampaignShards.
+	ShardOutput = campaign.ShardOutput
 
 	// Injection is the (where, what, when) fault triple.
 	Injection = inject.Injection
@@ -263,6 +285,21 @@ func NewAggregate() *Aggregate { return campaign.NewAggregate() }
 // field recording, campaign generation, injections, the critical-field
 // refinement round, and the propagation experiments.
 func RunCampaign(cfg CampaignConfig) *CampaignOutput { return campaign.RunCampaign(cfg) }
+
+// RunCampaignShard executes one shard of a campaign: the experiments whose
+// generated index i satisfies i % cfg.Shards == cfg.ShardIndex. Generation
+// is deterministic, so cooperating processes running distinct shard indices
+// of the same config jointly cover the full matrix exactly once; merge their
+// outputs with MergeCampaignShards. The refinement round is deferred to the
+// merge (it depends on the full main aggregate).
+func RunCampaignShard(cfg CampaignConfig) *ShardOutput { return campaign.RunShard(cfg) }
+
+// MergeCampaignShards reassembles shard outputs — local or decoded from
+// JSON — into the full campaign Output, bit-identical to a single-process
+// run, then executes the refinement round.
+func MergeCampaignShards(cfg CampaignConfig, shards []*ShardOutput) *CampaignOutput {
+	return campaign.MergeShardOutputs(cfg, shards)
+}
 
 // NewCluster builds a standalone simulated cluster (the substrate) for
 // direct experimentation outside the campaign harness.

@@ -9,11 +9,18 @@
 //
 //	go test -run xxx -bench ... -benchmem . | go run ./tools/benchjson -out BENCH_PR4.json [-prev BENCH_PR3.json]
 //
+// Each artifact also records the benchmark environment (GOMAXPROCS from the
+// bench lines' -P suffix, the CPU count, and the `cpu:` model line), so a
+// speedup measured on a 1-vCPU runner is not mistaken for a scaling
+// regression against a 16-core one.
+//
 // With -prev, the derived per-experiment latencies are compared against the
 // previous PR's committed artifact: a >10% ms/exp regression (tunable with
 // -warn-threshold) emits a non-blocking warning — on stderr and as a GitHub
 // Actions "::warning::" annotation — and is recorded in the artifact's
-// "regressions" field. The exit status stays zero: machine variance between
+// "regressions" field. campaign_parallel_speedup is compared in the
+// higher-is-better direction: a >10% drop in parallel scaling warns the
+// same way. The exit status stays zero: machine variance between
 // runners makes a hard gate too noisy, but the warning makes the drift
 // visible on every push.
 //
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -41,8 +49,19 @@ type Bench struct {
 	Extra       map[string]float64 `json:"extra,omitempty"` // custom b.ReportMetric units
 }
 
+// Env records the machine the benchmarks ran on, so artifacts from
+// different runners are comparable at a glance. GOMAXPROCS comes from the
+// -P suffix of the parsed benchmark lines (the test binary's setting, not
+// this process's); CPU comes from the `cpu:` header go test prints.
+type Env struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPU        string `json:"cpu,omitempty"`
+}
+
 // Report is the emitted artifact.
 type Report struct {
+	Env        Env                `json:"env"`
 	Benchmarks map[string]Bench   `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived"`
 	// Baseline echoes the previous artifact's derived metrics (when -prev
@@ -60,6 +79,8 @@ func main() {
 	flag.Parse()
 
 	report := Report{Benchmarks: map[string]Bench{}, Derived: map[string]float64{}}
+	report.Env.NumCPU = runtime.NumCPU()
+	report.Env.GOMAXPROCS = runtime.GOMAXPROCS(0) // fallback; bench -P suffix overrides
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	// Benchmarks that print to stdout mid-iteration split their result line:
@@ -70,13 +91,23 @@ func main() {
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass through so the console log stays readable
+		fields := strings.Fields(line)
 		if name, b, ok := parseBenchLine(line); ok {
 			report.Benchmarks[name] = b
+			if p := procsOf(fields[0]); p > 0 {
+				report.Env.GOMAXPROCS = p
+			}
 			pending = ""
 			continue
 		}
-		fields := strings.Fields(line)
+		if len(fields) >= 2 && fields[0] == "cpu:" {
+			report.Env.CPU = strings.Join(fields[1:], " ")
+			continue
+		}
 		if len(fields) > 0 && strings.HasPrefix(fields[0], "Benchmark") {
+			if p := procsOf(fields[0]); p > 0 {
+				report.Env.GOMAXPROCS = p
+			}
 			pending = trimProcSuffix(fields[0])
 			continue
 		}
@@ -131,6 +162,16 @@ func trimProcSuffix(name string) string {
 		}
 	}
 	return name
+}
+
+// procsOf extracts the trailing -GOMAXPROCS suffix, or 0 when absent.
+func procsOf(name string) int {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			return p
+		}
+	}
+	return 0
 }
 
 // parseBenchLine parses one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...`
@@ -199,6 +240,14 @@ func compareBaseline(r *Report, path string, threshold float64, annotate bool) {
 		return
 	}
 	r.Baseline = base.Derived
+	warn := func(msg string) {
+		r.Regressions = append(r.Regressions, msg)
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING:", msg)
+		if annotate {
+			// GitHub Actions annotation; inert noise anywhere else.
+			fmt.Printf("::warning title=perf regression::%s\n", msg)
+		}
+	}
 	for _, metric := range []string{"experiment_ms_share", "experiment_ms_replay"} {
 		was, okWas := base.Derived[metric]
 		now, okNow := r.Derived[metric]
@@ -206,14 +255,16 @@ func compareBaseline(r *Report, path string, threshold float64, annotate bool) {
 			continue
 		}
 		if now > was*(1+threshold) {
-			msg := fmt.Sprintf("%s regressed %.1f%% vs %s (%.2f -> %.2f ms/exp)",
-				metric, (now/was-1)*100, path, was, now)
-			r.Regressions = append(r.Regressions, msg)
-			fmt.Fprintln(os.Stderr, "benchjson: WARNING:", msg)
-			if annotate {
-				// GitHub Actions annotation; inert noise anywhere else.
-				fmt.Printf("::warning title=perf regression::%s\n", msg)
-			}
+			warn(fmt.Sprintf("%s regressed %.1f%% vs %s (%.2f -> %.2f ms/exp)",
+				metric, (now/was-1)*100, path, was, now))
+		}
+	}
+	// campaign_parallel_speedup is higher-is-better: warn when the measured
+	// parallel scaling DROPPED by more than the threshold vs the baseline.
+	if was, ok := base.Derived["campaign_parallel_speedup"]; ok && was > 0 {
+		if now, ok := r.Derived["campaign_parallel_speedup"]; ok && now < was*(1-threshold) {
+			warn(fmt.Sprintf("campaign_parallel_speedup regressed %.1f%% vs %s (×%.2f -> ×%.2f)",
+				(1-now/was)*100, path, was, now))
 		}
 	}
 }
@@ -238,13 +289,18 @@ func derive(r *Report) {
 			r.Derived["bootstrap_replay_vs_fork_ratio"] = v
 		}
 	}
+	// The speedup is sequential over the FASTEST parallel entry: the bench
+	// may emit several workers=N sub-benchmarks (a pinned workers=4 plus the
+	// all-cores case) and the headline metric is the best achieved scaling.
 	var seq, par float64
 	for name, b := range r.Benchmarks {
 		switch {
 		case name == "BenchmarkCampaignParallel/sequential":
 			seq = b.NsPerOp
 		case strings.HasPrefix(name, "BenchmarkCampaignParallel/workers="):
-			par = b.NsPerOp
+			if par == 0 || b.NsPerOp < par {
+				par = b.NsPerOp
+			}
 		}
 	}
 	if seq > 0 && par > 0 {
