@@ -38,10 +38,14 @@ race:
 # end-to-end sanity pass over golden runs, generation, injection, and
 # aggregation on all cores — plus the HA control-plane smoke campaign (a
 # three-replica control plane riding out an apiserver crash and a healed
-# master partition while the workload completes on the survivors).
+# master partition while the workload completes on the survivors) and the
+# admission smoke campaign (a three-hook governance chain riding out a
+# webhook backend crash under both failure policies, measuring the
+# fail-closed outage against the fail-open enforcement loss).
 smoke:
 	MUTINY_STRIDE=200 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime=1x .
 	$(GO) test -run TestHAControlPlaneSmoke -count=1 .
+	$(GO) test -run TestAdmissionSmoke -count=1 .
 
 # Docs lint: every Go file gofmt-clean, and every local link in README.md /
 # ARCHITECTURE.md resolving to a file or directory that actually exists
@@ -72,7 +76,7 @@ docs-lint:
 # the target (piping straight into benchjson would report the parser's exit
 # status and let a broken benchmark slip through the gate); benchjson itself
 # also fails when it parses no benchmark lines.
-PR ?= 7
+PR ?= 8
 BENCH_JSON ?= BENCH_PR$(PR).json
 bench:
 	@set -e; out=$$(mktemp -d); \

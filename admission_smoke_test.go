@@ -1,0 +1,79 @@
+package mutiny_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	mutiny "github.com/mutiny-sim/mutiny"
+)
+
+// The admission smoke campaign `make check` runs: a three-hook governance
+// chain (defaulter, image policy, limits policy) rides out a webhook backend
+// crash under both failure-policy regimes, and the admission table renders
+// the trade-off from the measured windows. Fail-closed buys enforcement
+// integrity (no violating object is ever admitted) at the price of a
+// write-availability outage spanning the fault window; fail-open keeps
+// writes flowing but lets the round's canary pods through while the hook is
+// down.
+func TestAdmissionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("admission smoke campaign is slow")
+	}
+	runner := mutiny.NewRunner()
+	runner.GoldenRuns = 5
+	runner.ClusterConfig.AdmissionHooks = 3
+
+	// Replica 2 targets the limits-policy hook — the one policy the canary
+	// pods violate, so skipping exactly it is what admits them.
+	agg := mutiny.NewAggregate()
+	specs := []mutiny.Spec{
+		{Workload: mutiny.WorkloadPolicy, Seed: 8_900_001, Injection: &mutiny.Injection{
+			Type: mutiny.FaultWebhookDown, Replica: 2, Policy: "Fail",
+			After: 3 * time.Second, Heal: 18 * time.Second,
+		}},
+		{Workload: mutiny.WorkloadPolicy, Seed: 8_900_002, Injection: &mutiny.Injection{
+			Type: mutiny.FaultWebhookDown, Replica: 2, Policy: "Ignore",
+			After: 3 * time.Second, Heal: 18 * time.Second,
+		}},
+	}
+	for _, spec := range specs {
+		res := runner.Run(spec)
+		if !res.Report.Fired || !res.Report.Activated {
+			t.Fatalf("policy=%s: fault did not fire/activate: %+v", spec.Injection.Policy, res.Report)
+		}
+		if !res.Report.Healed {
+			t.Fatalf("policy=%s: fault did not heal: %+v", spec.Injection.Policy, res.Report)
+		}
+		switch spec.Injection.Policy {
+		case "Fail":
+			// Fail-closed: writes stall while the hook is unreachable, but
+			// nothing violating ever lands in the store.
+			if res.AdmissionOutageMillis == 0 {
+				t.Fatalf("fail-closed webhook crash measured no write outage: %+v", res)
+			}
+			if res.PolicyViolations != 0 {
+				t.Fatalf("fail-closed chain admitted %d violating objects", res.PolicyViolations)
+			}
+		case "Ignore":
+			// Fail-open: no outage — the chain skips the dead hook — but the
+			// canaries created during the fault window get through.
+			if res.AdmissionOutageMillis != 0 {
+				t.Fatalf("fail-open webhook crash measured a write outage: %+v", res)
+			}
+			if res.PolicyViolations == 0 {
+				t.Fatalf("fail-open chain admitted no violating objects during the fault window")
+			}
+		}
+		agg.Add(res)
+	}
+
+	var buf bytes.Buffer
+	mutiny.RenderAdmissionTable(&buf, agg)
+	for _, want := range []string{"webhook-down", "Fail", "Ignore"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("admission table missing %q:\n%s", want, buf.String())
+		}
+	}
+}

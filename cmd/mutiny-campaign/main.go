@@ -33,6 +33,17 @@
 // each campaign worker forks from its own copy-on-read view of the snapshot,
 // so parallel forks share no memory.
 //
+// -admission-hooks installs a governance webhook chain (mutating defaulter,
+// image policy, limits policy) in every experiment cluster and adds the
+// admission fault axes — webhook backend down, webhook latency past timeout,
+// wrong selector, missing failure policy — each run under both failure-policy
+// regimes ("Fail" = fail-closed, "Ignore" = fail-open). The admission table
+// then renders the headline trade-off per axis and policy: the write-
+// availability outage window against the count of policy-violating objects
+// admitted. -failure-policy sets the configured (pre-override) policy of the
+// hooks. With -admission-hooks and no explicit -workloads the campaign runs
+// the policy workload, whose canary creates make integrity loss measurable.
+//
 // Readiness tracking inside each experiment is watch-driven: the kbench
 // driver, the application client, the controllers, and the scheduler consume
 // informer-style views fed by the API server's watch fan-out (with a
@@ -46,6 +57,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -73,10 +85,12 @@ func run(args []string) error {
 		shardIndex = fs.Int("shard-index", -1, "run only shard shard-index of -shards and emit its JSON ShardOutput on stdout (child/remote mode; -1 = not a shard)")
 		share      = fs.Bool("share-bootstrap", false, "fork each experiment from a settled bootstrap snapshot instead of replaying bootstrap (snapshots are cached process-wide per cluster-config+workload and forked from per-worker views; preserves classification aggregates, not bit-level observations)")
 		replicas   = fs.Int("control-plane-replicas", 1, "apiserver/store replicas per experiment cluster; >= 2 adds the HA fault axes (apiserver crash, master partition, store loss) and the failover/stale-read table")
+		hooks      = fs.Int("admission-hooks", 0, "admission webhooks per experiment cluster (0-3: defaulter, image-policy, limits-policy); >= 1 adds the webhook fault axes (down, latency, wrong selector, missing policy) under both failure policies and the admission table, and defaults -workloads to the policy workload")
+		policy     = fs.String("failure-policy", "", "configured failure policy of the admission hooks: Fail (fail-closed) or Ignore (fail-open; the default when empty) — the generated admission axes override it per experiment")
 		noRefine   = fs.Bool("no-refinement", false, "skip the critical-field refinement round")
 		noProp     = fs.Bool("no-propagation", false, "skip the component-channel propagation experiments")
 		quiet      = fs.Bool("quiet", false, "suppress progress output")
-		workloads  = fs.String("workloads", "", "comma-separated workload subset (deploy,scale,failover)")
+		workloads  = fs.String("workloads", "", "comma-separated workload subset (deploy,scale,failover,policy)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +101,9 @@ func run(args []string) error {
 	if *shardIndex >= *shards {
 		return fmt.Errorf("-shard-index %d out of range for -shards %d", *shardIndex, *shards)
 	}
+	if *policy != "" && *policy != "Fail" && *policy != "Ignore" {
+		return fmt.Errorf("-failure-policy must be Fail or Ignore, got %q", *policy)
+	}
 
 	cfg := mutiny.CampaignConfig{
 		GoldenRuns:           *golden,
@@ -95,6 +112,8 @@ func run(args []string) error {
 		Shards:               *shards,
 		ShareBootstrap:       *share,
 		ControlPlaneReplicas: *replicas,
+		AdmissionHooks:       *hooks,
+		FailurePolicy:        *policy,
 		SkipRefinement:       *noRefine,
 		SkipPropagation:      *noProp,
 	}
@@ -150,6 +169,10 @@ func run(args []string) error {
 		mutiny.RenderHATable(os.Stdout, out.Main)
 		fmt.Println()
 	}
+	if *hooks > 0 {
+		mutiny.RenderAdmissionTable(os.Stdout, out.Main)
+		fmt.Println()
+	}
 	mutiny.RenderFigure6(os.Stdout, out.Main)
 	fmt.Println()
 	mutiny.RenderFigure7(os.Stdout, out.Main)
@@ -164,6 +187,12 @@ func run(args []string) error {
 // plus -shard-index), collects their JSON outputs, and returns them in
 // shard order. Children run concurrently — the merge is index-ordered, so
 // completion order is irrelevant to the result.
+//
+// Failure propagation is all-or-nothing: a non-zero child exit (with its
+// stderr attached), empty or undecodable child output, or output claiming a
+// different shard identity each fail the whole driver run, and every shard's
+// failure is reported — partial shard sets are never merged, since a merge
+// with a hole panics deep in the campaign package with far less context.
 func spawnShards(args []string, shards int, quiet bool) ([]*mutiny.ShardOutput, error) {
 	self, err := os.Executable()
 	if err != nil {
@@ -187,12 +216,21 @@ func spawnShards(args []string, shards int, quiet bool) ([]*mutiny.ShardOutput, 
 			cmd.Stdout = &stdout
 			cmd.Stderr = &stderr
 			if err := cmd.Run(); err != nil {
-				errs[i] = fmt.Errorf("shard %d: %w\n%s", i, err, stderr.Bytes())
+				errs[i] = fmt.Errorf("shard %d: child failed: %w\nchild stderr:\n%s", i, err, indent(stderr.Bytes()))
+				return
+			}
+			if len(bytes.TrimSpace(stdout.Bytes())) == 0 {
+				errs[i] = fmt.Errorf("shard %d: child exited 0 but produced no output\nchild stderr:\n%s", i, indent(stderr.Bytes()))
 				return
 			}
 			so := new(mutiny.ShardOutput)
 			if err := json.Unmarshal(stdout.Bytes(), so); err != nil {
-				errs[i] = fmt.Errorf("shard %d: decoding output: %w", i, err)
+				errs[i] = fmt.Errorf("shard %d: decoding child output: %w\nchild stderr:\n%s", i, err, indent(stderr.Bytes()))
+				return
+			}
+			if so.Shards != shards || so.ShardIndex != i {
+				errs[i] = fmt.Errorf("shard %d: child output identifies as shard %d/%d — flag mismatch between driver and child",
+					i, so.ShardIndex, so.Shards)
 				return
 			}
 			outs[i] = so
@@ -203,12 +241,26 @@ func spawnShards(args []string, shards int, quiet bool) ([]*mutiny.ShardOutput, 
 		}(i)
 	}
 	wg.Wait()
+	var failed []error
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			failed = append(failed, err)
 		}
 	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
+	}
 	return outs, nil
+}
+
+// indent prefixes child stderr with two spaces per line so it reads as a
+// quoted block inside the driver's error message.
+func indent(b []byte) []byte {
+	b = bytes.TrimRight(b, "\n")
+	if len(b) == 0 {
+		return []byte("  (empty)")
+	}
+	return append([]byte("  "), bytes.ReplaceAll(b, []byte("\n"), []byte("\n  "))...)
 }
 
 func splitComma(s string) []string {

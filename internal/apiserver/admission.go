@@ -1,0 +1,491 @@
+package apiserver
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+// The admission chain is the fourth injectable surface (after the store,
+// request, and watch channels): a mutating + validating webhook pipeline
+// evaluated on every spec-carrying write before it persists. Each hook is
+// backed by an endpoint hosted on a cluster node; the server reaches it
+// through the virtual network (a reachability probe injected by the cluster,
+// so the apiserver package never imports netsim), with a per-call timeout
+// and bounded retry-with-backoff on transient failure.
+//
+// What happens when a webhook is unreachable is the hook's FailurePolicy —
+// the fail-open vs fail-closed dilemma the campaign measures:
+//
+//   - Fail (fail-closed): the write is rejected with ErrAdmission. Policy
+//     enforcement never lapses, but webhook downtime becomes a write-
+//     availability outage for everything the hook selects.
+//   - Ignore (fail-open): the hook is skipped and the write proceeds.
+//     Availability is preserved, but objects that the hook would have denied
+//     are silently admitted — an enforcement-integrity loss. The chain
+//     shadow-evaluates the skipped predicate and counts those admissions in
+//     ViolationsAdmitted (an observer-only tally; it never alters behavior).
+//
+// Hook calls are synchronous on the write path, so network latency and
+// retry backoff are returned-value accounting (like netsim.Request), never
+// clock advancement: a delayed webhook whose effective latency exceeds its
+// timeout is a transient failure, not a stalled simulation.
+//
+// One chain is shared by every apiserver replica (like the shared Audit):
+// admission configuration is cluster state, not per-replica state, and a
+// fault must bite no matter which replica serves the write.
+
+// ErrAdmission marks a write rejected by the admission chain — either denied
+// by a validating webhook or refused because an unreachable hook's policy is
+// fail-closed. It is deliberately distinct from ErrUnavailable: the chain is
+// cluster-wide, so failover clients must NOT retry another replica.
+var ErrAdmission = errors.New("apiserver: admission denied")
+
+// FailurePolicy decides what an unreachable webhook does to the write.
+type FailurePolicy string
+
+// The two admission failure policies.
+const (
+	// FailClosed rejects the write when the webhook cannot be reached.
+	FailClosed FailurePolicy = "Fail"
+	// FailOpen skips the unreachable webhook and admits the write.
+	FailOpen FailurePolicy = "Ignore"
+)
+
+// webhookLatency is the virtual-network round trip of one webhook call
+// (mirrors netsim's proxy latency; accounting-only, see package comment).
+const webhookLatency = 2 * time.Millisecond
+
+// AdmissionSelector scopes a hook to a subset of writes: any of the listed
+// kinds (empty = all), one namespace (empty = all), and a label subset.
+// Real policy webhooks are scoped the same way (objectSelector +
+// namespaceSelector), which is what keeps system namespaces writable while
+// a fail-closed hook is down.
+type AdmissionSelector struct {
+	Kinds     []spec.Kind
+	Namespace string
+	Labels    map[string]string
+}
+
+func (s AdmissionSelector) matches(obj spec.Object) bool {
+	if len(s.Kinds) > 0 {
+		ok := false
+		for _, k := range s.Kinds {
+			if obj.Kind() == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	m := obj.Meta()
+	if s.Namespace != "" && m.Namespace != s.Namespace {
+		return false
+	}
+	for k, v := range s.Labels {
+		if m.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AdmissionHook is one registered webhook. Mutating hooks run first (in
+// registration order) and may rewrite the object; validating hooks run after
+// every mutation and may deny the write. Backend names the cluster node
+// hosting the webhook endpoint — crash that node (or cut its routes) and the
+// hook becomes unreachable through the virtual network.
+type AdmissionHook struct {
+	Name     string
+	Mutating bool
+	Selector AdmissionSelector
+	Policy   FailurePolicy
+	// Timeout bounds one webhook call; an injected delay pushing the
+	// effective latency past it counts as a transient failure.
+	Timeout time.Duration
+	// Retries and Backoff bound the retry loop on transient failure.
+	Retries int
+	Backoff time.Duration
+	Backend string
+
+	// Mutate rewrites the (request-private) object; nil for validating hooks.
+	Mutate func(obj spec.Object)
+	// Validate denies the write by returning an error; nil for mutating hooks.
+	Validate func(obj spec.Object) error
+
+	// Injected fault state (see the chain's fault methods).
+	down           bool
+	delay          time.Duration
+	selectorBroken bool
+	policyDropped  bool
+}
+
+// AdmissionChain evaluates registered hooks on every spec-carrying write.
+type AdmissionChain struct {
+	hooks []*AdmissionHook
+	// reach probes the virtual network: can the control plane currently
+	// route to the named node? Injected by the cluster at assembly.
+	reach func(node string) bool
+	// override, when set, replaces every hook's configured FailurePolicy for
+	// the rest of the experiment — how one bootstrap snapshot serves both
+	// policy regimes (the policy is behaviorally inert while hooks are
+	// healthy, so it can be chosen at injector-arm time).
+	override FailurePolicy
+
+	evaluated           int64
+	denied              int64
+	rejectedUnavailable int64
+	violationsAdmitted  int64
+}
+
+// NewAdmissionChain builds a chain over the given hooks (evaluation order:
+// mutating hooks in slice order, then validating hooks in slice order).
+func NewAdmissionChain(hooks ...*AdmissionHook) *AdmissionChain {
+	return &AdmissionChain{hooks: hooks}
+}
+
+// SetReachability installs the virtual-network probe webhook calls consult.
+func (c *AdmissionChain) SetReachability(f func(node string) bool) { c.reach = f }
+
+// SetFailurePolicy overrides every hook's failure policy for the rest of the
+// experiment. Empty restores the per-hook configuration.
+func (c *AdmissionChain) SetFailurePolicy(p FailurePolicy) { c.override = p }
+
+// HookCount returns the number of registered hooks.
+func (c *AdmissionChain) HookCount() int { return len(c.hooks) }
+
+// HookName returns the name of hook i (index normalized like fault replicas).
+func (c *AdmissionChain) HookName(i int) string { return c.hooks[c.idx(i)].Name }
+
+// Idx normalizes an arbitrary hook index into range, the way control-plane
+// faults normalize replica indices (`replica % Replicas()`).
+func (c *AdmissionChain) Idx(i int) int { return c.idx(i) }
+
+func (c *AdmissionChain) idx(i int) int {
+	if i < 0 {
+		i = -i
+	}
+	return i % len(c.hooks)
+}
+
+// --- injected fault state -----------------------------------------------------
+
+// CrashWebhook takes hook i's backend process down (FaultWebhookDown).
+func (c *AdmissionChain) CrashWebhook(i int) { c.hooks[c.idx(i)].down = true }
+
+// RestoreWebhook undoes CrashWebhook.
+func (c *AdmissionChain) RestoreWebhook(i int) { c.hooks[c.idx(i)].down = false }
+
+// DelayWebhook adds d to every call to hook i (FaultWebhookLatency). A delay
+// pushing the effective latency past the hook's timeout makes every call a
+// transient failure — the slow-webhook outage mode.
+func (c *AdmissionChain) DelayWebhook(i int, d time.Duration) { c.hooks[c.idx(i)].delay = d }
+
+// ClearWebhookDelay undoes DelayWebhook.
+func (c *AdmissionChain) ClearWebhookDelay(i int) { c.hooks[c.idx(i)].delay = 0 }
+
+// BreakSelector misconfigures hook i's selector so it matches nothing
+// (FaultWebhookSelector, the wrong-selector configuration defect): the policy
+// silently stops applying regardless of failure policy. The chain keeps
+// shadow-matching the intended selector to count the violations admitted.
+func (c *AdmissionChain) BreakSelector(i int) { c.hooks[c.idx(i)].selectorBroken = true }
+
+// RestoreSelector undoes BreakSelector.
+func (c *AdmissionChain) RestoreSelector(i int) { c.hooks[c.idx(i)].selectorBroken = false }
+
+// DropPolicy misconfigures hook i as if its failurePolicy stanza were
+// missing (FaultWebhookPolicy): the platform default — Ignore, fail-open —
+// applies, AND the backend goes down, modeling the documented trap where an
+// operator believes a hook is fail-closed but its unavailability silently
+// drops enforcement instead.
+func (c *AdmissionChain) DropPolicy(i int) {
+	h := c.hooks[c.idx(i)]
+	h.policyDropped = true
+	h.down = true
+}
+
+// RestorePolicy undoes DropPolicy.
+func (c *AdmissionChain) RestorePolicy(i int) {
+	h := c.hooks[c.idx(i)]
+	h.policyDropped = false
+	h.down = false
+}
+
+func (c *AdmissionChain) effectivePolicy(h *AdmissionHook) FailurePolicy {
+	if h.policyDropped {
+		return FailOpen
+	}
+	if c.override != "" {
+		return c.override
+	}
+	if h.Policy == "" {
+		return FailOpen
+	}
+	return h.Policy
+}
+
+// unavailable reports whether a call to h would fail right now: backend
+// process down, node unreachable through the virtual network, or effective
+// latency past the hook timeout.
+func (c *AdmissionChain) unavailable(h *AdmissionHook) bool {
+	if h.down {
+		return true
+	}
+	if c.reach != nil && h.Backend != "" && !c.reach(h.Backend) {
+		return true
+	}
+	return h.Timeout > 0 && webhookLatency+h.delay > h.Timeout
+}
+
+// call performs one webhook call with bounded retry. The fault state is
+// stable within a synchronous write, so the retry loop is accounting (each
+// attempt charges latency+backoff by the returned-value model), but it keeps
+// the configured bound meaningful for fault state that changes between
+// writes.
+func (c *AdmissionChain) call(h *AdmissionHook) error {
+	for attempt := 0; ; attempt++ {
+		if !c.unavailable(h) {
+			return nil
+		}
+		if attempt >= h.Retries {
+			return fmt.Errorf("webhook %q unavailable after %d attempt(s)", h.Name, attempt+1)
+		}
+	}
+}
+
+// Degraded reports whether some hook is currently turning webhook downtime
+// into write rejections: effective policy fail-closed and backend
+// unreachable. A broken-selector hook matches nothing and so rejects
+// nothing. The collector charges scrape intervals with Degraded() true to
+// the admission-outage window.
+func (c *AdmissionChain) Degraded() bool {
+	for _, h := range c.hooks {
+		if h.selectorBroken {
+			continue
+		}
+		if c.effectivePolicy(h) == FailClosed && c.unavailable(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Admit evaluates the chain on one write: mutating hooks first (registration
+// order), then validating hooks. It returns nil to admit (possibly after
+// mutation) or an ErrAdmission-wrapped error to reject. Counters:
+// denied/rejectedUnavailable on the reject paths, ViolationsAdmitted once
+// per admitted write that a skipped validating hook would have denied.
+func (c *AdmissionChain) Admit(verb Verb, obj spec.Object) error {
+	c.evaluated++
+	violated := false
+	for _, mutating := range [2]bool{true, false} {
+		for _, h := range c.hooks {
+			if h.Mutating != mutating {
+				continue
+			}
+			if h.selectorBroken {
+				// Wrong selector: the hook silently stops applying. Shadow-
+				// evaluate the intended configuration so the integrity loss
+				// is measurable.
+				if violatesSkipped(h, verb, obj) && h.Selector.matches(obj) {
+					violated = true
+				}
+				continue
+			}
+			if !h.Selector.matches(obj) {
+				continue
+			}
+			if err := c.call(h); err != nil {
+				if c.effectivePolicy(h) == FailClosed {
+					c.rejectedUnavailable++
+					return fmt.Errorf("%w: %v (failurePolicy=Fail)", ErrAdmission, err)
+				}
+				// Fail-open: skip the hook, note what slipped through.
+				if violatesSkipped(h, verb, obj) {
+					violated = true
+				}
+				continue
+			}
+			if h.Mutating {
+				if h.Mutate != nil {
+					h.Mutate(obj)
+				}
+				continue
+			}
+			if h.Validate != nil {
+				if err := h.Validate(obj); err != nil {
+					c.denied++
+					return fmt.Errorf("%w: webhook %q: %v", ErrAdmission, h.Name, err)
+				}
+			}
+		}
+	}
+	if violated {
+		c.violationsAdmitted++
+	}
+	return nil
+}
+
+// violatesSkipped reports whether skipping h admits a policy violation.
+// Only creates count: one admitted violating object is one integrity loss,
+// however many times it is subsequently updated.
+func violatesSkipped(h *AdmissionHook, verb Verb, obj spec.Object) bool {
+	return !h.Mutating && verb == VerbCreate && h.Validate != nil && h.Validate(obj) != nil
+}
+
+// Evaluated returns the number of writes the chain evaluated.
+func (c *AdmissionChain) Evaluated() int64 { return c.evaluated }
+
+// Denied returns the number of writes denied by a healthy validating hook.
+func (c *AdmissionChain) Denied() int64 { return c.denied }
+
+// RejectedUnavailable returns the number of writes rejected because an
+// unreachable hook's effective policy was fail-closed.
+func (c *AdmissionChain) RejectedUnavailable() int64 { return c.rejectedUnavailable }
+
+// ViolationsAdmitted returns the number of admitted writes that a skipped
+// validating hook would have denied — the enforcement-integrity loss.
+func (c *AdmissionChain) ViolationsAdmitted() int64 { return c.violationsAdmitted }
+
+// --- snapshot / fork safety ---------------------------------------------------
+
+// AdmissionSnapshot carries the chain's counters across a cluster fork.
+// Fault state is deliberately NOT captured: snapshots are taken of settled,
+// fault-free clusters, and each fork arms its own injector. Restore is a
+// full overwrite, so restoring once per apiserver replica (the chain is
+// shared) is idempotent — exactly the audit trail's contract.
+type AdmissionSnapshot struct {
+	Present             bool
+	Evaluated           int64
+	Denied              int64
+	RejectedUnavailable int64
+	ViolationsAdmitted  int64
+}
+
+func (c *AdmissionChain) snapshot() AdmissionSnapshot {
+	return AdmissionSnapshot{
+		Present:             true,
+		Evaluated:           c.evaluated,
+		Denied:              c.denied,
+		RejectedUnavailable: c.rejectedUnavailable,
+		ViolationsAdmitted:  c.violationsAdmitted,
+	}
+}
+
+func (c *AdmissionChain) restore(snap AdmissionSnapshot) {
+	c.evaluated = snap.Evaluated
+	c.denied = snap.Denied
+	c.rejectedUnavailable = snap.RejectedUnavailable
+	c.violationsAdmitted = snap.ViolationsAdmitted
+}
+
+// --- the standard governance chain --------------------------------------------
+
+// AdmissionDefaultedLabel is stamped by the standard mutating defaulter hook
+// onto every object it admits.
+const AdmissionDefaultedLabel = "policy.mutiny.io/defaulted"
+
+// StandardAdmissionHooks builds the first n of the standard governance-
+// operator chain, every hook configured with the given failure policy and
+// its backend on one of the given nodes (round-robin):
+//
+//  1. "defaulter" (mutating): stamps AdmissionDefaultedLabel.
+//  2. "image-policy" (validating): images must come from registry.local and
+//     must not float on :latest.
+//  3. "limits-policy" (validating): every container must set CPU and memory
+//     limits.
+//
+// All three select application-namespace workload objects only — scoping
+// that keeps kube-system (and the control plane's own writes) out of the
+// blast radius of a fail-closed outage, as real governance webhooks do.
+func StandardAdmissionHooks(n int, policy FailurePolicy, backends []string) []*AdmissionHook {
+	selector := func() AdmissionSelector {
+		return AdmissionSelector{
+			Kinds: []spec.Kind{
+				spec.KindPod, spec.KindReplicaSet, spec.KindDeployment, spec.KindDaemonSet,
+			},
+			Namespace: spec.DefaultNamespace,
+		}
+	}
+	backend := func(i int) string {
+		if len(backends) == 0 {
+			return ""
+		}
+		return backends[i%len(backends)]
+	}
+	all := []*AdmissionHook{
+		{
+			Name:     "defaulter",
+			Mutating: true,
+			Mutate: func(obj spec.Object) {
+				m := obj.Meta()
+				if m.Labels == nil {
+					m.Labels = map[string]string{}
+				}
+				m.Labels[AdmissionDefaultedLabel] = "true"
+			},
+		},
+		{
+			Name:     "image-policy",
+			Validate: func(obj spec.Object) error { return validateImages(obj) },
+		},
+		{
+			Name:     "limits-policy",
+			Validate: func(obj spec.Object) error { return validateLimits(obj) },
+		},
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	hooks := all[:n]
+	for i, h := range hooks {
+		h.Selector = selector()
+		h.Policy = policy
+		h.Timeout = time.Second
+		h.Retries = 2
+		h.Backoff = 100 * time.Millisecond
+		h.Backend = backend(i)
+	}
+	return hooks
+}
+
+// workloadContainers extracts the container list a policy hook inspects.
+func workloadContainers(obj spec.Object) []spec.Container {
+	switch o := obj.(type) {
+	case *spec.Pod:
+		return o.Spec.Containers
+	case *spec.ReplicaSet:
+		return o.Spec.Template.Spec.Containers
+	case *spec.Deployment:
+		return o.Spec.Template.Spec.Containers
+	case *spec.DaemonSet:
+		return o.Spec.Template.Spec.Containers
+	}
+	return nil
+}
+
+func validateImages(obj spec.Object) error {
+	for _, ct := range workloadContainers(obj) {
+		if !strings.HasPrefix(ct.Image, "registry.local/") {
+			return fmt.Errorf("container %q: image %q not from registry.local", ct.Name, ct.Image)
+		}
+		if strings.HasSuffix(ct.Image, ":latest") {
+			return fmt.Errorf("container %q: floating tag :latest forbidden", ct.Name)
+		}
+	}
+	return nil
+}
+
+func validateLimits(obj spec.Object) error {
+	for _, ct := range workloadContainers(obj) {
+		if ct.LimitsMilliCPU <= 0 || ct.LimitsMemMB <= 0 {
+			return fmt.Errorf("container %q: CPU and memory limits are required", ct.Name)
+		}
+	}
+	return nil
+}

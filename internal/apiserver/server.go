@@ -261,6 +261,12 @@ type Server struct {
 
 	audit *Audit
 
+	// admission is the webhook chain evaluated on every spec-carrying write
+	// before persist (nil = no admission configured, zero write-path cost).
+	// Like the audit, one chain is shared by every replica of an HA control
+	// plane: admission configuration is cluster state.
+	admission *AdmissionChain
+
 	// arena is the server's private encode workspace. A simulated cluster
 	// runs single-threaded on one campaign worker goroutine, so server-local
 	// is worker-local: every encode on the request, persist, and watch-hook
@@ -384,6 +390,13 @@ func (s *Server) SetAdmissionStride(offset, stride int) {
 // like scraping every apiserver's audit log into one place. Call before any
 // request is served.
 func (s *Server) SetAudit(a *Audit) { s.audit = a }
+
+// SetAdmissionChain installs the (cluster-shared) admission webhook chain.
+// Call on every replica of an HA control plane with the same chain.
+func (s *Server) SetAdmissionChain(c *AdmissionChain) { s.admission = c }
+
+// AdmissionChain returns the installed admission chain, or nil.
+func (s *Server) AdmissionChain() *AdmissionChain { return s.admission }
 
 // SetDown crashes or revives this apiserver replica. While down, requests
 // fail like timeouts, reads error, the store watch is detached and no events
@@ -737,6 +750,18 @@ func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object
 			return s.audit.record(identity, verb, kind, msg.Name, ErrNotFound, msg.Tampered)
 		}
 		return s.persistDelete(identity, msg, key)
+	}
+
+	// Admission runs after validation and metadata handling, immediately
+	// before persist: mutating hooks rewrite the (request-private) object,
+	// validating hooks may deny it, and an unreachable fail-closed hook
+	// rejects it. Status updates bypass the chain like the status
+	// subresource exemption real webhook configurations carry — the spec
+	// was admitted when it was written.
+	if s.admission != nil && (verb == VerbCreate || verb == VerbUpdate) {
+		if err := s.admission.Admit(verb, obj); err != nil {
+			return s.audit.record(identity, verb, kind, msg.Name, err, msg.Tampered)
+		}
 	}
 
 	return s.persistWrite(identity, verb, msg, obj, key)

@@ -15,6 +15,11 @@ type Snapshot struct {
 	UIDCounter int64
 	IPCounter  int64
 	Audit      AuditSnapshot
+	// Admission carries the (cluster-shared) admission chain's counters;
+	// Present is false when no chain is installed. Restoring it is a full
+	// overwrite, so N replicas restoring the same shared chain is idempotent
+	// — the audit trail's contract.
+	Admission AdmissionSnapshot
 	// Decoded carries the revision-tagged decoded-object cache. Its entries
 	// are sealed (immutable) objects whose ResourceVersion equals the mod
 	// revision of the store bytes they decode to, so sharing them across
@@ -44,12 +49,16 @@ func (s *Server) Snapshot() Snapshot {
 	for k, v := range s.decoded {
 		decoded[k] = v
 	}
-	return Snapshot{
+	snap := Snapshot{
 		UIDCounter: s.uidCounter,
 		IPCounter:  s.ipCounter,
 		Audit:      s.audit.snapshot(),
 		Decoded:    decoded,
 	}
+	if s.admission != nil {
+		snap.Admission = s.admission.snapshot()
+	}
+	return snap
 }
 
 // Clone returns a snapshot with private map and slice structure (the decoded
@@ -66,6 +75,7 @@ func (s Snapshot) Clone() Snapshot {
 		UIDCounter: s.UIDCounter,
 		IPCounter:  s.IPCounter,
 		Audit:      s.Audit.clone(),
+		Admission:  s.Admission, // plain values — a copy is private already
 		Decoded:    decoded,
 	}
 }
@@ -87,6 +97,9 @@ func (s *Server) RestoreSnapshot(snap Snapshot) {
 	s.uidCounter = snap.UIDCounter
 	s.ipCounter = snap.IPCounter
 	s.audit.restore(snap.Audit)
+	if s.admission != nil && snap.Admission.Present {
+		s.admission.restore(snap.Admission)
+	}
 	s.decoded = make(map[string]spec.Object, len(snap.Decoded))
 	for k, v := range snap.Decoded {
 		s.decoded[k] = v

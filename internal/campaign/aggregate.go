@@ -19,11 +19,12 @@ const (
 	GroupSet          InjGroup = "Value set"
 	GroupDrop         InjGroup = "Drop"
 	GroupControlPlane InjGroup = "Control plane"
+	GroupAdmission    InjGroup = "Admission"
 )
 
 // InjGroups lists the groups in table order.
 func InjGroups() []InjGroup {
-	return []InjGroup{GroupBitFlip, GroupSet, GroupDrop, GroupControlPlane}
+	return []InjGroup{GroupBitFlip, GroupSet, GroupDrop, GroupControlPlane, GroupAdmission}
 }
 
 // GroupOf buckets a fault type.
@@ -31,6 +32,8 @@ func GroupOf(t inject.FaultType) InjGroup {
 	switch {
 	case t.IsControlPlane():
 		return GroupControlPlane
+	case t.IsAdmission():
+		return GroupAdmission
 	case t == inject.SetValue:
 		return GroupSet
 	case t == inject.DropMessage:
@@ -45,6 +48,21 @@ func ControlPlaneFaults() []inject.FaultType {
 	return []inject.FaultType{
 		inject.FaultAPIServerCrash, inject.FaultMasterPartition, inject.FaultStoreLoss,
 	}
+}
+
+// AdmissionFaults lists the admission fault axes in table order.
+func AdmissionFaults() []inject.FaultType {
+	return []inject.FaultType{
+		inject.FaultWebhookDown, inject.FaultWebhookLatency,
+		inject.FaultWebhookSelector, inject.FaultWebhookPolicy,
+	}
+}
+
+// AdmissionKey addresses one admission-table row: a webhook fault axis under
+// one failure-policy regime.
+type AdmissionKey struct {
+	Fault  inject.FaultType
+	Policy string
 }
 
 // Aggregate accumulates experiment results into the paper's tables.
@@ -69,6 +87,12 @@ type Aggregate struct {
 	// served a stale revision.
 	FailoverByFault map[inject.FaultType][]float64
 	StaleByFault    map[inject.FaultType][]float64
+	// OutageByAdmission / ViolationsByAdmission collect the admission trade-
+	// off per (fault axis, failure policy): the write-availability outage
+	// window of each experiment (simulated ms) and its count of policy-
+	// violating objects admitted.
+	OutageByAdmission     map[AdmissionKey][]float64
+	ViolationsByAdmission map[AdmissionKey][]int
 }
 
 // NewAggregate returns an empty aggregate.
@@ -81,6 +105,9 @@ func NewAggregate() *Aggregate {
 		UserErrByOF:     make(map[workload.Kind]map[classify.OF]int),
 		FailoverByFault: make(map[inject.FaultType][]float64),
 		StaleByFault:    make(map[inject.FaultType][]float64),
+
+		OutageByAdmission:     make(map[AdmissionKey][]float64),
+		ViolationsByAdmission: make(map[AdmissionKey][]int),
 	}
 }
 
@@ -123,6 +150,11 @@ func (a *Aggregate) Add(res *Result) {
 		t := res.Spec.Injection.Type
 		a.FailoverByFault[t] = append(a.FailoverByFault[t], res.FailoverMillis)
 		a.StaleByFault[t] = append(a.StaleByFault[t], res.StaleReadMillis)
+	}
+	if res.Spec.Injection != nil && res.Spec.Injection.Type.IsAdmission() {
+		k := AdmissionKey{Fault: res.Spec.Injection.Type, Policy: res.Spec.Injection.Policy}
+		a.OutageByAdmission[k] = append(a.OutageByAdmission[k], res.AdmissionOutageMillis)
+		a.ViolationsByAdmission[k] = append(a.ViolationsByAdmission[k], res.PolicyViolations)
 	}
 }
 

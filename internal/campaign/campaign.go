@@ -53,6 +53,13 @@ type Result struct {
 	// reads). Zero on single-apiserver clusters.
 	FailoverMillis  float64
 	StaleReadMillis float64
+	// AdmissionOutageMillis / PolicyViolations carry the admission-campaign
+	// trade-off measured by the collector: milliseconds of the window a
+	// fail-closed hook was unreachable (write-availability outage), and
+	// policy-violating objects admitted past a skipped hook (enforcement-
+	// integrity loss). Zero without a webhook chain.
+	AdmissionOutageMillis float64
+	PolicyViolations      int
 	// PropPersisted / PropErrored serve the Table VI propagation analysis.
 	PropPersisted bool
 	PropErrored   bool
@@ -290,14 +297,16 @@ func (w *Worker) RunObserved(spec Spec) (*Result, *classify.Observation) {
 	baseline := w.r.Baseline(spec.Workload)
 	obs, rep, _ := w.runExperiment(spec, true)
 	res := &Result{
-		Spec:            spec,
-		OF:              classify.ClassifyOF(obs, baseline),
-		CF:              classify.ClassifyCF(obs, baseline),
-		Z:               classify.ClientZ(obs, baseline),
-		UserErrors:      obs.UserErrors,
-		PodsCreated:     obs.PodsCreated,
-		FailoverMillis:  obs.FailoverMillis,
-		StaleReadMillis: obs.StaleReadMillis,
+		Spec:                  spec,
+		OF:                    classify.ClassifyOF(obs, baseline),
+		CF:                    classify.ClassifyCF(obs, baseline),
+		Z:                     classify.ClientZ(obs, baseline),
+		UserErrors:            obs.UserErrors,
+		PodsCreated:           obs.PodsCreated,
+		FailoverMillis:        obs.FailoverMillis,
+		StaleReadMillis:       obs.StaleReadMillis,
+		AdmissionOutageMillis: obs.AdmissionOutageMillis,
+		PolicyViolations:      obs.PolicyViolations,
 	}
 	if spec.Injection != nil {
 		res.Report = rep
@@ -429,6 +438,8 @@ func goldenSeed(kind workload.Kind, i int) int64 {
 		base = 20_000
 	case workload.Failover:
 		base = 30_000
+	case workload.Policy:
+		base = 40_000
 	default:
 		base = 90_000
 	}

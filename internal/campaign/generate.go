@@ -184,6 +184,41 @@ func GenerateControlPlane(kind workload.Kind, replicas int) []Spec {
 	return specs
 }
 
+// AdmissionPolicies lists the two failure-policy regimes every admission
+// fault axis is run under — the fail-closed vs fail-open contrast the
+// admission table renders.
+var AdmissionPolicies = []string{"Fail", "Ignore"}
+
+// GenerateAdmission derives the admission fault-axis campaign: for every
+// registered webhook hook, each webhook fault (backend down, latency past
+// timeout, wrong selector, missing failure policy) under both failure-policy
+// regimes. The policy rides on the injection spec, so one bootstrap snapshot
+// per workload serves both regimes (the policy is behaviorally inert while
+// every hook is healthy). Empty when no hooks are configured.
+func GenerateAdmission(kind workload.Kind, hooks int) []Spec {
+	if hooks <= 0 {
+		return nil
+	}
+	var specs []Spec
+	seed := campaignSeedBase(kind) + 800_000
+	for h := 0; h < hooks; h++ {
+		for _, t := range []inject.FaultType{
+			inject.FaultWebhookDown, inject.FaultWebhookLatency,
+			inject.FaultWebhookSelector, inject.FaultWebhookPolicy,
+		} {
+			for _, policy := range AdmissionPolicies {
+				in := inject.Injection{
+					Type: t, Replica: h, Policy: policy,
+					After: cpFaultAfter, Heal: cpFaultHeal,
+				}
+				specs = append(specs, Spec{Workload: kind, Injection: &in, Seed: seed})
+				seed++
+			}
+		}
+	}
+	return specs
+}
+
 // ComponentKinds maps the injected component (Table VI) to the resource
 // kinds it writes; the propagation campaign injects into the fields of
 // those kinds on the component→apiserver channel.
@@ -239,6 +274,8 @@ func campaignSeedBase(kind workload.Kind) int64 {
 		return 2_000_000
 	case workload.Failover:
 		return 3_000_000
+	case workload.Policy:
+		return 4_000_000
 	default:
 		return 9_000_000
 	}

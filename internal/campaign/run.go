@@ -21,6 +21,18 @@ type Config struct {
 	// axes — apiserver crash, master partition, store-replica loss — and the
 	// aggregate gains per-axis failover and stale-read-window statistics.
 	ControlPlaneReplicas int
+	// AdmissionHooks installs the standard governance webhook chain (first N
+	// hooks) in every experiment cluster and additionally generates the
+	// admission fault axes — webhook down, webhook latency, wrong selector,
+	// missing failure policy — each under both failure-policy regimes. Zero
+	// (the default) means no chain: the write path, the generated matrix, and
+	// every historical output are untouched.
+	AdmissionHooks int
+	// FailurePolicy is the configured failure policy of the installed hooks
+	// ("Fail" or "Ignore"; empty = the platform default, Ignore). The
+	// generated admission axes override it per experiment — this knob matters
+	// for golden runs and for non-admission faults running with a chain.
+	FailurePolicy string
 	// SkipRefinement disables the §V-C2 critical-field value-set round.
 	SkipRefinement bool
 	// SkipPropagation disables the §V-C4 component-channel experiments.
@@ -59,7 +71,13 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if len(c.Workloads) == 0 {
-		c.Workloads = workload.Kinds()
+		// An admission campaign defaults to the governance workload — the one
+		// whose canary creates make enforcement-integrity loss measurable.
+		if c.AdmissionHooks > 0 {
+			c.Workloads = []workload.Kind{workload.Policy}
+		} else {
+			c.Workloads = workload.Kinds()
+		}
 	}
 	if c.GoldenRuns == 0 {
 		c.GoldenRuns = 100

@@ -52,6 +52,8 @@ func prepare(cfg Config) *prepared {
 	runner.Parallelism = workers
 	runner.ShareBootstrap = cfg.ShareBootstrap
 	runner.ClusterConfig.ControlPlaneReplicas = cfg.ControlPlaneReplicas
+	runner.ClusterConfig.AdmissionHooks = cfg.AdmissionHooks
+	runner.ClusterConfig.FailurePolicy = cfg.FailurePolicy
 
 	p := &prepared{runner: runner, fieldsRecorded: make(map[workload.Kind]int)}
 	for _, wl := range cfg.Workloads {
@@ -59,6 +61,7 @@ func prepare(cfg Config) *prepared {
 		p.fieldsRecorded[wl] = len(rec.Fields())
 		p.mainSpecs = append(p.mainSpecs, sample(Generate(wl, rec), cfg.SampleStride)...)
 		p.mainSpecs = append(p.mainSpecs, sample(GenerateControlPlane(wl, cfg.ControlPlaneReplicas), cfg.SampleStride)...)
+		p.mainSpecs = append(p.mainSpecs, sample(GenerateAdmission(wl, cfg.AdmissionHooks), cfg.SampleStride)...)
 		if !cfg.SkipPropagation {
 			for _, component := range PropagationComponents() {
 				p.propSpecs = append(p.propSpecs, sample(GeneratePropagation(wl, rec, component), cfg.SampleStride)...)
@@ -165,8 +168,12 @@ type ShardResult struct {
 	PodsCreated     int        `json:"podsCreated,omitempty"`
 	FailoverMillis  float64    `json:"failoverMillis,omitempty"`
 	StaleReadMillis float64    `json:"staleReadMillis,omitempty"`
-	PropPersisted   bool       `json:"propPersisted,omitempty"`
-	PropErrored     bool       `json:"propErrored,omitempty"`
+
+	AdmissionOutageMillis float64 `json:"admissionOutageMillis,omitempty"`
+	PolicyViolations      int     `json:"policyViolations,omitempty"`
+
+	PropPersisted bool `json:"propPersisted,omitempty"`
+	PropErrored   bool `json:"propErrored,omitempty"`
 }
 
 func toShardResult(index int, res *Result) ShardResult {
@@ -180,8 +187,12 @@ func toShardResult(index int, res *Result) ShardResult {
 		PodsCreated:     res.PodsCreated,
 		FailoverMillis:  res.FailoverMillis,
 		StaleReadMillis: res.StaleReadMillis,
-		PropPersisted:   res.PropPersisted,
-		PropErrored:     res.PropErrored,
+
+		AdmissionOutageMillis: res.AdmissionOutageMillis,
+		PolicyViolations:      res.PolicyViolations,
+
+		PropPersisted: res.PropPersisted,
+		PropErrored:   res.PropErrored,
 	}
 }
 
@@ -199,8 +210,12 @@ func (sr ShardResult) result(spec Spec) *Result {
 		PodsCreated:     sr.PodsCreated,
 		FailoverMillis:  sr.FailoverMillis,
 		StaleReadMillis: sr.StaleReadMillis,
-		PropPersisted:   sr.PropPersisted,
-		PropErrored:     sr.PropErrored,
+
+		AdmissionOutageMillis: sr.AdmissionOutageMillis,
+		PolicyViolations:      sr.PolicyViolations,
+
+		PropPersisted: sr.PropPersisted,
+		PropErrored:   sr.PropErrored,
 	}
 }
 

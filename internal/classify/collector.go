@@ -26,6 +26,11 @@ type Collector struct {
 	podCreatedAt map[string]time.Duration // uid → creation observed
 	podReadyAt   map[string]bool
 
+	// violationsAtStart anchors the window's PolicyViolations delta: the
+	// chain's counter is cumulative (and snapshot-restored on forks), the
+	// observation reports only what this window admitted.
+	violationsAtStart int
+
 	pool *BufferPool
 
 	cancels []func()
@@ -53,6 +58,7 @@ func (c *Collector) UsePool(p *BufferPool) { c.pool = p }
 func (c *Collector) Start() {
 	c.windowStart = c.cl.Loop.Now()
 	c.lastSampleAt = c.windowStart
+	c.violationsAtStart = c.cl.AdmissionViolations()
 	c.obs.Samples = c.pool.getSamples()
 	c.cancels = append(c.cancels, c.admin.Watch(spec.KindPod, c.onPod))
 	c.ticker = c.cl.Loop.Every(samplePeriod, c.sample)
@@ -106,6 +112,9 @@ func (c *Collector) sample() {
 		if c.cl.StoreLagMax() > 0 {
 			c.obs.StaleReadMillis += dt
 		}
+		if c.cl.AdmissionDegraded() {
+			c.obs.AdmissionOutageMillis += dt
+		}
 	}
 	c.lastSampleAt = now
 
@@ -141,6 +150,7 @@ func (c *Collector) Finish(client *workload.Client) *Observation {
 	c.obs.PrometheusReachable = c.probePrometheus()
 	c.obs.SchedulerRestart = c.cl.Scheduler.Restarts()
 	c.obs.UserErrors = c.cl.Server.Audit().ErrorsBy(workload.UserIdentity)
+	c.obs.PolicyViolations = c.cl.AdmissionViolations() - c.violationsAtStart
 
 	if client != nil {
 		c.obs.Series = client.Series()

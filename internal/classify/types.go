@@ -114,6 +114,15 @@ type Observation struct {
 	FailoverMillis  float64
 	StaleReadMillis float64
 
+	// Admission metrics, meaningful only when the cluster runs a webhook
+	// chain: simulated milliseconds of the window during which a fail-closed
+	// hook was unreachable (writes it selects were being rejected — the
+	// write-availability outage), and the number of policy-violating objects
+	// admitted past a skipped hook during the window (the enforcement-
+	// integrity loss).
+	AdmissionOutageMillis float64
+	PolicyViolations      int
+
 	// End-of-window cluster health probes.
 	ControlPlaneResponsive bool
 	StoreQuotaExceeded     bool

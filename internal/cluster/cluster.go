@@ -91,6 +91,15 @@ type Config struct {
 	// dependency/identity/networking fields are journaled, monitored, and
 	// rolled back when the cluster degrades.
 	EnableFieldGuard bool
+	// AdmissionHooks installs the first N standard governance webhooks
+	// (defaulter, image-policy, limits-policy) as an admission chain shared
+	// by every apiserver replica. Zero (the default) means no chain and zero
+	// write-path cost.
+	AdmissionHooks int
+	// FailurePolicy is the configured failure policy of every admission hook:
+	// "Fail" (fail-closed) or "Ignore" (fail-open, the platform default when
+	// empty). Per-experiment overrides ride on the injection spec instead.
+	FailurePolicy string
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +145,9 @@ type Cluster struct {
 	Managers  []*controller.Manager
 	Scheds    []*scheduler.Scheduler
 	Endpoints *apiserver.Endpoints
+	// admission is the webhook chain shared by every apiserver replica;
+	// nil when Config.AdmissionHooks is zero.
+	admission *apiserver.AdmissionChain
 	// source hands out clients: the Endpoints set when HA, Server otherwise.
 	source apiserver.ClientSource
 	// nodeOrder preserves kubelet creation order: Start/Stop must not
@@ -268,6 +280,25 @@ func assemble(cfg Config, loop *sim.Loop, backend store.Backend) *Cluster {
 		// The virtual network owns the master links; mirror its cuts into
 		// the replicated store's reachability.
 		c.Net.OnMasterLinkChange(func(isolated int) { c.applyMasterLinks(rep, isolated) })
+	}
+	if cfg.AdmissionHooks > 0 {
+		// Webhook backends live on the non-monitoring worker nodes (round-
+		// robin), so they are reachable through the virtual network and share
+		// fate with the data plane. One chain serves every replica: admission
+		// configuration is cluster state, like the shared audit trail.
+		backends := make([]string, 0, cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			if name := fmt.Sprintf("worker-%d", i); name != c.monitoring {
+				backends = append(backends, name)
+			}
+		}
+		chain := apiserver.NewAdmissionChain(
+			apiserver.StandardAdmissionHooks(cfg.AdmissionHooks, apiserver.FailurePolicy(cfg.FailurePolicy), backends)...)
+		chain.SetReachability(c.Net.RoutesUp)
+		for _, srv := range servers {
+			srv.SetAdmissionChain(chain)
+		}
+		c.admission = chain
 	}
 	if cfg.EnableFieldGuard {
 		c.guard = guard.New(loop, source, c.guardHealth)
@@ -448,6 +479,30 @@ func (c *Cluster) AttachInjector(j *inject.Injector) {
 		j.AttachTo(srv)
 	}
 	j.AttachControlPlane(c)
+	if c.admission != nil {
+		j.AttachAdmission(c.admission)
+	}
+}
+
+// Admission returns the shared admission chain, or nil when no hooks are
+// configured.
+func (c *Cluster) Admission() *apiserver.AdmissionChain { return c.admission }
+
+// AdmissionDegraded reports whether webhook downtime is currently being
+// turned into write rejections (some fail-closed hook unreachable). False
+// with no chain configured.
+func (c *Cluster) AdmissionDegraded() bool {
+	return c.admission != nil && c.admission.Degraded()
+}
+
+// AdmissionViolations returns the running count of policy-violating objects
+// admitted past a skipped hook (fail-open or broken selector). Zero with no
+// chain configured.
+func (c *Cluster) AdmissionViolations() int {
+	if c.admission == nil {
+		return 0
+	}
+	return int(c.admission.ViolationsAdmitted())
 }
 
 func (c *Cluster) guardHealth() guard.Health {

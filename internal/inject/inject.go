@@ -101,6 +101,32 @@ const (
 	// restored from a snapshot of a surviving replica; without one the loss
 	// is permanent and quorum reads decide visibility.
 	FaultStoreLoss
+
+	// The admission fault axes are time-triggered like the control-plane
+	// faults, but act on the admission webhook chain: Replica indexes the
+	// target hook, and Policy (when set) fixes the chain-wide failure policy
+	// for the experiment — the fail-open vs fail-closed contrast the
+	// admission campaign measures.
+
+	// FaultWebhookDown crashes the backend process of admission hook Replica;
+	// with a Heal window it restarts after it. Fail-closed hooks turn the
+	// downtime into write rejections, fail-open hooks into skipped (and
+	// shadow-counted) policy evaluation.
+	FaultWebhookDown
+	// FaultWebhookLatency slows admission hook Replica past its call timeout,
+	// so every call becomes a transient failure — the slow-webhook outage,
+	// behaviorally like FaultWebhookDown but reached through the latency/
+	// timeout/retry machinery.
+	FaultWebhookLatency
+	// FaultWebhookSelector misconfigures admission hook Replica's selector so
+	// it matches nothing (the wrong-selector configuration defect): the
+	// policy silently stops applying under either failure policy.
+	FaultWebhookSelector
+	// FaultWebhookPolicy drops admission hook Replica's failurePolicy stanza
+	// (the missing-default configuration defect) and takes its backend down:
+	// the platform default — Ignore, fail-open — silently replaces what the
+	// operator believed was a fail-closed hook.
+	FaultWebhookPolicy
 )
 
 func (t FaultType) String() string {
@@ -119,6 +145,14 @@ func (t FaultType) String() string {
 		return "master-partition"
 	case FaultStoreLoss:
 		return "store-loss"
+	case FaultWebhookDown:
+		return "webhook-down"
+	case FaultWebhookLatency:
+		return "webhook-latency"
+	case FaultWebhookSelector:
+		return "webhook-selector"
+	case FaultWebhookPolicy:
+		return "webhook-policy"
 	default:
 		return fmt.Sprintf("FaultType(%d)", int(t))
 	}
@@ -155,8 +189,14 @@ type Injection struct {
 	// FaultStoreLoss) are located and timed by the fields below instead of
 	// kind/field/occurrence.
 
-	// Replica is the control-plane replica index the fault targets.
+	// Replica is the control-plane replica index the fault targets. Admission
+	// faults reuse it as the index of the target webhook hook.
 	Replica int
+	// Policy, for admission faults, overrides the chain-wide failure policy
+	// ("Fail" or "Ignore") for the experiment, so one bootstrapped cluster
+	// serves both sides of the fail-open vs fail-closed contrast. Empty keeps
+	// the configured per-hook policies.
+	Policy string
 	// After is the simulation time (from arming) at which the fault fires.
 	After time.Duration
 	// Heal, when positive, is the simulation time (from arming) at which the
@@ -182,6 +222,15 @@ func (in Injection) Label() string {
 			return fmt.Sprintf("control-plane %s replica=%d after=%v heal=%v", in.Type, in.Replica, in.After, in.Heal)
 		}
 		return fmt.Sprintf("control-plane %s replica=%d after=%v", in.Type, in.Replica, in.After)
+	case FaultWebhookDown, FaultWebhookLatency, FaultWebhookSelector, FaultWebhookPolicy:
+		policy := in.Policy
+		if policy == "" {
+			policy = "configured"
+		}
+		if in.Heal > 0 {
+			return fmt.Sprintf("admission %s hook=%d policy=%s after=%v heal=%v", in.Type, in.Replica, policy, in.After, in.Heal)
+		}
+		return fmt.Sprintf("admission %s hook=%d policy=%s after=%v", in.Type, in.Replica, policy, in.After)
 	default:
 		return fmt.Sprintf("%s %s ? occ=%d", in.Channel, in.Kind, in.Occurrence)
 	}
@@ -192,6 +241,15 @@ func (in Injection) Label() string {
 func (t FaultType) IsControlPlane() bool {
 	switch t {
 	case FaultAPIServerCrash, FaultMasterPartition, FaultStoreLoss:
+		return true
+	}
+	return false
+}
+
+// IsAdmission reports whether t is a time-triggered admission-chain fault.
+func (t FaultType) IsAdmission() bool {
+	switch t {
+	case FaultWebhookDown, FaultWebhookLatency, FaultWebhookSelector, FaultWebhookPolicy:
 		return true
 	}
 	return false
@@ -236,6 +294,7 @@ type Injector struct {
 	report Report
 
 	cp          ControlPlane
+	adm         *apiserver.AdmissionChain
 	faultTimers []sim.Timer
 }
 
@@ -311,6 +370,10 @@ func (j *Injector) AccessHook() func(key string) {
 // axes act on. Message-channel campaigns never need it.
 func (j *Injector) AttachControlPlane(cp ControlPlane) { j.cp = cp }
 
+// AttachAdmission gives the injector the admission chain the webhook fault
+// axes act on. Campaigns without admission hooks never call it.
+func (j *Injector) AttachAdmission(chain *apiserver.AdmissionChain) { j.adm = chain }
+
 // Arm programs the injection; the next matching message occurrence fires it.
 // Mirrors the campaign manager "configuring the injection trigger by sending
 // the triplet (where, when, what) ... to the injected component".
@@ -326,6 +389,9 @@ func (j *Injector) Arm(in Injection) {
 	j.report = Report{}
 	if cp.Type.IsControlPlane() {
 		j.armControlPlane(&cp)
+	}
+	if cp.Type.IsAdmission() {
+		j.armAdmission(&cp)
 	}
 }
 
@@ -396,12 +462,82 @@ func (j *Injector) healControlPlane(in *Injection) {
 	j.report.HealedAt = j.loop.Now()
 }
 
+// webhookFaultDelay is the extra latency FaultWebhookLatency adds to the
+// target hook's backend — far past the 1s hook call timeout, so every call
+// times out for as long as the fault is live.
+const webhookFaultDelay = 5 * time.Second
+
+func (j *Injector) armAdmission(in *Injection) {
+	if j.adm == nil {
+		return // no admission chain configured
+	}
+	// The policy override is part of the experiment's configuration, not of
+	// the fault: it applies from arming, so the chain is already in the
+	// experiment's regime when the fault fires (and stays inert while every
+	// hook is healthy).
+	j.adm.SetFailurePolicy(apiserver.FailurePolicy(in.Policy))
+	j.faultTimers = append(j.faultTimers, j.loop.After(in.After, func() {
+		if j.armed != in {
+			return
+		}
+		j.fireAdmission(in)
+	}))
+	if in.Heal > 0 {
+		j.faultTimers = append(j.faultTimers, j.loop.After(in.Heal, func() {
+			if j.armed != in || !j.report.Fired {
+				return
+			}
+			j.healAdmission(in)
+		}))
+	}
+}
+
+func (j *Injector) fireAdmission(in *Injection) {
+	hook := j.adm.Idx(in.Replica)
+	switch in.Type {
+	case FaultWebhookDown:
+		j.adm.CrashWebhook(hook)
+	case FaultWebhookLatency:
+		j.adm.DelayWebhook(hook, webhookFaultDelay)
+	case FaultWebhookSelector:
+		j.adm.BreakSelector(hook)
+	case FaultWebhookPolicy:
+		j.adm.DropPolicy(hook)
+	default:
+		return
+	}
+	j.report.Instance = "admission/" + j.adm.HookName(hook)
+	j.report.Fired = true
+	j.report.FiredAt = j.loop.Now()
+	// Like the control-plane faults, the target is the platform itself:
+	// activated by construction when it fires.
+	j.report.Activated = true
+}
+
+func (j *Injector) healAdmission(in *Injection) {
+	hook := j.adm.Idx(in.Replica)
+	switch in.Type {
+	case FaultWebhookDown:
+		j.adm.RestoreWebhook(hook)
+	case FaultWebhookLatency:
+		j.adm.ClearWebhookDelay(hook)
+	case FaultWebhookSelector:
+		j.adm.RestoreSelector(hook)
+	case FaultWebhookPolicy:
+		j.adm.RestorePolicy(hook)
+	default:
+		return
+	}
+	j.report.Healed = true
+	j.report.HealedAt = j.loop.Now()
+}
+
 // Report returns what happened.
 func (j *Injector) Report() Report { return j.report }
 
 func (j *Injector) intercept(ch Channel, m *apiserver.Message) apiserver.Action {
 	in := j.armed
-	if in == nil || in.Type.IsControlPlane() || j.report.Fired || in.Channel != ch || in.Kind != m.Kind {
+	if in == nil || in.Type.IsControlPlane() || in.Type.IsAdmission() || j.report.Fired || in.Channel != ch || in.Kind != m.Kind {
 		return apiserver.Pass
 	}
 	if ch == ChannelRequest && in.SourcePrefix != "" && !hasPrefix(m.Source, in.SourcePrefix) {

@@ -213,6 +213,43 @@ func HATable(w io.Writer, agg *campaign.Aggregate) {
 	tw.Flush()
 }
 
+// AdmissionTable renders the admission fault-axis trade-off: per webhook
+// fault under each failure-policy regime, the write-availability outage
+// window (simulated ms a fail-closed hook was unreachable, med+p95) against
+// the enforcement-integrity loss (policy-violating objects admitted, total
+// over the axis's experiments). Empty (a single explanatory line) when the
+// campaign ran without admission hooks.
+func AdmissionTable(w io.Writer, agg *campaign.Aggregate) {
+	fmt.Fprintln(w, "Admission webhooks — availability outage vs enforcement integrity by fault axis and failure policy")
+	total := 0
+	for _, outages := range agg.OutageByAdmission {
+		total += len(outages)
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "(no admission fault experiments; run with AdmissionHooks >= 1)")
+		return
+	}
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fault axis\tpolicy\tn\toutage med\toutage p95\tviolations")
+	for _, t := range campaign.AdmissionFaults() {
+		for _, policy := range campaign.AdmissionPolicies {
+			key := campaign.AdmissionKey{Fault: t, Policy: policy}
+			out := append([]float64(nil), agg.OutageByAdmission[key]...)
+			if len(out) == 0 {
+				continue
+			}
+			sort.Float64s(out)
+			violations := 0
+			for _, v := range agg.ViolationsByAdmission[key] {
+				violations += v
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.0f\t%d\n", t, policy, len(out),
+				quantile(out, 0.5), quantile(out, 0.95), violations)
+		}
+	}
+	tw.Flush()
+}
+
 // Table7 renders the real-world vs Mutiny coverage comparison (Table VII).
 func Table7(w io.Writer) {
 	fmt.Fprintln(w, "Table VII — Real-world subcategories vs what Mutiny can replicate")

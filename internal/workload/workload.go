@@ -25,6 +25,13 @@ const (
 	Failover Kind = "failover"
 )
 
+// Policy is the governance-operator workload of the admission campaign: a
+// steady mix of compliant churn (deployment scaling the admission chain must
+// keep admitting) and policy-violating canary creates (which a healthy chain
+// denies). It rides alongside the paper's three — deliberately NOT in
+// Kinds(), so message-channel campaigns and their goldens are untouched.
+const Policy Kind = "policy"
+
 // Kinds lists the workloads in paper order.
 func Kinds() []Kind { return []Kind{Deploy, ScaleUp, Failover} }
 
@@ -49,6 +56,13 @@ const (
 	// injected watch-channel drops) surface at most one resync later
 	// instead of stalling the driver until the kbench bound.
 	readinessResync = 5 * time.Second
+	// The policy workload: policyRounds rounds, policyRoundDelay apart, each
+	// issuing one violating canary create plus compliant scaling churn. The
+	// cadence spans the 45 s measurement window, so webhook faults firing and
+	// healing anywhere inside it are straddled by both kinds of write.
+	policyDeployments = 2
+	policyRounds      = 14
+	policyRoundDelay  = 3 * time.Second
 )
 
 // AppName returns the name of the i-th service application deployment.
@@ -130,6 +144,12 @@ func (d *Driver) Setup() {
 			_ = d.User.Create(AppService(AppName(i)))
 		}
 		d.awaitReady(failoverDeploys, deployReplicas)
+	case Policy:
+		for i := 0; i < policyDeployments; i++ {
+			_ = d.User.Create(AppDeployment(AppName(i), deployReplicas))
+			_ = d.User.Create(AppService(AppName(i)))
+		}
+		d.awaitReady(policyDeployments, deployReplicas)
 	}
 }
 
@@ -157,6 +177,49 @@ func (d *Driver) Run() {
 	case Failover:
 		victim := d.taintBusiestNode()
 		d.awaitFailover(victim)
+	case Policy:
+		d.runPolicy()
+	}
+}
+
+// runPolicy drives the governance mix: each round creates one policy-violating
+// canary pod (passes the apiserver's structural validation; only the admission
+// chain can deny it) and scales the compliant deployments, then sleeps to the
+// next round. No readiness wait at the end — the workload's outcome is read
+// off the admission counters and the availability window, not a rollout.
+func (d *Driver) runPolicy() {
+	for round := 0; round < policyRounds; round++ {
+		_ = d.User.Create(canaryPod(round))
+		target := int64(deployReplicas + round%2)
+		for i := 0; i < policyDeployments; i++ {
+			d.scaleTo(AppName(i), target)
+		}
+		if round < policyRounds-1 {
+			d.Cluster.Loop.RunUntil(d.Cluster.Loop.Now() + policyRoundDelay)
+		}
+	}
+}
+
+// canaryPod builds the round's policy-violating pod: a compliant image but no
+// resource limits, so it violates exactly one policy (limits-policy). It is
+// structurally valid — the apiserver admits it whenever the admission chain
+// does not intervene — and a single skipped hook is enough to let it through,
+// which is what makes per-hook webhook faults expose the fail-open
+// enforcement loss.
+func canaryPod(round int) *spec.Pod {
+	return &spec.Pod{
+		Metadata: spec.ObjectMeta{
+			Name: fmt.Sprintf("canary-%d", round), Namespace: spec.DefaultNamespace,
+			Labels: map[string]string{spec.LabelApp: "canary"},
+		},
+		Spec: spec.PodSpec{
+			Containers: []spec.Container{{
+				Name: "canary", Image: "registry.local/canary:2.0",
+				Command:          []string{"run"},
+				RequestsMilliCPU: 50, RequestsMemMB: 32,
+				Port: appTargetPort,
+			}},
+		},
 	}
 }
 

@@ -233,11 +233,31 @@ const (
 	FaultStoreLoss = inject.FaultStoreLoss
 )
 
-// Workloads (§IV-B).
+// Admission fault axes (ClusterConfig.AdmissionHooks >= 1): time-triggered
+// faults against the admission webhook chain. Injection.Replica indexes the
+// target hook; Injection.Policy ("Fail"/"Ignore") fixes the chain-wide
+// failure policy for the experiment.
+const (
+	// FaultWebhookDown crashes one webhook backend; Heal restarts it.
+	FaultWebhookDown = inject.FaultWebhookDown
+	// FaultWebhookLatency slows one webhook past its call timeout.
+	FaultWebhookLatency = inject.FaultWebhookLatency
+	// FaultWebhookSelector misconfigures one hook's selector to match nothing.
+	FaultWebhookSelector = inject.FaultWebhookSelector
+	// FaultWebhookPolicy drops one hook's failurePolicy stanza (the platform
+	// default, fail-open, silently applies) and takes its backend down.
+	FaultWebhookPolicy = inject.FaultWebhookPolicy
+)
+
+// Workloads (§IV-B), plus the governance workload of the admission campaign.
 const (
 	WorkloadDeploy   = workload.Deploy
 	WorkloadScaleUp  = workload.ScaleUp
 	WorkloadFailover = workload.Failover
+	// WorkloadPolicy mixes compliant churn with policy-violating canary
+	// creates; it is the default workload of admission-fault campaigns and is
+	// not part of Workloads().
+	WorkloadPolicy = workload.Policy
 )
 
 // Resource kinds of the simulated system.

@@ -36,6 +36,12 @@ func RenderTable7(w io.Writer) { report.Table7(w) }
 // line when the campaign ran without control-plane replication.
 func RenderHATable(w io.Writer, agg *Aggregate) { report.HATable(w, agg) }
 
+// RenderAdmissionTable writes the admission fault-axis trade-off: per webhook
+// fault under each failure-policy regime, the write-availability outage
+// window (med+p95) against the count of policy-violating objects admitted.
+// Prints a placeholder line when the campaign ran without admission hooks.
+func RenderAdmissionTable(w io.Writer, agg *Aggregate) { report.AdmissionTable(w, agg) }
+
 // RenderFigure5 writes a golden vs injected latency time-series comparison
 // (Figure 5).
 func RenderFigure5(w io.Writer, golden, injected []float64, goldenZ, injectedZ float64) {
