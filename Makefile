@@ -30,9 +30,11 @@ test:
 # TestRunnerConcurrentUse, TestSnapshotCacheConcurrentRunners,
 # TestClearSnapshotCacheRacesActiveForks) and the codec package exercises the
 # sharded intern table and per-worker arenas, so -race here covers every
-# concurrency surface of the parallel engine.
+# concurrency surface of the parallel engine. The apiserver package adds the
+# encode-cache tests: cached wire bytes ride sealed objects across the same
+# shared read paths, so they get the same -race coverage.
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/codec/...
+	$(GO) test -race ./internal/campaign/... ./internal/codec/... ./internal/apiserver/...
 
 # A fast, heavily-strided campaign through the real benchmark harness: one
 # end-to-end sanity pass over golden runs, generation, injection, and
@@ -76,7 +78,7 @@ docs-lint:
 # the target (piping straight into benchjson would report the parser's exit
 # status and let a broken benchmark slip through the gate); benchjson itself
 # also fails when it parses no benchmark lines.
-PR ?= 8
+PR ?= 9
 BENCH_JSON ?= BENCH_PR$(PR).json
 bench:
 	@set -e; out=$$(mktemp -d); \

@@ -18,14 +18,19 @@ import (
 // one, letting the level-triggered controllers rebuild it from its owner.
 const ChecksumAnnotation = "mutiny.io/critical-checksum"
 
-// stampChecksum computes and attaches the critical-field checksum.
+// stampChecksum computes and attaches the critical-field checksum. The
+// annotations map is replaced, not mutated in place: status clones alias
+// their sealed source's (possibly interned, shared) map, and scribbling on
+// that would corrupt every object sharing it.
 func stampChecksum(obj spec.Object) {
 	sum := criticalChecksum(obj)
 	meta := obj.Meta()
-	if meta.Annotations == nil {
-		meta.Annotations = make(map[string]string, 1)
+	ann := make(map[string]string, len(meta.Annotations)+1)
+	for k, v := range meta.Annotations {
+		ann[k] = v
 	}
-	meta.Annotations[ChecksumAnnotation] = sum
+	ann[ChecksumAnnotation] = sum
+	meta.Annotations = ann
 }
 
 // verifyChecksum reports whether the object's critical fields still match

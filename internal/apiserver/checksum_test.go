@@ -119,7 +119,7 @@ func TestChecksumSurvivesLegitimateUpdates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pod := obj.(*spec.Pod)
+	pod := spec.CloneForWriteAs(obj.(*spec.Pod))
 	pod.Metadata.Labels["extra"] = "fine"
 	if err := c.Update(pod); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,468 @@
+package apiserver
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mutiny-sim/mutiny/internal/codec"
+	"github.com/mutiny-sim/mutiny/internal/sim"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+	"github.com/mutiny-sim/mutiny/internal/store"
+)
+
+// The write-path encode cache: sealed objects primed into the decode cache
+// also carry their canonical wire bytes, so a status-only update re-encodes
+// just the status section and splices it onto the cached metadata+spec
+// prefix. These tests pin down the mirror image of the decode-cache
+// contract: the cached bytes are always exactly what a fresh Marshal of the
+// sealed object produces, any byte-level fault (at-rest corruption, tampered
+// store writes, armed injection channels) suppresses or invalidates them,
+// and the spliced encoding is byte-identical to a full re-encode per kind.
+
+// wireOf returns the cached wire bytes for key, or nil.
+func wireOf(srv *Server, key string) ([]byte, int) {
+	obj, ok := srv.decoded[key]
+	if !ok {
+		return nil, 0
+	}
+	return obj.Meta().WireBytes()
+}
+
+func TestEncodeCachePrimedBytesMatchFreshMarshal(t *testing.T) {
+	loop, st, srv := newTestServer(t)
+	c := srv.ClientFor("test")
+	if err := c.Create(testPod("web-1")); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	key := spec.Key(spec.KindPod, spec.DefaultNamespace, "web-1")
+	w, off := wireOf(srv, key)
+	if w == nil {
+		t.Fatal("create did not prime the encode cache")
+	}
+	cached := srv.decoded[key]
+	if fresh := mustMarshal(cached); string(w) != string(fresh) {
+		t.Fatal("cached wire bytes differ from a fresh Marshal of the sealed object")
+	}
+	if gotOff, ok := codec.StatusOffset(w); !ok || gotOff != off {
+		t.Fatalf("cached status offset %d, StatusOffset says %d (ok=%v)", off, gotOff, ok)
+	}
+
+	// A status update must splice onto the prefix and leave the new cached
+	// entry equally exact.
+	obj, err := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := spec.CloneForStatusAs(obj.(*spec.Pod))
+	upd.Status.Phase = spec.PodRunning
+	upd.Status.Ready = true
+	upd.Status.PodIP = "10.244.0.7"
+	if err := c.UpdateStatus(upd); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	w2, _ := wireOf(srv, key)
+	if w2 == nil {
+		t.Fatal("status update did not re-prime the encode cache")
+	}
+	if string(w2) == string(w) {
+		t.Fatal("status update left the old wire bytes in place")
+	}
+	if fresh := mustMarshal(srv.decoded[key]); string(w2) != string(fresh) {
+		t.Fatal("cached wire bytes after a spliced status update differ from a fresh Marshal")
+	}
+	// The stored bytes decode to the merged object (splice exactness against
+	// the backend, not just the cache).
+	kv, _ := st.Get(key)
+	stored := spec.New(spec.KindPod)
+	if err := codecUnmarshal(kv.Value, stored); err != nil {
+		t.Fatalf("spliced stored bytes do not decode: %v", err)
+	}
+	if p := stored.(*spec.Pod); p.Status.PodIP != "10.244.0.7" || !p.Status.Ready {
+		t.Fatal("spliced stored bytes lost the status update")
+	}
+	if p := stored.(*spec.Pod); p.Metadata.Labels["app"] != "web" {
+		t.Fatal("spliced stored bytes lost the metadata prefix")
+	}
+}
+
+// Per-kind splice exactness: for every kind carrying a status section, the
+// bytes persisted by UpdateStatus must round-trip exactly — decoding them
+// and re-encoding at the committed revision reproduces both the stored
+// bytes' canonical form and the cached object, so a splice is
+// indistinguishable from a full Marshal.
+func TestEncodeCacheSpliceRoundTripsPerKind(t *testing.T) {
+	newRS := func(name string) *spec.ReplicaSet {
+		return &spec.ReplicaSet{
+			Metadata: spec.ObjectMeta{
+				Name: name, Namespace: spec.DefaultNamespace,
+				Labels: map[string]string{"app": name},
+			},
+			Spec: spec.ReplicaSetSpec{
+				Replicas: 2,
+				Selector: spec.LabelSelector{MatchLabels: map[string]string{"app": name}},
+				Template: spec.PodTemplate{
+					Labels: map[string]string{"app": name},
+					Spec:   testPod("x").Spec,
+				},
+			},
+		}
+	}
+	cases := []struct {
+		kind   spec.Kind
+		ns     string
+		create spec.Object
+		mutate func(spec.Object)
+	}{
+		{spec.KindPod, spec.DefaultNamespace, testPod("pod-1"), func(o spec.Object) {
+			p := o.(*spec.Pod)
+			p.Status.Phase = spec.PodRunning
+			p.Status.Ready = true
+			p.Status.PodIP = "10.244.1.9"
+			p.Status.RestartCount = 3
+		}},
+		{spec.KindReplicaSet, spec.DefaultNamespace, newRS("rs-1"), func(o spec.Object) {
+			rs := o.(*spec.ReplicaSet)
+			rs.Status.Replicas = 2
+			rs.Status.ReadyReplicas = 1
+		}},
+		{spec.KindDeployment, spec.DefaultNamespace, &spec.Deployment{
+			Metadata: spec.ObjectMeta{
+				Name: "dep-1", Namespace: spec.DefaultNamespace,
+				Labels: map[string]string{"app": "dep-1"},
+			},
+			Spec: spec.DeploymentSpec{
+				Replicas: 1,
+				Selector: spec.LabelSelector{MatchLabels: map[string]string{"app": "dep-1"}},
+				Template: spec.PodTemplate{
+					Labels: map[string]string{"app": "dep-1"},
+					Spec:   testPod("x").Spec,
+				},
+			},
+		}, func(o spec.Object) {
+			d := o.(*spec.Deployment)
+			d.Status.Replicas = 1
+			d.Status.UpdatedReplicas = 1
+		}},
+		{spec.KindDaemonSet, spec.DefaultNamespace, &spec.DaemonSet{
+			Metadata: spec.ObjectMeta{
+				Name: "ds-1", Namespace: spec.DefaultNamespace,
+				Labels: map[string]string{"app": "ds-1"},
+			},
+			Spec: spec.DaemonSetSpec{
+				Selector: spec.LabelSelector{MatchLabels: map[string]string{"app": "ds-1"}},
+				Template: spec.PodTemplate{
+					Labels: map[string]string{"app": "ds-1"},
+					Spec:   testPod("x").Spec,
+				},
+			},
+		}, func(o spec.Object) {
+			ds := o.(*spec.DaemonSet)
+			ds.Status.DesiredNumber = 3
+			ds.Status.NumberReady = 2
+		}},
+		{spec.KindNode, "", &spec.Node{
+			Metadata: spec.ObjectMeta{Name: "node-1"},
+			Spec:     spec.NodeSpec{PodCIDR: "10.244.0.0/24"},
+		}, func(o spec.Object) {
+			n := o.(*spec.Node)
+			n.Status.Ready = true
+			n.Status.LastHeartbeatMillis = 12345
+			n.Status.Address = "192.168.0.7"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.kind), func(t *testing.T) {
+			loop, st, srv := newTestServer(t)
+			c := srv.ClientFor("test")
+			if err := c.Create(tc.create); err != nil {
+				t.Fatal(err)
+			}
+			settle(loop)
+			obj, err := c.Get(tc.kind, tc.ns, tc.create.Meta().Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			upd := spec.CloneForStatus(obj)
+			tc.mutate(upd)
+			if err := c.UpdateStatus(upd); err != nil {
+				t.Fatal(err)
+			}
+			settle(loop)
+
+			key := spec.Key(tc.kind, tc.ns, tc.create.Meta().Name)
+			kv, ok := st.Get(key)
+			if !ok {
+				t.Fatal("object missing after status update")
+			}
+			// The stored (spliced) bytes must be the canonical encoding of
+			// the object they decode to.
+			stored := spec.New(tc.kind)
+			if err := codecUnmarshal(kv.Value, stored); err != nil {
+				t.Fatalf("spliced bytes do not decode: %v", err)
+			}
+			if reenc := mustMarshal(stored); string(reenc) != string(kv.Value) {
+				t.Fatal("spliced stored bytes are not the canonical encoding of the decoded object")
+			}
+			// The cached sealed object at the committed revision must
+			// re-encode to its own cached wire, and match a real decode.
+			cached, ok := srv.decoded[key]
+			if !ok {
+				t.Fatal("status update did not prime the decode cache")
+			}
+			w, _ := cached.Meta().WireBytes()
+			if w == nil {
+				t.Fatal("status update did not prime the encode cache")
+			}
+			if fresh := mustMarshal(cached); string(w) != string(fresh) {
+				t.Fatal("cached wire differs from a fresh Marshal of the cached object")
+			}
+			stored.Meta().ResourceVersion = kv.Revision
+			if refresh := mustMarshal(stored); string(refresh) != string(w) {
+				t.Fatal("a real decode at the committed revision differs from the cached wire")
+			}
+		})
+	}
+}
+
+// At-rest corruption invalidates the encode cache with the decode cache: the
+// next status update must be built from the corrupted current state, never
+// from the stale cached prefix.
+func TestEncodeCacheNeverServesStaleBytes(t *testing.T) {
+	loop, st, srv := newTestServer(t)
+	c := srv.ClientFor("test")
+	if err := c.Create(testPod("web-1")); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	key := spec.Key(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if w, _ := wireOf(srv, key); w == nil {
+		t.Fatal("create did not prime the encode cache")
+	}
+
+	// Rewrite a label at rest: the stale cached prefix still carries
+	// app=web, the store now says app=rotten.
+	st.CorruptAtRest(key, func(b []byte) []byte {
+		obj := spec.New(spec.KindPod)
+		if err := codecUnmarshal(b, obj); err != nil {
+			return b
+		}
+		obj.Meta().Labels = map[string]string{"app": "rotten"}
+		return mustMarshal(obj)
+	})
+
+	obj, err := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := spec.CloneForStatusAs(obj.(*spec.Pod))
+	upd.Status.Ready = true
+	if err := c.UpdateStatus(upd); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	kv, _ := st.Get(key)
+	stored := spec.New(spec.KindPod)
+	if err := codecUnmarshal(kv.Value, stored); err != nil {
+		t.Fatal(err)
+	}
+	if got := stored.Meta().Labels["app"]; got != "rotten" {
+		t.Fatalf("status update persisted label app=%q — the stale pre-corruption prefix was served", got)
+	}
+}
+
+// An apiserver restart rebuilds its caches from the store; post-restart
+// status updates must re-encode from (and re-prime) fresh state.
+func TestEncodeCacheSurvivesRestart(t *testing.T) {
+	loop, st, srv := newTestServer(t)
+	c := srv.ClientFor("test")
+	if err := c.Create(testPod("web-1")); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	srv.Restart()
+	loop.RunUntil(loop.Now() + time.Second)
+
+	obj, err := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := spec.CloneForStatusAs(obj.(*spec.Pod))
+	upd.Status.Phase = spec.PodRunning
+	if err := c.UpdateStatus(upd); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	key := spec.Key(spec.KindPod, spec.DefaultNamespace, "web-1")
+	w, _ := wireOf(srv, key)
+	if w == nil {
+		t.Fatal("post-restart status update did not prime the encode cache")
+	}
+	kv, _ := st.Get(key)
+	stored := spec.New(spec.KindPod)
+	if err := codecUnmarshal(kv.Value, stored); err != nil {
+		t.Fatal(err)
+	}
+	stored.Meta().ResourceVersion = kv.Revision
+	if string(mustMarshal(stored)) != string(w) {
+		t.Fatal("post-restart cached wire differs from a real decode of the stored bytes")
+	}
+}
+
+// Spliced writes fan out through replication like any other write: bytes
+// queued for a down replica are delivered verbatim on heal, and the group
+// converges on the spliced encoding.
+func TestEncodeCacheSplicedWritesConvergeAcrossReplicas(t *testing.T) {
+	loop := sim.NewLoop(31)
+	rep := store.NewReplicated(loop, 3, nil)
+	srv := NewAt(loop, rep, 0, nil)
+	c := srv.ClientFor("test")
+	if err := c.Create(testPod("web-1")); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + time.Second)
+
+	rep.DropReplica(2)
+	obj, err := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := spec.CloneForStatusAs(obj.(*spec.Pod))
+	upd.Status.Phase = spec.PodRunning
+	upd.Status.Ready = true
+	if err := c.UpdateStatus(upd); err != nil {
+		t.Fatal(err)
+	}
+	loop.RunUntil(loop.Now() + time.Second)
+
+	rep.RestoreReplica(2)
+	rep.Heal()
+	loop.RunUntil(loop.Now() + time.Second)
+
+	key := spec.Key(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if !rep.Converged(key) {
+		t.Fatal("replicas did not converge on the spliced write after heal")
+	}
+	kv, ok := rep.Replica(2).Get(key)
+	if !ok {
+		t.Fatal("healed replica missing the spliced write")
+	}
+	got := spec.New(spec.KindPod)
+	if err := codecUnmarshal(kv.Value, got); err != nil {
+		t.Fatalf("healed replica holds undecodable bytes: %v", err)
+	}
+	if p := got.(*spec.Pod); p.Status.Phase != spec.PodRunning || !p.Status.Ready {
+		t.Fatal("healed replica lost the status update")
+	}
+}
+
+// An armed request channel must keep byte-fault semantics: no write primes
+// the encode cache while the hook is live, and disarming via the wire gate
+// restores caching.
+func TestEncodeCacheSuppressedWhileRequestChannelArmed(t *testing.T) {
+	loop, _, srv := newTestServer(t)
+	armed := true
+	srv.SetRequestHook(func(m *Message) Action { return Pass })
+	srv.SetRequestWireGate(func() bool { return armed })
+	c := srv.ClientFor("test")
+	if err := c.Create(testPod("web-1")); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	key := spec.Key(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if w, _ := wireOf(srv, key); w != nil {
+		t.Fatal("encode cache primed while the request channel was armed")
+	}
+
+	armed = false
+	obj, err := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := spec.CloneForStatusAs(obj.(*spec.Pod))
+	upd.Status.Ready = true
+	if err := c.UpdateStatus(upd); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	w, _ := wireOf(srv, key)
+	if w == nil {
+		t.Fatal("disarmed request channel did not restore encode-cache priming")
+	}
+	if fresh := mustMarshal(srv.decoded[key]); string(w) != string(fresh) {
+		t.Fatal("cached wire after re-arming cycle differs from a fresh Marshal")
+	}
+}
+
+// A tampering store-write hook taints the key; the tainted write must not
+// prime the encode cache with bytes that never reached the store.
+func TestEncodeCacheNotPrimedByTamperedWrite(t *testing.T) {
+	loop, _, srv := newTestServer(t)
+	srv.SetStoreWriteHook(func(m *Message) Action {
+		if m.Kind != spec.KindPod {
+			return Pass
+		}
+		obj := spec.New(m.Kind)
+		if err := codecUnmarshal(m.Data, obj); err != nil {
+			return Pass
+		}
+		obj.(*spec.Pod).Status.Reason = "tampered-in-flight"
+		m.Data = mustMarshal(obj)
+		m.Tampered = true
+		return Pass
+	})
+	c := srv.ClientFor("test")
+	if err := c.Create(testPod("web-1")); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	key := spec.Key(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if w, _ := wireOf(srv, key); w != nil {
+		t.Fatal("tampered write primed the encode cache")
+	}
+}
+
+// The watch channel serves freshly encoded bytes, never the cached wire: a
+// hook that scribbles over the event payload must not damage the encode
+// cache, and later spliced writes stay exact.
+func TestEncodeCacheUnharmedByWatchHookMutation(t *testing.T) {
+	loop, st, srv := newTestServer(t)
+	srv.SetWatchHook(func(m *Message) Action {
+		for i := range m.Data {
+			m.Data[i] ^= 0xff // scribble in place over the served bytes
+		}
+		return Drop // and lose the notification entirely
+	})
+	c := srv.ClientFor("test")
+	if err := c.Create(testPod("web-1")); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	key := spec.Key(spec.KindPod, spec.DefaultNamespace, "web-1")
+	w, _ := wireOf(srv, key)
+	if w == nil {
+		t.Fatal("create did not prime the encode cache")
+	}
+	if fresh := mustMarshal(srv.decoded[key]); string(w) != string(fresh) {
+		t.Fatal("watch-hook scribbling reached the cached wire bytes")
+	}
+	obj, err := c.Get(spec.KindPod, spec.DefaultNamespace, "web-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := spec.CloneForStatusAs(obj.(*spec.Pod))
+	upd.Status.Ready = true
+	if err := c.UpdateStatus(upd); err != nil {
+		t.Fatal(err)
+	}
+	settle(loop)
+	kv, _ := st.Get(key)
+	stored := spec.New(spec.KindPod)
+	if err := codecUnmarshal(kv.Value, stored); err != nil {
+		t.Fatalf("spliced bytes after watch tampering do not decode: %v", err)
+	}
+	if reenc := mustMarshal(stored); string(reenc) != string(kv.Value) {
+		t.Fatal("spliced bytes after watch tampering are not canonical")
+	}
+}

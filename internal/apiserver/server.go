@@ -650,8 +650,15 @@ func (s *Server) handle(identity string, verb Verb, obj spec.Object) error {
 	// e.g. an injector armed on the store channel. The component→apiserver
 	// round-trip (encode + decode) is then observationally dead weight; a
 	// deep copy of the request object is bit-equivalent to decoding its own
-	// encoding, and roughly 5× cheaper.
-	if s.requestHook == nil || (s.requestWireGate != nil && !s.requestWireGate()) {
+	// encoding, and roughly 5× cheaper. Status updates and deletes skip
+	// even that copy: the server never retains or mutates the request
+	// object on those verbs (the status is grafted onto the server's own
+	// clone of the current object; a delete only reads identity), so the
+	// caller's instance can be read in place.
+	if !s.requestWireArmed() {
+		if verb == VerbUpdateStatus || verb == VerbDelete {
+			return s.apply(identity, verb, msg, obj)
+		}
 		return s.apply(identity, verb, msg, obj.Clone())
 	}
 	// The request wire bytes live only for the duration of this (synchronous)
@@ -690,6 +697,7 @@ func (s *Server) handle(identity string, verb Verb, obj spec.Object) error {
 func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object) error {
 	kind := msg.Kind
 	key := spec.Key(kind, msg.Namespace, msg.Name)
+	var spliceFrom spec.Object
 	cur, exists, curErr := s.current(kind, key)
 	if errors.Is(curErr, store.ErrReplicaDown) {
 		// This server's store replica is lost: every verb fails, and the
@@ -739,8 +747,13 @@ func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object
 		}
 		// Status updates cannot change spec or metadata: graft the incoming
 		// status onto the current object (subresource semantics). cur is the
-		// shared decode-cache instance, so take a private copy to mutate.
-		cur = spec.CloneForWrite(cur)
+		// shared decode-cache instance, so take a private copy to mutate —
+		// a shallow status clone, since only the Status struct is written
+		// before the object is re-sealed. The sealed original rides along as
+		// the splice source: its cached wire bytes are the canonical encoding
+		// of exactly the metadata+spec prefix the merged object shares.
+		spliceFrom = cur
+		cur = spec.CloneForStatus(cur)
 		if err := mergeStatus(cur, obj); err != nil {
 			return s.audit.record(identity, verb, kind, msg.Name, err, msg.Tampered)
 		}
@@ -764,20 +777,40 @@ func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object
 		}
 	}
 
-	return s.persistWrite(identity, verb, msg, obj, key)
+	return s.persistWrite(identity, verb, msg, obj, key, spliceFrom)
 }
 
-func (s *Server) persistWrite(identity string, verb Verb, msg *Message, obj spec.Object, key string) error {
+// persistWrite encodes obj and commits it. When spliceFrom is non-nil (a
+// status update's sealed current object) and carries cached wire bytes, the
+// encode re-uses its metadata+spec prefix and re-encodes only the status
+// section — byte-identical to a full Marshal, because the merged object
+// shares metadata and spec with spliceFrom and the encoder is deterministic.
+// The splice is off whenever a request-channel injection is armed (cached
+// bytes must never stand in for real ones under byte-fault semantics) and
+// under critical-field checksums (the fresh stamp changes the metadata
+// section the cached prefix covers).
+func (s *Server) persistWrite(identity string, verb Verb, msg *Message, obj spec.Object, key string, spliceFrom spec.Object) error {
 	if s.opts.CriticalFieldChecksums {
 		stampChecksum(obj)
+		spliceFrom = nil
 	}
 	// Same arena-buffer discipline as handle: the store copies the value,
 	// and injection hooks that replace out.Data swap in their own slice.
 	buf := s.arena.NewBuffer()
 	defer buf.Free()
-	data, err := s.arena.AppendMarshal(buf.B[:0], obj)
-	if err != nil {
-		return s.audit.record(identity, verb, msg.Kind, msg.Name, fmt.Errorf("%w: %v", ErrBadRequest, err), msg.Tampered)
+	var data []byte
+	var err error
+	if spliceFrom != nil && !s.requestWireArmed() {
+		data, err = s.spliceStatus(buf.B[:0], spliceFrom, obj)
+		if err != nil {
+			data = nil // malformed splice source: fall back to a full encode
+		}
+	}
+	if data == nil {
+		data, err = s.arena.AppendMarshal(buf.B[:0], obj)
+		if err != nil {
+			return s.audit.record(identity, verb, msg.Kind, msg.Name, fmt.Errorf("%w: %v", ErrBadRequest, err), msg.Tampered)
+		}
 	}
 	buf.B = data
 	out := &Message{
@@ -811,6 +844,21 @@ func (s *Server) persistWrite(identity string, verb Verb, msg *Message, obj spec
 	delete(s.tainted, key)
 	if !out.Tampered && len(out.Data) == len(data) && (len(data) == 0 || &out.Data[0] == &data[0]) {
 		obj.Meta().ResourceVersion = rev
+		// Cache the object's canonical encoding alongside the decoded form:
+		// data is verbatim the encoding of obj at the writer's RV, so
+		// patching in the committed revision yields exactly what a fresh
+		// Marshal of the sealed object would produce — the next status
+		// update to this key splices onto it instead of re-encoding
+		// metadata and spec. Only kinds with a status section benefit, and
+		// an armed request channel suppresses the cache entirely (byte
+		// faults must always act on freshly produced bytes).
+		if hasStatusSection(msg.Kind) && !s.requestWireArmed() {
+			if w := codec.RewriteObjectRV(data, rev); w != nil {
+				if off, ok := codec.StatusOffset(w); ok {
+					obj.Meta().SetWireBytes(w, off)
+				}
+			}
+		}
 		spec.Seal(obj) // entering the shared read path via the decode cache
 		s.decoded[key] = obj
 	}
@@ -1195,4 +1243,50 @@ func mergeStatus(dst, src spec.Object) error {
 		return fmt.Errorf("%w: kind %s has no status subresource", ErrBadRequest, dst.Kind())
 	}
 	return nil
+}
+
+// hasStatusSection reports whether kind carries a status subresource — a
+// top-level field-3 record on the wire, and the only write class that can
+// splice onto cached encodings.
+func hasStatusSection(kind spec.Kind) bool {
+	switch kind {
+	case spec.KindPod, spec.KindReplicaSet, spec.KindDeployment, spec.KindDaemonSet, spec.KindNode:
+		return true
+	}
+	return false
+}
+
+// requestWireArmed reports whether a request-channel hook currently wants
+// serialized bytes. While armed, the write path neither serves nor populates
+// cached encodings: byte-fault semantics require every wire byte a hook can
+// observe or tamper to be freshly produced.
+func (s *Server) requestWireArmed() bool {
+	return s.requestHook != nil && (s.requestWireGate == nil || s.requestWireGate())
+}
+
+// spliceStatus builds the canonical encoding of obj (a status clone of src)
+// by appending obj's re-encoded status section to src's cached metadata+spec
+// prefix. Returns nil bytes when src carries no cached encoding or obj's
+// kind has no status section — the caller falls back to a full encode.
+func (s *Server) spliceStatus(b []byte, src, obj spec.Object) ([]byte, error) {
+	w, off := src.Meta().WireBytes()
+	if w == nil {
+		return nil, nil
+	}
+	var status any
+	switch t := obj.(type) {
+	case *spec.Pod:
+		status = &t.Status
+	case *spec.ReplicaSet:
+		status = &t.Status
+	case *spec.Deployment:
+		status = &t.Status
+	case *spec.DaemonSet:
+		status = &t.Status
+	case *spec.Node:
+		status = &t.Status
+	default:
+		return nil, nil
+	}
+	return s.arena.AppendStructField(append(b, w[:off]...), codec.ObjectStatusField, status)
 }

@@ -232,7 +232,13 @@ func (w *Worker) snapshotView(kind workload.Kind) *cluster.Snapshot {
 	if v, ok := w.views[kind]; ok {
 		return v
 	}
-	v := w.r.snapshotFor(kind).WorkerView()
+	v := w.r.snapshotFor(kind)
+	if resolveParallelism(w.r.Parallelism) > 1 {
+		// Only concurrent workers need private copies of the shared arrays;
+		// a single worker forks from the shared snapshot directly, so a
+		// sequential campaign pays no view-copy cost.
+		v = v.WorkerView()
+	}
 	w.views[kind] = v
 	return v
 }

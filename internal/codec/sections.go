@@ -1,0 +1,196 @@
+package codec
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Sectioned access to encoded objects, for the apiserver's write-path encode
+// elision. Every top-level object encoding is a sequence of length-delimited
+// records in ascending field order — metadata (field 1), spec (field 2),
+// status (field 3) — because the encoder walks the compiled plan in field
+// number order and omits empty sections. That layout makes two surgical
+// operations cheap and exact:
+//
+//   - RewriteObjectRV patches the resourceVersion varint inside the metadata
+//     record, turning the bytes that were just persisted (which carry the
+//     writer's RV, like an etcd txn payload) into the canonical encoding of
+//     the object at its committed revision — the invariant the cached wire
+//     bytes on sealed objects must satisfy.
+//   - StatusOffset finds where the status section starts, so a status-only
+//     update can splice a freshly encoded status record onto the cached
+//     prefix instead of re-marshalling metadata and spec. The encoder is
+//     deterministic (sorted map keys, fixed field order), so the splice is
+//     byte-identical to a full Marshal of the merged object.
+//
+// Both return "no" (nil / not-ok) on anything unexpected rather than
+// guessing: callers fall back to a full encode, which is always correct.
+
+// objectMetaField is the top-level field number of ObjectMeta on every kind.
+const objectMetaField = 1
+
+// ObjectStatusField is the top-level field number of the status section on
+// the kinds that carry one (Pod, ReplicaSet, Deployment, DaemonSet, Node).
+const ObjectStatusField = 3
+
+// metaRVField is the field number of ResourceVersion within ObjectMeta.
+const metaRVField = 4
+
+// StatusOffset returns the byte offset in data where the top-level status
+// record (field ObjectStatusField) begins — len(data) when the status section
+// is empty or absent — and whether the scan succeeded. Records with larger
+// field numbers also stop the scan: the encoder emits fields in ascending
+// order, so everything from the first such record on belongs after the
+// spec section.
+func StatusOffset(data []byte) (int, bool) {
+	off := 0
+	rest := data
+	for len(rest) > 0 {
+		tag, n, err := readVarint(rest)
+		if err != nil || tag&7 != wireBytes {
+			return 0, false
+		}
+		if int(tag>>3) >= ObjectStatusField {
+			return off, true
+		}
+		rest = rest[n:]
+		length, m, err := readVarint(rest)
+		if err != nil || length > uint64(len(rest)-m) {
+			return 0, false
+		}
+		skip := n + m + int(length)
+		rest = rest[m+int(length):]
+		off += skip
+	}
+	return off, true
+}
+
+// RewriteObjectRV returns a fresh slice holding data with the metadata
+// record's resourceVersion replaced by rv, or nil when data does not parse as
+// an object encoding (metadata must be the first record). The result is
+// exactly sized and owned by the caller; data is never modified.
+func RewriteObjectRV(data []byte, rv int64) []byte {
+	tag, n, err := readVarint(data)
+	if err != nil || tag>>3 != objectMetaField || tag&7 != wireBytes {
+		return nil
+	}
+	length, m, err := readVarint(data[n:])
+	if err != nil || length > uint64(len(data)-n-m) {
+		return nil
+	}
+	meta := data[n+m : n+m+int(length)]
+	rest := data[n+m+int(length):]
+
+	// Locate the RV record inside the metadata body: [i:j) spans the old
+	// record (i == j at the insertion point when the field is absent, which
+	// is how RV 0 — a create — is encoded).
+	i, j, ok := findVarintField(meta, metaRVField)
+	if !ok {
+		return nil
+	}
+	var rvRec []byte
+	var rvBuf [12]byte
+	if rv != 0 {
+		rvRec = appendTag(rvBuf[:0], metaRVField, wireVarint)
+		rvRec = appendVarint(rvRec, uint64(rv))
+	}
+	newMetaLen := len(meta) - (j - i) + len(rvRec)
+	out := make([]byte, 0, 1+varintSize(uint64(newMetaLen))+newMetaLen+len(rest))
+	out = appendTag(out, objectMetaField, wireBytes)
+	out = appendVarint(out, uint64(newMetaLen))
+	out = append(out, meta[:i]...)
+	out = append(out, rvRec...)
+	out = append(out, meta[j:]...)
+	out = append(out, rest...)
+	return out
+}
+
+// findVarintField scans a struct body for the varint record with field
+// number num, returning its [start, end) span. When the field is absent the
+// span is empty and sits where the record would be inserted (fields are
+// encoded in ascending order). Reports failure on malformed bytes or a
+// wire-type mismatch for num.
+func findVarintField(body []byte, num int) (int, int, bool) {
+	off := 0
+	rest := body
+	for len(rest) > 0 {
+		tag, n, err := readVarint(rest)
+		if err != nil {
+			return 0, 0, false
+		}
+		fieldNum, wt := int(tag>>3), int(tag&7)
+		if fieldNum > num {
+			return off, off, true
+		}
+		var size int
+		switch wt {
+		case wireVarint:
+			_, vn, err := readVarint(rest[n:])
+			if err != nil {
+				return 0, 0, false
+			}
+			size = n + vn
+		case wireBytes:
+			length, m, err := readVarint(rest[n:])
+			if err != nil || length > uint64(len(rest)-n-m) {
+				return 0, 0, false
+			}
+			size = n + m + int(length)
+		default:
+			return 0, 0, false
+		}
+		if fieldNum == num {
+			if wt != wireVarint {
+				return 0, 0, false
+			}
+			return off, off + size, true
+		}
+		rest = rest[size:]
+		off += size
+	}
+	return off, off, true
+}
+
+// varintSize returns the encoded size of v.
+func varintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendStructField appends msg encoded as one length-delimited record with
+// field number num — nothing at all when the encoding is empty, mirroring
+// how the full encoder omits empty sections. Combined with a cached prefix
+// from StatusOffset this reproduces a full Marshal byte for byte.
+func (a *Arena) AppendStructField(b []byte, num int, msg any) ([]byte, error) {
+	return a.enc.appendStructField(b, num, msg)
+}
+
+func (e *encoder) appendStructField(b []byte, num int, msg any) ([]byte, error) {
+	v := reflect.ValueOf(msg)
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return nil, fmt.Errorf("codec: marshal nil %T", msg)
+		}
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("codec: marshal non-struct %T", msg)
+	}
+	slot := e.grab()
+	inner, err := e.appendStruct(e.scratch[slot][:0], v)
+	if err != nil {
+		e.put(slot, e.scratch[slot])
+		return nil, err
+	}
+	if len(inner) != 0 {
+		b = appendTag(b, num, wireBytes)
+		b = appendVarint(b, uint64(len(inner)))
+		b = append(b, inner...)
+	}
+	e.put(slot, inner)
+	return b, nil
+}

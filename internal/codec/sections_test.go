@@ -1,0 +1,194 @@
+// Tests and benchmarks for sectioned access to encoded objects — the
+// primitives behind the apiserver's write-path encode elision. Exactness is
+// everything here: a splice or RV rewrite that differs from a full Marshal
+// by one byte would silently diverge the store from the cache.
+package codec_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mutiny-sim/mutiny/internal/codec"
+	"github.com/mutiny-sim/mutiny/internal/spec"
+)
+
+func statusPod(rv int64) *spec.Pod {
+	return &spec.Pod{
+		Metadata: spec.ObjectMeta{
+			Name: "web-1", Namespace: spec.DefaultNamespace,
+			ResourceVersion: rv, UID: "uid-1",
+			Labels: map[string]string{spec.LabelApp: "web"},
+		},
+		Spec: spec.PodSpec{
+			NodeName: "node-1",
+			Containers: []spec.Container{{
+				Name: "web", Image: "registry.local/web:1.0",
+				RequestsMilliCPU: 100, RequestsMemMB: 64, Port: 8080,
+			}},
+		},
+		Status: spec.PodStatus{Phase: spec.PodRunning, Ready: true, PodIP: "10.244.0.5"},
+	}
+}
+
+// StatusOffset + AppendStructField reproduce a full Marshal: prefix through
+// the spec section, spliced status record, byte for byte.
+func TestStatusSpliceMatchesFullMarshal(t *testing.T) {
+	pod := statusPod(7)
+	full, err := codec.Marshal(pod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, ok := codec.StatusOffset(full)
+	if !ok {
+		t.Fatal("StatusOffset failed on a valid encoding")
+	}
+	if off <= 0 || off >= len(full) {
+		t.Fatalf("status offset %d out of range for a pod with status (len %d)", off, len(full))
+	}
+
+	changed := *pod
+	changed.Status = spec.PodStatus{Phase: spec.PodFailed, Reason: "Evicted", RestartCount: 2}
+	arena := codec.NewArena()
+	spliced, err := arena.AppendStructField(append([]byte(nil), full[:off]...), codec.ObjectStatusField, &changed.Status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := codec.Marshal(&changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(spliced, want) {
+		t.Fatalf("spliced encoding differs from full Marshal:\n  spliced %x\n  want    %x", spliced, want)
+	}
+}
+
+// An empty status section is omitted by the encoder; the splice must omit it
+// identically, and StatusOffset must then point at the end of the data.
+func TestStatusSpliceOmitsEmptyStatus(t *testing.T) {
+	pod := statusPod(3)
+	pod.Status = spec.PodStatus{}
+	full, err := codec.Marshal(pod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, ok := codec.StatusOffset(full)
+	if !ok || off != len(full) {
+		t.Fatalf("StatusOffset = (%d, %v) on a statusless pod, want (%d, true)", off, ok, len(full))
+	}
+	arena := codec.NewArena()
+	spliced, err := arena.AppendStructField(append([]byte(nil), full[:off]...), codec.ObjectStatusField, &pod.Status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(spliced, full) {
+		t.Fatal("splicing an empty status emitted bytes the full encoder omits")
+	}
+}
+
+// RewriteObjectRV produces exactly what encoding the object at the new RV
+// would — across growing/shrinking varint widths and the absent-field (RV 0)
+// encoding in both directions.
+func TestRewriteObjectRVMatchesReencode(t *testing.T) {
+	for _, from := range []int64{0, 1, 127, 128, 300, 1 << 20} {
+		for _, to := range []int64{0, 1, 127, 128, 16384, 1 << 28} {
+			pod := statusPod(from)
+			data, err := codec.Marshal(pod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := codec.RewriteObjectRV(data, to)
+			if got == nil {
+				t.Fatalf("RewriteObjectRV(rv=%d->%d) failed on a valid encoding", from, to)
+			}
+			pod.Metadata.ResourceVersion = to
+			want, err := codec.Marshal(pod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("rv %d->%d: rewrite differs from re-encode", from, to)
+			}
+			// The input must be untouched.
+			pod.Metadata.ResourceVersion = from
+			orig, _ := codec.Marshal(pod)
+			if !bytes.Equal(data, orig) {
+				t.Fatalf("rv %d->%d: RewriteObjectRV modified its input", from, to)
+			}
+		}
+	}
+}
+
+func TestRewriteObjectRVRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{0xff},
+		{0x08, 0x01}, // varint field 1, not a length-delimited metadata record
+	} {
+		if out := codec.RewriteObjectRV(data, 5); out != nil {
+			t.Fatalf("RewriteObjectRV accepted malformed input %x", data)
+		}
+	}
+}
+
+func TestStatusOffsetRejectsGarbage(t *testing.T) {
+	if _, ok := codec.StatusOffset([]byte{0xff, 0xff, 0xff}); ok {
+		t.Fatal("StatusOffset accepted malformed input")
+	}
+	if off, ok := codec.StatusOffset(nil); !ok || off != 0 {
+		t.Fatalf("StatusOffset(nil) = (%d, %v), want (0, true)", off, ok)
+	}
+}
+
+// BenchmarkCodecRewriteRV measures the cached-Marshal path: patching the
+// committed revision into just-persisted bytes instead of re-encoding.
+func BenchmarkCodecRewriteRV(b *testing.B) {
+	data, err := codec.Marshal(statusPod(41))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := codec.RewriteObjectRV(data, int64(42+i%64)); out == nil {
+			b.Fatal("rewrite failed")
+		}
+	}
+}
+
+// BenchmarkCodecStatusSplice measures a status-only re-encode against the
+// full Marshal it elides (BenchmarkCodecMarshal covers the mixed-kind case;
+// this is the like-for-like pod comparison).
+func BenchmarkCodecStatusSplice(b *testing.B) {
+	pod := statusPod(41)
+	full, err := codec.Marshal(pod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	off, ok := codec.StatusOffset(full)
+	if !ok {
+		b.Fatal("StatusOffset failed")
+	}
+	arena := codec.NewArena()
+	buf := arena.NewBuffer()
+	defer buf.Free()
+	b.Run("splice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := arena.AppendStructField(append(buf.B[:0], full[:off]...), codec.ObjectStatusField, &pod.Status)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf.B = out
+		}
+	})
+	b.Run("full-marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := arena.AppendMarshal(buf.B[:0], pod)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf.B = out
+		}
+	})
+}

@@ -134,7 +134,7 @@ func TestReplicaSetReleasesMislabeledPod(t *testing.T) {
 	if len(pods) != 2 {
 		t.Fatalf("setup pods = %d", len(pods))
 	}
-	victim := pods[0]
+	victim := spec.CloneForWriteAs(pods[0])
 	victim.Metadata.Labels["app"] = "mislabeled"
 	if err := h.c.Update(victim); err != nil {
 		t.Fatal(err)

@@ -189,7 +189,7 @@ func (c *daemonSetController) updateStatus(ds *spec.DaemonSet, desired, current,
 	if ds.Status.DesiredNumber == desired && ds.Status.CurrentNumber == current && ds.Status.NumberReady == ready {
 		return
 	}
-	ds = spec.CloneForWriteAs(ds) // the argument is a sealed cache reference
+	ds = spec.CloneForStatusAs(ds) // the argument is a sealed cache reference
 	ds.Status.DesiredNumber = desired
 	ds.Status.CurrentNumber = current
 	ds.Status.NumberReady = ready

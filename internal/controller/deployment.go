@@ -225,7 +225,7 @@ func (c *deploymentController) updateStatus(d *spec.Deployment, newRS *spec.Repl
 		d.Status.UpdatedReplicas == newRS.Status.Replicas {
 		return
 	}
-	d = spec.CloneForWriteAs(d) // the argument is a sealed cache reference
+	d = spec.CloneForStatusAs(d) // the argument is a sealed cache reference
 	d.Status.Replicas = replicas
 	d.Status.ReadyReplicas = ready
 	d.Status.UpdatedReplicas = newRS.Status.Replicas

@@ -98,6 +98,14 @@ func (c *endpointsController) sync(key string) {
 	}
 	c.portScratch = ports
 
+	// Compare against the current table before building anything: most pod
+	// events leave the endpoints unchanged, and the no-op path must not
+	// allocate a throwaway desired object per sync.
+	curObj, curOK := c.m.views.GetByKey(spec.KindEndpoints, key)
+	if curOK && endpointsUpToDate(curObj.(*spec.Endpoints), addrs, ports) {
+		return
+	}
+
 	desired := &spec.Endpoints{
 		Metadata: spec.ObjectMeta{
 			Name: name, Namespace: ns,
@@ -112,17 +120,13 @@ func (c *endpointsController) sync(key string) {
 		desired.Subsets = []spec.EndpointSubset{{Addresses: addrs, Ports: ports}}
 	}
 
-	curObj, ok := c.m.views.GetByKey(spec.KindEndpoints, key)
-	if !ok {
+	if !curOK {
 		// A stale view at worst turns this into a failed Create
 		// (ErrAlreadyExists), repaired on the next event or resync.
 		_ = c.m.client.Create(desired)
 		return
 	}
 	cur := curObj.(*spec.Endpoints)
-	if endpointsEqual(cur, desired) {
-		return
-	}
 	desired.Metadata.ResourceVersion = cur.Metadata.ResourceVersion
 	desired.Metadata.UID = cur.Metadata.UID
 	if err := c.m.client.Update(desired); errors.Is(err, apiserver.ErrConflict) {
@@ -130,24 +134,28 @@ func (c *endpointsController) sync(key string) {
 	}
 }
 
-func endpointsEqual(a, b *spec.Endpoints) bool {
-	if len(a.Subsets) != len(b.Subsets) {
+// endpointsUpToDate reports whether cur already holds exactly the one-subset
+// table (addrs, ports) — or the empty table when addrs is empty — without
+// materializing the desired object.
+func endpointsUpToDate(cur *spec.Endpoints, addrs []spec.EndpointAddress, ports []int64) bool {
+	if len(addrs) == 0 {
+		return len(cur.Subsets) == 0
+	}
+	if len(cur.Subsets) != 1 {
 		return false
 	}
-	for i := range a.Subsets {
-		as, bs := a.Subsets[i], b.Subsets[i]
-		if len(as.Addresses) != len(bs.Addresses) || len(as.Ports) != len(bs.Ports) {
+	s := cur.Subsets[0]
+	if len(s.Addresses) != len(addrs) || len(s.Ports) != len(ports) {
+		return false
+	}
+	for i := range addrs {
+		if s.Addresses[i] != addrs[i] {
 			return false
 		}
-		for j := range as.Addresses {
-			if as.Addresses[j] != bs.Addresses[j] {
-				return false
-			}
-		}
-		for j := range as.Ports {
-			if as.Ports[j] != bs.Ports[j] {
-				return false
-			}
+	}
+	for i := range ports {
+		if s.Ports[i] != ports[i] {
+			return false
 		}
 	}
 	return true

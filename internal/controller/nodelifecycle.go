@@ -79,7 +79,7 @@ func (c *nodeLifecycleController) monitor() {
 		fresh := now-node.Status.LastHeartbeatMillis <= nodeGracePeriod.Milliseconds()
 		switch {
 		case !fresh && node.Status.Ready:
-			marked := spec.CloneForWriteAs(node) // node is a sealed cache reference
+			marked := spec.CloneForStatusAs(node) // node is a sealed cache reference
 			marked.Status.Ready = false
 			if c.m.client.UpdateStatus(marked) == nil {
 				c.addUnreachableTaint(node.Metadata.Name)

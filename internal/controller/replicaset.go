@@ -174,7 +174,7 @@ func (c *replicaSetController) updateStatus(rs *spec.ReplicaSet, owned []*spec.P
 	if rs.Status.Replicas == int64(len(owned)) && rs.Status.ReadyReplicas == ready {
 		return
 	}
-	rs = spec.CloneForWriteAs(rs) // the argument is a sealed cache reference
+	rs = spec.CloneForStatusAs(rs) // the argument is a sealed cache reference
 	rs.Status.Replicas = int64(len(owned))
 	rs.Status.ReadyReplicas = ready
 	if err := c.m.client.UpdateStatus(rs); errors.Is(err, apiserver.ErrConflict) {

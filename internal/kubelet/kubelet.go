@@ -166,7 +166,7 @@ func (k *Kubelet) registerNode() {
 	}
 	if err := k.client.Create(node); errors.Is(err, apiserver.ErrAlreadyExists) {
 		if obj, err := k.client.Get(spec.KindNode, "", k.cfg.NodeName); err == nil {
-			existing := spec.CloneForWriteAs(obj.(*spec.Node))
+			existing := spec.CloneForStatusAs(obj.(*spec.Node))
 			existing.Status = node.Status
 			_ = k.client.UpdateStatus(existing)
 		}
@@ -187,7 +187,7 @@ func (k *Kubelet) heartbeat() {
 	if err != nil {
 		return
 	}
-	node := spec.CloneForWriteAs(obj.(*spec.Node))
+	node := spec.CloneForStatusAs(obj.(*spec.Node))
 	node.Status.Ready = true
 	node.Status.LastHeartbeatMillis = k.loop.Time().UnixMilli()
 	node.Status.CapacityMilliCPU = k.cfg.CapacityMilliCPU
@@ -305,7 +305,7 @@ func (k *Kubelet) evictForCritical(pod *spec.Pod, running []*podRuntime, needCPU
 }
 
 func (k *Kubelet) rejectPod(pod *spec.Pod, reason string) {
-	pod = spec.CloneForWriteAs(pod) // the argument may be a sealed watch-event object
+	pod = spec.CloneForStatusAs(pod) // the argument may be a sealed watch-event object
 	pod.Status.Phase = spec.PodFailed
 	pod.Status.Reason = reason
 	pod.Status.Ready = false
@@ -409,7 +409,7 @@ func (k *Kubelet) setStatus(rt *podRuntime, phase, reason string, ready bool, ip
 	if err != nil {
 		return
 	}
-	pod := spec.CloneForWriteAs(obj.(*spec.Pod))
+	pod := spec.CloneForStatusAs(obj.(*spec.Pod))
 	pod.Status.Phase = phase
 	pod.Status.Reason = reason
 	pod.Status.Ready = ready
@@ -440,7 +440,7 @@ func (k *Kubelet) syncAllStatuses() {
 		}
 		pod := obj.(*spec.Pod)
 		if pod.Status.PodIP != rt.ip || !pod.Status.Ready || pod.Status.Phase != spec.PodRunning {
-			pod = spec.CloneForWriteAs(pod)
+			pod = spec.CloneForStatusAs(pod)
 			pod.Status.PodIP = rt.ip
 			pod.Status.Ready = true
 			pod.Status.Phase = spec.PodRunning

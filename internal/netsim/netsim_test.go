@@ -182,7 +182,7 @@ func TestCorruptedNetConfigDropsAllRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cm := obj.(*spec.ConfigMap)
+	cm := spec.CloneForWriteAs(obj.(*spec.ConfigMap))
 	cm.Data[NetConfigKey] = "ovurlay:garbage" // single corrupted value
 	if err := h.api.Update(cm); err != nil {
 		t.Fatal(err)

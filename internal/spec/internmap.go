@@ -1,0 +1,210 @@
+package spec
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// Label-map interning.
+//
+// Nearly every object in a campaign carries one of a handful of tiny label
+// sets: {app: web}, {app: web, pod-template-hash: h}, {node-role: worker},
+// the DaemonSet selectors, and so on. Before interning, every decode and
+// every deep clone allocated a private copy of these maps, and the retained
+// heap (watch caches, decode caches, snapshots across all workers) held
+// thousands of identical two-entry maps. Interning resolves an equal map to
+// one canonical instance at Seal time — the moment the object becomes
+// immutable, so sharing the map is exactly as safe as sharing the object.
+//
+// The table follows the codec string-intern design: process-wide, sharded,
+// and lock-free on the read path. Each shard publishes an immutable map
+// through an atomic pointer; a hit is one atomic load plus one map lookup.
+// Misses copy-on-write under a shard-local mutex, bounded by
+// maxMapShardEntries. A second sharded set indexes the canonical maps by
+// identity (their map header pointer), so re-sealing an object that already
+// carries canonical maps — the status-update hot path re-seals a shallow
+// clone per write — is a pointer lookup, not a re-serialization.
+//
+// Only sealed objects ever alias a canonical map. CloneForWrite hands out
+// deep copies (cloneStringMap), so the mutable-clone contract is unchanged:
+// writers own their maps and may mutate them freely.
+
+const (
+	// maxInternMapEntries bounds interned map size; the label/selector sets
+	// the resource model uses have 1–3 entries.
+	maxInternMapEntries = 4
+	// maxInternMapKVLen bounds interned key/value length (mirrors the codec
+	// table's maxInternLen; longer values — e.g. ConfigMap payloads — are
+	// unlikely to repeat).
+	maxInternMapKVLen = 64
+	// mapInternShardCount must be a power of two (the shard index is a hash
+	// mask).
+	mapInternShardCount = 64
+	// maxMapShardEntries bounds one shard's table; beyond it maps pass
+	// through uninterned (graceful degradation, no eviction churn).
+	maxMapShardEntries = 1024
+)
+
+type mapInternShard struct {
+	// table maps the serialized sorted entries of a map to its canonical
+	// instance. Readers load the published map atomically and never lock.
+	table atomic.Pointer[map[string]map[string]string]
+	// canon is the identity set of canonical instances owned by this shard's
+	// table, keyed by map header pointer. Entries are never removed, and the
+	// table holds a strong reference to every member, so a pointer can never
+	// be reused by a different live map.
+	canon atomic.Pointer[map[mapHeader]struct{}]
+	mu    sync.Mutex
+}
+
+// mapHeader is the identity of a map value (its header pointer as reported
+// by reflect.Value.Pointer). Two map[string]string values are the same map
+// iff their headers are equal; headers in the identity set can never be
+// reused by a different live map because the table strongly references every
+// member.
+type mapHeader = uintptr
+
+var mapInternTable [mapInternShardCount]mapInternShard
+
+func init() {
+	for i := range mapInternTable {
+		t := make(map[string]map[string]string)
+		c := make(map[mapHeader]struct{})
+		mapInternTable[i].table.Store(&t)
+		mapInternTable[i].canon.Store(&c)
+	}
+}
+
+// mapIdentity returns the header pointer of m for identity comparisons. Maps
+// are pointer-shaped, so the reflect.Value boxing does not allocate.
+func mapIdentity(m map[string]string) mapHeader {
+	return reflect.ValueOf(m).Pointer()
+}
+
+// InternStringMap returns a map equal to m, reusing a canonical instance when
+// an equal map was interned before. The caller must treat the result as
+// immutable — it is only safe to install on objects that are about to be
+// sealed. Maps that are too large, carry long entries, or land in a full
+// shard are returned unchanged (uninterned maps are merely unshared, never
+// wrong).
+func InternStringMap(m map[string]string) map[string]string {
+	n := len(m)
+	if n == 0 || n > maxInternMapEntries {
+		return m
+	}
+	// Serialize the sorted entries into a stack buffer. Length prefixes keep
+	// the serialization injective (no separator-collision ambiguity), and the
+	// fixed buffer bounds guarantee it fits: 2*maxInternMapEntries strings of
+	// ≤ maxInternMapKVLen bytes, each with a one-byte length.
+	var keys [maxInternMapEntries]string
+	i := 0
+	for k, v := range m {
+		if len(k) > maxInternMapKVLen || len(v) > maxInternMapKVLen {
+			return m
+		}
+		keys[i] = k
+		i++
+	}
+	sortSmall(keys[:n])
+	var buf [2 * maxInternMapEntries * (maxInternMapKVLen + 1)]byte
+	b := buf[:0]
+	for _, k := range keys[:n] {
+		v := m[k]
+		b = append(b, byte(len(k)))
+		b = append(b, k...)
+		b = append(b, byte(len(v)))
+		b = append(b, v...)
+	}
+	s := &mapInternTable[internMapHash(b)&(mapInternShardCount-1)]
+	// Identity fast path: the map is already a canonical instance (re-sealing
+	// a status clone that aliases sealed metadata).
+	if _, ok := (*s.canon.Load())[mapIdentity(m)]; ok {
+		return m
+	}
+	if v, ok := (*s.table.Load())[string(b)]; ok {
+		return v
+	}
+	key := string(b)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.table.Load()
+	if v, ok := cur[key]; ok {
+		return v
+	}
+	if len(cur) >= maxMapShardEntries {
+		return m // shard full: hand back the private map, table unchanged
+	}
+	next := make(map[string]map[string]string, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = m
+	curCanon := *s.canon.Load()
+	nextCanon := make(map[mapHeader]struct{}, len(curCanon)+1)
+	for k := range curCanon {
+		nextCanon[k] = struct{}{}
+	}
+	nextCanon[mapIdentity(m)] = struct{}{}
+	s.table.Store(&next)
+	s.canon.Store(&nextCanon)
+	return m
+}
+
+// internMapHash is FNV-1a over the serialized entries; only used to pick a
+// shard. The identity set must live in the same shard as the table entry, so
+// the shard choice keys on content, not identity — an aliased canonical map
+// re-derives the same shard from its (unchanged) content.
+func internMapHash(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// sortSmall insertion-sorts a tiny string slice (≤ maxInternMapEntries) with
+// no allocation.
+func sortSmall(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// internObjectMaps canonicalizes every string map of o. Called by Seal while
+// the object is still private: after this the maps may be shared with other
+// sealed objects, which is safe because sealed objects are immutable.
+func internObjectMaps(o Object) {
+	m := o.Meta()
+	m.Labels = InternStringMap(m.Labels)
+	m.Annotations = InternStringMap(m.Annotations)
+	switch t := o.(type) {
+	case *Pod:
+		t.Spec.NodeSelector = InternStringMap(t.Spec.NodeSelector)
+	case *ReplicaSet:
+		t.Spec.Selector.MatchLabels = InternStringMap(t.Spec.Selector.MatchLabels)
+		t.Spec.Template.Labels = InternStringMap(t.Spec.Template.Labels)
+	case *Deployment:
+		t.Spec.Selector.MatchLabels = InternStringMap(t.Spec.Selector.MatchLabels)
+		t.Spec.Template.Labels = InternStringMap(t.Spec.Template.Labels)
+	case *DaemonSet:
+		t.Spec.Selector.MatchLabels = InternStringMap(t.Spec.Selector.MatchLabels)
+		t.Spec.Template.Labels = InternStringMap(t.Spec.Template.Labels)
+	case *Service:
+		t.Spec.Selector = InternStringMap(t.Spec.Selector)
+	case *ConfigMap:
+		t.Data = InternStringMap(t.Data)
+	}
+}
+
+// internedMaps reports the current table population (diagnostics/tests).
+func internedMaps() int {
+	n := 0
+	for i := range mapInternTable {
+		n += len(*mapInternTable[i].table.Load())
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestInternStringMapCanonicalizes(t *testing.T) {
+	a := map[string]string{"app": "web", "tier": "frontend"}
+	b := map[string]string{"tier": "frontend", "app": "web"}
+	ia := InternStringMap(a)
+	ib := InternStringMap(b)
+	if mapIdentity(ia) != mapIdentity(ib) {
+		t.Fatal("equal maps interned to different instances")
+	}
+	if len(ia) != 2 || ia["app"] != "web" || ia["tier"] != "frontend" {
+		t.Fatalf("interned map lost content: %v", ia)
+	}
+	// The canonical instance is identity-stable: re-interning it is a hit.
+	if mapIdentity(InternStringMap(ia)) != mapIdentity(ia) {
+		t.Fatal("re-interning the canonical map returned a different instance")
+	}
+}
+
+func TestInternStringMapPassthroughs(t *testing.T) {
+	if got := InternStringMap(nil); got != nil {
+		t.Fatal("nil map not passed through")
+	}
+	empty := map[string]string{}
+	if got := InternStringMap(empty); mapIdentity(got) != mapIdentity(empty) {
+		t.Fatal("empty map not passed through unchanged")
+	}
+	big := map[string]string{"a": "1", "b": "2", "c": "3", "d": "4", "e": "5"}
+	if got := InternStringMap(big); mapIdentity(got) != mapIdentity(big) {
+		t.Fatal("over-limit map should pass through uninterned")
+	}
+	long := map[string]string{"k": strings.Repeat("v", maxInternMapKVLen+1)}
+	if got := InternStringMap(long); mapIdentity(got) != mapIdentity(long) {
+		t.Fatal("long-value map should pass through uninterned")
+	}
+}
+
+// Distinct contents must never collapse onto one instance, even when they
+// hash to the same shard.
+func TestInternStringMapDistinguishesContent(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		m := InternStringMap(map[string]string{"app": fmt.Sprintf("web-%d", i)})
+		if m["app"] != fmt.Sprintf("web-%d", i) {
+			t.Fatalf("interning conflated distinct maps at %d: %v", i, m)
+		}
+	}
+}
+
+// Sealing interns an object's maps, and sealing two objects with equal
+// labels makes them share one canonical instance.
+func TestSealInternsObjectMaps(t *testing.T) {
+	mk := func() *Pod {
+		return &Pod{
+			Metadata: ObjectMeta{
+				Name: "p", Namespace: DefaultNamespace,
+				Labels: map[string]string{"app": "intern-seal-test"},
+			},
+			Spec: PodSpec{NodeSelector: map[string]string{"zone": "intern-seal-a"}},
+		}
+	}
+	p1, p2 := mk(), mk()
+	Seal(p1)
+	Seal(p2)
+	if mapIdentity(p1.Metadata.Labels) != mapIdentity(p2.Metadata.Labels) {
+		t.Fatal("sealed equal label maps are not shared")
+	}
+	if mapIdentity(p1.Spec.NodeSelector) != mapIdentity(p2.Spec.NodeSelector) {
+		t.Fatal("sealed equal node selectors are not shared")
+	}
+	// Clones deep-copy back out of the canonical instance: mutating a clone
+	// must not touch the shared map.
+	c := CloneForWriteAs(p1)
+	c.Metadata.Labels["app"] = "mutated"
+	if p2.Metadata.Labels["app"] != "intern-seal-test" {
+		t.Fatal("mutating a clone's labels reached the shared canonical map")
+	}
+}

@@ -39,11 +39,19 @@ func RegisterSealHook(fn func(Object)) { sealHook = fn }
 func Seal(o Object) Object {
 	m := o.Meta()
 	if !m.sealed {
+		// Canonicalize the label/selector maps while the object is still
+		// private: from here on the maps may be shared with every other
+		// sealed object carrying an equal set (see internmap.go).
+		internObjectMaps(o)
 		m.sealed = true
 		// Cache the namespaced name while the fields are known-final; every
 		// consumer that keys state by object identity reads it back through
-		// NamespacedName with zero allocations.
-		m.nsName = m.Namespace + "/" + m.Name
+		// NamespacedName with zero allocations. Status clones arrive with the
+		// cache intact (a status write cannot rename), so re-sealing them
+		// skips the concatenation.
+		if m.nsName == "" {
+			m.nsName = m.Namespace + "/" + m.Name
+		}
 		if sealHook != nil {
 			sealHook(o)
 		}

@@ -1,0 +1,89 @@
+package spec
+
+import "testing"
+
+func sealedPod() *Pod {
+	p := &Pod{
+		Metadata: ObjectMeta{
+			Name: "web-1", Namespace: DefaultNamespace,
+			ResourceVersion: 4,
+			Labels:          map[string]string{"app": "web"},
+		},
+		Spec:   PodSpec{NodeName: "node-1"},
+		Status: PodStatus{Phase: PodPending},
+	}
+	Seal(p)
+	return p
+}
+
+func TestCloneForStatusSharesMetadataAndSpec(t *testing.T) {
+	p := sealedPod()
+	c := CloneForStatusAs(p)
+	if c == p {
+		t.Fatal("status clone of a sealed object is the same instance")
+	}
+	if c.Meta().Sealed() {
+		t.Fatal("status clone is sealed")
+	}
+	if w, _ := c.Meta().WireBytes(); w != nil {
+		t.Fatal("status clone inherited the source's wire bytes")
+	}
+	if mapIdentity(c.Metadata.Labels) != mapIdentity(p.Metadata.Labels) {
+		t.Fatal("status clone deep-copied the label map it should share")
+	}
+	// Mutating status must not touch the sealed source.
+	c.Status.Phase = PodRunning
+	c.Status.Ready = true
+	if p.Status.Phase != PodPending || p.Status.Ready {
+		t.Fatal("status mutation on the clone reached the sealed source")
+	}
+	// The nsName cache survives — a status write cannot rename.
+	if c.Meta().NamespacedName() != p.Meta().NamespacedName() {
+		t.Fatal("status clone lost the namespaced-name cache")
+	}
+}
+
+func TestCloneForStatusPassesThroughUnsealed(t *testing.T) {
+	p := &Pod{Metadata: ObjectMeta{Name: "w", Namespace: DefaultNamespace}}
+	if CloneForStatusAs(p) != p {
+		t.Fatal("unsealed object should pass through CloneForStatus unchanged")
+	}
+}
+
+// Kinds without a shallow fast path fall back to a full clone, which is
+// always safe to mutate.
+func TestCloneForStatusFallsBackToDeepClone(t *testing.T) {
+	svc := &Service{
+		Metadata: ObjectMeta{Name: "web", Namespace: DefaultNamespace},
+		Spec:     ServiceSpec{Selector: map[string]string{"app": "web"}},
+	}
+	Seal(svc)
+	c := CloneForStatus(svc).(*Service)
+	if c == svc {
+		t.Fatal("sealed fallback kind not cloned")
+	}
+	c.Spec.Selector["app"] = "mutated"
+	if svc.Spec.Selector["app"] != "web" {
+		t.Fatal("fallback clone shares mutable state with the sealed source")
+	}
+}
+
+func TestStatusCloneResealsWithOwnWire(t *testing.T) {
+	p := sealedPod()
+	c := CloneForStatusAs(p)
+	c.Status.Phase = PodRunning
+	c.Metadata.ResourceVersion = 5
+	c.Meta().SetWireBytes([]byte{1, 2, 3}, 2)
+	Seal(c)
+	if w, off := c.Meta().WireBytes(); w == nil || off != 2 {
+		t.Fatal("re-sealed status clone lost its wire bytes")
+	}
+	if w, _ := p.Meta().WireBytes(); len(w) == 3 && w[0] == 1 {
+		t.Fatal("source object picked up the clone's wire bytes")
+	}
+	// SetWireBytes after sealing is a no-op.
+	c.Meta().SetWireBytes([]byte{9}, 0)
+	if w, _ := c.Meta().WireBytes(); len(w) != 3 {
+		t.Fatal("SetWireBytes mutated a sealed object")
+	}
+}

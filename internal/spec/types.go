@@ -105,6 +105,38 @@ type ObjectMeta struct {
 	// the same two strings millions of times per campaign. Like sealed, it is
 	// not part of the wire format and never survives Clone or decode.
 	nsName string
+	// wire, when non-nil, caches the canonical encoding of the object carrying
+	// this metadata: byte-for-byte what codec.Marshal would produce for the
+	// sealed object. The apiserver write path populates it immediately before
+	// Seal (never after — sealed objects are shared across campaign workers),
+	// and status-only updates splice their re-encoded status section onto
+	// wire[:wireStatusOff] instead of re-marshalling the whole object. Like
+	// sealed and nsName, it is not part of the wire format and never survives
+	// Clone or decode.
+	wire []byte
+	// wireStatusOff is the offset in wire where the top-level status record
+	// begins; equal to len(wire) when the status section is empty. Meaningless
+	// while wire is nil.
+	wireStatusOff int
+}
+
+// WireBytes returns the cached canonical encoding of the object carrying this
+// metadata (nil when none is cached) and the offset where its status section
+// starts. The returned slice is immutable — it is shared exactly like the
+// sealed object itself.
+func (m *ObjectMeta) WireBytes() ([]byte, int) { return m.wire, m.wireStatusOff }
+
+// SetWireBytes installs the cached canonical encoding. Callers must guarantee
+// b equals a fresh codec.Marshal of the object and must never mutate b
+// afterwards. Setting wire bytes on an already-sealed object is refused:
+// sealed objects are shared across goroutines, and a late write would race
+// every reader.
+func (m *ObjectMeta) SetWireBytes(b []byte, statusOff int) {
+	if m.sealed {
+		return
+	}
+	m.wire = b
+	m.wireStatusOff = statusOff
 }
 
 // OwnerReference links a dependent object to its owner; the garbage
@@ -547,9 +579,11 @@ func (l *Lease) Clone() Object { return CloneLease(l) }
 // --- helpers ------------------------------------------------------------------
 
 // Key returns the canonical storage key for an object of the given identity,
-// mirroring etcd's /registry layout.
+// mirroring etcd's /registry layout. Keys are interned (internkey.go): the
+// same identity returns the same string instance, alloc-free after first
+// sighting.
 func Key(kind Kind, namespace, name string) string {
-	return "/registry/" + string(kind) + "/" + namespace + "/" + name
+	return internKey(kind, namespace, name)
 }
 
 // KeyOf returns the storage key of an object.

@@ -94,16 +94,17 @@ func NewReplicated(loop *sim.Loop, n int, opts *Options) *Replicated {
 // from the origin, queued for the rest. The loop executes events one at a
 // time, so accepted writes form a single global order that every replica
 // applies (live or on catch-up) identically.
-func (r *Replicated) apply(origin int, op repOp) {
-	valueOwned := false
+// valueOwned reports whether op.Value's backing array is immutable and owned
+// by the replication layer (PutVia's once-per-write copy). Without it,
+// op.Value may alias a caller's pooled, reused encode buffer, so live
+// applies must go through the copying Store.Put and a queued op takes its
+// own copy before it outlives the call.
+func (r *Replicated) apply(origin int, op repOp, valueOwned bool) {
 	for i, rep := range r.replicas {
 		if i == origin || r.down[i] {
 			continue
 		}
 		if !r.linkUp(origin, i) {
-			// A queued op outlives this call, but op.Value aliases the
-			// caller's (pooled, reused) encode buffer — Store.Put copies on
-			// live applies, so only the missed queue needs its own copy.
 			if !valueOwned && len(op.Value) > 0 {
 				op.Value = append([]byte(nil), op.Value...)
 				valueOwned = true
@@ -113,7 +114,11 @@ func (r *Replicated) apply(origin int, op repOp) {
 		}
 		switch op.Op {
 		case 1:
-			_, _ = rep.Put(op.Key, spec.Kind(op.Kind), op.Value)
+			if valueOwned {
+				_, _ = rep.putOwned(op.Key, spec.Kind(op.Kind), op.Value)
+			} else {
+				_, _ = rep.Put(op.Key, spec.Kind(op.Kind), op.Value)
+			}
 		case 2:
 			rep.Delete(op.Key)
 		}
@@ -154,11 +159,20 @@ func (r *Replicated) PutVia(origin int, key string, kind spec.Kind, value []byte
 	if !r.quorumFrom(origin) {
 		return 0, ErrNoQuorum
 	}
-	rev, err := r.replicas[origin].Put(key, kind, value)
+	// One copy per accepted write, shared by every replica: the caller's
+	// bytes typically live in a pooled encode buffer, so the fan-out takes
+	// an owned immutable array up front and installs that same array at the
+	// origin, at every reachable replica, and in every catch-up queue —
+	// instead of one defensive copy per replica.
+	var owned []byte
+	if len(value) > 0 {
+		owned = append([]byte(nil), value...)
+	}
+	rev, err := r.replicas[origin].putOwned(key, kind, owned)
 	if err != nil {
 		return 0, err
 	}
-	r.apply(origin, repOp{Op: 1, Key: key, Kind: string(kind), Value: value, Origin: int64(origin)})
+	r.apply(origin, repOp{Op: 1, Key: key, Kind: string(kind), Value: owned, Origin: int64(origin)}, true)
 	return rev, nil
 }
 
@@ -173,7 +187,7 @@ func (r *Replicated) DeleteVia(origin int, key string) (bool, error) {
 	}
 	ok := r.replicas[origin].Delete(key)
 	if ok {
-		r.apply(origin, repOp{Op: 2, Key: key, Origin: int64(origin)})
+		r.apply(origin, repOp{Op: 2, Key: key, Origin: int64(origin)}, false)
 	}
 	return ok, nil
 }
@@ -355,7 +369,9 @@ func (r *Replicated) Heal() {
 		for _, op := range ops {
 			switch op.Op {
 			case 1:
-				_, _ = r.replicas[i].Put(op.Key, spec.Kind(op.Kind), op.Value)
+				// Queued ops always own their bytes (PutVia's shared copy, or
+				// the defensive copy apply took before queueing).
+				_, _ = r.replicas[i].putOwned(op.Key, spec.Kind(op.Kind), op.Value)
 			case 2:
 				r.replicas[i].Delete(op.Key)
 			}

@@ -206,8 +206,28 @@ func (s *Store) Put(key string, kind spec.Kind, value []byte) (int64, error) {
 	if s.QuotaExceeded() {
 		return 0, ErrNoSpace
 	}
+	return s.install(key, kind, append([]byte(nil), value...)), nil
+}
+
+// putOwned is Put minus the defensive copy, for callers that guarantee the
+// backing array of value is immutable and never reused — the replication
+// fan-out copies an accepted op's payload exactly once and installs that one
+// array at every replica (and in every catch-up queue). Callers passing
+// pooled or otherwise reused buffers must use Put.
+func (s *Store) putOwned(key string, kind spec.Kind, value []byte) (int64, error) {
+	if int64(len(value)) > s.opts.MaxValueBytes {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(value))
+	}
+	if s.QuotaExceeded() {
+		return 0, ErrNoSpace
+	}
+	return s.install(key, kind, value), nil
+}
+
+// install commits stored (already owned by the store) under key and notifies
+// watchers.
+func (s *Store) install(key string, kind spec.Kind, stored []byte) int64 {
 	s.rev++
-	stored := append([]byte(nil), value...)
 	it, exists := s.items[key]
 	if exists {
 		s.size -= int64(len(it.value))
@@ -223,9 +243,9 @@ func (s *Store) Put(key string, kind spec.Kind, value []byte) (int64, error) {
 		}
 		s.size += int64(len(key))
 	}
-	s.size += int64(len(value))
+	s.size += int64(len(stored))
 	s.notify(Event{Type: EventPut, Key: key, Kind: kind, Value: stored, Revision: s.rev})
-	return s.rev, nil
+	return s.rev
 }
 
 // Get returns the stored bytes for key. The value is a sealed reference to

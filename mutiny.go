@@ -54,7 +54,10 @@
 //     them), and the codec interns hot decoded strings (names, namespaces,
 //     label keys/values) process-wide through a 64-way sharded table whose
 //     read path is lock-free (atomic map publication, copy-on-write
-//     inserts).
+//     inserts). Sealing an object runs small label/selector maps through a
+//     map-level intern table of the same shape, so the thousands of objects
+//     carrying {"app": "web"} share one canonical map instance; clones
+//     still deep-copy maps back out, keeping the mutable-clone contract.
 //
 //   - A watch-driven readiness pipeline. Components no longer poll: the
 //     workload driver's readiness waits, the application client's VIP
@@ -81,14 +84,21 @@
 //     validation runs hand-rolled character-class matchers instead of
 //     backtracking regexes.
 //
-//   - A revision-tagged decoded-object cache. The API server keeps the
-//     sealed decoded form of each store key tagged with its mod revision,
-//     primed directly by untampered writes. Conflict checks, watch ingest,
-//     and cache rebuilds (restarts, forks — snapshots carry the cache) skip
-//     the backend-byte decode when the tag matches. Byte-level fault
-//     semantics survive: tampered store writes are never cached, and
-//     at-rest corruption invalidates the entry through the store's rewrite
-//     hook, so corrupted bytes are always decoded for real.
+//   - A revision-tagged decoded-object cache, elided in both directions.
+//     The API server keeps the sealed decoded form of each store key tagged
+//     with its mod revision, primed directly by untampered writes. Conflict
+//     checks, watch ingest, and cache rebuilds (restarts, forks — snapshots
+//     carry the cache) skip the backend-byte decode when the tag matches.
+//     The same sealed objects also carry their canonical wire bytes, so a
+//     status-only update — the hottest write class (kubelet heartbeats, pod
+//     phase transitions, controller status syncs) — clones just the status
+//     section (metadata and spec stay shared with the sealed source) and
+//     splices a freshly encoded status record onto the cached metadata+spec
+//     prefix, byte-identical to a full re-encode. Byte-level fault
+//     semantics survive: tampered store writes are never cached, an armed
+//     request channel suppresses both caches, and at-rest corruption
+//     invalidates the entry through the store's rewrite hook, so corrupted
+//     bytes are always decoded — and re-encoded — for real.
 //
 //   - Shared bootstrap snapshots (CampaignConfig.ShareBootstrap, CLI
 //     -share-bootstrap, bench MUTINY_SHARE=1). Each experiment forks a
@@ -120,8 +130,11 @@
 // `make bench PR=N` measures all of it (ms/exp, allocs/exp, replay-vs-share
 // ratio, parallel speedup) and emits BENCH_PRN.json — which also records
 // GOMAXPROCS and the CPU — committed per PR; CI re-runs the gate on every
-// push and warns — without failing — when ms/exp or the parallel speedup
-// regresses >10% against the previous PR's committed artifact. Set
+// push and warns — without failing — when ms/exp, allocs/exp, or the
+// parallel speedup regresses >10% against the previous PR's committed
+// artifact. Wall-clock warnings only fire when the recorded machine shape
+// matches the baseline's; across an env change they degrade to notes, and
+// the machine-stable allocs/exp comparison carries the gate. Set
 // MUTINY_MUTEXPROF=1 on any bench run to capture mutex/block pprof
 // artifacts for the parallel path.
 package mutiny

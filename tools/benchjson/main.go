@@ -248,6 +248,18 @@ func compareBaseline(r *Report, path string, threshold float64, annotate bool) {
 			fmt.Printf("::warning title=perf regression::%s\n", msg)
 		}
 	}
+	// Wall-clock metrics only compare like with like: a baseline captured on
+	// a different machine shape (CPU count, GOMAXPROCS, model string) says
+	// nothing about a latency delta, so time-based findings degrade to a
+	// stderr note instead of a recorded regression. Allocation counts are
+	// machine-stable and stay hard warnings either way.
+	timeWarn := warn
+	if base.Env != r.Env {
+		timeWarn = func(msg string) {
+			fmt.Fprintf(os.Stderr, "benchjson: note (env changed %+v -> %+v, not flagged): %s\n",
+				base.Env, r.Env, msg)
+		}
+	}
 	for _, metric := range []string{"experiment_ms_share", "experiment_ms_replay"} {
 		was, okWas := base.Derived[metric]
 		now, okNow := r.Derived[metric]
@@ -255,7 +267,18 @@ func compareBaseline(r *Report, path string, threshold float64, annotate bool) {
 			continue
 		}
 		if now > was*(1+threshold) {
-			warn(fmt.Sprintf("%s regressed %.1f%% vs %s (%.2f -> %.2f ms/exp)",
+			timeWarn(fmt.Sprintf("%s regressed %.1f%% vs %s (%.2f -> %.2f ms/exp)",
+				metric, (now/was-1)*100, path, was, now))
+		}
+	}
+	for _, metric := range []string{"experiment_allocs_share", "experiment_allocs_replay"} {
+		was, okWas := base.Derived[metric]
+		now, okNow := r.Derived[metric]
+		if !okWas || !okNow || was <= 0 {
+			continue
+		}
+		if now > was*(1+threshold) {
+			warn(fmt.Sprintf("%s regressed %.1f%% vs %s (%.0f -> %.0f allocs/exp)",
 				metric, (now/was-1)*100, path, was, now))
 		}
 	}
@@ -263,7 +286,7 @@ func compareBaseline(r *Report, path string, threshold float64, annotate bool) {
 	// parallel scaling DROPPED by more than the threshold vs the baseline.
 	if was, ok := base.Derived["campaign_parallel_speedup"]; ok && was > 0 {
 		if now, ok := r.Derived["campaign_parallel_speedup"]; ok && now < was*(1-threshold) {
-			warn(fmt.Sprintf("campaign_parallel_speedup regressed %.1f%% vs %s (×%.2f -> ×%.2f)",
+			timeWarn(fmt.Sprintf("campaign_parallel_speedup regressed %.1f%% vs %s (×%.2f -> ×%.2f)",
 				(1-now/was)*100, path, was, now))
 		}
 	}
