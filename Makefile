@@ -43,11 +43,14 @@ race:
 # master partition while the workload completes on the survivors) and the
 # admission smoke campaign (a three-hook governance chain riding out a
 # webhook backend crash under both failure policies, measuring the
-# fail-closed outage against the fail-open enforcement loss).
+# fail-closed outage against the fail-open enforcement loss) and the
+# 500-node scale smoke (a three-zone cloud-edge cluster bootstrapping inside
+# a wall/alloc budget and riding out an edge-zone partition).
 smoke:
 	MUTINY_STRIDE=200 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime=1x .
 	$(GO) test -run TestHAControlPlaneSmoke -count=1 .
 	$(GO) test -run TestAdmissionSmoke -count=1 .
+	$(GO) test -run TestScale500Smoke -count=1 .
 
 # Docs lint: every Go file gofmt-clean, and every local link in README.md /
 # ARCHITECTURE.md resolving to a file or directory that actually exists
@@ -78,7 +81,7 @@ docs-lint:
 # the target (piping straight into benchjson would report the parser's exit
 # status and let a broken benchmark slip through the gate); benchjson itself
 # also fails when it parses no benchmark lines.
-PR ?= 9
+PR ?= 10
 BENCH_JSON ?= BENCH_PR$(PR).json
 bench:
 	@set -e; out=$$(mktemp -d); \
@@ -86,7 +89,8 @@ bench:
 	prev=$${prev:+BENCH_PR$$prev.json}; \
 	$(GO) test -run xxx -bench 'BenchmarkExperimentThroughput|BenchmarkBootstrapShare' -benchmem -benchtime 30x . > $$out/hot.txt; \
 	MUTINY_STRIDE=96 MUTINY_GOLDEN=5 $(GO) test -run xxx -bench 'BenchmarkCampaignParallel' -benchtime 3x . > $$out/campaign.txt; \
-	cat $$out/hot.txt $$out/campaign.txt | $(GO) run ./tools/benchjson -out $(BENCH_JSON) $${prev:+-prev $$prev}; \
+	$(GO) test -run xxx -bench 'BenchmarkScale10$$|BenchmarkScale500$$' -benchmem -benchtime 50x . > $$out/scale.txt; \
+	cat $$out/hot.txt $$out/campaign.txt $$out/scale.txt | $(GO) run ./tools/benchjson -out $(BENCH_JSON) $${prev:+-prev $$prev}; \
 	rm -rf $$out
 	@echo "wrote $(BENCH_JSON)"
 

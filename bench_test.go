@@ -396,6 +396,43 @@ func BenchmarkBootstrapShare(b *testing.B) {
 	b.ReportMetric(ratio, "replay/fork-×")
 }
 
+// benchScaleZoned runs one zone-partition experiment per iteration on a
+// three-zone cloud-edge cluster of the given size, forked from a prebuilt
+// snapshot. Everything but the node count is held fixed, so the
+// Scale500/Scale10 time ratio isolates how per-experiment cost grows with
+// cluster size.
+func benchScaleZoned(b *testing.B, workers int) {
+	in := inject.Injection{
+		Type: inject.FaultZonePartition, Replica: 2,
+		After: 3 * time.Second, Heal: 18 * time.Second,
+	}
+	runner := campaign.NewRunner()
+	runner.GoldenRuns = 5
+	runner.ShareBootstrap = true
+	runner.ClusterConfig.Workers = workers
+	runner.ClusterConfig.Zones = 3
+	runner.Baseline(workload.Deploy) // prebuild the snapshot outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runner.Run(campaign.Spec{Workload: workload.Deploy, Seed: int64(9600 + i), Injection: &in})
+		if !res.Report.Fired || !res.Report.Healed {
+			b.Fatalf("zone partition did not fire+heal: %+v", res.Report)
+		}
+	}
+}
+
+// BenchmarkScale10 is the small-cluster denominator of the scale ratio: the
+// identical zoned experiment on 10 workers.
+func BenchmarkScale10(b *testing.B) { benchScaleZoned(b, 10) }
+
+// BenchmarkScale500 measures the per-experiment cost of the share regime on
+// a 500-node three-zone cloud-edge cluster. The per-zone scheduler and
+// endpoints indexes, the per-kind watcher fan-out index, and the
+// heartbeat-aware controllers are what keep this within a small multiple of
+// BenchmarkScale10 despite 50× the nodes; benchjson derives the ratio
+// (scale_500_vs_10_ratio) and warns when it drifts.
+func BenchmarkScale500(b *testing.B) { benchScaleZoned(b, 500) }
+
 // BenchmarkCampaignParallel measures campaign wall-clock versus worker
 // count: the same miniature campaign on the sequential path and fanned out
 // across all cores. The speedup ratio is the number that matters — outputs

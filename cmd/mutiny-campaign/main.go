@@ -87,6 +87,9 @@ func run(args []string) error {
 		replicas   = fs.Int("control-plane-replicas", 1, "apiserver/store replicas per experiment cluster; >= 2 adds the HA fault axes (apiserver crash, master partition, store loss) and the failover/stale-read table")
 		hooks      = fs.Int("admission-hooks", 0, "admission webhooks per experiment cluster (0-3: defaulter, image-policy, limits-policy); >= 1 adds the webhook fault axes (down, latency, wrong selector, missing policy) under both failure policies and the admission table, and defaults -workloads to the policy workload")
 		policy     = fs.String("failure-policy", "", "configured failure policy of the admission hooks: Fail (fail-closed) or Ignore (fail-open; the default when empty) — the generated admission axes override it per experiment")
+		nodes      = fs.Int("nodes", 0, "worker nodes per experiment cluster (0 = the cluster default); large clusters pair naturally with -share-bootstrap")
+		zones      = fs.Int("zones", 0, "cloud-edge zones per experiment cluster (0/1 = flat network); >= 2 splits the workers over a cloud core, regional, and edge zones with per-link latency/loss/bandwidth classes, adds the topology fault axes (edge-link flap, zone partition, mass node-kill) per non-core zone, and renders the topology table")
+		edgeNodes  = fs.Int("edge-nodes", 0, "worker nodes in the edge zone (0 with -zones >= 2 = an even split)")
 		noRefine   = fs.Bool("no-refinement", false, "skip the critical-field refinement round")
 		noProp     = fs.Bool("no-propagation", false, "skip the component-channel propagation experiments")
 		quiet      = fs.Bool("quiet", false, "suppress progress output")
@@ -114,6 +117,9 @@ func run(args []string) error {
 		ControlPlaneReplicas: *replicas,
 		AdmissionHooks:       *hooks,
 		FailurePolicy:        *policy,
+		Workers:              *nodes,
+		Zones:                *zones,
+		EdgeNodes:            *edgeNodes,
 		SkipRefinement:       *noRefine,
 		SkipPropagation:      *noProp,
 	}
@@ -171,6 +177,10 @@ func run(args []string) error {
 	}
 	if *hooks > 0 {
 		mutiny.RenderAdmissionTable(os.Stdout, out.Main)
+		fmt.Println()
+	}
+	if *zones > 1 {
+		mutiny.RenderTopologyTable(os.Stdout, out.Main)
 		fmt.Println()
 	}
 	mutiny.RenderFigure6(os.Stdout, out.Main)

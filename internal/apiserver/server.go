@@ -192,6 +192,14 @@ type Server struct {
 	// dispatch time keeps indexing the same registrations.
 	watchers          []*watcher
 	cancelledWatchers int
+	// watcherIdx holds each kind's watcher positions (plus the all-kinds ""
+	// list), ascending. Fan-out walks the event kind's list merged with the
+	// wildcard list instead of scanning every registration: with 500 kubelet
+	// pod-watchers, the per-node-event scan was O(watchers) of pure kind
+	// mismatches. Rebuilt by sweepWatchers when cancellations compact the
+	// registration list.
+	watcherIdx      map[spec.Kind][]int
+	watcherIdxDirty bool
 
 	// Batched fan-out: each dispatch appends one pendingDispatch and
 	// schedules fanoutFn (built once — no per-dispatch closure) on the loop.
@@ -697,7 +705,7 @@ func (s *Server) handle(identity string, verb Verb, obj spec.Object) error {
 func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object) error {
 	kind := msg.Kind
 	key := spec.Key(kind, msg.Namespace, msg.Name)
-	var spliceFrom spec.Object
+	var spliceFrom, donor spec.Object
 	cur, exists, curErr := s.current(kind, key)
 	if errors.Is(curErr, store.ErrReplicaDown) {
 		// This server's store replica is lost: every verb fails, and the
@@ -757,6 +765,7 @@ func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object
 		if err := mergeStatus(cur, obj); err != nil {
 			return s.audit.record(identity, verb, kind, msg.Name, err, msg.Tampered)
 		}
+		donor = obj
 		obj = cur
 	case VerbDelete:
 		if !exists {
@@ -777,7 +786,19 @@ func (s *Server) apply(identity string, verb Verb, msg *Message, obj spec.Object
 		}
 	}
 
-	return s.persistWrite(identity, verb, msg, obj, key, spliceFrom)
+	err := s.persistWrite(identity, verb, msg, obj, key, spliceFrom)
+	if err == nil && donor != nil && !donor.Meta().Sealed() {
+		// Report the committed revision back on the status donor — the
+		// response body a real apiserver returns as the updated object. A
+		// status writer on a fixed cadence (the kubelet heartbeat) can then
+		// reuse its own donor as the base of the next write instead of
+		// re-reading the object every period. On the tampered or
+		// hook-replaced paths persistWrite leaves obj at the old revision,
+		// so the donor keeps it too and the next reuse surfaces as a
+		// conflict — exactly the fresh-read fallback those semantics need.
+		donor.Meta().ResourceVersion = obj.Meta().ResourceVersion
+	}
+	return err
 }
 
 // persistWrite encodes obj and commits it. When spliceFrom is non-nil (a
@@ -1059,11 +1080,27 @@ func (s *Server) fanout() {
 	}
 	if deliver {
 		s.fanningOut++
-		for _, w := range s.watchers[:pd.n] {
-			if w.cancelled || (w.kind != "" && w.kind != ev.Kind) {
-				continue
+		if s.watcherIdxDirty {
+			s.rebuildWatcherIdx()
+		}
+		// Merge the event kind's watcher positions with the wildcard list in
+		// ascending registration order — identical delivery order to the old
+		// full scan, without touching the mismatched-kind registrations.
+		idx, wild := s.watcherIdx[ev.Kind], s.watcherIdx[""]
+		i, j := 0, 0
+		for i < len(idx) || j < len(wild) {
+			var n int
+			if j >= len(wild) || (i < len(idx) && idx[i] < wild[j]) {
+				n, i = idx[i], i+1
+			} else {
+				n, j = wild[j], j+1
 			}
-			w.fn(ev)
+			if n >= pd.n {
+				break // merged sequence is ascending: nothing below pd.n remains
+			}
+			if w := s.watchers[n]; !w.cancelled {
+				w.fn(ev)
+			}
 		}
 		s.fanningOut--
 	}
@@ -1197,6 +1234,10 @@ func (s *Server) list(kind spec.Kind, namespace string) []spec.Object {
 func (s *Server) watch(kind spec.Kind, fn func(WatchEvent)) (cancel func()) {
 	w := &watcher{kind: kind, fn: fn}
 	s.watchers = append(s.watchers, w)
+	if s.watcherIdx == nil {
+		s.watcherIdx = make(map[spec.Kind][]int)
+	}
+	s.watcherIdx[kind] = append(s.watcherIdx[kind], len(s.watchers)-1)
 	return func() {
 		if w.cancelled {
 			return
@@ -1225,6 +1266,21 @@ func (s *Server) sweepWatchers() {
 	}
 	s.watchers = live
 	s.cancelledWatchers = 0
+	// Compaction shifted positions; rebuild lazily at the next fan-out. A
+	// shutdown cancels hundreds of kubelet watches back to back, and an eager
+	// rebuild per cancel would be quadratic in watcher count.
+	s.watcherIdxDirty = true
+}
+
+// rebuildWatcherIdx re-derives the per-kind position lists after compaction.
+func (s *Server) rebuildWatcherIdx() {
+	for k, idx := range s.watcherIdx {
+		s.watcherIdx[k] = idx[:0]
+	}
+	for i, w := range s.watchers {
+		s.watcherIdx[w.kind] = append(s.watcherIdx[w.kind], i)
+	}
+	s.watcherIdxDirty = false
 }
 
 func mergeStatus(dst, src spec.Object) error {

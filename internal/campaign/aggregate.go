@@ -20,11 +20,12 @@ const (
 	GroupDrop         InjGroup = "Drop"
 	GroupControlPlane InjGroup = "Control plane"
 	GroupAdmission    InjGroup = "Admission"
+	GroupTopology     InjGroup = "Topology"
 )
 
 // InjGroups lists the groups in table order.
 func InjGroups() []InjGroup {
-	return []InjGroup{GroupBitFlip, GroupSet, GroupDrop, GroupControlPlane, GroupAdmission}
+	return []InjGroup{GroupBitFlip, GroupSet, GroupDrop, GroupControlPlane, GroupAdmission, GroupTopology}
 }
 
 // GroupOf buckets a fault type.
@@ -34,6 +35,8 @@ func GroupOf(t inject.FaultType) InjGroup {
 		return GroupControlPlane
 	case t.IsAdmission():
 		return GroupAdmission
+	case t.IsTopology():
+		return GroupTopology
 	case t == inject.SetValue:
 		return GroupSet
 	case t == inject.DropMessage:
@@ -65,6 +68,21 @@ type AdmissionKey struct {
 	Policy string
 }
 
+// TopologyFaults lists the topology fault axes in table order.
+func TopologyFaults() []inject.FaultType {
+	return []inject.FaultType{
+		inject.FaultEdgeLinkFlap, inject.FaultZonePartition, inject.FaultNodeKill,
+	}
+}
+
+// TopologyKey addresses one topology-table row: a fault axis against one
+// zone. Zone comes from Injection.Value (stamped by GenerateTopology), so
+// shard merging reconstructs the rows without a cluster handle.
+type TopologyKey struct {
+	Fault inject.FaultType
+	Zone  string
+}
+
 // Aggregate accumulates experiment results into the paper's tables.
 type Aggregate struct {
 	Results []*Result
@@ -93,6 +111,11 @@ type Aggregate struct {
 	// violating objects admitted.
 	OutageByAdmission     map[AdmissionKey][]float64
 	ViolationsByAdmission map[AdmissionKey][]int
+	// DisruptionByTopology / RecoveryByTopology collect the topology-campaign
+	// windows per (fault axis, zone): milliseconds of cut links per
+	// experiment, and milliseconds of post-heal reconvergence tail.
+	DisruptionByTopology map[TopologyKey][]float64
+	RecoveryByTopology   map[TopologyKey][]float64
 }
 
 // NewAggregate returns an empty aggregate.
@@ -108,6 +131,9 @@ func NewAggregate() *Aggregate {
 
 		OutageByAdmission:     make(map[AdmissionKey][]float64),
 		ViolationsByAdmission: make(map[AdmissionKey][]int),
+
+		DisruptionByTopology: make(map[TopologyKey][]float64),
+		RecoveryByTopology:   make(map[TopologyKey][]float64),
 	}
 }
 
@@ -155,6 +181,12 @@ func (a *Aggregate) Add(res *Result) {
 		k := AdmissionKey{Fault: res.Spec.Injection.Type, Policy: res.Spec.Injection.Policy}
 		a.OutageByAdmission[k] = append(a.OutageByAdmission[k], res.AdmissionOutageMillis)
 		a.ViolationsByAdmission[k] = append(a.ViolationsByAdmission[k], res.PolicyViolations)
+	}
+	if res.Spec.Injection != nil && res.Spec.Injection.Type.IsTopology() {
+		zone, _ := res.Spec.Injection.Value.(string)
+		k := TopologyKey{Fault: res.Spec.Injection.Type, Zone: zone}
+		a.DisruptionByTopology[k] = append(a.DisruptionByTopology[k], res.TopologyDisruptionMillis)
+		a.RecoveryByTopology[k] = append(a.RecoveryByTopology[k], res.TopologyRecoveryMillis)
 	}
 }
 

@@ -60,6 +60,12 @@ type Result struct {
 	// integrity loss). Zero without a webhook chain.
 	AdmissionOutageMillis float64
 	PolicyViolations      int
+	// TopologyDisruptionMillis / TopologyRecoveryMillis carry the topology-
+	// campaign windows measured by the collector: milliseconds of the window
+	// some zone or node link was cut, and milliseconds after the links were
+	// restored before the cluster re-converged. Zero on flat clusters.
+	TopologyDisruptionMillis float64
+	TopologyRecoveryMillis   float64
 	// PropPersisted / PropErrored serve the Table VI propagation analysis.
 	PropPersisted bool
 	PropErrored   bool
@@ -313,6 +319,9 @@ func (w *Worker) RunObserved(spec Spec) (*Result, *classify.Observation) {
 		StaleReadMillis:       obs.StaleReadMillis,
 		AdmissionOutageMillis: obs.AdmissionOutageMillis,
 		PolicyViolations:      obs.PolicyViolations,
+
+		TopologyDisruptionMillis: obs.TopologyDisruptedMillis,
+		TopologyRecoveryMillis:   obs.TopologyRecoveryMillis,
 	}
 	if spec.Injection != nil {
 		res.Report = rep

@@ -6,6 +6,7 @@ import (
 
 	"github.com/mutiny-sim/mutiny/internal/codec"
 	"github.com/mutiny-sim/mutiny/internal/inject"
+	"github.com/mutiny-sim/mutiny/internal/netsim"
 	"github.com/mutiny-sim/mutiny/internal/spec"
 	"github.com/mutiny-sim/mutiny/internal/workload"
 )
@@ -214,6 +215,32 @@ func GenerateAdmission(kind workload.Kind, hooks int) []Spec {
 				specs = append(specs, Spec{Workload: kind, Injection: &in, Seed: seed})
 				seed++
 			}
+		}
+	}
+	return specs
+}
+
+// GenerateTopology derives the cloud-edge topology fault-axis campaign: for
+// every non-core zone, an edge-link flap, a zone partition, and a mass
+// node-kill — all healed within the window so reconvergence is observable.
+// Injection.Value carries the zone name, so aggregation and sharding key the
+// per-zone rows without a cluster handle. Empty on flat clusters.
+func GenerateTopology(kind workload.Kind, zones int) []Spec {
+	if zones < 2 {
+		return nil
+	}
+	var specs []Spec
+	seed := campaignSeedBase(kind) + 600_000
+	for z := 1; z < zones; z++ {
+		for _, t := range []inject.FaultType{
+			inject.FaultEdgeLinkFlap, inject.FaultZonePartition, inject.FaultNodeKill,
+		} {
+			in := inject.Injection{
+				Type: t, Replica: z, Value: netsim.ZoneName(z, zones),
+				After: cpFaultAfter, Heal: cpFaultHeal,
+			}
+			specs = append(specs, Spec{Workload: kind, Injection: &in, Seed: seed})
+			seed++
 		}
 	}
 	return specs

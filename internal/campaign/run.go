@@ -33,6 +33,20 @@ type Config struct {
 	// generated admission axes override it per experiment — this knob matters
 	// for golden runs and for non-admission faults running with a chain.
 	FailurePolicy string
+	// Workers sets the number of worker nodes in every experiment cluster
+	// (0 = the cluster default). Large zoned clusters pair it with
+	// ShareBootstrap — the bootstrap is paid once, not per experiment.
+	Workers int
+	// Zones splits the worker nodes over a cloud-edge topology (zone 0 the
+	// cloud core, the last zone the edge, any between regional) and
+	// additionally generates the topology fault axes — edge-link flap, zone
+	// partition, mass node-kill — per non-core zone, with per-axis-per-zone
+	// disruption and recovery statistics in the aggregate. 0 or 1 (the
+	// default) keeps the flat network and generates nothing extra.
+	Zones int
+	// EdgeNodes is the number of workers in the edge zone (0 with Zones >= 2
+	// = an even split).
+	EdgeNodes int
 	// SkipRefinement disables the §V-C2 critical-field value-set round.
 	SkipRefinement bool
 	// SkipPropagation disables the §V-C4 component-channel experiments.

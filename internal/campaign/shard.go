@@ -54,6 +54,11 @@ func prepare(cfg Config) *prepared {
 	runner.ClusterConfig.ControlPlaneReplicas = cfg.ControlPlaneReplicas
 	runner.ClusterConfig.AdmissionHooks = cfg.AdmissionHooks
 	runner.ClusterConfig.FailurePolicy = cfg.FailurePolicy
+	if cfg.Workers > 0 {
+		runner.ClusterConfig.Workers = cfg.Workers
+	}
+	runner.ClusterConfig.Zones = cfg.Zones
+	runner.ClusterConfig.EdgeNodes = cfg.EdgeNodes
 
 	p := &prepared{runner: runner, fieldsRecorded: make(map[workload.Kind]int)}
 	for _, wl := range cfg.Workloads {
@@ -62,6 +67,11 @@ func prepare(cfg Config) *prepared {
 		p.mainSpecs = append(p.mainSpecs, sample(Generate(wl, rec), cfg.SampleStride)...)
 		p.mainSpecs = append(p.mainSpecs, sample(GenerateControlPlane(wl, cfg.ControlPlaneReplicas), cfg.SampleStride)...)
 		p.mainSpecs = append(p.mainSpecs, sample(GenerateAdmission(wl, cfg.AdmissionHooks), cfg.SampleStride)...)
+		// The topology set is exempt from the stride: it is a fixed-size
+		// targeted matrix (faults × zones, six specs per workload), and any
+		// stride > 1 would collapse it to the first fault axis — the stride
+		// knob exists to tame the thousands-of-specs field matrix above.
+		p.mainSpecs = append(p.mainSpecs, GenerateTopology(wl, cfg.Zones)...)
 		if !cfg.SkipPropagation {
 			for _, component := range PropagationComponents() {
 				p.propSpecs = append(p.propSpecs, sample(GeneratePropagation(wl, rec, component), cfg.SampleStride)...)
@@ -172,6 +182,9 @@ type ShardResult struct {
 	AdmissionOutageMillis float64 `json:"admissionOutageMillis,omitempty"`
 	PolicyViolations      int     `json:"policyViolations,omitempty"`
 
+	TopologyDisruptionMillis float64 `json:"topologyDisruptionMillis,omitempty"`
+	TopologyRecoveryMillis   float64 `json:"topologyRecoveryMillis,omitempty"`
+
 	PropPersisted bool `json:"propPersisted,omitempty"`
 	PropErrored   bool `json:"propErrored,omitempty"`
 }
@@ -190,6 +203,9 @@ func toShardResult(index int, res *Result) ShardResult {
 
 		AdmissionOutageMillis: res.AdmissionOutageMillis,
 		PolicyViolations:      res.PolicyViolations,
+
+		TopologyDisruptionMillis: res.TopologyDisruptionMillis,
+		TopologyRecoveryMillis:   res.TopologyRecoveryMillis,
 
 		PropPersisted: res.PropPersisted,
 		PropErrored:   res.PropErrored,
@@ -213,6 +229,9 @@ func (sr ShardResult) result(spec Spec) *Result {
 
 		AdmissionOutageMillis: sr.AdmissionOutageMillis,
 		PolicyViolations:      sr.PolicyViolations,
+
+		TopologyDisruptionMillis: sr.TopologyDisruptionMillis,
+		TopologyRecoveryMillis:   sr.TopologyRecoveryMillis,
 
 		PropPersisted: sr.PropPersisted,
 		PropErrored:   sr.PropErrored,

@@ -31,6 +31,12 @@ type Collector struct {
 	// observation reports only what this window admitted.
 	violationsAtStart int
 
+	// sawTopologyFault latches once a scrape observes the network impaired:
+	// from then on, impairment-free scrape intervals count toward the
+	// recovery tail until the cluster re-converges. Zoneless campaigns never
+	// set it, so the (list-backed) convergence probe never runs for them.
+	sawTopologyFault bool
+
 	pool *BufferPool
 
 	cancels []func()
@@ -114,6 +120,12 @@ func (c *Collector) sample() {
 		}
 		if c.cl.AdmissionDegraded() {
 			c.obs.AdmissionOutageMillis += dt
+		}
+		if c.cl.TopologyDegraded() {
+			c.obs.TopologyDisruptedMillis += dt
+			c.sawTopologyFault = true
+		} else if c.sawTopologyFault && !c.cl.TopologyConverged() {
+			c.obs.TopologyRecoveryMillis += dt
 		}
 	}
 	c.lastSampleAt = now

@@ -123,6 +123,15 @@ type Observation struct {
 	AdmissionOutageMillis float64
 	PolicyViolations      int
 
+	// Topology metrics, meaningful only on zoned clusters: simulated
+	// milliseconds of the window during which a topology fault held a zone
+	// uplink or node link cut (the disruption window), and milliseconds after
+	// the links were restored before the cluster re-converged — links up,
+	// kubelets heartbeating, every node Ready and untainted (the recovery
+	// tail the arXiv:1901.04946-style failover tables report).
+	TopologyDisruptedMillis float64
+	TopologyRecoveryMillis  float64
+
 	// End-of-window cluster health probes.
 	ControlPlaneResponsive bool
 	StoreQuotaExceeded     bool

@@ -84,9 +84,18 @@ type Config struct {
 	// SchedulerOptions tunes the scheduler.
 	SchedulerOptions scheduler.Options
 	// NodeMilliCPU / NodeMemMB size each node (default 8000 / 4096: the
-	// paper's 8-CPU, 4 GB VMs).
+	// paper's 8-CPU, 4 GB VMs). In a zoned cluster this is the core node
+	// class; regional nodes get half, edge nodes a quarter.
 	NodeMilliCPU int64
 	NodeMemMB    int64
+	// Zones spreads the nodes over a cloud-edge topology: zone 0 is the
+	// cloud core (control plane, monitoring, and a share of the workers),
+	// the last zone is the edge, anything between is regional. 0 or 1 (the
+	// default) is the flat single-zone network of the paper's testbed.
+	Zones int
+	// EdgeNodes is how many workers land in the edge zone; zero with
+	// Zones >= 2 defaults to an equal share (workers / Zones).
+	EdgeNodes int
 	// EnableFieldGuard installs the §VI-B critical-field guard: changes to
 	// dependency/identity/networking fields are journaled, monitored, and
 	// rolled back when the cluster degrades.
@@ -157,6 +166,10 @@ type Cluster struct {
 	// monitoring caches the monitoring node's name: the application client
 	// asks for it on every one of its 600 requests per experiment.
 	monitoring string
+	// zoneByNode / zoneNodes index zone membership (creation order preserved
+	// per zone); empty maps on flat clusters.
+	zoneByNode map[string]string
+	zoneNodes  map[string][]string
 
 	started bool
 }
@@ -306,26 +319,71 @@ func assemble(cfg Config, loop *sim.Loop, backend store.Backend) *Cluster {
 			srv.SetStoreWriteHook(c.guard.Hook(nil))
 		}
 	}
-	c.addKubelet(ControlPlaneNode, 0, map[string]string{spec.LabelNodeRole: "control-plane"})
+	c.zoneByNode = make(map[string]string)
+	c.zoneNodes = make(map[string][]string)
+	c.addKubelet(ControlPlaneNode, 0, map[string]string{spec.LabelNodeRole: "control-plane"}, 0)
 	for i := 0; i < cfg.Workers; i++ {
 		name := fmt.Sprintf("worker-%d", i)
 		labels := map[string]string{spec.LabelNodeRole: "worker"}
 		if name == c.monitoringNode() {
 			labels["role"] = "monitoring"
 		}
-		c.addKubelet(name, i+1, labels)
+		c.addKubelet(name, i+1, labels, cfg.zoneOfWorker(i))
 	}
 	return c
 }
 
-func (c *Cluster) addKubelet(name string, cidrIndex int, labels map[string]string) {
+// zoneOfWorker places worker i: the monitoring worker stays in the core with
+// the control plane, the last EdgeNodes workers form the edge zone, and the
+// rest round-robin over the core and regional zones.
+func (c Config) zoneOfWorker(i int) int {
+	if c.Zones < 2 || i == c.Workers-1 {
+		return 0
+	}
+	w := c.Workers - 1 // workers outside the monitoring reservation
+	edge := c.EdgeNodes
+	if edge <= 0 {
+		edge = w / c.Zones
+	}
+	if edge > w {
+		edge = w
+	}
+	if i >= w-edge {
+		return c.Zones - 1
+	}
+	return i % (c.Zones - 1)
+}
+
+// nodeClass scales the configured node size by zone: core nodes are the
+// paper's full-size VMs, regional nodes half, edge devices a quarter —
+// the heterogeneous node classes of cloud-edge deployments.
+func (c Config) nodeClass(zone int) (cpu, mem int64) {
+	cpu, mem = c.NodeMilliCPU, c.NodeMemMB
+	if c.Zones < 2 || zone == 0 {
+		return cpu, mem
+	}
+	if zone == c.Zones-1 {
+		return cpu / 4, mem / 4
+	}
+	return cpu / 2, mem / 2
+}
+
+func (c *Cluster) addKubelet(name string, cidrIndex int, labels map[string]string, zone int) {
+	cpu, mem := c.cfg.nodeClass(zone)
+	if zoneName := netsim.ZoneName(zone, c.cfg.Zones); zoneName != "" {
+		labels[netsim.LabelZone] = zoneName
+		c.zoneByNode[name] = zoneName
+		c.zoneNodes[zoneName] = append(c.zoneNodes[zoneName], name)
+	}
 	c.nodeOrder = append(c.nodeOrder, name)
 	c.Kubelets[name] = kubelet.New(c.Loop, c.source, kubelet.Config{
 		NodeName:         name,
-		CapacityMilliCPU: c.cfg.NodeMilliCPU,
-		CapacityMemMB:    c.cfg.NodeMemMB,
-		PodCIDR:          fmt.Sprintf("10.244.%d.0/24", cidrIndex),
-		Labels:           labels,
+		CapacityMilliCPU: cpu,
+		CapacityMemMB:    mem,
+		// The third octet widens into the second past index 255, so 500+
+		// node clusters keep one /24 per node (10.244.x → 10.245.x → …).
+		PodCIDR: fmt.Sprintf("10.%d.%d.0/24", 244+cidrIndex/256, cidrIndex%256),
+		Labels:  labels,
 	})
 }
 
@@ -482,6 +540,9 @@ func (c *Cluster) AttachInjector(j *inject.Injector) {
 	if c.admission != nil {
 		j.AttachAdmission(c.admission)
 	}
+	if c.cfg.Zones >= 2 {
+		j.AttachTopology(c)
+	}
 }
 
 // Admission returns the shared admission chain, or nil when no hooks are
@@ -605,6 +666,127 @@ func (c *Cluster) RestoreStoreReplica(i int) {
 		rep.RestoreReplica(i)
 		c.Servers[i].Restart()
 	}
+}
+
+// --- topology fault axes ------------------------------------------------------
+//
+// These implement inject.Topology: the time-triggered cloud-edge fault axes
+// (edge-link flap, zone partition, mass node-kill) act through them. The
+// virtual network owns the link state; the cluster mirrors a severed zone
+// uplink into the zone's kubelets (their heartbeats cross the same link the
+// data plane lost), exactly as applyMasterLinks mirrors master cuts into the
+// replicated store.
+
+// Zones returns the number of topology zones (1 for flat clusters).
+func (c *Cluster) Zones() int {
+	if c.cfg.Zones < 2 {
+		return 1
+	}
+	return c.cfg.Zones
+}
+
+// ZoneName names zone i of this cluster's topology.
+func (c *Cluster) ZoneName(i int) string { return netsim.ZoneName(i, c.cfg.Zones) }
+
+// ZoneNodes returns the nodes of a zone in creation order.
+func (c *Cluster) ZoneNodes(zone string) []string { return c.zoneNodes[zone] }
+
+// PartitionZone severs a zone's uplink: cross-zone traffic times out and the
+// zone's kubelets lose the control plane (heartbeats stop — the node
+// lifecycle controller takes it from there if the cut outlives the grace
+// period). Intra-zone traffic keeps flowing.
+func (c *Cluster) PartitionZone(zone string) {
+	c.Net.SetZoneLink(zone, false)
+	c.setZoneKubelets(zone, true)
+}
+
+// HealZone restores a partitioned zone's uplink and its kubelets' control-
+// plane connectivity.
+func (c *Cluster) HealZone(zone string) {
+	c.Net.SetZoneLink(zone, true)
+	c.setZoneKubelets(zone, false)
+}
+
+// SetZoneLink cuts or restores a zone's uplink at the data plane only — the
+// edge-link flap axis, whose down phases are far shorter than the heartbeat
+// grace period, so the control plane never reacts.
+func (c *Cluster) SetZoneLink(zone string, up bool) {
+	c.Net.SetZoneLink(zone, up)
+}
+
+// KillZoneNodes crashes every node of a zone at once (the mass node-kill
+// axis): kubelets stop dead and the nodes' links drop, so even intra-zone
+// requests to their pods time out.
+func (c *Cluster) KillZoneNodes(zone string) {
+	for _, name := range c.zoneNodes[zone] {
+		if name == ControlPlaneNode {
+			continue
+		}
+		c.Kubelets[name].SetDown(true)
+		c.Net.SetNodeLink(name, false)
+	}
+}
+
+// RecoverZoneNodes reverses KillZoneNodes.
+func (c *Cluster) RecoverZoneNodes(zone string) {
+	for _, name := range c.zoneNodes[zone] {
+		if name == ControlPlaneNode {
+			continue
+		}
+		c.Kubelets[name].SetDown(false)
+		c.Net.SetNodeLink(name, true)
+	}
+}
+
+// setZoneKubelets mirrors a zone partition into kubelet connectivity: a cut
+// core uplink severs every *other* zone from the control plane; any other
+// cut severs that zone's own kubelets.
+func (c *Cluster) setZoneKubelets(zone string, down bool) {
+	core := netsim.ZoneName(0, c.cfg.Zones)
+	if zone == core {
+		for _, name := range c.nodeOrder {
+			if name != ControlPlaneNode && c.zoneByNode[name] != core {
+				c.Kubelets[name].SetDown(down)
+			}
+		}
+		return
+	}
+	for _, name := range c.zoneNodes[zone] {
+		if name != ControlPlaneNode {
+			c.Kubelets[name].SetDown(down)
+		}
+	}
+}
+
+// TopologyDegraded reports whether a topology fault is currently applied —
+// the collector's disruption-window probe.
+func (c *Cluster) TopologyDegraded() bool { return c.Net.TopologyImpaired() }
+
+// TopologyConverged reports whether the cluster has re-converged after a
+// topology fault: links restored, kubelets heartbeating, routes up on every
+// node, and no NoExecute wreckage left on the node objects — the probe the
+// recovery window is measured against.
+func (c *Cluster) TopologyConverged() bool {
+	if c.Net.TopologyImpaired() {
+		return false
+	}
+	for _, name := range c.nodeOrder {
+		if c.Kubelets[name].IsDown() || !c.Net.RoutesUp(name) {
+			return false
+		}
+	}
+	for _, obj := range c.Client("topology-probe").List(spec.KindNode, "") {
+		node := obj.(*spec.Node)
+		if !node.Status.Ready {
+			return false
+		}
+		for _, t := range node.Spec.Taints {
+			if t.Effect == spec.TaintNoExecute {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // StoreLagMax returns the largest revision lag of any live store replica

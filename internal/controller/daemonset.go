@@ -19,6 +19,13 @@ type daemonSetController struct {
 	// reused across syncs (neither outlives the sync call).
 	byNodeScratch   map[string][]*spec.Pod
 	nodeSeenScratch []string
+	// nodeGen remembers each node's last-seen Generation. Generation only
+	// moves on spec updates, and nodeEligible reads nothing outside spec,
+	// labels, and taints — so a Modified event at an unchanged generation is
+	// a kubelet heartbeat and cannot alter any placement decision. At 500
+	// nodes those heartbeats would otherwise re-sync every DaemonSet
+	// (a full pod+node scan each) about twenty times a second.
+	nodeGen map[string]int64
 }
 
 func newDaemonSetController(m *Manager) *daemonSetController {
@@ -35,6 +42,24 @@ func (c *daemonSetController) enqueueFor(ev apiserver.WatchEvent) {
 	case spec.KindDaemonSet:
 		c.q.add(objKey(ev.Object))
 	case spec.KindNode:
+		meta := ev.Object.Meta()
+		if ev.Type == apiserver.Deleted {
+			delete(c.nodeGen, meta.Name)
+			c.resync()
+			return
+		}
+		gen, known := c.nodeGen[meta.Name]
+		if c.nodeGen == nil {
+			c.nodeGen = make(map[string]int64)
+		}
+		c.nodeGen[meta.Name] = meta.Generation
+		if ev.Type == apiserver.Modified && (!known || gen == meta.Generation) {
+			// A heartbeat, or the first sighting after a restart cleared the
+			// map: eligibility can't have changed on the former, and the
+			// periodic resync bounds staleness on the latter — same
+			// poll-bounded repair as a lost watch event.
+			return
+		}
 		c.resync()
 	case spec.KindPod:
 		meta := ev.Object.Meta()

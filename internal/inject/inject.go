@@ -127,6 +127,24 @@ const (
 	// the platform default — Ignore, fail-open — silently replaces what the
 	// operator believed was a fail-closed hook.
 	FaultWebhookPolicy
+
+	// The topology fault axes are time-triggered like the control-plane
+	// faults, but act on the zoned cloud-edge network (cluster.Config.Zones
+	// >= 2): Injection.Replica indexes the target zone.
+
+	// FaultEdgeLinkFlap flaps the target zone's uplink — down, up, down —
+	// on a short period until Heal: the lossy last-mile link of an edge
+	// site. The flap phases are far shorter than the heartbeat grace period,
+	// so the disruption stays a pure data-plane phenomenon.
+	FaultEdgeLinkFlap
+	// FaultZonePartition severs the target zone's uplink outright: cross-
+	// zone traffic times out and the zone's kubelets lose the control plane
+	// until Heal, while the zone keeps serving its own clients.
+	FaultZonePartition
+	// FaultNodeKill crashes every node of the target zone at once — the
+	// mass node-kill (correlated infrastructure failure) axis. Heal brings
+	// the nodes back.
+	FaultNodeKill
 )
 
 func (t FaultType) String() string {
@@ -153,6 +171,12 @@ func (t FaultType) String() string {
 		return "webhook-selector"
 	case FaultWebhookPolicy:
 		return "webhook-policy"
+	case FaultEdgeLinkFlap:
+		return "edge-link-flap"
+	case FaultZonePartition:
+		return "zone-partition"
+	case FaultNodeKill:
+		return "node-kill"
 	default:
 		return fmt.Sprintf("FaultType(%d)", int(t))
 	}
@@ -231,6 +255,11 @@ func (in Injection) Label() string {
 			return fmt.Sprintf("admission %s hook=%d policy=%s after=%v heal=%v", in.Type, in.Replica, policy, in.After, in.Heal)
 		}
 		return fmt.Sprintf("admission %s hook=%d policy=%s after=%v", in.Type, in.Replica, policy, in.After)
+	case FaultEdgeLinkFlap, FaultZonePartition, FaultNodeKill:
+		if in.Heal > 0 {
+			return fmt.Sprintf("topology %s zone=%v after=%v heal=%v", in.Type, in.Value, in.After, in.Heal)
+		}
+		return fmt.Sprintf("topology %s zone=%v after=%v", in.Type, in.Value, in.After)
 	default:
 		return fmt.Sprintf("%s %s ? occ=%d", in.Channel, in.Kind, in.Occurrence)
 	}
@@ -250,6 +279,15 @@ func (t FaultType) IsControlPlane() bool {
 func (t FaultType) IsAdmission() bool {
 	switch t {
 	case FaultWebhookDown, FaultWebhookLatency, FaultWebhookSelector, FaultWebhookPolicy:
+		return true
+	}
+	return false
+}
+
+// IsTopology reports whether t is a time-triggered cloud-edge topology fault.
+func (t FaultType) IsTopology() bool {
+	switch t {
+	case FaultEdgeLinkFlap, FaultZonePartition, FaultNodeKill:
 		return true
 	}
 	return false
@@ -285,6 +323,21 @@ type ControlPlane interface {
 	Replicas() int
 }
 
+// Topology is what a topology fault needs from the cluster: enumerate the
+// zones, cut and restore zone uplinks (data-plane only for the flap, with the
+// zone's kubelets for the partition), and crash and recover a whole zone's
+// nodes. Implemented by *cluster.Cluster for the same import-direction reason
+// as ControlPlane.
+type Topology interface {
+	Zones() int
+	ZoneName(i int) string
+	PartitionZone(zone string)
+	HealZone(zone string)
+	SetZoneLink(zone string, up bool)
+	KillZoneNodes(zone string)
+	RecoverZoneNodes(zone string)
+}
+
 // Injector arms one injection and implements the API server hooks.
 type Injector struct {
 	loop *sim.Loop
@@ -295,6 +348,7 @@ type Injector struct {
 
 	cp          ControlPlane
 	adm         *apiserver.AdmissionChain
+	topo        Topology
 	faultTimers []sim.Timer
 }
 
@@ -374,6 +428,10 @@ func (j *Injector) AttachControlPlane(cp ControlPlane) { j.cp = cp }
 // axes act on. Campaigns without admission hooks never call it.
 func (j *Injector) AttachAdmission(chain *apiserver.AdmissionChain) { j.adm = chain }
 
+// AttachTopology gives the injector the handle the topology fault axes act
+// on. Flat clusters never call it.
+func (j *Injector) AttachTopology(t Topology) { j.topo = t }
+
 // Arm programs the injection; the next matching message occurrence fires it.
 // Mirrors the campaign manager "configuring the injection trigger by sending
 // the triplet (where, when, what) ... to the injected component".
@@ -392,6 +450,9 @@ func (j *Injector) Arm(in Injection) {
 	}
 	if cp.Type.IsAdmission() {
 		j.armAdmission(&cp)
+	}
+	if cp.Type.IsTopology() {
+		j.armTopology(&cp)
 	}
 }
 
@@ -532,12 +593,87 @@ func (j *Injector) healAdmission(in *Injection) {
 	j.report.HealedAt = j.loop.Now()
 }
 
+// edgeFlapPeriod is the half-period of the edge-link flap: the uplink toggles
+// down, up, down every period until Heal. Far below the node-lifecycle grace
+// period, so the flap never escalates to taints or eviction — the disruption
+// stays a pure data-plane phenomenon.
+const edgeFlapPeriod = 2 * time.Second
+
+func (j *Injector) armTopology(in *Injection) {
+	if j.topo == nil {
+		return // flat cluster: no topology attached
+	}
+	j.faultTimers = append(j.faultTimers, j.loop.After(in.After, func() {
+		if j.armed != in {
+			return
+		}
+		j.fireTopology(in)
+	}))
+	if in.Heal > 0 {
+		j.faultTimers = append(j.faultTimers, j.loop.After(in.Heal, func() {
+			if j.armed != in || !j.report.Fired {
+				return
+			}
+			j.healTopology(in)
+		}))
+	}
+}
+
+func (j *Injector) fireTopology(in *Injection) {
+	zone := j.topo.ZoneName(in.Replica % j.topo.Zones())
+	switch in.Type {
+	case FaultEdgeLinkFlap:
+		j.topo.SetZoneLink(zone, false)
+		j.flapZoneLink(in, zone, true)
+	case FaultZonePartition:
+		j.topo.PartitionZone(zone)
+	case FaultNodeKill:
+		j.topo.KillZoneNodes(zone)
+	default:
+		return
+	}
+	j.report.Instance = "topology/" + zone
+	j.report.Fired = true
+	j.report.FiredAt = j.loop.Now()
+	// The fault acts on the platform's network, not one resource instance:
+	// activated by construction the moment it fires.
+	j.report.Activated = true
+}
+
+// flapZoneLink schedules the next phase of the edge-link flap: the uplink
+// toggles every edgeFlapPeriod until the fault is healed or disarmed.
+func (j *Injector) flapZoneLink(in *Injection, zone string, up bool) {
+	j.faultTimers = append(j.faultTimers, j.loop.After(edgeFlapPeriod, func() {
+		if j.armed != in || j.report.Healed {
+			return
+		}
+		j.topo.SetZoneLink(zone, up)
+		j.flapZoneLink(in, zone, !up)
+	}))
+}
+
+func (j *Injector) healTopology(in *Injection) {
+	zone := j.topo.ZoneName(in.Replica % j.topo.Zones())
+	switch in.Type {
+	case FaultEdgeLinkFlap:
+		j.topo.SetZoneLink(zone, true)
+	case FaultZonePartition:
+		j.topo.HealZone(zone)
+	case FaultNodeKill:
+		j.topo.RecoverZoneNodes(zone)
+	default:
+		return
+	}
+	j.report.Healed = true
+	j.report.HealedAt = j.loop.Now()
+}
+
 // Report returns what happened.
 func (j *Injector) Report() Report { return j.report }
 
 func (j *Injector) intercept(ch Channel, m *apiserver.Message) apiserver.Action {
 	in := j.armed
-	if in == nil || in.Type.IsControlPlane() || in.Type.IsAdmission() || j.report.Fired || in.Channel != ch || in.Kind != m.Kind {
+	if in == nil || in.Type.IsControlPlane() || in.Type.IsAdmission() || in.Type.IsTopology() || j.report.Fired || in.Channel != ch || in.Kind != m.Kind {
 		return apiserver.Pass
 	}
 	if ch == ChannelRequest && in.SourcePrefix != "" && !hasPrefix(m.Source, in.SourcePrefix) {

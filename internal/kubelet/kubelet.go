@@ -9,7 +9,6 @@
 package kubelet
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -74,6 +73,13 @@ type Kubelet struct {
 	stopped  bool
 	// Down simulates a node crash: no heartbeats, no pod management.
 	down bool
+	// node is the kubelet's private status-write base for its Node object,
+	// kept current by the committed-revision feedback on UpdateStatus. It
+	// spares the heartbeat a read + clone per period — at 500 nodes those
+	// were the single largest per-experiment cost — and is dropped on any
+	// write failure, falling back to a fresh read (a taint or cordon bumps
+	// the revision and surfaces here as one conflict).
+	node *spec.Node
 }
 
 type podState int
@@ -110,14 +116,18 @@ func New(loop *sim.Loop, srv apiserver.ClientSource, cfg Config) *Kubelet {
 	return k
 }
 
-// Start registers the node and begins heartbeating and managing pods.
+// Start registers the node and begins heartbeating and managing pods. No
+// immediate heartbeat is issued: registration itself carries a fresh status,
+// and on a restart (forked snapshot) the existing Node's heartbeat is at most
+// one heartbeatInterval old — the periodic timer refreshes it well inside the
+// lifecycle controller's grace period either way. At 500 nodes the redundant
+// boot-time status write was one of the two largest per-fork costs.
 func (k *Kubelet) Start() {
 	k.stopped = false
 	k.registerNode()
 	k.cancelW = k.client.Watch(spec.KindPod, k.onPodEvent)
 	k.hbTimer = k.loop.Every(heartbeatInterval, k.heartbeat)
 	k.stTimer = k.loop.Every(statusSyncPeriod, k.syncAllStatuses)
-	k.heartbeat()
 }
 
 // Stop halts the kubelet (normal shutdown; pods are left as-is).
@@ -151,6 +161,13 @@ func (k *Kubelet) PodIP(uid string) (string, bool) {
 }
 
 func (k *Kubelet) registerNode() {
+	// On a restart (forked snapshot) the Node object already exists with its
+	// bootstrap Address, capacities, and a near-fresh heartbeat; probing with
+	// a read instead of a doomed Create skips building, encoding, and
+	// rejecting 500 Node objects per fork.
+	if _, err := k.client.Get(spec.KindNode, "", k.cfg.NodeName); err == nil {
+		return
+	}
 	node := &spec.Node{
 		Metadata: spec.ObjectMeta{Name: k.cfg.NodeName, Labels: k.cfg.Labels},
 		Spec:     spec.NodeSpec{PodCIDR: k.cfg.PodCIDR},
@@ -164,13 +181,7 @@ func (k *Kubelet) registerNode() {
 			Address:             fmt.Sprintf("192.168.0.%d", 1+len(k.cfg.NodeName)%250),
 		},
 	}
-	if err := k.client.Create(node); errors.Is(err, apiserver.ErrAlreadyExists) {
-		if obj, err := k.client.Get(spec.KindNode, "", k.cfg.NodeName); err == nil {
-			existing := spec.CloneForStatusAs(obj.(*spec.Node))
-			existing.Status = node.Status
-			_ = k.client.UpdateStatus(existing)
-		}
-	}
+	_ = k.client.Create(node)
 }
 
 // heartbeat refreshes node status. An overloaded node (actual usage above
@@ -183,18 +194,29 @@ func (k *Kubelet) heartbeat() {
 	if k.overloaded() {
 		return // too starved to report in time
 	}
-	obj, err := k.client.Get(spec.KindNode, "", k.cfg.NodeName)
-	if err != nil {
-		return
+	// Two attempts: the cached base, then — after a conflict or a dropped
+	// cache — a fresh read. More than one conflict in a single simulated
+	// instant cannot happen (writes are serialized through the loop).
+	for attempt := 0; attempt < 2; attempt++ {
+		if k.node == nil {
+			obj, err := k.client.Get(spec.KindNode, "", k.cfg.NodeName)
+			if err != nil {
+				return
+			}
+			k.node = spec.CloneForStatusAs(obj.(*spec.Node))
+		}
+		node := k.node
+		node.Status.Ready = true
+		node.Status.LastHeartbeatMillis = k.loop.Time().UnixMilli()
+		node.Status.CapacityMilliCPU = k.cfg.CapacityMilliCPU
+		node.Status.CapacityMemMB = k.cfg.CapacityMemMB
+		node.Status.AllocatableMilliCPU = k.cfg.CapacityMilliCPU * 9 / 10
+		node.Status.AllocatableMemMB = k.cfg.CapacityMemMB * 9 / 10
+		if err := k.client.UpdateStatus(node); err == nil {
+			return
+		}
+		k.node = nil
 	}
-	node := spec.CloneForStatusAs(obj.(*spec.Node))
-	node.Status.Ready = true
-	node.Status.LastHeartbeatMillis = k.loop.Time().UnixMilli()
-	node.Status.CapacityMilliCPU = k.cfg.CapacityMilliCPU
-	node.Status.CapacityMemMB = k.cfg.CapacityMemMB
-	node.Status.AllocatableMilliCPU = k.cfg.CapacityMilliCPU * 9 / 10
-	node.Status.AllocatableMemMB = k.cfg.CapacityMemMB * 9 / 10
-	_ = k.client.UpdateStatus(node)
 }
 
 // overloaded reports whether admitted pods' requests exceed raw capacity —

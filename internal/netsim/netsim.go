@@ -81,6 +81,12 @@ type State struct {
 	rr       map[string]int // round-robin counter per clusterIP
 	reqTimes map[string][]time.Duration
 
+	// Topology fault state (topology.go): zones with their uplink cut and
+	// nodes with their link cut. Both empty on a healthy network; fault state
+	// is never snapshotted, so forks always start clean.
+	zoneDown map[string]bool
+	nodeDown map[string]bool
+
 	// masterIsolated is the control-plane replica currently cut off from its
 	// peers by a master partition, or -1 when the links are intact. The
 	// network owns the link state; the cluster mirrors it into the replicated
@@ -106,6 +112,8 @@ func New(loop *sim.Loop, srv apiserver.ClientSource) *State {
 		podsByIP:         make(map[string]*spec.Pod),
 		rr:               make(map[string]int),
 		reqTimes:         make(map[string][]time.Duration),
+		zoneDown:         make(map[string]bool),
+		nodeDown:         make(map[string]bool),
 		masterIsolated:   -1,
 	}
 	s.cancels = append(s.cancels,
@@ -419,12 +427,18 @@ func (s *State) Request(fromNode, clusterIP string, port int64) RequestResult {
 			addrs = append(addrs, ep.Subsets[i].Addresses...)
 		}
 	}
-	idx := s.rr[clusterIP] % len(addrs)
-	s.rr[clusterIP]++
-	addr := addrs[idx]
+	addr := s.pickEndpoint(clusterIP, fromNode, addrs)
 
-	// Overlay path between client node and endpoint node.
-	if !s.RoutesUp(fromNode) || !s.RoutesUp(addr.NodeName) {
+	// Overlay path between client node and endpoint node: per-node routes,
+	// node links, and the zone links between them must all be up.
+	if !s.RouteBetween(fromNode, addr.NodeName) {
+		return RequestResult{Err: ErrTimeout}
+	}
+	// The link class between the caller's and the endpoint's zones sets the
+	// request's network envelope: latency, loss, and bandwidth. On flat
+	// clusters every path is LinkLocal and this is the old fixed proxy hop.
+	prof := linkProfiles[LinkClassBetween(s.ZoneOf(fromNode), s.ZoneOf(addr.NodeName))]
+	if prof.Loss > 0 && s.loop.Rand().Float64() < prof.Loss {
 		return RequestResult{Err: ErrTimeout}
 	}
 	// The endpoint must correspond to a live, ready pod at that IP.
@@ -436,7 +450,36 @@ func (s *State) Request(fromNode, clusterIP string, port int64) RequestResult {
 	if !podListensOn(pod, targetPort) {
 		return RequestResult{Err: ErrRefused}
 	}
-	return RequestResult{Latency: proxyLatency + s.serviceLatency(pod)}
+	return RequestResult{Latency: prof.Latency + s.serviceLatency(pod, prof.Bandwidth)}
+}
+
+// pickEndpoint applies kube-proxy's topology-aware round-robin: when the
+// caller's zone has ready endpoints, traffic stays in-zone; otherwise it
+// spills over all endpoints. Unzoned callers (flat clusters) round-robin
+// over everything, exactly the pre-topology behavior.
+func (s *State) pickEndpoint(clusterIP, fromNode string, addrs []spec.EndpointAddress) spec.EndpointAddress {
+	n := s.rr[clusterIP]
+	s.rr[clusterIP]++
+	if fromZone := s.ZoneOf(fromNode); fromZone != "" {
+		same := 0
+		for i := range addrs {
+			if s.ZoneOf(addrs[i].NodeName) == fromZone {
+				same++
+			}
+		}
+		if same > 0 && same < len(addrs) {
+			k := n % same
+			for i := range addrs {
+				if s.ZoneOf(addrs[i].NodeName) == fromZone {
+					if k == 0 {
+						return addrs[i]
+					}
+					k--
+				}
+			}
+		}
+	}
+	return addrs[n%len(addrs)]
 }
 
 func (s *State) findPodByIP(ip string) *spec.Pod {
@@ -458,8 +501,9 @@ func podListensOn(pod *spec.Pod, port int64) bool {
 // serviceLatency models an M/M/1-ish response time: the base service time
 // is inflated as the pod's recent request rate approaches its capacity, so
 // under-provisioned services (fewer pods than intended) answer slower —
-// the LeR → HRT propagation of Table III.
-func (s *State) serviceLatency(pod *spec.Pod) time.Duration {
+// the LeR → HRT propagation of Table III. bandwidth scales the base for
+// responses crossing a thin cross-zone link (1.0 in-zone).
+func (s *State) serviceLatency(pod *spec.Pod, bandwidth float64) time.Duration {
 	key := pod.Metadata.NamespacedName() // cached on sealed pods
 
 	now := s.loop.Now()
@@ -478,7 +522,7 @@ func (s *State) serviceLatency(pod *spec.Pod) time.Duration {
 	if rho >= 0.95 {
 		rho = 0.95
 	}
-	base := baseServiceTime + podSpeedOffset(pod.Metadata.UID)
+	base := time.Duration(float64(baseServiceTime+podSpeedOffset(pod.Metadata.UID)) * bandwidth)
 	lat := time.Duration(float64(base) / (1 - rho))
 	// Per-request jitter keeps golden-run variance non-zero so z-scores are
 	// well-defined.

@@ -250,6 +250,52 @@ func AdmissionTable(w io.Writer, agg *campaign.Aggregate) {
 	tw.Flush()
 }
 
+// TopologyTable renders the cloud-edge topology fault-axis statistics in the
+// failover-timing style of arXiv:1901.04946: per fault axis against each
+// zone, the distribution of the disruption window (some zone or node link
+// cut) and of the recovery tail (links restored but the cluster not yet
+// re-converged), in simulated milliseconds per experiment. Empty (a single
+// explanatory line) when the campaign ran on a flat network.
+func TopologyTable(w io.Writer, agg *campaign.Aggregate) {
+	fmt.Fprintln(w, "Cloud-edge topology — disruption and recovery windows by fault axis and zone (ms, simulated)")
+	total := 0
+	for _, d := range agg.DisruptionByTopology {
+		total += len(d)
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "(no topology fault experiments; run with Zones >= 2)")
+		return
+	}
+	// Zone names come from the aggregate's keys: sorted for a stable table,
+	// which puts edge-* after core/regional-* — the paper-style ordering.
+	zoneSet := make(map[string]bool)
+	for key := range agg.DisruptionByTopology {
+		zoneSet[key.Zone] = true
+	}
+	zones := make([]string, 0, len(zoneSet))
+	for z := range zoneSet {
+		zones = append(zones, z)
+	}
+	sort.Strings(zones)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Fault axis\tzone\tn\tdisruption med\tdisruption p95\trecovery med\trecovery p95")
+	for _, t := range campaign.TopologyFaults() {
+		for _, zone := range zones {
+			key := campaign.TopologyKey{Fault: t, Zone: zone}
+			dis := append([]float64(nil), agg.DisruptionByTopology[key]...)
+			if len(dis) == 0 {
+				continue
+			}
+			rec := append([]float64(nil), agg.RecoveryByTopology[key]...)
+			sort.Float64s(dis)
+			sort.Float64s(rec)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n", t, zone, len(dis),
+				quantile(dis, 0.5), quantile(dis, 0.95), quantile(rec, 0.5), quantile(rec, 0.95))
+		}
+	}
+	tw.Flush()
+}
+
 // Table7 renders the real-world vs Mutiny coverage comparison (Table VII).
 func Table7(w io.Writer) {
 	fmt.Fprintln(w, "Table VII — Real-world subcategories vs what Mutiny can replicate")

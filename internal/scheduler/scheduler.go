@@ -55,6 +55,14 @@ type Scheduler struct {
 	running bool
 	pending map[string]bool   // pod keys awaiting scheduling
 	assumed map[string]string // pod UID → node the scheduler bound it to
+	// podAlloc/nodeUsed form the incremental allocation index: the per-node
+	// resource charge of every assigned active pod, maintained from the same
+	// view events that drive the pending set. Each scheduling pass reads node
+	// free resources from it instead of re-scanning the whole pod set, so the
+	// per-cycle cost is O(nodes), not O(nodes + pods) — the term that matters
+	// once 500-node zoned clusters carry a daemon pod per node.
+	podAlloc map[string]allocEntry
+	nodeUsed map[string]*allocUsage
 	// lastPreempt backs off preemption attempts per pod (the real
 	// scheduler's preemption is similarly rate-limited).
 	lastPreempt map[string]time.Duration
@@ -129,6 +137,8 @@ func (s *Scheduler) run() {
 	s.running = true
 	s.pending = make(map[string]bool)
 	s.assumed = make(map[string]string)
+	s.podAlloc = make(map[string]allocEntry)
+	s.nodeUsed = make(map[string]*allocUsage)
 	s.lastPreempt = make(map[string]time.Duration)
 	s.views = apiserver.NewReflector(s.loop, s.client, viewResync, s.onViewEvent,
 		spec.KindPod, spec.KindNode)
@@ -143,6 +153,7 @@ func (s *Scheduler) run() {
 		} else if pod.Spec.NodeName != "" {
 			s.assumed[pod.Metadata.UID] = pod.Spec.NodeName
 		}
+		s.chargePod(pod)
 		return true
 	})
 }
@@ -165,6 +176,7 @@ func (s *Scheduler) onViewEvent(ev apiserver.WatchEvent) {
 	if !s.running || ev.Kind != spec.KindPod {
 		return
 	}
+	s.trackAlloc(ev)
 	pod := ev.Object.(*spec.Pod)
 	key := podKey(pod)
 	switch ev.Type {
@@ -225,7 +237,7 @@ func (s *Scheduler) scheduleAll() {
 	}
 	sort.Strings(keys)
 
-	nodes := s.snapshotNodes()
+	nodes, zones := s.snapshotNodes()
 	// One pod snapshot per cycle serves all preemption decisions: listing
 	// per candidate node degrades quadratically once an uncontrolled-
 	// replication injection floods the cluster with pending pods.
@@ -249,7 +261,13 @@ func (s *Scheduler) scheduleAll() {
 				return true
 			})
 		}
-		if s.scheduleOne(pod, nodes, podSnapshot) {
+		// A zone-pinned pod only ever lands in its zone: score (and preempt)
+		// against that zone's bucket alone.
+		cand := nodes
+		if zone := pod.Spec.NodeSelector[spec.LabelZone]; zone != "" {
+			cand = zones[zone]
+		}
+		if s.scheduleOne(pod, cand, podSnapshot) {
 			delete(s.pending, key)
 		}
 	}
@@ -261,12 +279,64 @@ type nodeInfo struct {
 	freeMem int64
 }
 
-// snapshotNodes computes per-node free resources from the current pod set.
-// Informer-view scans throughout: the scheduler treats the view objects as a
-// read-only world snapshot (bindings clone before writing).
-func (s *Scheduler) snapshotNodes() []*nodeInfo {
+// allocEntry is one pod's charge against a node in the allocation index.
+type allocEntry struct {
+	node string
+	cpu  int64
+	mem  int64
+}
+
+// allocUsage is a node's total charged allocation.
+type allocUsage struct {
+	cpu int64
+	mem int64
+}
+
+// trackAlloc keeps the allocation index in step with one pod event: any
+// previous charge for the pod is released, and the pod is re-charged iff it
+// is assigned and active — exactly the predicate the old full-scan snapshot
+// applied, so index and scan agree at every instant.
+func (s *Scheduler) trackAlloc(ev apiserver.WatchEvent) {
+	pod := ev.Object.(*spec.Pod)
+	uid := pod.Metadata.UID
+	if prev, ok := s.podAlloc[uid]; ok {
+		if u := s.nodeUsed[prev.node]; u != nil {
+			u.cpu -= prev.cpu
+			u.mem -= prev.mem
+		}
+		delete(s.podAlloc, uid)
+	}
+	if ev.Type == apiserver.Deleted {
+		return
+	}
+	s.chargePod(pod)
+}
+
+// chargePod adds an assigned active pod to the allocation index.
+func (s *Scheduler) chargePod(pod *spec.Pod) {
+	if pod.Spec.NodeName == "" || !pod.Active() {
+		return
+	}
+	e := allocEntry{node: pod.Spec.NodeName, cpu: pod.RequestsMilliCPU(), mem: pod.RequestsMemMB()}
+	s.podAlloc[pod.Metadata.UID] = e
+	u := s.nodeUsed[e.node]
+	if u == nil {
+		u = &allocUsage{}
+		s.nodeUsed[e.node] = u
+	}
+	u.cpu += e.cpu
+	u.mem += e.mem
+}
+
+// snapshotNodes computes per-node free resources from the allocation index —
+// one sorted node scan, no pod scan. Alongside the full list it returns
+// per-zone buckets (sharing the same nodeInfo pointers, so in-cycle bind
+// charges propagate to both views): a zone-pinned pod is scored against its
+// zone's nodes only, which keeps the scheduling cost of zone-local work
+// proportional to the touched zone rather than the whole cluster.
+func (s *Scheduler) snapshotNodes() ([]*nodeInfo, map[string][]*nodeInfo) {
 	var infos []*nodeInfo
-	byName := make(map[string]*nodeInfo)
+	var zones map[string][]*nodeInfo
 	s.views.ForEach(spec.KindNode, "", func(no spec.Object) bool {
 		node := no.(*spec.Node)
 		info := &nodeInfo{
@@ -274,22 +344,20 @@ func (s *Scheduler) snapshotNodes() []*nodeInfo {
 			freeCPU: node.Status.AllocatableMilliCPU,
 			freeMem: node.Status.AllocatableMemMB,
 		}
+		if u := s.nodeUsed[node.Metadata.Name]; u != nil {
+			info.freeCPU -= u.cpu
+			info.freeMem -= u.mem
+		}
 		infos = append(infos, info)
-		byName[node.Metadata.Name] = info
-		return true
-	})
-	s.views.ForEach(spec.KindPod, "", func(po spec.Object) bool {
-		pod := po.(*spec.Pod)
-		if pod.Spec.NodeName == "" || !pod.Active() {
-			return true
-		}
-		if info, ok := byName[pod.Spec.NodeName]; ok {
-			info.freeCPU -= pod.RequestsMilliCPU()
-			info.freeMem -= pod.RequestsMemMB()
+		if zone := node.Metadata.Labels[spec.LabelZone]; zone != "" {
+			if zones == nil {
+				zones = make(map[string][]*nodeInfo)
+			}
+			zones[zone] = append(zones[zone], info)
 		}
 		return true
 	})
-	return infos
+	return infos, zones
 }
 
 // scheduleOne filters and scores nodes, then binds. Reports whether the pod

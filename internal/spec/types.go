@@ -609,6 +609,9 @@ const (
 	LabelApp      = "app"
 	LabelPodHash  = "pod-template-hash"
 	LabelNodeRole = "node-role"
+	// LabelZone carries a node's topology zone in zoned (cloud-edge)
+	// clusters, following the upstream topology.kubernetes.io convention.
+	LabelZone = "topology.kubernetes.io/zone"
 )
 
 // System-critical pod priority (mirrors system-node-critical): these pods

@@ -262,6 +262,21 @@ const (
 	FaultWebhookPolicy = inject.FaultWebhookPolicy
 )
 
+// Topology fault axes (zoned cloud-edge clusters, ClusterConfig.Zones >= 2):
+// time-triggered faults against the zoned network. Injection.Replica indexes
+// the target zone; Injection.Value carries its name for the per-zone tables.
+const (
+	// FaultEdgeLinkFlap toggles one zone's uplink down and up on a short
+	// period until Heal — the lossy last-mile link of an edge site.
+	FaultEdgeLinkFlap = inject.FaultEdgeLinkFlap
+	// FaultZonePartition severs one zone's uplink: cross-zone traffic times
+	// out and the zone's kubelets lose the control plane until Heal.
+	FaultZonePartition = inject.FaultZonePartition
+	// FaultNodeKill crashes every node of one zone at once — the correlated
+	// infrastructure failure. Heal brings them back.
+	FaultNodeKill = inject.FaultNodeKill
+)
+
 // Workloads (§IV-B), plus the governance workload of the admission campaign.
 const (
 	WorkloadDeploy   = workload.Deploy

@@ -42,6 +42,11 @@ func RenderHATable(w io.Writer, agg *Aggregate) { report.HATable(w, agg) }
 // Prints a placeholder line when the campaign ran without admission hooks.
 func RenderAdmissionTable(w io.Writer, agg *Aggregate) { report.AdmissionTable(w, agg) }
 
+// RenderTopologyTable writes the cloud-edge topology fault-axis statistics:
+// disruption and recovery window distributions per fault axis and zone.
+// Prints a placeholder line when the campaign ran on a flat network.
+func RenderTopologyTable(w io.Writer, agg *Aggregate) { report.TopologyTable(w, agg) }
+
 // RenderFigure5 writes a golden vs injected latency time-series comparison
 // (Figure 5).
 func RenderFigure5(w io.Writer, golden, injected []float64, goldenZ, injectedZ float64) {

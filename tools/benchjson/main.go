@@ -260,7 +260,7 @@ func compareBaseline(r *Report, path string, threshold float64, annotate bool) {
 				base.Env, r.Env, msg)
 		}
 	}
-	for _, metric := range []string{"experiment_ms_share", "experiment_ms_replay"} {
+	for _, metric := range []string{"experiment_ms_share", "experiment_ms_replay", "scale_500_ms_per_exp"} {
 		was, okWas := base.Derived[metric]
 		now, okNow := r.Derived[metric]
 		if !okWas || !okNow || was <= 0 {
@@ -271,7 +271,7 @@ func compareBaseline(r *Report, path string, threshold float64, annotate bool) {
 				metric, (now/was-1)*100, path, was, now))
 		}
 	}
-	for _, metric := range []string{"experiment_allocs_share", "experiment_allocs_replay"} {
+	for _, metric := range []string{"experiment_allocs_share", "experiment_allocs_replay", "scale_500_allocs_per_exp"} {
 		was, okWas := base.Derived[metric]
 		now, okNow := r.Derived[metric]
 		if !okWas || !okNow || was <= 0 {
@@ -306,6 +306,17 @@ func derive(r *Report) {
 	}
 	if hasReplay && hasShare && share.NsPerOp > 0 {
 		r.Derived["replay_vs_share_ratio"] = replay.NsPerOp / share.NsPerOp
+	}
+	// The scale tier: per-experiment cost on the 500-node three-zone cluster,
+	// and its ratio over the identical 10-node experiment — the sub-linearity
+	// number (50× the nodes for a small multiple of the cost).
+	s500, has500 := r.Benchmarks["BenchmarkScale500"]
+	if has500 {
+		r.Derived["scale_500_ms_per_exp"] = s500.MsPerOp
+		r.Derived["scale_500_allocs_per_exp"] = s500.AllocsPerOp
+	}
+	if s10, ok := r.Benchmarks["BenchmarkScale10"]; ok && has500 && s10.NsPerOp > 0 {
+		r.Derived["scale_500_vs_10_ratio"] = s500.NsPerOp / s10.NsPerOp
 	}
 	if bs, ok := r.Benchmarks["BenchmarkBootstrapShare"]; ok {
 		if v, ok := bs.Extra["replay/fork-×"]; ok {
